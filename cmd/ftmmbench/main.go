@@ -1,0 +1,75 @@
+// Command ftmmbench regenerates every table and figure from the paper's
+// evaluation (Tables 2-3, Figure 9(a)/(b), the §2 k-sweep, the inline
+// MTTF examples), the behavioural figures (4, 5-8), and this
+// reproduction's validation and extension experiments.
+//
+// Usage:
+//
+//	ftmmbench [flags] [experiment]
+//
+// Run `ftmmbench -list` for the experiment names; the default runs all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftmm/internal/experiments"
+)
+
+var (
+	trials  = flag.Int("trials", 1000, "Monte-Carlo trials for the stochastic experiments")
+	streams = flag.Float64("streams", 1200, "required streams for the sizing experiment")
+	list    = flag.Bool("list", false, "list experiments and exit")
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	opts := experiments.Options{Trials: *trials, RequiredStreams: *streams}
+	want := "all"
+	if flag.NArg() > 0 {
+		want = flag.Arg(0)
+	}
+	if want == "all" {
+		for _, e := range experiments.All() {
+			run(e, opts)
+		}
+		return
+	}
+	e, err := experiments.Find(want)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmmbench: %v\n\n", err)
+		usage()
+		os.Exit(2)
+	}
+	run(e, opts)
+}
+
+func run(e experiments.Named, opts experiments.Options) {
+	out, err := e.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmmbench: %s: %v\n", e.Name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s — %s\n\n%s\n", e.Name, e.Description, out)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ftmmbench [flags] [experiment]
+
+Run -list for experiment names; default runs all.
+
+Flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,91 @@
+// Command ftmmcost explores the paper's §5 cost model: given a working
+// set size, required stream count, and memory/disk prices, it prints the
+// cheapest design (scheme and parity group size) and the full per-scheme
+// comparison.
+//
+// Example:
+//
+//	ftmmcost -workingset 100000 -streams 1200 -cb 100 -cd 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftmm/internal/cost"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/report"
+	"ftmm/internal/units"
+)
+
+var (
+	workingSetMB = flag.Float64("workingset", 100_000, "working set W in MB")
+	streams      = flag.Float64("streams", 1200, "required concurrent streams (0: size for storage only)")
+	cb           = flag.Float64("cb", 100, "memory price c_b in $/MB")
+	cd           = flag.Float64("cd", 1, "disk price c_d in $/MB")
+	k            = flag.Int("k", 5, "reserve depth K")
+	rateMbps     = flag.Float64("rate", 1.5, "object bandwidth b0 in Mb/s")
+	cMin         = flag.Int("cmin", 2, "smallest parity group size to consider")
+	cMax         = flag.Int("cmax", 10, "largest parity group size to consider")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftmmcost:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := cost.Sizing{
+		Disk:       diskmodel.Table1(),
+		ObjectRate: units.FromMegabitsPerSecond(*rateMbps),
+		WorkingSet: units.FromMegabytes(*workingSetMB),
+		K:          *k,
+		Prices:     cost.Prices{MemoryPerMB: units.PerMB(*cb), DiskPerMB: units.PerMB(*cd)},
+	}
+	designs, err := s.CompareAll(*streams, *cMin, *cMax)
+	if err != nil {
+		return err
+	}
+	winner, err := cost.Cheapest(designs)
+	if err != nil {
+		return err
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Designs for W=%.0fMB, %.0f streams, cb=$%.0f/MB, cd=$%.2f/MB, K=%d",
+			*workingSetMB, *streams, *cb, *cd, *k),
+		"Scheme", "C", "Disks", "Max streams", "Buffer tracks", "Memory $", "Disk $", "Total $")
+	for _, d := range designs {
+		tbl.AddRow(
+			d.Scheme.String(), report.Int(d.C), report.Float(d.Disks, 1),
+			report.Float(d.MaxStreams, 0), report.Float(d.BufferTracks, 0),
+			report.Dollars(float64(d.MemoryCost)), report.Dollars(float64(d.DiskCost)),
+			report.Dollars(float64(d.Total)))
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("Cheapest: %s at C=%d for %s\n", winner.Scheme, winner.C, winner.Total)
+	if !winner.FeasibleAtMinDisks {
+		fmt.Println("(needs more disks than the working set alone requires — bandwidth-bound)")
+	}
+
+	// Per-C detail for the winner, Figure 9(a)-style.
+	pts, err := s.Curve(winner.Scheme, *cMin, *cMax)
+	if err != nil {
+		return err
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.C)
+		ys[i] = float64(p.Total) / 1000
+	}
+	fmt.Println()
+	fmt.Println(report.RenderSeries(
+		fmt.Sprintf("%s cost ($ x1000) vs parity group size at working-set-minimum disks", winner.Scheme),
+		"C", xs, []report.Series{{Name: "total", Y: ys}}, 1))
+	return nil
+}

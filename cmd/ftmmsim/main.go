@@ -1,0 +1,170 @@
+// Command ftmmsim runs one multimedia-server simulation scenario from
+// flags: build a farm, load a synthetic catalog, admit streams under the
+// chosen fault-tolerance scheme, optionally fail and repair a drive
+// mid-run, and print the delivery/failure report.
+//
+// Example:
+//
+//	ftmmsim -scheme nc -disks 20 -cluster 5 -titles 8 -streams 6 \
+//	        -fail-disk 2 -fail-cycle 40 -repair-cycle 120 -cycles 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/scenario"
+	"ftmm/internal/server"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+var (
+	scenarioPath = flag.String("scenario", "", "run a JSON scenario file instead of flag-driven setup (see scenarios/)")
+	schemeFlag   = flag.String("scheme", "sr", "fault-tolerance scheme: sr, sg, nc, nc-simple, ib")
+	disks        = flag.Int("disks", 20, "number of drives")
+	cluster      = flag.Int("cluster", 5, "cluster (parity group) size C")
+	titles       = flag.Int("titles", 8, "titles in the tape library")
+	titleGroups  = flag.Int("groups", 20, "parity groups per title")
+	streams      = flag.Int("streams", 6, "streams to admit (staggered)")
+	k            = flag.Int("k", 2, "reserve depth (buffer servers / reserved bandwidth)")
+	cycles       = flag.Int("cycles", 1000, "maximum cycles to run")
+	failDisk     = flag.Int("fail-disk", -1, "drive to fail (-1: none)")
+	failCycle    = flag.Int("fail-cycle", 20, "cycle at which the drive fails")
+	repairCycle  = flag.Int("repair-cycle", -1, "cycle at which the drive is repaired (-1: never)")
+	seed         = flag.Int64("seed", 1, "workload seed")
+	zipf         = flag.Float64("zipf", 1.0, "title popularity skew")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftmmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *scenarioPath != "" {
+		return runScenario(*scenarioPath)
+	}
+	scheme, policy, err := server.ParseScheme(*schemeFlag)
+	if err != nil {
+		return err
+	}
+	p := diskmodel.Table1()
+	// Size drives to hold the catalog comfortably.
+	tracksPerTitle := *titleGroups * *cluster
+	p.Capacity = units.ByteSize((*titles**cluster*tracksPerTitle)/(*disks)+tracksPerTitle+50) * p.TrackSize
+
+	srv, err := server.New(server.Options{
+		Disks: *disks, ClusterSize: *cluster,
+		DiskParams: p, Scheme: scheme, K: *k, NCPolicy: policy,
+	})
+	if err != nil {
+		return err
+	}
+
+	trackSize := int(p.TrackSize)
+	names := workload.ObjectNames("title", *titles)
+	for i, id := range names {
+		size := units.ByteSize(*titleGroups * (*cluster - 1) * trackSize)
+		if err := srv.AddTitle(id, size, i/4, workload.SyntheticContent(id, int(size))); err != nil {
+			return err
+		}
+	}
+	gen, err := workload.New(workload.Config{
+		Seed: *seed, Objects: names, ZipfS: *zipf, ArrivalsPerSecond: 1,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheme=%s  D=%d C=%d K=%d  cycle=%v  slots/disk=%d\n\n",
+		srv.Engine().Name(), *disks, *cluster, *k, srv.CycleTime(), 0)
+
+	admitted := 0
+	for cyc := 0; cyc < *cycles; cyc++ {
+		if admitted < *streams {
+			id := gen.Pick()
+			if sid, staging, err := srv.Request(id); err == nil {
+				fmt.Printf("cycle %4d: admitted stream %d for %s (staging %v)\n", cyc, sid, id, staging)
+				admitted++
+			}
+		}
+		if *failDisk >= 0 && cyc == *failCycle {
+			if err := srv.FailDisk(*failDisk); err != nil {
+				return err
+			}
+			fmt.Printf("cycle %4d: DRIVE %d FAILED\n", cyc, *failDisk)
+		}
+		if *failDisk >= 0 && *repairCycle >= 0 && cyc == *repairCycle {
+			if err := srv.RepairDisk(*failDisk); err != nil {
+				return err
+			}
+			fmt.Printf("cycle %4d: drive %d repaired and rebuilt from parity\n", cyc, *failDisk)
+		}
+		rep, err := srv.Step()
+		if err != nil {
+			return err
+		}
+		for _, h := range rep.Hiccups {
+			fmt.Printf("cycle %4d: HICCUP stream %d %s track %d (%s)\n", cyc, h.StreamID, h.ObjectID, h.Track, h.Reason)
+		}
+		for _, id := range rep.Terminated {
+			fmt.Printf("cycle %4d: stream %d TERMINATED (degradation of service)\n", cyc, id)
+		}
+		for _, id := range rep.Finished {
+			fmt.Printf("cycle %4d: stream %d finished\n", cyc, id)
+		}
+		if admitted >= *streams && srv.Engine().Active() == 0 {
+			break
+		}
+	}
+
+	st := srv.Stats()
+	fmt.Printf("\n--- summary after %d cycles (%.1f simulated seconds) ---\n",
+		st.Cycles, float64(st.Cycles)*srv.CycleTime().Seconds())
+	fmt.Printf("delivered tracks:   %d\n", st.Delivered)
+	fmt.Printf("hiccups:            %d\n", st.Hiccups)
+	fmt.Printf("reconstructions:    %d\n", st.Reconstructions)
+	fmt.Printf("streams finished:   %d, terminated: %d\n", st.Finished, st.Terminated)
+	fmt.Printf("disk reads:         %d data, %d parity\n", st.DataReads, st.ParityReads)
+	fmt.Printf("buffer peak:        %d tracks (%v)\n", st.BufferPeak, srv.BufferPeakBytes())
+	fmt.Printf("tertiary stagings:  %d (%v), evictions: %d\n", st.Stagings, srv.StagingTime(), st.Evictions)
+	return nil
+}
+
+// runScenario executes a declarative JSON scenario file.
+func runScenario(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Parse(data)
+	if err != nil {
+		return err
+	}
+	res, err := spec.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %s: scheme=%s farm=%dx%d\n", path, spec.Scheme, spec.Disks, spec.ClusterSize)
+	fmt.Printf("requests admitted/rejected: %d/%d\n", res.Admitted, res.Rejected)
+	fmt.Printf("delivered tracks:           %d\n", res.Stats.Delivered)
+	fmt.Printf("hiccups:                    %d\n", res.Summary.Hiccups)
+	for cause, n := range res.Summary.HiccupsByCause {
+		fmt.Printf("  %-40s %d\n", cause, n)
+	}
+	fmt.Printf("reconstructions:            %d\n", res.Stats.Reconstructions)
+	fmt.Printf("streams finished:           %d, terminated: %d\n", res.Stats.Finished, res.Stats.Terminated)
+	fmt.Printf("buffer peak:                %d tracks\n", res.Stats.BufferPeak)
+	fmt.Printf("tertiary stagings:          %d (%v)\n", res.Stats.Stagings, res.StagingTime)
+	if res.IntegrityErr != nil {
+		return fmt.Errorf("INTEGRITY VIOLATION: %w", res.IntegrityErr)
+	}
+	fmt.Println("integrity:                  every delivered byte matched the stored content")
+	return nil
+}

@@ -1,0 +1,65 @@
+// Capacityplanning: use the paper's §5 cost model to size a video server.
+// Reproduces the worked example (≈1200 required streams over a 100 GB
+// working set) and then walks the requirement up to show the crossover
+// where the Improved-bandwidth scheme becomes the design of choice —
+// "when the disks required to hold the working set do not provide the
+// bandwidth required".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/cost"
+	"ftmm/internal/report"
+)
+
+func main() {
+	sizing := cost.Figure9() // W = 100,000 MB on 1 GB drives, K = 5
+
+	fmt.Println("=== The paper's worked example: 1200 required streams ===")
+	designs, err := sizing.CompareAll(1200, 2, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := report.NewTable("", "Scheme", "Best C", "Disks", "Total cost")
+	for _, d := range designs {
+		tbl.AddRow(d.Scheme.String(), report.Int(d.C), report.Float(d.Disks, 1),
+			report.Dollars(float64(d.Total)))
+	}
+	fmt.Println(tbl.String())
+	winner, _ := cost.Cheapest(designs)
+	fmt.Printf("cheapest: %s at C=%d (%s)\n", winner.Scheme, winner.C, winner.Total)
+	fmt.Println("(the paper: SR wants small clusters ~4, SG/NC large ~10, NC cheapest)")
+
+	fmt.Println()
+	fmt.Println("=== Where does Improved-bandwidth start to win? ===")
+	sweep := report.NewTable("", "Required streams", "Winner", "C", "Total", "Needs extra disks")
+	for _, need := range []float64{1000, 1200, 1400, 1600, 1800, 2000, 2200, 2600, 3000} {
+		ds, err := sizing.CompareAll(need, 2, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, _ := cost.Cheapest(ds)
+		sweep.AddRow(report.Float(need, 0), w.Scheme.Abbrev(), report.Int(w.C),
+			report.Dollars(float64(w.Total)), fmt.Sprintf("%v", !w.FeasibleAtMinDisks))
+	}
+	fmt.Println(sweep.String())
+
+	// How much capacity do the working-set disks give each scheme for
+	// free? Past this, streams must be bought with extra spindles.
+	fmt.Println("=== Stream capacity at working-set-minimum disks (Figure 9(b) extremes) ===")
+	for _, scheme := range analytic.Schemes() {
+		lo, err := sizing.Evaluate(scheme, 2, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hi, err := sizing.Evaluate(scheme, 10, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s C=2: %6.0f streams   C=10: %6.0f streams\n",
+			scheme.String(), lo.MaxStreams, hi.MaxStreams)
+	}
+}

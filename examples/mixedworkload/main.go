@@ -1,0 +1,83 @@
+// Mixedworkload: plan a server that carries MPEG-1 and MPEG-2 traffic at
+// once — the mix the paper's introduction motivates ("900 MPEG-1 movies
+// ... or some combination of the two"). Uses the analytic mixed-load
+// planner to find the admissible region, then sizes the catalog split
+// with the storage model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/report"
+	"ftmm/internal/units"
+)
+
+func main() {
+	cfg := analytic.Config{
+		Disk:       diskmodel.Table1(),
+		ObjectRate: units.MPEG1, // default; the planner overrides per class
+		D:          100,
+		C:          5,
+		K:          3,
+	}
+
+	fmt.Println("=== Pure-class stream capacity (Streaming RAID, D=100, C=5) ===")
+	for _, rate := range []struct {
+		name string
+		r    units.Rate
+	}{{"MPEG-1", units.MPEG1}, {"MPEG-2", units.MPEG2}} {
+		c := cfg
+		c.ObjectRate = rate.r
+		n, err := c.MaxStreamsInt(analytic.StreamingRAID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s %4d streams\n", rate.name, n)
+	}
+
+	fmt.Println()
+	fmt.Println("=== The admissible frontier for mixes ===")
+	tbl := report.NewTable("", "MPEG-2 streams", "MPEG-1 headroom", "Utilization at frontier")
+	for _, n2 := range []int{0, 50, 100, 150, 200, 250, 300} {
+		plan, err := cfg.MixedLoadPlan(analytic.StreamingRAID, []analytic.StreamClass{
+			{Name: "mpeg2", Rate: units.MPEG2, Count: n2},
+			{Name: "mpeg1", Rate: units.MPEG1, Count: 0},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !plan.Feasible() {
+			tbl.AddRow(report.Int(n2), "-", "infeasible alone")
+			continue
+		}
+		n1 := plan.Headroom[1]
+		check, err := cfg.MixedLoadPlan(analytic.StreamingRAID, []analytic.StreamClass{
+			{Name: "mpeg2", Rate: units.MPEG2, Count: n2},
+			{Name: "mpeg1", Rate: units.MPEG1, Count: n1},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(report.Int(n2), report.Int(n1), report.Float(check.Utilization, 4))
+	}
+	fmt.Println(tbl.String())
+
+	fmt.Println("=== Catalog split for a 100 GB working set ===")
+	s1 := analytic.MovieSize(units.MPEG1, 90)
+	s2 := analytic.MovieSize(units.MPEG2, 90)
+	for _, frac1 := range []float64{1, 0.75, 0.5, 0.25, 0} {
+		mix, err := analytic.EstimateMixedCapacity(100, diskmodel.Table1(), s1, s2, frac1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3.0f%% MPEG-1 titles: %3d MPEG-1 + %2d MPEG-2 movies fit\n",
+			frac1*100, mix.MPEG1Objects, mix.MPEG2Objects)
+	}
+
+	fmt.Println()
+	fmt.Println("Every row of the frontier trades ~3 MPEG-1 streams per MPEG-2 stream,")
+	fmt.Println("the bandwidth ratio of the two formats.")
+}

@@ -1,0 +1,119 @@
+// Videoserver: a service window of an on-demand video server under a
+// Zipf-skewed Poisson workload — the scenario the paper's introduction
+// motivates. Streams arrive over time, cold titles are staged from the
+// tape library (evicting cold ones), a drive fails mid-run and is later
+// repaired and rebuilt from parity, and the run ends with a service
+// report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/schemes"
+	"ftmm/internal/server"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+const (
+	disks       = 20
+	clusterSize = 5
+	titleCount  = 16
+	titleGroups = 30 // parity groups per title: 120 tracks ≈ 6 MB objects
+	failAt      = 50 * time.Second
+	repairAt    = 120 * time.Second
+	serviceEnd  = 300 * time.Second
+)
+
+func main() {
+	params := diskmodel.Table1()
+	tracksPerTitle := titleGroups * clusterSize
+	params.Capacity = units.ByteSize(titleCount*tracksPerTitle/disks+2*tracksPerTitle) * params.TrackSize
+
+	srv, err := server.New(server.Options{
+		Disks: disks, ClusterSize: clusterSize,
+		DiskParams: params,
+		Scheme:     analytic.NonClustered,
+		NCPolicy:   schemes.AlternateSwitchover,
+		K:          2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The permanent database: 16 titles across 4 tapes, hot-to-cold.
+	names := workload.ObjectNames("title", titleCount)
+	trackSize := int(params.TrackSize)
+	for i, id := range names {
+		size := units.ByteSize(titleGroups * (clusterSize - 1) * trackSize)
+		if err := srv.AddTitle(id, size, i/4, workload.SyntheticContent(id, int(size))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	gen, err := workload.New(workload.Config{
+		Seed: 7, Objects: names, ZipfS: 1.0, ArrivalsPerSecond: 0.35,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cycle := srv.CycleTime()
+	fmt.Printf("video server: %d drives, C=%d, %s scheme, cycle %v\n",
+		disks, clusterSize, srv.Engine().Name(), cycle)
+
+	next := gen.Next()
+	failed, repaired := false, false
+	admitted, rejected := 0, 0
+	var now time.Duration
+	for now = 0; now < serviceEnd; now += cycle {
+		// Admit every request that has arrived by this cycle.
+		for next.At <= now {
+			if _, staging, err := srv.Request(next.ObjectID); err != nil {
+				rejected++
+			} else {
+				admitted++
+				if staging > 0 {
+					fmt.Printf("%7.1fs  %-8s staged from tape in %v\n", now.Seconds(), next.ObjectID, staging)
+				}
+			}
+			next = gen.Next()
+		}
+		if !failed && now >= failAt {
+			failed = true
+			fmt.Printf("%7.1fs  *** drive 3 FAILED ***\n", now.Seconds())
+			if err := srv.FailDisk(3); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if failed && !repaired && now >= repairAt {
+			repaired = true
+			if err := srv.RepairDisk(3); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%7.1fs  drive 3 replaced and rebuilt from parity\n", now.Seconds())
+		}
+		rep, err := srv.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, h := range rep.Hiccups {
+			fmt.Printf("%7.1fs  hiccup: stream %d, %s track %d\n", now.Seconds(), h.StreamID, h.ObjectID, h.Track)
+		}
+	}
+
+	st := srv.Stats()
+	fmt.Printf("\n--- %v of service ---\n", now.Truncate(time.Second))
+	fmt.Printf("requests admitted/rejected: %d/%d\n", admitted, rejected)
+	fmt.Printf("tracks delivered:           %d (%.1f MB)\n", st.Delivered,
+		float64(st.Delivered)*params.TrackSize.Megabytes())
+	fmt.Printf("hiccups:                    %d (all within the failure transition)\n", st.Hiccups)
+	fmt.Printf("on-the-fly reconstructions: %d\n", st.Reconstructions)
+	fmt.Printf("streams finished:           %d (active at close: %d)\n", st.Finished, srv.Engine().Active())
+	fmt.Printf("tape stagings/evictions:    %d/%d (tape time %v)\n", st.Stagings, st.Evictions, srv.StagingTime())
+	fmt.Printf("peak buffer memory:         %d tracks = %v\n", st.BufferPeak, srv.BufferPeakBytes())
+}

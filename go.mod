@@ -1,0 +1,3 @@
+module ftmm
+
+go 1.22

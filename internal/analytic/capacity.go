@@ -1,0 +1,79 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/units"
+)
+
+// CapacityEstimate is the back-of-envelope system sizing of the paper's
+// introduction: how many objects a disk farm stores and how many
+// concurrent streams its raw bandwidth feeds, before any fault-tolerance
+// overhead.
+type CapacityEstimate struct {
+	// Objects is how many whole objects of the given size fit.
+	Objects int
+	// Streams is how many concurrent streams the aggregate bandwidth
+	// supports.
+	Streams int
+}
+
+// EstimateCapacity reproduces the §1 arithmetic: D disks of the given
+// capacity and bandwidth, objects of objectSize delivered at rate b0.
+// The paper's example: 1000 one-gigabyte disks hold ≈300 90-minute
+// MPEG-2 movies (4.5 Mb/s) or ≈900 MPEG-1 movies (1.5 Mb/s), and at
+// 4 MB/s per disk feed ≈6500 MPEG-2 or ≈20,000 MPEG-1 streams.
+func EstimateCapacity(d int, disk diskmodel.Params, objectSize units.ByteSize, b0 units.Rate) (CapacityEstimate, error) {
+	if d < 1 {
+		return CapacityEstimate{}, errors.New("analytic: need at least one disk")
+	}
+	if err := disk.Validate(); err != nil {
+		return CapacityEstimate{}, err
+	}
+	if objectSize <= 0 || b0 <= 0 {
+		return CapacityEstimate{}, errors.New("analytic: object size and rate must be positive")
+	}
+	totalBytes := float64(d) * float64(disk.Capacity)
+	totalBW := float64(d) * float64(disk.EffectiveBandwidth())
+	return CapacityEstimate{
+		Objects: int(totalBytes / float64(objectSize)),
+		Streams: int(totalBW / float64(b0)),
+	}, nil
+}
+
+// MovieSize returns the storage an object of the given bandwidth and
+// duration occupies: b0 · minutes.
+func MovieSize(b0 units.Rate, minutes float64) units.ByteSize {
+	return units.ByteSize(float64(b0) * minutes * 60)
+}
+
+// MixedCapacity sizes a two-class catalog (the intro's "some combination
+// of the two"): given fractions of MPEG-1 and MPEG-2 objects (by count),
+// it returns how many objects of each class fit in the farm's storage.
+type MixedCapacity struct {
+	MPEG1Objects, MPEG2Objects int
+}
+
+// EstimateMixedCapacity splits storage between two object classes with
+// the given count fraction of class 1 (0..1).
+func EstimateMixedCapacity(d int, disk diskmodel.Params, size1, size2 units.ByteSize, frac1 float64) (MixedCapacity, error) {
+	if frac1 < 0 || frac1 > 1 {
+		return MixedCapacity{}, errors.New("analytic: fraction must be in [0,1]")
+	}
+	if err := disk.Validate(); err != nil {
+		return MixedCapacity{}, err
+	}
+	if size1 <= 0 || size2 <= 0 {
+		return MixedCapacity{}, errors.New("analytic: object sizes must be positive")
+	}
+	total := float64(d) * float64(disk.Capacity)
+	// n objects split frac1/1-frac1: n·(frac1·size1 + (1-frac1)·size2) = total.
+	avg := frac1*float64(size1) + (1-frac1)*float64(size2)
+	n := total / avg
+	return MixedCapacity{
+		MPEG1Objects: int(math.Floor(n * frac1)),
+		MPEG2Objects: int(math.Floor(n * (1 - frac1))),
+	}, nil
+}

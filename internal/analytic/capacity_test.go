@@ -1,0 +1,99 @@
+package analytic
+
+import (
+	"testing"
+
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/units"
+)
+
+// The introduction's arithmetic: 1000 one-gigabyte disks store ~300
+// MPEG-2 or ~900 MPEG-1 ninety-minute movies and, at 4 MB/s each, feed
+// ~6500 MPEG-2 or ~20,000 MPEG-1 concurrent streams.
+func TestIntroCapacityExample(t *testing.T) {
+	p := diskmodel.Table1() // 1 GB, 4 MB/s
+
+	mpeg2Movie := MovieSize(units.MPEG2, 90)
+	// 4.5 Mb/s * 90 min = 3037.5 MB.
+	if got := mpeg2Movie.Megabytes(); got < 3037 || got > 3038 {
+		t.Fatalf("MPEG-2 movie = %.1f MB", got)
+	}
+	est2, err := EstimateCapacity(1000, p, mpeg2Movie, units.MPEG2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Objects < 300 || est2.Objects > 340 {
+		t.Errorf("MPEG-2 movies = %d, paper says ~300", est2.Objects)
+	}
+	if est2.Streams < 6500 || est2.Streams > 7200 {
+		t.Errorf("MPEG-2 streams = %d, paper says ~6500", est2.Streams)
+	}
+
+	mpeg1Movie := MovieSize(units.MPEG1, 90)
+	est1, err := EstimateCapacity(1000, p, mpeg1Movie, units.MPEG1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est1.Objects < 900 || est1.Objects > 1000 {
+		t.Errorf("MPEG-1 movies = %d, paper says ~900", est1.Objects)
+	}
+	if est1.Streams < 20000 || est1.Streams > 21500 {
+		t.Errorf("MPEG-1 streams = %d, paper says ~20,000", est1.Streams)
+	}
+}
+
+func TestEstimateCapacityErrors(t *testing.T) {
+	p := diskmodel.Table1()
+	if _, err := EstimateCapacity(0, p, units.MB, units.MPEG1); err == nil {
+		t.Error("zero disks accepted")
+	}
+	if _, err := EstimateCapacity(10, p, 0, units.MPEG1); err == nil {
+		t.Error("zero object size accepted")
+	}
+	if _, err := EstimateCapacity(10, p, units.MB, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad := p
+	bad.TrackSize = 0
+	if _, err := EstimateCapacity(10, bad, units.MB, units.MPEG1); err == nil {
+		t.Error("invalid disk accepted")
+	}
+}
+
+func TestMixedCapacity(t *testing.T) {
+	p := diskmodel.Table1()
+	s1 := MovieSize(units.MPEG1, 90)
+	s2 := MovieSize(units.MPEG2, 90)
+
+	// All MPEG-1: matches the single-class estimate.
+	all1, err := EstimateMixedCapacity(1000, p, s1, s2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all1.MPEG2Objects != 0 || all1.MPEG1Objects < 900 {
+		t.Errorf("all-MPEG1 mix = %+v", all1)
+	}
+	// Half and half: counts equal, between the two extremes.
+	half, err := EstimateMixedCapacity(1000, p, s1, s2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := half.MPEG1Objects - half.MPEG2Objects; diff < 0 || diff > 1 {
+		t.Errorf("half mix unbalanced: %+v", half)
+	}
+	if half.MPEG1Objects <= 300/2 || half.MPEG1Objects >= 900 {
+		t.Errorf("half mix out of range: %+v", half)
+	}
+
+	if _, err := EstimateMixedCapacity(1000, p, s1, s2, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := EstimateMixedCapacity(1000, p, 0, s2, 0.5); err == nil {
+		t.Error("zero size accepted")
+	}
+	bad := p
+	bad.Track = 0
+	if _, err := EstimateMixedCapacity(1000, bad, s1, s2, 0.5); err == nil {
+		t.Error("invalid disk accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/units"
+)
+
+// Reproduce one column of the paper's Table 2: the Streaming RAID
+// metrics at C = 5.
+func ExampleConfig_Metrics() {
+	cfg := analytic.Table1Config(5, 3)
+	m, err := cfg.Metrics(analytic.StreamingRAID)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("storage overhead:   %.1f%%\n", m.StorageOverheadFrac*100)
+	fmt.Printf("bandwidth overhead: %.1f%%\n", m.BandwidthOverheadFrac*100)
+	fmt.Printf("MTTF:               %.1f years\n", float64(m.MTTF))
+	fmt.Printf("streams:            %d\n", m.Streams)
+	fmt.Printf("buffers:            %d tracks\n", m.BufferTracks)
+	// Output:
+	// storage overhead:   20.0%
+	// bandwidth overhead: 20.0%
+	// MTTF:               25684.9 years
+	// streams:            1041
+	// buffers:            10410 tracks
+}
+
+// Check whether a mixed MPEG-1/MPEG-2 load fits on the Table 1 farm.
+func ExampleConfig_MixedLoadPlan() {
+	cfg := analytic.Table1Config(5, 3)
+	plan, err := cfg.MixedLoadPlan(analytic.StreamingRAID, []analytic.StreamClass{
+		{Name: "mpeg1", Rate: units.MPEG1, Count: 600},
+		{Name: "mpeg2", Rate: units.MPEG2, Count: 100},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("utilization: %.3f\n", plan.Utilization)
+	fmt.Printf("feasible:    %v\n", plan.Feasible())
+	// Output:
+	// utilization: 0.879
+	// feasible:    true
+}

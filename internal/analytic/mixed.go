@@ -1,0 +1,104 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+
+	"ftmm/internal/units"
+)
+
+// StreamClass is one homogeneous group of streams in a mixed workload —
+// the introduction's "some combination of the two" (MPEG-1 and MPEG-2
+// traffic sharing one server).
+type StreamClass struct {
+	// Name labels the class in reports.
+	Name string
+	// Rate is the class's object bandwidth.
+	Rate units.Rate
+	// Count is the number of concurrent streams requested.
+	Count int
+}
+
+// MixedLoad is the admission-planning result for a mixed workload.
+type MixedLoad struct {
+	// Utilization is the fraction of the scheme's capacity consumed:
+	// the sum over classes of count/capacity(class). Feasible iff <= 1.
+	Utilization float64
+	// PerClassCapacity is each class's solo stream capacity N_p.
+	PerClassCapacity []float64
+	// Headroom[i] is how many more streams of class i fit with the other
+	// classes held fixed.
+	Headroom []int
+}
+
+// Feasible reports whether the mix fits.
+func (m MixedLoad) Feasible() bool { return m.Utilization <= 1+1e-12 }
+
+// MixedLoadPlan sizes a mixed-rate workload under one scheme using the
+// conservative fractional-capacity composition rule: each class consumes
+// count/N_p(class) of the machine, and the mix is admissible when the
+// fractions sum to at most 1. (For a single class this reduces exactly
+// to N <= N_p. The rule is conservative for mixes because classes with
+// different rates run different cycle lengths; a grouped-sweeping
+// scheduler — the paper's reference [3] — can sometimes do better.)
+func (c Config) MixedLoadPlan(s Scheme, classes []StreamClass) (MixedLoad, error) {
+	if len(classes) == 0 {
+		return MixedLoad{}, errors.New("analytic: no stream classes")
+	}
+	out := MixedLoad{
+		PerClassCapacity: make([]float64, len(classes)),
+		Headroom:         make([]int, len(classes)),
+	}
+	for i, cl := range classes {
+		if cl.Count < 0 {
+			return MixedLoad{}, fmt.Errorf("analytic: class %q has negative count", cl.Name)
+		}
+		if cl.Rate <= 0 {
+			return MixedLoad{}, fmt.Errorf("analytic: class %q has non-positive rate", cl.Name)
+		}
+		cc := c
+		cc.ObjectRate = cl.Rate
+		n, err := cc.MaxStreams(s)
+		if err != nil {
+			return MixedLoad{}, fmt.Errorf("analytic: class %q: %w", cl.Name, err)
+		}
+		if n <= 0 {
+			return MixedLoad{}, fmt.Errorf("analytic: class %q cannot be served at all", cl.Name)
+		}
+		out.PerClassCapacity[i] = n
+		out.Utilization += float64(cl.Count) / n
+	}
+	for i := range classes {
+		free := (1 - out.Utilization) * out.PerClassCapacity[i]
+		if free < 0 {
+			free = 0
+		}
+		out.Headroom[i] = int(free)
+	}
+	return out, nil
+}
+
+// MaxMixedStreams scales a fixed class mix (by proportions) up to the
+// capacity boundary: it returns the largest total stream count whose
+// per-class split matches the given proportions and still fits.
+func (c Config) MaxMixedStreams(s Scheme, classes []StreamClass) (int, error) {
+	if len(classes) == 0 {
+		return 0, errors.New("analytic: no stream classes")
+	}
+	totalProp := 0
+	for _, cl := range classes {
+		if cl.Count <= 0 {
+			return 0, fmt.Errorf("analytic: class %q needs a positive proportion", cl.Name)
+		}
+		totalProp += cl.Count
+	}
+	plan, err := c.MixedLoadPlan(s, classes)
+	if err != nil {
+		return 0, err
+	}
+	if plan.Utilization <= 0 {
+		return 0, errors.New("analytic: degenerate mix")
+	}
+	// The mix scales linearly: utilization(x·mix) = x·utilization(mix).
+	return int(float64(totalProp) / plan.Utilization), nil
+}

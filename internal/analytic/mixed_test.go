@@ -1,0 +1,145 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"ftmm/internal/units"
+)
+
+func TestMixedLoadSingleClassMatchesMaxStreams(t *testing.T) {
+	cfg := Table1Config(5, 3)
+	nMax, err := cfg.MaxStreamsInt(StreamingRAID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at capacity: feasible.
+	plan, err := cfg.MixedLoadPlan(StreamingRAID, []StreamClass{{Name: "m1", Rate: units.MPEG1, Count: nMax}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible() {
+		t.Fatalf("N=%d should be feasible (U=%.4f)", nMax, plan.Utilization)
+	}
+	// One more: infeasible.
+	plan, err = cfg.MixedLoadPlan(StreamingRAID, []StreamClass{{Name: "m1", Rate: units.MPEG1, Count: nMax + 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible() {
+		t.Fatalf("N=%d should exceed capacity (U=%.4f)", nMax+1, plan.Utilization)
+	}
+}
+
+func TestMixedLoadTwoClasses(t *testing.T) {
+	cfg := Table1Config(5, 3)
+	classes := []StreamClass{
+		{Name: "mpeg1", Rate: units.MPEG1, Count: 500},
+		{Name: "mpeg2", Rate: units.MPEG2, Count: 100},
+	}
+	plan, err := cfg.MixedLoadPlan(StreamingRAID, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MPEG-1 capacity 1041.67, MPEG-2 capacity is smaller (faster
+	// objects); utilization = 500/1041.67 + 100/cap2.
+	if plan.PerClassCapacity[1] >= plan.PerClassCapacity[0] {
+		t.Fatal("MPEG-2 capacity should be below MPEG-1")
+	}
+	wantU := 500/plan.PerClassCapacity[0] + 100/plan.PerClassCapacity[1]
+	if math.Abs(plan.Utilization-wantU) > 1e-12 {
+		t.Fatalf("U = %v, want %v", plan.Utilization, wantU)
+	}
+	if !plan.Feasible() {
+		t.Fatalf("mix should fit (U=%.3f)", plan.Utilization)
+	}
+	// Headroom is consistent: adding it keeps the mix feasible; adding
+	// more than headroom+1 does not.
+	for i := range classes {
+		grown := append([]StreamClass(nil), classes...)
+		grown[i].Count += plan.Headroom[i]
+		p2, err := cfg.MixedLoadPlan(StreamingRAID, grown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p2.Feasible() {
+			t.Errorf("class %d: headroom %d overshoots (U=%.4f)", i, plan.Headroom[i], p2.Utilization)
+		}
+		grown[i].Count += 2
+		p3, err := cfg.MixedLoadPlan(StreamingRAID, grown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p3.Feasible() {
+			t.Errorf("class %d: headroom+2 still feasible", i)
+		}
+	}
+}
+
+func TestMaxMixedStreams(t *testing.T) {
+	cfg := Table1Config(5, 3)
+	// All-MPEG-1 mix: recovers the single-class capacity.
+	n, err := cfg.MaxMixedStreams(StreamingRAID, []StreamClass{{Name: "m1", Rate: units.MPEG1, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1041 {
+		t.Fatalf("all-MPEG1 mix capacity = %d, want 1041", n)
+	}
+	// A 3:1 MPEG1:MPEG2 mix sits between the two pure capacities.
+	mixed, err := cfg.MaxMixedStreams(StreamingRAID, []StreamClass{
+		{Name: "m1", Rate: units.MPEG1, Count: 3},
+		{Name: "m2", Rate: units.MPEG2, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.ObjectRate = units.MPEG2
+	pure2, err := cfg2.MaxStreamsInt(StreamingRAID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed <= pure2 || mixed >= 1041 {
+		t.Fatalf("3:1 mix capacity %d not between %d and 1041", mixed, pure2)
+	}
+	// The returned mix is actually feasible at the returned total (both
+	// class counts floored to keep the integer split at or under the
+	// continuous proportions).
+	total := mixed
+	n1 := total * 3 / 4
+	n2 := total / 4
+	plan, err := cfg.MixedLoadPlan(StreamingRAID, []StreamClass{
+		{Name: "m1", Rate: units.MPEG1, Count: n1},
+		{Name: "m2", Rate: units.MPEG2, Count: n2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible() {
+		t.Fatalf("claimed capacity infeasible (U=%.4f)", plan.Utilization)
+	}
+}
+
+func TestMixedLoadErrors(t *testing.T) {
+	cfg := Table1Config(5, 3)
+	if _, err := cfg.MixedLoadPlan(StreamingRAID, nil); err == nil {
+		t.Error("empty classes accepted")
+	}
+	if _, err := cfg.MixedLoadPlan(StreamingRAID, []StreamClass{{Rate: units.MPEG1, Count: -1}}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := cfg.MixedLoadPlan(StreamingRAID, []StreamClass{{Rate: 0, Count: 1}}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	// A rate so high no stream fits must error, not return Inf.
+	if _, err := cfg.MixedLoadPlan(StreamingRAID, []StreamClass{{Rate: units.FromMegabytesPerSecond(100), Count: 1}}); err == nil {
+		t.Error("unservable class accepted")
+	}
+	if _, err := cfg.MaxMixedStreams(StreamingRAID, nil); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := cfg.MaxMixedStreams(StreamingRAID, []StreamClass{{Rate: units.MPEG1, Count: 0}}); err == nil {
+		t.Error("zero proportion accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Package buffer provides the main-memory accounting the paper's schemes
+// are compared on: track-granularity buffer pools with peak tracking
+// (buffer space is one of the three redundancy penalties of §5), and the
+// Non-clustered scheme's shared buffer servers (§3) — "one or more extra
+// processors containing a buffer pool to help handle clusters operating
+// in degraded mode", shared by all clusters, sized for K simultaneous
+// degraded clusters.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrExhausted is returned when a pool or server allocation cannot be
+// satisfied; at the system level this is the paper's degradation of
+// service.
+var ErrExhausted = errors.New("buffer: exhausted")
+
+// Pool is a track-granularity buffer pool. A capacity of 0 means
+// unbounded (useful for measuring how much a workload would need).
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	peak     int
+}
+
+// NewPool creates a pool with the given capacity in tracks; 0 means
+// unbounded.
+func NewPool(capacityTracks int) (*Pool, error) {
+	if capacityTracks < 0 {
+		return nil, fmt.Errorf("buffer: negative capacity %d", capacityTracks)
+	}
+	return &Pool{capacity: capacityTracks}, nil
+}
+
+// Acquire takes n tracks from the pool.
+func (p *Pool) Acquire(n int) error {
+	if n < 0 {
+		return fmt.Errorf("buffer: negative acquire %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity > 0 && p.inUse+n > p.capacity {
+		return fmt.Errorf("%w: need %d tracks, %d of %d in use", ErrExhausted, n, p.inUse, p.capacity)
+	}
+	p.inUse += n
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	return nil
+}
+
+// Release returns n tracks to the pool.
+func (p *Pool) Release(n int) error {
+	if n < 0 {
+		return fmt.Errorf("buffer: negative release %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n > p.inUse {
+		return fmt.Errorf("buffer: releasing %d tracks with only %d in use", n, p.inUse)
+	}
+	p.inUse -= n
+	return nil
+}
+
+// InUse returns the tracks currently held.
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
+
+// Peak returns the high-water mark of InUse since creation (or the last
+// ResetPeak).
+func (p *Pool) Peak() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// ResetPeak sets the high-water mark to the current usage.
+func (p *Pool) ResetPeak() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.peak = p.inUse
+}
+
+// Capacity returns the pool capacity (0 = unbounded).
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Available returns the free tracks, or -1 for an unbounded pool.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity == 0 {
+		return -1
+	}
+	return p.capacity - p.inUse
+}
+
+// Servers models the Non-clustered scheme's shared buffer-server pool: K
+// servers, each able to carry exactly one cluster operating in degraded
+// mode. When a cluster's disk fails it attaches to a server; the server
+// performs the parity computation and holds the staggered-group-sized
+// buffers for that cluster until the disk is rebuilt.
+type Servers struct {
+	mu       sync.Mutex
+	k        int
+	attached map[int]bool
+}
+
+// NewServers creates a pool of k buffer servers.
+func NewServers(k int) (*Servers, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("buffer: negative server count %d", k)
+	}
+	return &Servers{k: k, attached: make(map[int]bool)}, nil
+}
+
+// Attach reserves a buffer server for the given cluster. Attaching an
+// already-attached cluster is a no-op. When all K servers are busy the
+// attach fails with ErrExhausted — the paper's degradation of service for
+// the Non-clustered scheme.
+func (s *Servers) Attach(cluster int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attached[cluster] {
+		return nil
+	}
+	if len(s.attached) >= s.k {
+		return fmt.Errorf("%w: all %d buffer servers busy", ErrExhausted, s.k)
+	}
+	s.attached[cluster] = true
+	return nil
+}
+
+// Detach releases the server held by the cluster (after its failed disk
+// has been rebuilt).
+func (s *Servers) Detach(cluster int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.attached[cluster] {
+		return fmt.Errorf("buffer: cluster %d holds no server", cluster)
+	}
+	delete(s.attached, cluster)
+	return nil
+}
+
+// InUse returns the number of busy servers.
+func (s *Servers) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.attached)
+}
+
+// Free returns the number of idle servers.
+func (s *Servers) Free() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.k - len(s.attached)
+}
+
+// Size returns K.
+func (s *Servers) Size() int { return s.k }
+
+// Attached lists the clusters currently holding servers, sorted.
+func (s *Servers) Attached() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.attached))
+	for c := range s.attached {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolBasics(t *testing.T) {
+	p, err := NewPool(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(7); err != nil {
+		t.Fatal(err)
+	}
+	if p.InUse() != 7 || p.Available() != 3 || p.Capacity() != 10 {
+		t.Fatalf("state = %d/%d/%d", p.InUse(), p.Available(), p.Capacity())
+	}
+	if err := p.Acquire(4); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("over-acquire: %v", err)
+	}
+	if err := p.Release(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(4); err != nil {
+		t.Fatal(err)
+	}
+	if p.Peak() != 7 {
+		t.Fatalf("peak = %d, want 7", p.Peak())
+	}
+	p.ResetPeak()
+	if p.Peak() != 6 {
+		t.Fatalf("peak after reset = %d, want 6 (current)", p.Peak())
+	}
+}
+
+func TestPoolErrors(t *testing.T) {
+	if _, err := NewPool(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	p, _ := NewPool(10)
+	if err := p.Acquire(-1); err == nil {
+		t.Error("negative acquire accepted")
+	}
+	if err := p.Release(-1); err == nil {
+		t.Error("negative release accepted")
+	}
+	if err := p.Release(1); err == nil {
+		t.Error("release below zero accepted")
+	}
+}
+
+func TestUnboundedPool(t *testing.T) {
+	p, _ := NewPool(0)
+	if err := p.Acquire(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != -1 {
+		t.Fatalf("unbounded Available = %d, want -1", p.Available())
+	}
+	if p.Peak() != 1_000_000 {
+		t.Fatalf("peak = %d", p.Peak())
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p, _ := NewPool(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = p.Acquire(2)
+				_ = p.Release(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.InUse() != 8000 {
+		t.Fatalf("InUse = %d, want 8000", p.InUse())
+	}
+}
+
+// Property: peak is monotone non-decreasing and >= in-use at all times.
+func TestPoolPeakProperty(t *testing.T) {
+	f := func(ops []int8) bool {
+		p, _ := NewPool(0)
+		peakSeen := 0
+		for _, op := range ops {
+			n := int(op)
+			if n >= 0 {
+				_ = p.Acquire(n)
+			} else {
+				_ = p.Release(-n)
+			}
+			if p.InUse() > peakSeen {
+				peakSeen = p.InUse()
+			}
+			if p.Peak() < p.InUse() {
+				return false
+			}
+		}
+		return p.Peak() == peakSeen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServers(t *testing.T) {
+	s, err := NewServers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 2 || s.Free() != 2 || s.InUse() != 0 {
+		t.Fatal("fresh server pool state")
+	}
+	if err := s.Attach(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(4); err != nil {
+		t.Fatalf("re-attach should be a no-op: %v", err)
+	}
+	if s.InUse() != 1 {
+		t.Fatalf("InUse = %d after idempotent attach", s.InUse())
+	}
+	if err := s.Attach(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("third attach: %v", err)
+	}
+	got := s.Attached()
+	if len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("Attached = %v", got)
+	}
+	if err := s.Detach(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach(4); err == nil {
+		t.Error("double detach accepted")
+	}
+	if err := s.Attach(1); err != nil {
+		t.Fatalf("attach after detach: %v", err)
+	}
+}
+
+func TestServersErrors(t *testing.T) {
+	if _, err := NewServers(-1); err == nil {
+		t.Error("negative K accepted")
+	}
+	s, _ := NewServers(0)
+	if err := s.Attach(0); !errors.Is(err, ErrExhausted) {
+		t.Errorf("attach with K=0: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ftmm/internal/units"
+)
+
+// Randomized churn: arbitrary interleavings of Ensure/Pin/Unpin/Evict
+// must preserve the invariants — pinned objects are never evicted,
+// residency matches the layout's contents, and the track accounting
+// never leaks.
+func TestCatalogChurn(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const titles = 14
+			_, _, cat := testRig(t, titles)
+			totalTracks := 10 * 20 // farm capacity in tracks
+
+			pins := map[string]int{}
+			for op := 0; op < 300; op++ {
+				id := fmt.Sprintf("obj%d", rng.Intn(titles))
+				switch rng.Intn(5) {
+				case 0, 1: // Ensure (may evict LRU unpinned)
+					_, _, err := cat.Ensure(id, units.MPEG1)
+					if err != nil {
+						// Only acceptable failure: everything pinned.
+						pinnedTracks := 0
+						for pid, n := range pins {
+							if n > 0 && cat.Resident(pid) {
+								pinnedTracks += 20
+							}
+						}
+						if pinnedTracks+20 <= totalTracks {
+							t.Fatalf("op %d: Ensure(%s) failed with space available: %v", op, id, err)
+						}
+					}
+				case 2: // Pin
+					if cat.Resident(id) {
+						if err := cat.Pin(id); err != nil {
+							t.Fatalf("op %d: pin: %v", op, err)
+						}
+						pins[id]++
+					}
+				case 3: // Unpin
+					if pins[id] > 0 {
+						if err := cat.Unpin(id); err != nil {
+							t.Fatalf("op %d: unpin: %v", op, err)
+						}
+						pins[id]--
+					}
+				case 4: // Evict
+					err := cat.Evict(id)
+					switch {
+					case !cat.Resident(id) && err == nil && pins[id] == 0:
+						// evicted fine
+					case pins[id] > 0 && err == nil:
+						t.Fatalf("op %d: evicted pinned object %s", op, id)
+					}
+				}
+				// Invariant: every pinned object is still resident.
+				for pid, n := range pins {
+					if n > 0 && !cat.Resident(pid) {
+						t.Fatalf("op %d: pinned %s not resident", op, pid)
+					}
+				}
+			}
+			// Drain pins and evict everything: all tracks come back.
+			for pid, n := range pins {
+				for i := 0; i < n; i++ {
+					if err := cat.Unpin(pid); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for i := 0; i < titles; i++ {
+				id := fmt.Sprintf("obj%d", i)
+				if cat.Resident(id) {
+					if err := cat.Evict(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if got := cat.Layout().FreeTracks(); got != totalTracks {
+				t.Fatalf("tracks leaked: %d free of %d", got, totalTracks)
+			}
+			if cat.ResidentIDs() != 0 {
+				t.Fatal("residents remain after full eviction")
+			}
+		})
+	}
+}

@@ -1,0 +1,318 @@
+// Package cost implements the paper's system-sizing cost model (§5,
+// equations (16)-(19)): given a working set size W (how much real data
+// must live on disk), a cluster size C, and unit prices for memory (c_b)
+// and disk (c_d), it computes the number of disks D(W,C) needed to hold
+// the working set, the stream capacity at that size, the buffer-memory
+// requirement, and the total dollar cost per scheme, i.e. the curves of
+// Figure 9(a) and 9(b) and the worked sizing example (≈1200 required
+// streams ⇒ SR at C=4, SG at C=10, NC at C=10; IB when bandwidth is
+// scarce).
+//
+// The paper does not state the prices it used for Figure 9; this package
+// defaults to c_b = 100 $/MB of RAM and c_d = 1 $/MB of disk
+// (1995-plausible), and EXPERIMENTS.md records the sensitivity. All
+// quantities here are real-valued (the paper's Figure 9 uses fractional
+// D(W,C) such as 111.1 disks).
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/units"
+)
+
+// Prices carries the two unit prices of the cost model.
+type Prices struct {
+	// MemoryPerMB is c_b, the cost of main memory in $/MB.
+	MemoryPerMB units.PerMB
+	// DiskPerMB is c_d, the cost of disk storage in $/MB.
+	DiskPerMB units.PerMB
+}
+
+// DefaultPrices returns the 1995-plausible prices this reproduction uses
+// for Figure 9: c_b = 100 $/MB, c_d = 1 $/MB.
+func DefaultPrices() Prices {
+	return Prices{MemoryPerMB: 100, DiskPerMB: 1}
+}
+
+// Sizing is one sizing problem: a working set that must fit on disk, a
+// reserve depth, and prices.
+type Sizing struct {
+	// Disk holds the drive parameters; Capacity is s_d.
+	Disk diskmodel.Params
+	// ObjectRate is b0.
+	ObjectRate units.Rate
+	// WorkingSet is W, the amount of real data to store.
+	WorkingSet units.ByteSize
+	// K is the reserve depth (buffer servers / reserved bandwidth); the
+	// paper's Figure 9 uses K = 5.
+	K int
+	// Prices are the unit costs c_b and c_d.
+	Prices Prices
+}
+
+// Figure9 returns the paper's Figure 9 sizing problem: W = 100,000 MB on
+// 1000 MB disks, Table 1 drive and object parameters, K = 5.
+func Figure9() Sizing {
+	return Sizing{
+		Disk:       diskmodel.Table1(),
+		ObjectRate: units.MPEG1,
+		WorkingSet: 100_000 * units.MB,
+		K:          5,
+		Prices:     DefaultPrices(),
+	}
+}
+
+// Validate reports whether the sizing problem is well-formed.
+func (s Sizing) Validate() error {
+	if err := s.Disk.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case s.Disk.Capacity <= 0:
+		return errors.New("cost: disk capacity (s_d) must be positive")
+	case s.ObjectRate <= 0:
+		return errors.New("cost: object rate must be positive")
+	case s.WorkingSet <= 0:
+		return errors.New("cost: working set must be positive")
+	case s.K < 0:
+		return errors.New("cost: reserve depth K must be >= 0")
+	case s.Prices.MemoryPerMB < 0 || s.Prices.DiskPerMB < 0:
+		return errors.New("cost: negative unit price")
+	}
+	return nil
+}
+
+// DisksForWorkingSet returns D(W,C): the (real-valued) number of disks
+// needed to hold the working set when a 1/C fraction of the raw space
+// goes to parity — W/s_d · C/(C−1) for every scheme (IB intermixes parity
+// but stores the same amount of it).
+func (s Sizing) DisksForWorkingSet(c int) float64 {
+	w := s.WorkingSet.Megabytes()
+	sd := s.Disk.Capacity.Megabytes()
+	return w / sd * float64(c) / float64(c-1)
+}
+
+// DisksForStreams returns the number of disks a scheme needs to support n
+// streams at cluster size c, inverting equations (8)-(11). The IB result
+// includes the K reserved disks.
+func (s Sizing) DisksForStreams(scheme analytic.Scheme, c int, n float64) (float64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	perDisk, err := s.perDisk(scheme, c)
+	if err != nil {
+		return 0, err
+	}
+	if perDisk <= 0 {
+		return 0, fmt.Errorf("cost: %s at C=%d cannot support any streams", scheme, c)
+	}
+	if scheme == analytic.ImprovedBandwidth {
+		return n/perDisk + float64(s.K), nil
+	}
+	return n / perDisk * float64(c) / float64(c-1), nil
+}
+
+// perDisk returns the scheme's per-data-disk stream bound at cluster
+// size c.
+func (s Sizing) perDisk(scheme analytic.Scheme, c int) (float64, error) {
+	cfg := analytic.Config{Disk: s.Disk, ObjectRate: s.ObjectRate, D: c, C: c, K: 0}
+	k, kPrime := cfg.ReadGroup(scheme)
+	return s.Disk.StreamsPerDisk(k, kPrime, s.ObjectRate)
+}
+
+// Point is one evaluated design: a (scheme, C) pair sized to D disks.
+type Point struct {
+	Scheme analytic.Scheme
+	C      int
+	// Disks is D, real-valued as in the paper's Figure 9.
+	Disks float64
+	// MaxStreams is N_p at this D.
+	MaxStreams float64
+	// BufferedStreams is the stream count the memory was sized for:
+	// MaxStreams when sizing a configuration at full capacity (equations
+	// (16)-(19), Figure 9(a)) or the required load when sizing for a
+	// target (§5's worked example).
+	BufferedStreams float64
+	// BufferTracks is BF_p at BufferedStreams.
+	BufferTracks float64
+	// MemoryCost is c_b · BF_p · B.
+	MemoryCost units.Dollars
+	// DiskCost is c_d · D · s_d.
+	DiskCost units.Dollars
+	// Total is the equation (16)-(19) system cost.
+	Total units.Dollars
+}
+
+// Evaluate computes the cost point for one scheme and cluster size with D
+// fixed at the minimum needed to hold the working set AND support
+// requiredStreams. With requiredStreams = 0 the configuration is sized
+// for the working set alone and memory for its full stream capacity, as
+// in Figure 9 and equations (16)-(19); with requiredStreams > 0 memory is
+// sized for that load, as in §5's worked example.
+func (s Sizing) Evaluate(scheme analytic.Scheme, c int, requiredStreams float64) (Point, error) {
+	if err := s.Validate(); err != nil {
+		return Point{}, err
+	}
+	if c < 2 {
+		return Point{}, fmt.Errorf("cost: parity group size C=%d must be >= 2", c)
+	}
+	d := s.DisksForWorkingSet(c)
+	if requiredStreams > 0 {
+		ds, err := s.DisksForStreams(scheme, c, requiredStreams)
+		if err != nil {
+			return Point{}, err
+		}
+		d = math.Max(d, ds)
+	}
+	return s.evaluateAt(scheme, c, d, requiredStreams)
+}
+
+func (s Sizing) evaluateAt(scheme analytic.Scheme, c int, d, loadStreams float64) (Point, error) {
+	perDisk, err := s.perDisk(scheme, c)
+	if err != nil {
+		return Point{}, err
+	}
+	dataDisks := d * float64(c-1) / float64(c)
+	if scheme == analytic.ImprovedBandwidth {
+		dataDisks = d - float64(s.K)
+		if dataDisks < 0 {
+			dataDisks = 0
+		}
+	}
+	n := perDisk * dataDisks
+
+	// Memory is sized for the load: the full capacity N for Figure 9
+	// style full-capacity costing, or the required stream count.
+	nBuf := n
+	if loadStreams > 0 && loadStreams < n {
+		nBuf = loadStreams
+	}
+
+	// Buffer formulas (12)-(15) evaluated at the real-valued load. The NC
+	// degraded-mode term divides by the number of clusters, D'/C with
+	// D' = (C-1)/C·D.
+	C := float64(c)
+	var bf float64
+	switch scheme {
+	case analytic.StreamingRAID:
+		bf = 2 * C * nBuf
+	case analytic.StaggeredGroup:
+		bf = nBuf / (C - 1) * C * (C + 1) / 2
+	case analytic.NonClustered:
+		bfSG := nBuf / (C - 1) * C * (C + 1) / 2
+		clusters := d * (C - 1) / C / C
+		if clusters > 0 {
+			bf = 2*nBuf + bfSG/clusters*float64(s.K)
+		} else {
+			bf = 2 * nBuf
+		}
+	case analytic.ImprovedBandwidth:
+		bf = 2 * (C - 1) * nBuf
+	default:
+		return Point{}, fmt.Errorf("cost: unknown scheme %v", scheme)
+	}
+
+	memMB := bf * s.Disk.TrackSize.Megabytes()
+	diskMB := d * s.Disk.Capacity.Megabytes()
+	mem := units.Dollars(float64(s.Prices.MemoryPerMB) * memMB)
+	dsk := units.Dollars(float64(s.Prices.DiskPerMB) * diskMB)
+	return Point{
+		Scheme:          scheme,
+		C:               c,
+		Disks:           d,
+		MaxStreams:      n,
+		BufferedStreams: nBuf,
+		BufferTracks:    bf,
+		MemoryCost:      mem,
+		DiskCost:        dsk,
+		Total:           mem + dsk,
+	}, nil
+}
+
+// Curve evaluates one scheme over a range of cluster sizes with D =
+// D(W,C), producing one series of Figure 9(a) (Total vs C) and 9(b)
+// (MaxStreams vs C).
+func (s Sizing) Curve(scheme analytic.Scheme, cMin, cMax int) ([]Point, error) {
+	if cMin < 2 || cMax < cMin {
+		return nil, fmt.Errorf("cost: bad cluster range [%d,%d]", cMin, cMax)
+	}
+	out := make([]Point, 0, cMax-cMin+1)
+	for c := cMin; c <= cMax; c++ {
+		p, err := s.Evaluate(scheme, c, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Design is the outcome of sizing one scheme for a required stream count:
+// the cheapest feasible cluster size and its cost point.
+type Design struct {
+	Point
+	// Feasible is false when no cluster size in the searched range meets
+	// the stream requirement at the working-set disk count; in that case
+	// Point holds the evaluated design with D increased beyond D(W,C) to
+	// meet the requirement (buying bandwidth with extra disks).
+	FeasibleAtMinDisks bool
+}
+
+// CheapestDesign searches cluster sizes [cMin, cMax] for the least total
+// cost meeting requiredStreams. Designs that need extra disks beyond
+// D(W,C) are allowed but marked.
+func (s Sizing) CheapestDesign(scheme analytic.Scheme, requiredStreams float64, cMin, cMax int) (Design, error) {
+	if cMin < 2 || cMax < cMin {
+		return Design{}, fmt.Errorf("cost: bad cluster range [%d,%d]", cMin, cMax)
+	}
+	var best Design
+	found := false
+	for c := cMin; c <= cMax; c++ {
+		p, err := s.Evaluate(scheme, c, requiredStreams)
+		if err != nil {
+			return Design{}, err
+		}
+		feasible := p.Disks <= s.DisksForWorkingSet(c)+1e-9
+		if !found || p.Total < best.Total {
+			best = Design{Point: p, FeasibleAtMinDisks: feasible}
+			found = true
+		}
+	}
+	if !found {
+		return Design{}, errors.New("cost: no design found")
+	}
+	return best, nil
+}
+
+// CompareAll sizes every scheme for requiredStreams and returns the
+// per-scheme best designs in the paper's scheme order.
+func (s Sizing) CompareAll(requiredStreams float64, cMin, cMax int) ([]Design, error) {
+	out := make([]Design, 0, 4)
+	for _, sc := range analytic.Schemes() {
+		d, err := s.CheapestDesign(sc, requiredStreams, cMin, cMax)
+		if err != nil {
+			return nil, fmt.Errorf("cost: %s: %w", sc, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Cheapest returns the overall winner among CompareAll results.
+func Cheapest(designs []Design) (Design, error) {
+	if len(designs) == 0 {
+		return Design{}, errors.New("cost: no designs")
+	}
+	best := designs[0]
+	for _, d := range designs[1:] {
+		if d.Total < best.Total {
+			best = d
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,383 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/units"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDisksForWorkingSet(t *testing.T) {
+	s := Figure9()
+	cases := []struct {
+		c    int
+		want float64
+	}{
+		{2, 200},
+		{5, 125},
+		{10, 111.1111},
+	}
+	for _, c := range cases {
+		if got := s.DisksForWorkingSet(c.c); !almostEqual(got, c.want, 0.001) {
+			t.Errorf("D(W,%d) = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestDisksForStreams(t *testing.T) {
+	s := Figure9()
+	// SR at C=5 has a 13.0208 streams/disk bound; 1041.67 streams need
+	// exactly 100 disks (80 data + 20 parity).
+	got, err := s.DisksForStreams(analytic.StreamingRAID, 5, 1041.6667)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 100, 0.01) {
+		t.Fatalf("SR disks for 1041.67 streams = %v, want 100", got)
+	}
+	// IB at C=5: 13.0208 streams/disk over D-K disks; 1263.02 streams
+	// need 97+5 = 102 disks.
+	got, err = s.DisksForStreams(analytic.ImprovedBandwidth, 5, 1263.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 102, 0.01) {
+		t.Fatalf("IB disks for 1263 streams = %v, want 102", got)
+	}
+	// Zero streams need zero disks.
+	if got, _ := s.DisksForStreams(analytic.StreamingRAID, 5, 0); got != 0 {
+		t.Errorf("0 streams => %v disks", got)
+	}
+}
+
+// Figure 9(b): with D = D(W,C), SG and NC stream capacity is flat in C
+// (the two dotted lines), SR rises slightly, and IB decreases with C yet
+// dominates everywhere — the paper's "number of streams ... is decreasing
+// for the Improved-bandwidth scheme ... because the number of disks
+// required to hold the working set decreases".
+func TestFigure9bShape(t *testing.T) {
+	s := Figure9()
+	curves := map[analytic.Scheme][]Point{}
+	for _, sc := range analytic.Schemes() {
+		c, err := s.Curve(sc, 2, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		curves[sc] = c
+	}
+
+	// SG/NC flat at ~1208.3 streams.
+	for _, sc := range []analytic.Scheme{analytic.StaggeredGroup, analytic.NonClustered} {
+		for _, p := range curves[sc] {
+			if !almostEqual(p.MaxStreams, 1208.33, 0.1) {
+				t.Errorf("%s C=%d streams = %.2f, want flat 1208.3", sc, p.C, p.MaxStreams)
+			}
+		}
+	}
+	// SR strictly increasing from 1208.3 to 1319.4.
+	sr := curves[analytic.StreamingRAID]
+	for i := 1; i < len(sr); i++ {
+		if sr[i].MaxStreams <= sr[i-1].MaxStreams {
+			t.Errorf("SR streams not increasing at C=%d", sr[i].C)
+		}
+	}
+	if !almostEqual(sr[0].MaxStreams, 1208.33, 0.1) || !almostEqual(sr[len(sr)-1].MaxStreams, 1319.44, 0.1) {
+		t.Errorf("SR endpoints = %.1f..%.1f, want 1208.3..1319.4", sr[0].MaxStreams, sr[len(sr)-1].MaxStreams)
+	}
+	// IB strictly decreasing and above SR everywhere.
+	ib := curves[analytic.ImprovedBandwidth]
+	for i := range ib {
+		if i > 0 && ib[i].MaxStreams >= ib[i-1].MaxStreams {
+			t.Errorf("IB streams not decreasing at C=%d", ib[i].C)
+		}
+		if ib[i].MaxStreams <= sr[i].MaxStreams {
+			t.Errorf("IB streams (%.0f) not above SR (%.0f) at C=%d", ib[i].MaxStreams, sr[i].MaxStreams, ib[i].C)
+		}
+	}
+}
+
+// Figure 9(a): total cost vs cluster size. SR has an interior minimum at
+// small C (its memory term grows as 2C per stream); SG and NC decrease
+// over the range and NC sits below SG; IB's cost increases with C (paper:
+// "the cost for a given working set size increases with the cluster
+// size ... this implies that, if Improved-bandwidth is being used, the
+// cluster size will always be 2").
+func TestFigure9aShape(t *testing.T) {
+	s := Figure9()
+	get := func(sc analytic.Scheme) []Point {
+		c, err := s.Curve(sc, 2, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		return c
+	}
+	sr, sg, nc, ib := get(analytic.StreamingRAID), get(analytic.StaggeredGroup), get(analytic.NonClustered), get(analytic.ImprovedBandwidth)
+
+	// SR: interior minimum strictly inside (2,10).
+	minI := 0
+	for i, p := range sr {
+		if p.Total < sr[minI].Total {
+			minI = i
+		}
+	}
+	if minI == 0 || minI == len(sr)-1 {
+		t.Errorf("SR minimum at end of range (C=%d); want interior", sr[minI].C)
+	}
+
+	// IB: the memory term makes the curve rise over the upper half of the
+	// range (paper: "the cost for a given working set size increases with
+	// the cluster size (due to main memory buffer increases)"), and the
+	// cost *per supported stream* increases monotonically from C=2 — the
+	// robust form of the paper's "if Improved-bandwidth is being used,
+	// the cluster size will always be 2". (The total at the very left end
+	// depends on the unstated memory/disk price ratio: the 200→150 disk
+	// drop from C=2→3 outweighs memory at any historically plausible
+	// ratio; see EXPERIMENTS.md.)
+	for i := 1; i < len(ib); i++ {
+		if ib[i].C >= 5 && ib[i].Total <= ib[i-1].Total {
+			t.Errorf("IB cost not increasing at C=%d", ib[i].C)
+		}
+		perStreamPrev := float64(ib[i-1].Total) / ib[i-1].MaxStreams
+		perStream := float64(ib[i].Total) / ib[i].MaxStreams
+		if perStream <= perStreamPrev {
+			t.Errorf("IB cost per stream not increasing at C=%d (%.2f <= %.2f)", ib[i].C, perStream, perStreamPrev)
+		}
+	}
+
+	// SG, NC: cost at C=10 below cost at C=2, and NC <= SG pointwise for
+	// C >= 4.
+	if sg[len(sg)-1].Total >= sg[0].Total {
+		t.Error("SG cost at C=10 should be below C=2")
+	}
+	if nc[len(nc)-1].Total >= nc[0].Total {
+		t.Error("NC cost at C=10 should be below C=2")
+	}
+	for i := range nc {
+		if nc[i].C >= 4 && nc[i].Total > sg[i].Total {
+			t.Errorf("NC cost (%v) above SG (%v) at C=%d", nc[i].Total, sg[i].Total, nc[i].C)
+		}
+	}
+
+	// All curves pay the same disk bill at the same C; differences are
+	// memory only.
+	for i := range sr {
+		if !almostEqual(float64(sr[i].DiskCost), float64(ib[i].DiskCost), 1e-6) {
+			t.Errorf("disk cost differs between schemes at C=%d", sr[i].C)
+		}
+	}
+}
+
+// §5 worked example at ~1200 required streams: every dedicated-parity
+// scheme can meet the load at working-set-minimum disks; SR's best
+// cluster size is small (paper: 4), SG's and NC's large (paper: 10); NC
+// is the cheapest of the three; and the cost ordering NC < SG < SR holds.
+func TestWorkedExample1200(t *testing.T) {
+	s := Figure9()
+	designs, err := s.CompareAll(1200, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[analytic.Scheme]Design{}
+	for _, d := range designs {
+		byScheme[d.Scheme] = d
+	}
+
+	srD := byScheme[analytic.StreamingRAID]
+	sgD := byScheme[analytic.StaggeredGroup]
+	ncD := byScheme[analytic.NonClustered]
+
+	if !srD.FeasibleAtMinDisks || !sgD.FeasibleAtMinDisks || !ncD.FeasibleAtMinDisks {
+		t.Error("1200 streams should be feasible at working-set-minimum disks for SR/SG/NC")
+	}
+	if srD.C < 3 || srD.C > 5 {
+		t.Errorf("SR best C = %d, want small (paper: 4)", srD.C)
+	}
+	if sgD.C < 7 {
+		t.Errorf("SG best C = %d, want large (paper: 10)", sgD.C)
+	}
+	if ncD.C < 6 {
+		t.Errorf("NC best C = %d, want large (paper: 10)", ncD.C)
+	}
+	if !(ncD.Total < sgD.Total && sgD.Total < srD.Total) {
+		t.Errorf("cost ordering: NC %v < SG %v < SR %v expected", ncD.Total, sgD.Total, srD.Total)
+	}
+
+	// Totals land in the paper's ballpark (it reports $173.4k / $146.6k /
+	// $128.6k with unstated prices; with ours they must sit within 15%).
+	checks := []struct {
+		d     Design
+		paper float64
+	}{
+		{srD, 173400},
+		{sgD, 146600},
+		{ncD, 128600},
+	}
+	for _, c := range checks {
+		ratio := float64(c.d.Total) / c.paper
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s total %v vs paper $%.0f (ratio %.2f) outside 15%%", c.d.Scheme, c.d.Total, c.paper, ratio)
+		}
+	}
+}
+
+// §5: when bandwidth is scarce the Improved-bandwidth scheme wins, and
+// its best cluster size is the smallest allowed.
+func TestBandwidthScarceIBWins(t *testing.T) {
+	s := Figure9()
+	designs, err := s.CompareAll(2200, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Cheapest(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Scheme != analytic.ImprovedBandwidth {
+		for _, d := range designs {
+			t.Logf("%s: C=%d $%.0f", d.Scheme, d.C, float64(d.Total))
+		}
+		t.Fatalf("cheapest at 2200 streams = %s, want Improved-bandwidth", best.Scheme)
+	}
+	if best.C > 3 {
+		t.Errorf("IB best C = %d, want smallest (paper: 2)", best.C)
+	}
+	// And 2200 streams must exceed what SR gets from working-set disks.
+	p, err := s.Evaluate(analytic.StreamingRAID, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxStreams >= 2200 {
+		t.Errorf("test premise broken: SR working-set capacity %.0f >= 2200", p.MaxStreams)
+	}
+}
+
+func TestEvaluateRequiredStreamsRaisesDisks(t *testing.T) {
+	s := Figure9()
+	base, err := s.Evaluate(analytic.StreamingRAID, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raised, err := s.Evaluate(analytic.StreamingRAID, 5, base.MaxStreams*1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raised.Disks <= base.Disks {
+		t.Fatalf("requiring 1.5x capacity should raise disks: %v <= %v", raised.Disks, base.Disks)
+	}
+	if !almostEqual(raised.MaxStreams, base.MaxStreams*1.5, 0.5) {
+		t.Errorf("raised capacity = %v, want %v", raised.MaxStreams, base.MaxStreams*1.5)
+	}
+}
+
+func TestEvaluateBuffersSizedForLoad(t *testing.T) {
+	s := Figure9()
+	full, err := s.Evaluate(analytic.StreamingRAID, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := s.Evaluate(analytic.StreamingRAID, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.BufferedStreams != 1000 {
+		t.Errorf("BufferedStreams = %v, want 1000", loaded.BufferedStreams)
+	}
+	if loaded.BufferTracks >= full.BufferTracks {
+		t.Errorf("load-sized buffers (%v) should be below capacity-sized (%v)", loaded.BufferTracks, full.BufferTracks)
+	}
+	// SR: 2C tracks per stream = 10000 tracks for 1000 streams.
+	if !almostEqual(loaded.BufferTracks, 10000, 1e-6) {
+		t.Errorf("SR buffers for 1000 streams = %v, want 10000", loaded.BufferTracks)
+	}
+}
+
+func TestValidateAndErrors(t *testing.T) {
+	ok := Figure9()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Figure9 invalid: %v", err)
+	}
+	bad := ok
+	bad.WorkingSet = 0
+	if bad.Validate() == nil {
+		t.Error("zero working set accepted")
+	}
+	if _, err := bad.Evaluate(analytic.StreamingRAID, 5, 0); err == nil {
+		t.Error("Evaluate on invalid sizing accepted")
+	}
+	bad = ok
+	bad.Prices.MemoryPerMB = -1
+	if bad.Validate() == nil {
+		t.Error("negative price accepted")
+	}
+	bad = ok
+	bad.K = -1
+	if bad.Validate() == nil {
+		t.Error("negative K accepted")
+	}
+	if _, err := ok.Evaluate(analytic.StreamingRAID, 1, 0); err == nil {
+		t.Error("C=1 accepted")
+	}
+	if _, err := ok.Curve(analytic.StreamingRAID, 1, 10); err == nil {
+		t.Error("bad curve range accepted")
+	}
+	if _, err := ok.Curve(analytic.StreamingRAID, 5, 4); err == nil {
+		t.Error("inverted curve range accepted")
+	}
+	if _, err := ok.CheapestDesign(analytic.StreamingRAID, 100, 9, 2); err == nil {
+		t.Error("inverted design range accepted")
+	}
+	if _, err := Cheapest(nil); err == nil {
+		t.Error("Cheapest(nil) accepted")
+	}
+}
+
+// Property: total cost is memory + disk, all non-negative, and raising
+// the memory price never lowers the total.
+func TestCostProperties(t *testing.T) {
+	f := func(cRaw, priceRaw uint8) bool {
+		c := int(cRaw%9) + 2
+		s := Figure9()
+		p1, err := s.Evaluate(analytic.StaggeredGroup, c, 0)
+		if err != nil {
+			return false
+		}
+		if p1.MemoryCost < 0 || p1.DiskCost < 0 {
+			return false
+		}
+		if !almostEqual(float64(p1.Total), float64(p1.MemoryCost+p1.DiskCost), 1e-6) {
+			return false
+		}
+		s2 := s
+		s2.Prices.MemoryPerMB = s.Prices.MemoryPerMB + units.PerMB(priceRaw)
+		p2, err := s2.Evaluate(analytic.StaggeredGroup, c, 0)
+		if err != nil {
+			return false
+		}
+		return p2.Total >= p1.Total-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CheapestDesign returns the minimum over the searched range.
+func TestCheapestDesignIsMinimum(t *testing.T) {
+	s := Figure9()
+	d, err := s.CheapestDesign(analytic.NonClustered, 1200, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 2; c <= 10; c++ {
+		p, err := s.Evaluate(analytic.NonClustered, c, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Total < d.Total-1e-9 {
+			t.Errorf("C=%d total %v below claimed minimum %v", c, p.Total, d.Total)
+		}
+	}
+}

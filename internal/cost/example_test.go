@@ -1,0 +1,25 @@
+package cost_test
+
+import (
+	"fmt"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/cost"
+)
+
+// Size the paper's §5 worked example: the cheapest design for 1200
+// concurrent streams over a 100 GB working set.
+func ExampleSizing_CheapestDesign() {
+	s := cost.Figure9()
+	d, err := s.CheapestDesign(analytic.NonClustered, 1200, 2, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scheme: %s\n", d.Scheme)
+	fmt.Printf("parity group size: %d\n", d.C)
+	fmt.Printf("fits working-set disks: %v\n", d.FeasibleAtMinDisks)
+	// Output:
+	// scheme: Non-clustered
+	// parity group size: 7
+	// fits working-set disks: true
+}

@@ -1,0 +1,152 @@
+// Package diskgeom models disk head movement at one level below the
+// paper's simple model, to validate it. §2 asserts that because a
+// cycle's reads "can be read in any order ... seek times can be
+// minimized", the per-cycle read time is bounded by
+//
+//	T(r) = Tseek + r·Ttrk
+//
+// with one maximum seek charged per cycle and each track's Ttrk covering
+// its rotation plus the "slowdown and the speedup fraction of the seek"
+// (the paper cites Ruemmler & Wilkes for the underlying modelling).
+//
+// This package implements a distance-dependent seek curve
+//
+//	seek(d) = settle + (seekMax - settle)·sqrt(d / (cylinders-1)),  d >= 1
+//
+// (the square-root shape of real arms: acceleration-limited short seeks,
+// velocity-limited long ones), a one-directional elevator sweep, and
+// batch service-time evaluation — so experiments can show that sweeping
+// a sorted batch stays within the paper's linear bound while FIFO
+// service of the same batch does not.
+package diskgeom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Geometry describes one drive's mechanics.
+type Geometry struct {
+	// Cylinders is the seek span.
+	Cylinders int
+	// SeekMax is the full-stroke seek time (the paper's Tseek).
+	SeekMax time.Duration
+	// Settle is the fixed per-seek start/stop cost (the "slowdown and
+	// speedup fraction").
+	Settle time.Duration
+	// Rotation is the time of one full revolution = one full-track read
+	// (the paper reads whole tracks from the next sector boundary, so
+	// rotational latency is negligible and transfer = one rotation).
+	Rotation time.Duration
+}
+
+// Default returns a mid-90s drive in the Seagate ST31200N's class,
+// calibrated to Table 1: full-stroke seek 25 ms; one rotation at 5411
+// rpm ≈ 11.1 ms; 2 ms settle. With these, Table 1's Ttrk = 20 ms leaves
+// ~6.9 ms of per-track seek allowance.
+func Default() Geometry {
+	return Geometry{
+		Cylinders: 2700,
+		SeekMax:   25 * time.Millisecond,
+		Settle:    2 * time.Millisecond,
+		Rotation:  11100 * time.Microsecond,
+	}
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Cylinders < 2:
+		return errors.New("diskgeom: need at least 2 cylinders")
+	case g.SeekMax <= 0 || g.Rotation <= 0:
+		return errors.New("diskgeom: seek and rotation must be positive")
+	case g.Settle < 0 || g.Settle > g.SeekMax:
+		return errors.New("diskgeom: settle must be in [0, SeekMax]")
+	}
+	return nil
+}
+
+// SeekTime returns the head-move time between two cylinders.
+func (g Geometry) SeekTime(from, to int) time.Duration {
+	d := from - to
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(d) / float64(g.Cylinders-1))
+	return g.Settle + time.Duration(float64(g.SeekMax-g.Settle)*frac)
+}
+
+// ServiceTime returns the time to serve full-track reads at the given
+// cylinders in the given order, starting from startCyl: the sum of seeks
+// plus one rotation per track.
+func (g Geometry) ServiceTime(startCyl int, cylinders []int) time.Duration {
+	total := time.Duration(0)
+	pos := startCyl
+	for _, c := range cylinders {
+		total += g.SeekTime(pos, c)
+		total += g.Rotation
+		pos = c
+	}
+	return total
+}
+
+// SweepOrder returns the cylinders sorted into a one-directional
+// elevator sweep starting from startCyl: ascending if that direction
+// covers the batch from the head's side, descending otherwise, so the
+// arm crosses the span exactly once.
+func SweepOrder(startCyl int, cylinders []int) []int {
+	out := append([]int(nil), cylinders...)
+	sort.Ints(out)
+	if len(out) == 0 {
+		return out
+	}
+	// Choose the direction with the nearer batch edge.
+	if abs(startCyl-out[0]) <= abs(startCyl-out[len(out)-1]) {
+		return out // ascending
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SweepTime is the service time of the elevator order.
+func (g Geometry) SweepTime(startCyl int, cylinders []int) time.Duration {
+	return g.ServiceTime(startCyl, SweepOrder(startCyl, cylinders))
+}
+
+// PaperBound is the §2 model's claim for a batch of r tracks:
+// Tseek + r·Ttrk.
+func PaperBound(tseek, ttrk time.Duration, r int) time.Duration {
+	return tseek + time.Duration(r)*ttrk
+}
+
+// RandomBatch draws r distinct track cylinders uniformly.
+func RandomBatch(rng *rand.Rand, g Geometry, r int) []int {
+	if r > g.Cylinders {
+		r = g.Cylinders
+	}
+	seen := make(map[int]bool, r)
+	out := make([]int, 0, r)
+	for len(out) < r {
+		c := rng.Intn(g.Cylinders)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

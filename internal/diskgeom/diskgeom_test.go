@@ -1,0 +1,183 @@
+package diskgeom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []Geometry{
+		{Cylinders: 1, SeekMax: 1, Rotation: 1},
+		{Cylinders: 10, SeekMax: 0, Rotation: 1},
+		{Cylinders: 10, SeekMax: 1, Rotation: 0},
+		{Cylinders: 10, SeekMax: 1, Rotation: 1, Settle: 2},
+		{Cylinders: 10, SeekMax: 1, Rotation: 1, Settle: -1},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("bad geometry %d accepted", i)
+		}
+	}
+}
+
+func TestSeekTimeShape(t *testing.T) {
+	g := Default()
+	if g.SeekTime(100, 100) != 0 {
+		t.Error("zero-distance seek should be free")
+	}
+	// Symmetric.
+	if g.SeekTime(0, 500) != g.SeekTime(500, 0) {
+		t.Error("seek not symmetric")
+	}
+	// Full stroke = SeekMax.
+	full := g.SeekTime(0, g.Cylinders-1)
+	if d := full - g.SeekMax; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("full stroke = %v, want %v", full, g.SeekMax)
+	}
+	// Monotone in distance, and short seeks cost at least the settle.
+	if g.SeekTime(0, 1) < g.Settle {
+		t.Error("short seek below settle")
+	}
+	prev := time.Duration(0)
+	for d := 1; d < g.Cylinders; d *= 3 {
+		s := g.SeekTime(0, d)
+		if s <= prev {
+			t.Errorf("seek(%d) = %v not increasing", d, s)
+		}
+		prev = s
+	}
+	// Concavity (the sqrt law): two half-strokes cost more than one full.
+	half := g.SeekTime(0, (g.Cylinders-1)/2)
+	if 2*half <= full {
+		t.Error("seek curve not concave")
+	}
+}
+
+func TestSweepOrder(t *testing.T) {
+	batch := []int{500, 10, 900, 300}
+	// Head near the bottom sweeps ascending.
+	asc := SweepOrder(0, batch)
+	for i := 1; i < len(asc); i++ {
+		if asc[i] < asc[i-1] {
+			t.Fatalf("ascending sweep broken: %v", asc)
+		}
+	}
+	// Head near the top sweeps descending.
+	desc := SweepOrder(2699, batch)
+	for i := 1; i < len(desc); i++ {
+		if desc[i] > desc[i-1] {
+			t.Fatalf("descending sweep broken: %v", desc)
+		}
+	}
+	// Input left untouched.
+	if batch[0] != 500 {
+		t.Error("SweepOrder mutated its input")
+	}
+	if len(SweepOrder(0, nil)) != 0 {
+		t.Error("empty batch")
+	}
+}
+
+// The sweep never loses to any other service order (spot-checked against
+// random permutations).
+func TestSweepIsNoWorseThanRandomOrders(t *testing.T) {
+	g := Default()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		batch := RandomBatch(rng, g, 2+rng.Intn(20))
+		start := rng.Intn(g.Cylinders)
+		sweep := g.SweepTime(start, batch)
+		perm := append([]int(nil), batch...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if other := g.ServiceTime(start, perm); other < sweep {
+			t.Fatalf("trial %d: random order %v beat the sweep %v", trial, other, sweep)
+		}
+	}
+}
+
+// The paper's core modelling claim: a sorted sweep of r tracks fits
+// within Tseek + r·Ttrk for Table 1's parameters (Tseek = 25 ms,
+// Ttrk = 20 ms) across the per-cycle batch sizes the schemes produce —
+// while FIFO service of random batches does NOT (that is why cycles
+// exist).
+func TestPaperBoundHolds(t *testing.T) {
+	g := Default()
+	tseek := 25 * time.Millisecond
+	ttrk := 20 * time.Millisecond
+	rng := rand.New(rand.NewSource(11))
+
+	for _, r := range []int{1, 2, 5, 12, 20, 52} {
+		worstSweep := time.Duration(0)
+		fifoOver := 0
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			batch := RandomBatch(rng, g, r)
+			start := rng.Intn(g.Cylinders)
+			if s := g.SweepTime(start, batch); s > worstSweep {
+				worstSweep = s
+			}
+			if g.ServiceTime(start, batch) > PaperBound(tseek, ttrk, r) {
+				fifoOver++
+			}
+		}
+		bound := PaperBound(tseek, ttrk, r)
+		if worstSweep > bound {
+			t.Errorf("r=%d: worst sweep %v exceeds paper bound %v", r, worstSweep, bound)
+		}
+		// FIFO blows the bound routinely once batches are big enough for
+		// per-track seek costs to matter.
+		if r >= 12 && fifoOver < trials/2 {
+			t.Errorf("r=%d: FIFO exceeded the bound only %d/%d times; expected routine violation", r, fifoOver, trials)
+		}
+	}
+}
+
+// Property: after the initial positioning seek (≤ SeekMax), a
+// one-directional sweep's r seeks split at most one full stroke, and by
+// concavity of the sqrt curve Σ√(dᵢ/D) ≤ √r, so
+//
+//	sweep ≤ SeekMax + r·Settle + (SeekMax−Settle)·√r + r·Rotation.
+func TestSweepStructuralBound(t *testing.T) {
+	g := Default()
+	f := func(seed int64, rRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := int(rRaw%30) + 1
+		batch := RandomBatch(rng, g, r)
+		start := rng.Intn(g.Cylinders)
+		sweep := g.SweepTime(start, batch)
+		bound := g.SeekMax +
+			time.Duration(r)*(g.Rotation+g.Settle) +
+			time.Duration(float64(g.SeekMax-g.Settle)*math.Sqrt(float64(r)))
+		return sweep <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomBatchDistinct(t *testing.T) {
+	g := Default()
+	rng := rand.New(rand.NewSource(1))
+	batch := RandomBatch(rng, g, 100)
+	seen := map[int]bool{}
+	for _, c := range batch {
+		if seen[c] {
+			t.Fatal("duplicate cylinder")
+		}
+		if c < 0 || c >= g.Cylinders {
+			t.Fatal("cylinder out of range")
+		}
+		seen[c] = true
+	}
+	// Clamp at the cylinder count.
+	small := Geometry{Cylinders: 5, SeekMax: time.Millisecond, Rotation: time.Millisecond}
+	if got := len(RandomBatch(rng, small, 50)); got != 5 {
+		t.Fatalf("clamped batch = %d", got)
+	}
+}

@@ -1,0 +1,199 @@
+// Package diskmodel implements the paper's "simple disk model" (§2):
+//
+//	T(r) = Tseek + r * Ttrk
+//
+// where Tseek is the maximum seek between the extreme cylinders and Ttrk
+// is the per-track time including the read itself plus the speed-up /
+// slow-down fraction of each seek. The unit of disk I/O is one track (a
+// full-track read starts at the next sector boundary, so rotational
+// latency is negligible).
+//
+// From this model the package derives the paper's cycle-based scheduling
+// quantities: the cycle time Tcyc = k'·B/b0, the per-disk per-cycle track
+// budget, and the bound on the number of streams a disk can sustain:
+//
+//	N/D' <= B/(b0·Ttrk) - Tseek/(k'·Ttrk)  =  (k'·B/b0 - Tseek)/(k'·Ttrk)
+//
+// with k tracks read per stream per "read cycle" and k' tracks transmitted
+// per stream per cycle (k an integer multiple of k'). Because read cycles
+// of different streams are staggered, each disk reads N·k'/D' tracks per
+// cycle in steady state and pays one maximum seek per cycle; this is the
+// form that reduces to the paper's per-scheme equations (8)-(11): with
+// k = k' it is §2's sweep formula, and with k' = 1 it is the
+// staggered-group/non-clustered bound B/(b0·Ttrk) - Tseek/Ttrk.
+package diskmodel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ftmm/internal/units"
+)
+
+// Params describes one disk drive in the terms the paper uses.
+type Params struct {
+	// Seek is Tseek: the maximum seek time between the extreme inner and
+	// outer cylinders.
+	Seek time.Duration
+	// Track is Ttrk: the maximum time attributable to reading one track,
+	// including the slowdown/speedup fraction of the seek.
+	Track time.Duration
+	// TrackSize is B: the number of bytes per track.
+	TrackSize units.ByteSize
+	// Bandwidth is d: the sustained transfer bandwidth of the disk, used
+	// by the bandwidth-overhead accounting. If zero, TrackSize/Track is
+	// used.
+	Bandwidth units.Rate
+	// MTTFHours is the mean time to failure of the drive, in hours.
+	MTTFHours float64
+	// MTTRHours is the mean time to repair-and-reload the drive, in hours.
+	MTTRHours float64
+	// Capacity is s_d: the storage capacity of the drive.
+	Capacity units.ByteSize
+}
+
+// Table1 returns the parameter set of the paper's Table 1, "similar to
+// those of a Seagate ST31200N drive": B = 50 KB, Tseek = 25 ms,
+// Ttrk = 20 ms, MTTF = 300,000 h, MTTR = 1 h. Capacity is the 1 GB
+// ("s_d = 1000" MB) figure used by the cost model, and Bandwidth the
+// 4 MB/s the introduction assumes.
+func Table1() Params {
+	return Params{
+		Seek:      25 * time.Millisecond,
+		Track:     20 * time.Millisecond,
+		TrackSize: 50 * units.KB,
+		Bandwidth: units.FromMegabytesPerSecond(4),
+		MTTFHours: 300_000,
+		MTTRHours: 1,
+		Capacity:  1000 * units.MB,
+	}
+}
+
+// Section2 returns the parameter set of the §2 worked example used for the
+// k sweep: Tseek = 30 ms, Ttrk = 10 ms, B = 100 KB.
+func Section2() Params {
+	return Params{
+		Seek:      30 * time.Millisecond,
+		Track:     10 * time.Millisecond,
+		TrackSize: 100 * units.KB,
+		Bandwidth: units.FromMegabytesPerSecond(4),
+		MTTFHours: 300_000,
+		MTTRHours: 1,
+		Capacity:  1000 * units.MB,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Seek < 0:
+		return errors.New("diskmodel: negative seek time")
+	case p.Track <= 0:
+		return errors.New("diskmodel: track time must be positive")
+	case p.TrackSize <= 0:
+		return errors.New("diskmodel: track size must be positive")
+	case p.MTTFHours < 0 || p.MTTRHours < 0:
+		return errors.New("diskmodel: negative MTTF/MTTR")
+	case p.Capacity < 0:
+		return errors.New("diskmodel: negative capacity")
+	}
+	return nil
+}
+
+// EffectiveBandwidth returns d, falling back to TrackSize/Track when the
+// Bandwidth field is unset.
+func (p Params) EffectiveBandwidth() units.Rate {
+	if p.Bandwidth > 0 {
+		return p.Bandwidth
+	}
+	return units.Rate(float64(p.TrackSize) / p.Track.Seconds())
+}
+
+// TracksPerDisk returns the number of whole tracks a drive stores.
+func (p Params) TracksPerDisk() int {
+	return int(p.Capacity / p.TrackSize)
+}
+
+// ReadTime is T(r) = Tseek + r*Ttrk, the maximum time to read r tracks in
+// one cycle (the single max seek amortizes over the sorted batch; each
+// track charge includes its own start/stop seek fraction).
+func (p Params) ReadTime(r int) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	return p.Seek + time.Duration(r)*p.Track
+}
+
+// CycleTime is Tcyc = k'·B/b0: the wall-clock length of one scheduling
+// cycle when each stream transmits k' tracks per cycle at object
+// bandwidth b0.
+func (p Params) CycleTime(kPrime int, b0 units.Rate) time.Duration {
+	if kPrime <= 0 || b0 <= 0 {
+		return 0
+	}
+	bytes := float64(kPrime) * float64(p.TrackSize)
+	return time.Duration(bytes / float64(b0) * float64(time.Second))
+}
+
+// StreamsPerDisk is the bound on N/D', the number of streams one data
+// disk can serve when each stream reads k tracks per read cycle and
+// transmits k' per cycle:
+//
+//	N/D' <= B/(b0·Ttrk) - Tseek/(k'·Ttrk)
+//
+// In steady state the staggered read cycles load each disk with N·k'/D'
+// tracks per cycle of length Tcyc = k'·B/b0, against which the disk pays
+// one maximum seek; k itself only affects buffering, not the bandwidth
+// bound, but is validated here because k % k' == 0 is a scheduling
+// precondition. The result is the real-valued bound; callers floor it.
+func (p Params) StreamsPerDisk(k, kPrime int, b0 units.Rate) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if k <= 0 || kPrime <= 0 {
+		return 0, fmt.Errorf("diskmodel: k=%d, k'=%d must be positive", k, kPrime)
+	}
+	if k%kPrime != 0 {
+		return 0, fmt.Errorf("diskmodel: k=%d must be an integer multiple of k'=%d", k, kPrime)
+	}
+	if b0 <= 0 {
+		return 0, errors.New("diskmodel: object bandwidth must be positive")
+	}
+	bMB := p.TrackSize.Megabytes()
+	b0MB := b0.MegabytesPerSecond()
+	ttrk := p.Track.Seconds()
+	tseek := p.Seek.Seconds()
+	n := bMB/(b0MB*ttrk) - tseek/(ttrk*float64(kPrime))
+	if n < 0 {
+		n = 0
+	}
+	return n, nil
+}
+
+// TrackBudget returns the maximum number of whole tracks one disk can read
+// within a window of the given length: floor((window - Tseek)/Ttrk). This
+// is the per-disk per-cycle slot count the simulated schedulers use.
+func (p Params) TrackBudget(window time.Duration) int {
+	if window <= p.Seek {
+		return 0
+	}
+	return int((window - p.Seek) / p.Track)
+}
+
+// FailureRate returns the failure rate lambda = 1/MTTF in 1/hours, or 0
+// if MTTF is unset.
+func (p Params) FailureRate() float64 {
+	if p.MTTFHours <= 0 {
+		return 0
+	}
+	return 1 / p.MTTFHours
+}
+
+// RepairRate returns mu = 1/MTTR in 1/hours, or 0 if MTTR is unset.
+func (p Params) RepairRate() float64 {
+	if p.MTTRHours <= 0 {
+		return 0
+	}
+	return 1 / p.MTTRHours
+}

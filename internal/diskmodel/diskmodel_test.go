@@ -1,0 +1,272 @@
+package diskmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ftmm/internal/units"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestReadTime(t *testing.T) {
+	p := Table1()
+	cases := []struct {
+		r    int
+		want time.Duration
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, 45 * time.Millisecond},
+		{4, 105 * time.Millisecond},
+		{20, 425 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := p.ReadTime(c.r); got != c.want {
+			t.Errorf("ReadTime(%d) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestCycleTime(t *testing.T) {
+	p := Table1()
+	// One 50 KB track at 1.5 Mb/s (=0.1875 MB/s) displays for 266.66 ms.
+	got := p.CycleTime(1, units.MPEG1)
+	secs := 0.05 / 0.1875
+	want := time.Duration(secs * float64(time.Second))
+	if d := got - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("CycleTime(1, MPEG1) = %v, want %v", got, want)
+	}
+	// k'=4 is four times as long.
+	got4 := p.CycleTime(4, units.MPEG1)
+	if d := got4 - 4*got; d < -4*time.Microsecond || d > 4*time.Microsecond {
+		t.Errorf("CycleTime(4) = %v, want 4x %v", got4, got)
+	}
+	if p.CycleTime(0, units.MPEG1) != 0 || p.CycleTime(1, 0) != 0 {
+		t.Error("degenerate CycleTime should be 0")
+	}
+}
+
+// The §2 worked example: B = 100 KB, Tseek = 30 ms, Ttrk = 10 ms.
+// For b0 = 1.5 Mb/s the paper reports ~5% variation between k=1 and k=10;
+// for b0 = 4.5 Mb/s it prints N/D' <= 14.7, 16.2, 17.4 for k = 1, 2, 10.
+func TestSection2KSweep(t *testing.T) {
+	p := Section2()
+
+	mpeg2 := []struct {
+		k    int
+		want float64 // paper's printed (truncated) values
+	}{
+		{1, 14.7},
+		{2, 16.2},
+		{10, 17.4},
+	}
+	for _, c := range mpeg2 {
+		got, err := p.StreamsPerDisk(c.k, c.k, units.MPEG2)
+		if err != nil {
+			t.Fatalf("StreamsPerDisk(k=%d): %v", c.k, err)
+		}
+		// The paper truncates to one decimal; allow the true value to sit
+		// within [want, want+0.1).
+		if got < c.want || got >= c.want+0.1 {
+			t.Errorf("MPEG-2 k=%d: N/D' = %.4f, want in [%.1f, %.1f)", c.k, got, c.want, c.want+0.1)
+		}
+	}
+
+	// MPEG-1 variation ~5%.
+	n1, err := p.StreamsPerDisk(1, 1, units.MPEG1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n10, err := p.StreamsPerDisk(10, 10, units.MPEG1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variation := (n10 - n1) / n10
+	if variation < 0.04 || variation > 0.06 {
+		t.Errorf("MPEG-1 k-sweep variation = %.3f, want ~0.05", variation)
+	}
+
+	// MPEG-2 variation ~15%.
+	m1, _ := p.StreamsPerDisk(1, 1, units.MPEG2)
+	m10, _ := p.StreamsPerDisk(10, 10, units.MPEG2)
+	variation2 := (m10 - m1) / m10
+	if variation2 < 0.13 || variation2 > 0.17 {
+		t.Errorf("MPEG-2 k-sweep variation = %.3f, want ~0.15", variation2)
+	}
+}
+
+// Table 1 parameters with C=5 / SR (k = k' = C-1 = 4) must give the
+// bracket value 13.0208 streams/disk used throughout Table 2.
+func TestTable1Bracket(t *testing.T) {
+	p := Table1()
+	got, err := p.StreamsPerDisk(4, 4, units.MPEG1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 13.0208333, 1e-4) {
+		t.Fatalf("SR bracket = %.6f, want 13.0208", got)
+	}
+	// SG / NC use k'=1 (SG reads k=C-1, NC reads k=1); both end up with
+	// the same per-disk bound B/(b0*Ttrk) - Tseek/Ttrk = 12.0833.
+	sg, err := p.StreamsPerDisk(4, 1, units.MPEG1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sg, 12.0833333, 1e-4) {
+		t.Fatalf("SG bracket = %.6f, want 12.0833", sg)
+	}
+	nc, err := p.StreamsPerDisk(1, 1, units.MPEG1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(nc, 12.0833333, 1e-4) {
+		t.Fatalf("NC bracket = %.6f, want 12.0833", nc)
+	}
+}
+
+func TestStreamsPerDiskErrors(t *testing.T) {
+	p := Table1()
+	if _, err := p.StreamsPerDisk(0, 1, units.MPEG1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := p.StreamsPerDisk(3, 2, units.MPEG1); err == nil {
+		t.Error("k not multiple of k' should error")
+	}
+	if _, err := p.StreamsPerDisk(1, 1, 0); err == nil {
+		t.Error("b0=0 should error")
+	}
+	bad := p
+	bad.Track = 0
+	if _, err := bad.StreamsPerDisk(1, 1, units.MPEG1); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestStreamsPerDiskMonotonicInK(t *testing.T) {
+	// With k = k', increasing k amortizes the seek over more tracks, so
+	// the per-disk bound must be non-decreasing in k (§2's observation).
+	p := Table1()
+	f := func(a, b uint8) bool {
+		k1, k2 := int(a%30)+1, int(b%30)+1
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		n1, err1 := p.StreamsPerDisk(k1, k1, units.MPEG1)
+		n2, err2 := p.StreamsPerDisk(k2, k2, units.MPEG1)
+		return err1 == nil && err2 == nil && n2 >= n1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamsPerDiskFasterObjectsFewerStreams(t *testing.T) {
+	p := Table1()
+	n1, _ := p.StreamsPerDisk(4, 4, units.MPEG1)
+	n2, _ := p.StreamsPerDisk(4, 4, units.MPEG2)
+	if n2 >= n1 {
+		t.Fatalf("MPEG-2 streams/disk (%v) should be below MPEG-1 (%v)", n2, n1)
+	}
+}
+
+func TestTrackBudget(t *testing.T) {
+	p := Table1()
+	cases := []struct {
+		window time.Duration
+		want   int
+	}{
+		{0, 0},
+		{25 * time.Millisecond, 0}, // only seek fits
+		{45 * time.Millisecond, 1}, // seek + 1 track
+		{64 * time.Millisecond, 1}, // not quite 2
+		{65 * time.Millisecond, 2},
+		{1025 * time.Millisecond, 50}, // seek + 50 tracks
+	}
+	for _, c := range cases {
+		if got := p.TrackBudget(c.window); got != c.want {
+			t.Errorf("TrackBudget(%v) = %d, want %d", c.window, got, c.want)
+		}
+	}
+}
+
+func TestTrackBudgetConsistentWithStreamBound(t *testing.T) {
+	// Reading floor(N/D') streams' worth of k tracks must fit in the read
+	// window implied by the cycle length.
+	p := Table1()
+	for _, k := range []int{1, 2, 4, 8} {
+		nd, err := p.StreamsPerDisk(k, k, units.MPEG1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := p.CycleTime(k, units.MPEG1)
+		budget := p.TrackBudget(window)
+		need := int(nd) * k
+		if need > budget {
+			t.Errorf("k=%d: stream bound implies %d tracks, budget only %d", k, need, budget)
+		}
+		// And one more stream must NOT fit (the bound is tight).
+		if (int(nd)+1)*k <= budget {
+			t.Errorf("k=%d: bound not tight: %d streams would also fit in %d slots", k, int(nd)+1, budget)
+		}
+	}
+}
+
+func TestTracksPerDisk(t *testing.T) {
+	p := Table1()
+	if got := p.TracksPerDisk(); got != 20000 {
+		t.Fatalf("TracksPerDisk = %d, want 20000 (1 GB / 50 KB)", got)
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	p := Table1()
+	if got := p.EffectiveBandwidth().MegabytesPerSecond(); !almostEqual(got, 4, 1e-9) {
+		t.Errorf("EffectiveBandwidth = %v, want 4 MB/s", got)
+	}
+	p.Bandwidth = 0
+	// Falls back to B/Ttrk = 50KB/20ms = 2.5 MB/s.
+	if got := p.EffectiveBandwidth().MegabytesPerSecond(); !almostEqual(got, 2.5, 1e-9) {
+		t.Errorf("fallback EffectiveBandwidth = %v, want 2.5 MB/s", got)
+	}
+}
+
+func TestRates(t *testing.T) {
+	p := Table1()
+	if got := p.FailureRate(); !almostEqual(got, 1.0/300000, 1e-15) {
+		t.Errorf("FailureRate = %v", got)
+	}
+	if got := p.RepairRate(); !almostEqual(got, 1, 1e-15) {
+		t.Errorf("RepairRate = %v", got)
+	}
+	var zero Params
+	if zero.FailureRate() != 0 || zero.RepairRate() != 0 {
+		t.Error("zero params should have zero rates")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Table1().Validate(); err != nil {
+		t.Fatalf("Table1 invalid: %v", err)
+	}
+	if err := Section2().Validate(); err != nil {
+		t.Fatalf("Section2 invalid: %v", err)
+	}
+	bad := Table1()
+	bad.TrackSize = 0
+	if bad.Validate() == nil {
+		t.Error("zero track size should be invalid")
+	}
+	bad = Table1()
+	bad.Seek = -time.Millisecond
+	if bad.Validate() == nil {
+		t.Error("negative seek should be invalid")
+	}
+	bad = Table1()
+	bad.MTTFHours = -1
+	if bad.Validate() == nil {
+		t.Error("negative MTTF should be invalid")
+	}
+}

@@ -1,0 +1,23 @@
+package diskmodel_test
+
+import (
+	"fmt"
+
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/units"
+)
+
+// Compute the per-disk stream bound behind Table 2's Streaming RAID
+// column: 13.02 streams per data disk at C = 5.
+func ExampleParams_StreamsPerDisk() {
+	p := diskmodel.Table1()
+	perDisk, err := p.StreamsPerDisk(4, 4, units.MPEG1) // k = k' = C-1 = 4
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("streams per data disk: %.4f\n", perDisk)
+	fmt.Printf("N for 80 data disks:   %d\n", int(perDisk*80))
+	// Output:
+	// streams per data disk: 13.0208
+	// N for 80 data disks:   1041
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ftmm/internal/diskgeom"
+	"ftmm/internal/gss"
+	"ftmm/internal/report"
+	"ftmm/internal/units"
+)
+
+// GSSResult is the grouped-sweeping tradeoff sweep (the paper's
+// reference [3], which §2's buffer-vs-seek discussion builds on).
+type GSSResult struct {
+	// MaxStreamsAtG[g] is one disk's stream capacity when forced to use
+	// exactly g groups (0 = infeasible at that g).
+	MaxStreamsAtG map[int]int
+	// BufferAtCapacity[g] is the per-disk buffer (tracks) at that load.
+	BufferAtCapacity map[int]float64
+	Text             string
+}
+
+// GSS sweeps the group count for one ST31200N-class disk serving MPEG-1
+// streams: g=1 (SCAN) maximizes capacity at ~2 buffers per stream; large
+// g approaches 1 buffer per stream but pays a positioning seek per
+// subcycle and loses capacity — the §2 tradeoff in one table.
+func GSS() (*GSSResult, error) {
+	res := &GSSResult{MaxStreamsAtG: map[int]int{}, BufferAtCapacity: map[int]float64{}}
+	tbl := report.NewTable(
+		"Grouped sweeping (GSS, ref [3]) on one disk: capacity vs buffers",
+		"Groups g", "Max streams", "Buffers (tracks)", "Buffers/stream")
+	base := gss.Params{
+		Geometry:  diskgeom.Default(),
+		TrackSize: 50 * units.KB,
+		Rate:      units.MPEG1,
+		Streams:   1,
+		Groups:    1,
+	}
+	for _, g := range []int{1, 2, 3, 4, 6, 8} {
+		// Largest N feasible with exactly g groups.
+		best := 0
+		for n := g; n <= 60; n++ {
+			p := base
+			p.Streams, p.Groups = n, g
+			if p.Feasible() {
+				best = n
+			}
+		}
+		res.MaxStreamsAtG[g] = best
+		if best == 0 {
+			tbl.AddRow(report.Int(g), "0 (infeasible)", "-", "-")
+			continue
+		}
+		p := base
+		p.Streams, p.Groups = best, g
+		buf := p.BufferTracks()
+		res.BufferAtCapacity[g] = buf
+		tbl.AddRow(report.Int(g), report.Int(best),
+			report.Float(buf, 1),
+			fmt.Sprintf("%.2f", buf/float64(best)))
+	}
+	res.Text = tbl.String()
+	return res, nil
+}
+
+// Render returns the rendered table.
+func (r *GSSResult) Render() string { return r.Text }

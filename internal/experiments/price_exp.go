@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/cost"
+	"ftmm/internal/report"
+	"ftmm/internal/units"
+)
+
+// PriceResult sweeps the memory/disk price ratio the paper never states,
+// showing which conclusions of §5 are price-robust.
+type PriceResult struct {
+	// Ratios are the c_b/c_d values swept (disk fixed at $1/MB).
+	Ratios []float64
+	// WinnerAt1200[ratio] is the cheapest scheme for the worked example.
+	WinnerAt1200 map[float64]analytic.Scheme
+	// SRBestC[ratio] is Streaming RAID's optimal cluster size.
+	SRBestC map[float64]int
+	// IBCrossover[ratio] is the lowest required stream count (searched in
+	// steps of 100) at which Improved-bandwidth becomes the winner.
+	IBCrossover map[float64]int
+	Text        string
+}
+
+// PriceSensitivity re-runs the §5 sizing for memory prices from 25 to
+// 400 $/MB. The paper's qualitative conclusions should hold across the
+// historically plausible range; the crossover point (its "1500 streams")
+// is the one quantity that moves.
+func PriceSensitivity() (*PriceResult, error) {
+	res := &PriceResult{
+		Ratios:       []float64{25, 50, 100, 200, 400},
+		WinnerAt1200: map[float64]analytic.Scheme{},
+		SRBestC:      map[float64]int{},
+		IBCrossover:  map[float64]int{},
+	}
+	tbl := report.NewTable(
+		"Price sensitivity of the §5 sizing (W=100000MB, K=5, c_d=$1/MB)",
+		"c_b ($/MB)", "Winner @1200", "SR best C", "IB crossover (streams)")
+	for _, cb := range res.Ratios {
+		s := cost.Figure9()
+		s.Prices = cost.Prices{MemoryPerMB: units.PerMB(cb), DiskPerMB: 1}
+
+		designs, err := s.CompareAll(1200, 2, 10)
+		if err != nil {
+			return nil, err
+		}
+		winner, err := cost.Cheapest(designs)
+		if err != nil {
+			return nil, err
+		}
+		res.WinnerAt1200[cb] = winner.Scheme
+		for _, d := range designs {
+			if d.Scheme == analytic.StreamingRAID {
+				res.SRBestC[cb] = d.C
+			}
+		}
+
+		crossover := 0
+		for need := 1200; need <= 4000; need += 100 {
+			ds, err := s.CompareAll(float64(need), 2, 10)
+			if err != nil {
+				return nil, err
+			}
+			w, err := cost.Cheapest(ds)
+			if err != nil {
+				return nil, err
+			}
+			if w.Scheme == analytic.ImprovedBandwidth {
+				crossover = need
+				break
+			}
+		}
+		res.IBCrossover[cb] = crossover
+		cx := "none <= 4000"
+		if crossover > 0 {
+			cx = fmt.Sprintf("%d", crossover)
+		}
+		tbl.AddRow(report.Float(cb, 0), res.WinnerAt1200[cb].Abbrev(),
+			report.Int(res.SRBestC[cb]), cx)
+	}
+	res.Text = tbl.String()
+	return res, nil
+}
+
+// Render returns the rendered sweep.
+func (r *PriceResult) Render() string { return r.Text }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"ftmm/internal/diskgeom"
+	"ftmm/internal/report"
+)
+
+// SeekResult validates the paper's §2 disk model: per-cycle batches
+// served in elevator order fit the linear bound T(r) = Tseek + r·Ttrk,
+// while FIFO service does not — "this optimization of seek times is very
+// important since otherwise a significant portion of disk bandwidth
+// could be lost".
+type SeekResult struct {
+	Rs []int
+	// WorstSweepMs[r], MeanFIFOMs[r], BoundMs[r] in milliseconds.
+	WorstSweepMs, MeanFIFOMs, BoundMs map[int]float64
+	// FIFOViolations[r] counts trials whose FIFO time exceeded the bound.
+	FIFOViolations map[int]int
+	Trials         int
+	Text           string
+}
+
+// Seek runs the validation over the per-cycle batch sizes the schemes
+// produce (from the Non-clustered 12 up to Streaming RAID's 52).
+func Seek() (*SeekResult, error) {
+	g := diskgeom.Default()
+	tseek := 25 * time.Millisecond
+	ttrk := 20 * time.Millisecond
+	rng := rand.New(rand.NewSource(97))
+	const trials = 300
+
+	res := &SeekResult{
+		Rs:             []int{1, 2, 5, 12, 20, 52},
+		WorstSweepMs:   map[int]float64{},
+		MeanFIFOMs:     map[int]float64{},
+		BoundMs:        map[int]float64{},
+		FIFOViolations: map[int]int{},
+		Trials:         trials,
+	}
+	for _, r := range res.Rs {
+		worst := time.Duration(0)
+		var fifoSum time.Duration
+		violations := 0
+		bound := diskgeom.PaperBound(tseek, ttrk, r)
+		for i := 0; i < trials; i++ {
+			batch := diskgeom.RandomBatch(rng, g, r)
+			start := rng.Intn(g.Cylinders)
+			if s := g.SweepTime(start, batch); s > worst {
+				worst = s
+			}
+			fifo := g.ServiceTime(start, batch)
+			fifoSum += fifo
+			if fifo > bound {
+				violations++
+			}
+		}
+		res.WorstSweepMs[r] = float64(worst) / float64(time.Millisecond)
+		res.MeanFIFOMs[r] = float64(fifoSum) / float64(trials) / float64(time.Millisecond)
+		res.BoundMs[r] = float64(bound) / float64(time.Millisecond)
+		res.FIFOViolations[r] = violations
+	}
+
+	tbl := report.NewTable(
+		"Seek-order validation of T(r) = Tseek + r*Ttrk (ST31200N-class geometry, 300 random batches)",
+		"r (tracks/cycle)", "Paper bound (ms)", "Worst sweep (ms)", "Mean FIFO (ms)", "FIFO > bound")
+	for _, r := range res.Rs {
+		tbl.AddRow(report.Int(r),
+			report.Float(res.BoundMs[r], 1),
+			report.Float(res.WorstSweepMs[r], 1),
+			report.Float(res.MeanFIFOMs[r], 1),
+			report.Int(res.FIFOViolations[r]))
+	}
+	res.Text = tbl.String()
+	return res, nil
+}
+
+// Render returns the rendered table.
+func (r *SeekResult) Render() string { return r.Text }

@@ -1,0 +1,28 @@
+package failure_test
+
+import (
+	"fmt"
+
+	"ftmm/internal/failure"
+	"ftmm/internal/layout"
+)
+
+// Solve the paper's Table 2 reliability point exactly with the
+// birth-death chain and compare with equation (4)'s closed form.
+func ExampleModel_MarkovMTTFHours() {
+	m := failure.Model{
+		D: 100, C: 5,
+		MTTFHours: 300_000, MTTRHours: 1,
+		Placement: layout.DedicatedParity, K: 3,
+	}
+	exact, err := m.MarkovMTTFHours()
+	if err != nil {
+		panic(err)
+	}
+	closed := m.AnalyticMTTFHours()
+	fmt.Printf("closed form: %.1f years\n", closed/8760)
+	fmt.Printf("exact chain: %.1f years\n", exact/8760)
+	// Output:
+	// closed form: 25684.9 years
+	// exact chain: 25685.7 years
+}

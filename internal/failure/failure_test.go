@@ -1,0 +1,194 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"ftmm/internal/layout"
+)
+
+// scaled returns a model small enough to Monte-Carlo quickly: MTTF is
+// scaled down but stays >> MTTR, preserving the rare-event structure.
+func scaled(placement layout.Placement, k int) Model {
+	return Model{
+		D: 40, C: 4,
+		MTTFHours: 500, MTTRHours: 1,
+		Placement: placement, K: k,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := scaled(layout.DedicatedParity, 3).Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := []Model{
+		{D: 40, C: 1, MTTFHours: 500, MTTRHours: 1},
+		{D: 41, C: 4, MTTFHours: 500, MTTRHours: 1},
+		{D: 40, C: 4, MTTFHours: 0, MTTRHours: 1},
+		{D: 40, C: 4, MTTFHours: 500, MTTRHours: 0},
+		{D: 40, C: 4, MTTFHours: 1, MTTRHours: 2},
+		{D: 40, C: 4, MTTFHours: 500, MTTRHours: 1, K: -1},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+// The dedicated-parity Monte-Carlo MTTF must agree with equation (4).
+func TestMTTFDedicatedMatchesAnalytic(t *testing.T) {
+	m := scaled(layout.DedicatedParity, 3)
+	est, err := m.EstimateMTTF(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.AnalyticMTTFHours() // 500²/(40·3·1) = 2083 h
+	if math.Abs(est.MeanHours-want) > 4*est.StdErrHours+0.05*want {
+		t.Fatalf("MC MTTF = %.0f ± %.0f h, analytic %.0f h", est.MeanHours, est.StdErrHours, want)
+	}
+}
+
+// The intermixed-parity Monte-Carlo MTTF converges to the corrected
+// 3C-1 exposure, sitting between the paper's 2C-1 form and half of it.
+func TestMTTFIntermixedMatchesCorrectedForm(t *testing.T) {
+	m := scaled(layout.IntermixedParity, 3)
+	est, err := m.EstimateMTTF(2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected := m.CorrectedIntermixedMTTFHours() // exposure 3C-1 = 11
+	if math.Abs(est.MeanHours-corrected) > 4*est.StdErrHours+0.05*corrected {
+		t.Fatalf("MC MTTF = %.0f ± %.0f h, corrected analytic %.0f h", est.MeanHours, est.StdErrHours, corrected)
+	}
+	// And it must be clearly below the paper's 2C-1 form and the
+	// dedicated-parity MTTF (IB is less reliable, §4).
+	if est.MeanHours >= m.AnalyticMTTFHours() {
+		t.Fatalf("MC %.0f h >= paper's optimistic form %.0f h", est.MeanHours, m.AnalyticMTTFHours())
+	}
+	ded := scaled(layout.DedicatedParity, 3)
+	if est.MeanHours >= ded.AnalyticMTTFHours() {
+		t.Fatal("intermixed MTTF not below dedicated MTTF")
+	}
+}
+
+// The degradation Monte-Carlo must agree with equation (6). The formula
+// is a rare-event approximation (it drops the O(MTTR·D/MTTF) terms), so
+// this test scales MTTF less aggressively than the others.
+func TestMTTDSMatchesAnalytic(t *testing.T) {
+	m := scaled(layout.DedicatedParity, 2)
+	m.MTTFHours = 5000
+	est, err := m.EstimateMTTDS(2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.AnalyticMTTDSHours() // 500²/(40·39·1) = 160.3 h
+	if math.Abs(est.MeanHours-want) > 4*est.StdErrHours+0.08*want {
+		t.Fatalf("MC MTTDS = %.1f ± %.1f h, analytic %.1f h", est.MeanHours, est.StdErrHours, want)
+	}
+}
+
+// MTTDS grows enormously with K (each extra overlapping failure is a
+// factor of roughly MTTF/(D·MTTR)).
+func TestMTTDSGrowsWithK(t *testing.T) {
+	m2 := scaled(layout.DedicatedParity, 2)
+	m3 := scaled(layout.DedicatedParity, 3)
+	e2, err := m2.EstimateMTTDS(400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := m3.EstimateMTTDS(400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.MeanHours < 3*e2.MeanHours {
+		t.Fatalf("K=3 MTTDS (%.0f) not much larger than K=2 (%.0f)", e3.MeanHours, e2.MeanHours)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	m := scaled(layout.DedicatedParity, 0)
+	if _, err := m.EstimateMTTDS(10, 1); err == nil {
+		t.Error("K=0 MTTDS accepted")
+	}
+	if _, err := m.EstimateMTTF(0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad := m
+	bad.C = 0
+	if _, err := bad.EstimateMTTF(10, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := scaled(layout.DedicatedParity, 3)
+	a, _ := m.EstimateMTTF(50, 42)
+	b, _ := m.EstimateMTTF(50, 42)
+	if a.MeanHours != b.MeanHours {
+		t.Fatal("same seed produced different estimates")
+	}
+	c, _ := m.EstimateMTTF(50, 43)
+	if a.MeanHours == c.MeanHours {
+		t.Fatal("different seeds produced identical estimates")
+	}
+}
+
+// Sanity on the closed forms themselves at the paper's scale.
+func TestAnalyticFormsPaperScale(t *testing.T) {
+	m := Model{D: 100, C: 5, MTTFHours: 300_000, MTTRHours: 1, Placement: layout.DedicatedParity, K: 3}
+	if got := m.AnalyticMTTFHours(); math.Abs(got-2.25e8) > 1 {
+		t.Errorf("analytic MTTF = %v, want 2.25e8", got)
+	}
+	mi := m
+	mi.Placement = layout.IntermixedParity
+	if got := mi.AnalyticMTTFHours(); math.Abs(got-1e8) > 1 {
+		t.Errorf("analytic IB MTTF = %v, want 1e8", got)
+	}
+	if got := m.AnalyticMTTDSHours(); math.Abs(got-2.7e16/970200) > 1e6 {
+		t.Errorf("analytic MTTDS = %v", got)
+	}
+}
+
+// The scheme-faithful Non-clustered degradation must be rarer than the
+// generic K-overlapping-failure approximation of equation (6): parity
+// drives (1/C of failures) never demand a server, and repeat failures in
+// an already-degraded cluster do not either.
+func TestNCDegradationRarerThanEquation6(t *testing.T) {
+	m := scaled(layout.DedicatedParity, 2)
+	m.MTTFHours = 2000
+	generic, err := m.EstimateMTTDS(1200, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faithful, err := m.EstimateMTTDSNonClustered(1200, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faithful.MeanHours <= generic.MeanHours {
+		t.Fatalf("faithful NC MTTDS %.0f h not above generic %.0f h", faithful.MeanHours, generic.MeanHours)
+	}
+	// The gap must exceed what the parity-drive discount alone gives:
+	// demands arrive at (C-1)/C the failure rate, so with K=2 the time
+	// scales by at least (C/(C-1))^2 = 16/9.
+	minRatio := 16.0 / 9 * 0.85 // sampling slack
+	if ratio := faithful.MeanHours / generic.MeanHours; ratio < minRatio {
+		t.Fatalf("faithful/generic = %.2f, want >= %.2f", ratio, minRatio)
+	}
+}
+
+func TestNCDegradationErrors(t *testing.T) {
+	m := scaled(layout.DedicatedParity, 0)
+	if _, err := m.EstimateMTTDSNonClustered(10, 1); err == nil {
+		t.Error("K=0 accepted")
+	}
+	m.K = 2
+	if _, err := m.EstimateMTTDSNonClustered(0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad := m
+	bad.C = 0
+	if _, err := bad.EstimateMTTDSNonClustered(10, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package failure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file computes the reliability quantities exactly, as mean
+// absorption times of continuous-time birth-death Markov chains — a
+// third, independent check sitting between the paper's closed-form
+// approximations (equations (4)-(6)) and the Monte-Carlo simulation.
+//
+// State j counts concurrently failed disks. For the dedicated-parity
+// catastrophe chain, reachable states have every failed disk in a
+// distinct cluster; from state j a new failure is catastrophic exactly
+// when it hits one of the j damaged clusters' C-1 surviving drives:
+//
+//	up      a_j = (D - j·C)·λ      (failure in an untouched cluster)
+//	absorb  c_j = j·(C-1)·λ        (second failure in a damaged cluster)
+//	down    b_j = j·μ              (a repair completes)
+//
+// The mean time to absorption T_0 solves the tridiagonal system
+// (a_j+b_j+c_j)·T_j − a_j·T_{j+1} − b_j·T_{j−1} = 1.
+
+// MarkovMTTFHours returns the exact mean time to catastrophic failure
+// for dedicated parity placement (two failures in one cluster), solving
+// the birth-death chain above. Only the dedicated topology has the
+// product-form state space that keeps the chain one-dimensional; use the
+// Monte-Carlo estimator for intermixed parity.
+func (m Model) MarkovMTTFHours() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	lambda := 1 / m.MTTFHours
+	mu := 1 / m.MTTRHours
+	nc := m.D / m.C
+	// States j = 0..nc (all clusters damaged at j = nc).
+	n := nc + 1
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for j := 0; j < n; j++ {
+		up := float64(m.D-j*m.C) * lambda
+		if up < 0 {
+			up = 0
+		}
+		if j == n-1 {
+			up = 0 // no untouched cluster left
+		}
+		a[j] = up
+		b[j] = float64(j) * mu
+		c[j] = float64(j*(m.C-1)) * lambda
+	}
+	return solveAbsorption(a, b, c)
+}
+
+// MarkovMTTDSHours returns the exact mean time until K disks are down
+// concurrently (the degradation-of-service event of equation (6)),
+// regardless of placement: a pure birth-death chain on the failed count
+// absorbing at K.
+func (m Model) MarkovMTTDSHours() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if m.K < 1 {
+		return 0, errors.New("failure: degradation needs K >= 1")
+	}
+	if m.K > m.D {
+		return 0, fmt.Errorf("failure: K=%d exceeds D=%d", m.K, m.D)
+	}
+	lambda := 1 / m.MTTFHours
+	mu := 1 / m.MTTRHours
+	// States j = 0..K-1; from K-1 any further failure absorbs.
+	n := m.K
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for j := 0; j < n; j++ {
+		rate := float64(m.D-j) * lambda
+		if j == n-1 {
+			a[j], c[j] = 0, rate // the K-th failure absorbs
+		} else {
+			a[j], c[j] = rate, 0
+		}
+		b[j] = float64(j) * mu
+	}
+	return solveAbsorption(a, b, c)
+}
+
+// solveAbsorption solves (a_j+b_j+c_j)·T_j − a_j·T_{j+1} − b_j·T_{j−1} = 1
+// for T_0 with the Thomas algorithm. b_0 must be 0; every state needs a
+// path to absorption (some c_j > 0 reachable).
+func solveAbsorption(a, b, c []float64) (float64, error) {
+	n := len(a)
+	if n == 0 {
+		return 0, errors.New("failure: empty chain")
+	}
+	// Forward elimination on the tridiagonal system
+	//   diag_j = a_j + b_j + c_j,  upper_j = -a_j,  lower_j = -b_j.
+	diag := make([]float64, n)
+	rhs := make([]float64, n)
+	for j := 0; j < n; j++ {
+		diag[j] = a[j] + b[j] + c[j]
+		rhs[j] = 1
+	}
+	for j := 1; j < n; j++ {
+		if diag[j-1] == 0 {
+			return 0, errors.New("failure: chain has an isolated state (no rates)")
+		}
+		factor := b[j] / diag[j-1]
+		diag[j] -= factor * a[j-1]
+		rhs[j] += factor * rhs[j-1]
+	}
+	// Back substitution.
+	t := make([]float64, n)
+	if diag[n-1] == 0 {
+		return 0, errors.New("failure: chain cannot absorb from its top state")
+	}
+	t[n-1] = rhs[n-1] / diag[n-1]
+	for j := n - 2; j >= 0; j-- {
+		if diag[j] == 0 {
+			return 0, errors.New("failure: degenerate chain state")
+		}
+		t[j] = (rhs[j] + a[j]*t[j+1]) / diag[j]
+	}
+	return t[0], nil
+}

@@ -1,0 +1,31 @@
+package gss_test
+
+import (
+	"fmt"
+
+	"ftmm/internal/diskgeom"
+	"ftmm/internal/gss"
+	"ftmm/internal/units"
+)
+
+// Find the buffer-minimizing feasible grouping for one disk serving
+// eight MPEG-1 streams.
+func ExampleParams_MinBufferFeasibleGroups() {
+	p := gss.Params{
+		Geometry:  diskgeom.Default(),
+		TrackSize: 50 * units.KB,
+		Rate:      units.MPEG1,
+		Streams:   8,
+		Groups:    1,
+	}
+	g, err := p.MinBufferFeasibleGroups()
+	if err != nil {
+		panic(err)
+	}
+	p.Groups = g
+	fmt.Printf("groups: %d\n", g)
+	fmt.Printf("buffers: %.0f tracks\n", p.BufferTracks())
+	// Output:
+	// groups: 2
+	// buffers: 12 tracks
+}

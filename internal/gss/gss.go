@@ -1,0 +1,265 @@
+// Package gss implements Grouped Sweeping Scheduling — the paper's
+// reference [3] (Chen, Kandlur, Yu, ACM Multimedia '93) — which the §2
+// discussion of "tradeoffs between improving bandwidth utilization by
+// amortizing seeks over a greater number of streams and increases in
+// buffer space" leans on.
+//
+// GSS partitions the N streams served by one disk into g groups. Each
+// cycle of length T is divided into g subcycles; during its subcycle a
+// group's N/g requests are served in one elevator sweep. The knobs:
+//
+//   - g = 1 is pure SCAN: every stream served in one sweep per cycle —
+//     best seek amortization, but a stream's next read can land almost a
+//     whole cycle after its previous one, so each stream needs ~2 cycles
+//     of buffering.
+//   - g = N is round-robin FCFS: fixed per-stream order, worst seek cost,
+//     but a stream's reads are exactly one cycle apart, needing minimal
+//     buffering.
+//
+// The sweet spot minimizes buffer space subject to the schedule being
+// feasible (all g sweeps fit in T). This package provides the closed-form
+// feasibility/buffer model and a discrete simulator over the diskgeom
+// substrate to validate it.
+package gss
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"ftmm/internal/diskgeom"
+	"ftmm/internal/units"
+)
+
+// Params describes one disk serving N identical-rate streams under GSS.
+type Params struct {
+	// Geometry is the drive's mechanical model.
+	Geometry diskgeom.Geometry
+	// TrackSize is the retrieval unit B.
+	TrackSize units.ByteSize
+	// Rate is the per-stream consumption bandwidth b0.
+	Rate units.Rate
+	// Streams is N, the streams served by this disk.
+	Streams int
+	// Groups is g, the number of sweep groups (1..N).
+	Groups int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.Geometry.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.TrackSize <= 0:
+		return errors.New("gss: track size must be positive")
+	case p.Rate <= 0:
+		return errors.New("gss: rate must be positive")
+	case p.Streams < 1:
+		return errors.New("gss: need at least one stream")
+	case p.Groups < 1 || p.Groups > p.Streams:
+		return fmt.Errorf("gss: groups %d must be in [1,%d]", p.Groups, p.Streams)
+	}
+	return nil
+}
+
+// CycleTime is T = B/b0: each stream consumes one track per cycle.
+func (p Params) CycleTime() time.Duration {
+	secs := float64(p.TrackSize) / float64(p.Rate)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// SubcycleTime is T/g.
+func (p Params) SubcycleTime() time.Duration {
+	return p.CycleTime() / time.Duration(p.Groups)
+}
+
+// groupSize returns the size of group i under an even split.
+func (p Params) groupSize(i int) int {
+	base := p.Streams / p.Groups
+	if i < p.Streams%p.Groups {
+		return base + 1
+	}
+	return base
+}
+
+// WorstSweepTime bounds one subcycle's sweep: a full-stroke positioning
+// seek plus, for the group's n requests, n rotations and n seeks of an
+// even 1/n split of the stroke (the worst case for a concave seek
+// curve).
+func (p Params) WorstSweepTime(n int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	g := p.Geometry
+	span := g.Cylinders - 1
+	per := span / n
+	if per < 1 {
+		per = 1
+	}
+	perSeek := g.SeekTime(0, per)
+	return g.SeekMax + time.Duration(n)*(g.Rotation+perSeek)
+}
+
+// Feasible reports whether every subcycle's worst-case sweep fits in
+// T/g.
+func (p Params) Feasible() bool {
+	if p.Validate() != nil {
+		return false
+	}
+	sub := p.SubcycleTime()
+	for i := 0; i < p.Groups; i++ {
+		if p.WorstSweepTime(p.groupSize(i)) > sub {
+			return false
+		}
+	}
+	return true
+}
+
+// BufferTracks is the per-disk buffer requirement in tracks. A stream's
+// consecutive reads are at most one cycle plus one subcycle apart (it
+// can be served first in one sweep and last in the next), so each stream
+// needs 1 + 1/g cycles' worth of track buffering; the classic GSS
+// accounting charges (1 + 1/g) tracks per stream.
+func (p Params) BufferTracks() float64 {
+	return float64(p.Streams) * (1 + 1/float64(p.Groups))
+}
+
+// MinBufferFeasibleGroups searches g in [1, N] for the feasible group
+// count minimizing buffer space. Larger g always means less buffering,
+// so this is the largest feasible g; it returns an error when even g=1
+// cannot fit.
+func (p Params) MinBufferFeasibleGroups() (int, error) {
+	best := 0
+	for g := 1; g <= p.Streams; g++ {
+		q := p
+		q.Groups = g
+		if q.Feasible() {
+			best = g
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("gss: %d streams infeasible at any grouping", p.Streams)
+	}
+	return best, nil
+}
+
+// MaxStreams searches for the largest N servable at ANY grouping — the
+// disk's admission capacity under GSS.
+func (p Params) MaxStreams(limit int) int {
+	best := 0
+	for n := 1; n <= limit; n++ {
+		q := p
+		q.Streams = n
+		feasibleAny := false
+		for g := 1; g <= n; g++ {
+			q.Groups = g
+			if q.Feasible() {
+				feasibleAny = true
+				break
+			}
+		}
+		if !feasibleAny {
+			break
+		}
+		best = n
+	}
+	return best
+}
+
+// SimResult is one simulated service run.
+type SimResult struct {
+	// Cycles simulated.
+	Cycles int
+	// MaxLatenessNs is the worst lateness of any read past its deadline
+	// (0 for a feasible schedule).
+	MaxLateness time.Duration
+	// MaxGap is the largest observed time between a stream's consecutive
+	// reads, which bounds its buffer need.
+	MaxGap time.Duration
+}
+
+// Simulate services random track positions for the configured streams
+// over the given number of cycles and measures deadline lateness and
+// inter-read gaps, validating Feasible and BufferTracks empirically.
+func (p Params) Simulate(cycles int, seed int64) (SimResult, error) {
+	if err := p.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if cycles < 1 {
+		return SimResult{}, errors.New("gss: need at least one cycle")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := SimResult{Cycles: cycles}
+	lastRead := make([]time.Duration, p.Streams)
+	for i := range lastRead {
+		lastRead[i] = -1
+	}
+	T := p.CycleTime()
+	sub := p.SubcycleTime()
+
+	// Assign streams to groups round-robin.
+	groupOf := make([]int, p.Streams)
+	for i := range groupOf {
+		groupOf[i] = i % p.Groups
+	}
+	now := time.Duration(0)
+	for c := 0; c < cycles; c++ {
+		for g := 0; g < p.Groups; g++ {
+			subStart := time.Duration(c)*T + time.Duration(g)*sub
+			subEnd := subStart + sub
+			if now < subStart {
+				now = subStart
+			}
+			// Collect the group's requests at random cylinders and sweep.
+			var members []int
+			var cyls []int
+			for s := 0; s < p.Streams; s++ {
+				if groupOf[s] == g {
+					members = append(members, s)
+					cyls = append(cyls, rng.Intn(p.Geometry.Cylinders))
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			order := diskgeom.SweepOrder(0, cyls)
+			// Serve in sweep order; attribute completion times to the
+			// members in cylinder order (the sweep visits sorted
+			// positions; which stream owns which position doesn't matter
+			// for gap accounting under random addressing, so pair sorted
+			// cylinders with members in index order).
+			pos := 0
+			t := now
+			for i, cyl := range order {
+				t += p.Geometry.SeekTime(pos, cyl) + p.Geometry.Rotation
+				pos = cyl
+				s := members[i%len(members)]
+				if lastRead[s] >= 0 {
+					if gap := t - lastRead[s]; gap > res.MaxGap {
+						res.MaxGap = gap
+					}
+				}
+				lastRead[s] = t
+			}
+			now = t
+			if now > subEnd {
+				if late := now - subEnd; late > res.MaxLateness {
+					res.MaxLateness = late
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// BufferRatio returns the buffer saving of grouping g versus SCAN (g=1):
+// (1+1/g)/2, approaching 1/2 as g grows.
+func BufferRatio(g int) float64 {
+	if g < 1 {
+		return math.NaN()
+	}
+	return (1 + 1/float64(g)) / 2
+}

@@ -1,0 +1,175 @@
+package gss
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ftmm/internal/diskgeom"
+	"ftmm/internal/units"
+)
+
+func testParams(n, g int) Params {
+	return Params{
+		Geometry:  diskgeom.Default(),
+		TrackSize: 50 * units.KB,
+		Rate:      units.MPEG1,
+		Streams:   n,
+		Groups:    g,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testParams(10, 2).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Geometry: diskgeom.Default(), TrackSize: 0, Rate: units.MPEG1, Streams: 5, Groups: 1},
+		{Geometry: diskgeom.Default(), TrackSize: units.KB, Rate: 0, Streams: 5, Groups: 1},
+		{Geometry: diskgeom.Default(), TrackSize: units.KB, Rate: units.MPEG1, Streams: 0, Groups: 1},
+		{Geometry: diskgeom.Default(), TrackSize: units.KB, Rate: units.MPEG1, Streams: 5, Groups: 6},
+		{Geometry: diskgeom.Default(), TrackSize: units.KB, Rate: units.MPEG1, Streams: 5, Groups: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestCycleAndSubcycle(t *testing.T) {
+	p := testParams(12, 4)
+	// T = 50KB / 0.1875 MB/s = 266.7 ms.
+	if d := p.CycleTime() - 266666*time.Microsecond; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("CycleTime = %v", p.CycleTime())
+	}
+	if p.SubcycleTime() != p.CycleTime()/4 {
+		t.Errorf("SubcycleTime = %v", p.SubcycleTime())
+	}
+}
+
+// The GSS tradeoff: more groups => less buffer, but tighter subcycle
+// deadlines => fewer feasible streams.
+func TestGroupingTradeoff(t *testing.T) {
+	// Buffer decreases monotonically with g.
+	prev := math.Inf(1)
+	for g := 1; g <= 12; g++ {
+		p := testParams(12, g)
+		b := p.BufferTracks()
+		if b >= prev {
+			t.Errorf("g=%d: buffer %v not decreasing", g, b)
+		}
+		prev = b
+	}
+	// SCAN needs 2 tracks/stream, full grouping approaches 1+1/N.
+	if b := testParams(12, 1).BufferTracks(); b != 24 {
+		t.Errorf("g=1 buffer = %v, want 24", b)
+	}
+	if b := testParams(12, 12).BufferTracks(); math.Abs(b-13) > 1e-9 {
+		t.Errorf("g=12 buffer = %v, want 13", b)
+	}
+
+	// Capacity decreases with g at a fixed stream count: find the max N
+	// feasible at g=1 vs forcing round-robin (g=N).
+	maxAny := testParams(1, 1).MaxStreams(100)
+	if maxAny < 8 {
+		t.Fatalf("max streams under GSS = %d; expected a healthy disk to serve several", maxAny)
+	}
+	// At the capacity point, fully-grouped schedules are infeasible.
+	full := testParams(maxAny, maxAny)
+	if full.Feasible() {
+		t.Errorf("g=N feasible at the g-optimal capacity %d; expected seek costs to bite", maxAny)
+	}
+	one := testParams(maxAny, 1)
+	if !one.Feasible() {
+		t.Errorf("g=1 infeasible at its own capacity %d", maxAny)
+	}
+}
+
+func TestMinBufferFeasibleGroups(t *testing.T) {
+	p := testParams(8, 1)
+	g, err := p.MinBufferFeasibleGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 1 || g > 8 {
+		t.Fatalf("g = %d out of range", g)
+	}
+	// It is the largest feasible g: g+1 (if <= N) must be infeasible or
+	// out of range.
+	if g < 8 {
+		q := testParams(8, g+1)
+		if q.Feasible() {
+			t.Fatalf("g=%d feasible but MinBufferFeasibleGroups said %d", g+1, g)
+		}
+	}
+	// An absurd load is infeasible at every grouping.
+	over := testParams(200, 1)
+	over.Streams = 200
+	if _, err := over.MinBufferFeasibleGroups(); err == nil {
+		t.Error("200 streams on one disk accepted")
+	}
+}
+
+// The simulator confirms the closed forms: feasible configurations meet
+// every subcycle deadline, and the max inter-read gap stays within the
+// (1 + 1/g) cycles the buffer accounting charges.
+func TestSimulateMatchesModel(t *testing.T) {
+	for _, cfg := range []struct{ n, g int }{{8, 1}, {8, 2}, {6, 3}} {
+		g := cfg.g
+		p := testParams(cfg.n, g)
+		if !p.Feasible() {
+			t.Fatalf("n=%d g=%d: expected feasible", cfg.n, g)
+		}
+		res, err := p.Simulate(40, int64(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxLateness > 0 {
+			t.Errorf("g=%d: feasible schedule missed deadlines by %v", g, res.MaxLateness)
+		}
+		bound := time.Duration(float64(p.CycleTime()) * (1 + 1/float64(g)))
+		if res.MaxGap > bound {
+			t.Errorf("g=%d: max inter-read gap %v exceeds buffer bound %v", g, res.MaxGap, bound)
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	p := testParams(4, 1)
+	if _, err := p.Simulate(0, 1); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	bad := p
+	bad.Streams = 0
+	if _, err := bad.Simulate(10, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestBufferRatio(t *testing.T) {
+	if BufferRatio(1) != 1 {
+		t.Error("g=1 ratio should be 1")
+	}
+	if r := BufferRatio(4); math.Abs(r-0.625) > 1e-12 {
+		t.Errorf("g=4 ratio = %v", r)
+	}
+	if !math.IsNaN(BufferRatio(0)) {
+		t.Error("g=0 should be NaN")
+	}
+}
+
+func TestWorstSweepMonotone(t *testing.T) {
+	p := testParams(10, 1)
+	prev := time.Duration(0)
+	for n := 1; n <= 20; n++ {
+		w := p.WorstSweepTime(n)
+		if w <= prev {
+			t.Fatalf("WorstSweepTime(%d) = %v not increasing", n, w)
+		}
+		prev = w
+	}
+	if p.WorstSweepTime(0) != 0 {
+		t.Error("empty sweep should be free")
+	}
+}

@@ -1,0 +1,552 @@
+// Package layout maps multimedia objects onto the disk farm the way the
+// paper's schemes require.
+//
+// An object's data tracks are grouped into parity groups of C-1 tracks
+// plus one parity track. The sequence of parity groups is allocated
+// round-robin over the clusters: if the first group of an object lands on
+// cluster h, group j lands on cluster (h+j) mod Nc (§2). Two placements
+// are supported:
+//
+//   - DedicatedParity (Streaming RAID, Staggered-group, Non-clustered):
+//     each cluster's last drive is its parity disk; the C-1 data tracks of
+//     a group go to the cluster's C-1 data drives, one each (Figure 3).
+//
+//   - IntermixedParity (Improved-bandwidth, §4): every drive stores data;
+//     a group's C-1 data tracks go to C-1 of the C drives of cluster i
+//     (rotating which drive is skipped so load spreads evenly) and its
+//     parity track goes to a drive of cluster i+1, also rotating
+//     (Figure 8). A drive therefore belongs to two parity group families:
+//     data for its own cluster and parity for the cluster to its left.
+//
+// Observation 1 of the paper — never mix blocks of different objects in
+// one parity group — is enforced structurally: groups are built from a
+// single object's consecutive tracks, padding the final short group with
+// zero tracks.
+package layout
+
+import (
+	"errors"
+	"fmt"
+
+	"ftmm/internal/disk"
+	"ftmm/internal/parity"
+	"ftmm/internal/units"
+)
+
+// Placement selects the parity placement family.
+type Placement int
+
+const (
+	// DedicatedParity reserves the last drive of each cluster for parity.
+	DedicatedParity Placement = iota
+	// IntermixedParity spreads parity of cluster i over cluster i+1.
+	IntermixedParity
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case DedicatedParity:
+		return "dedicated-parity"
+	case IntermixedParity:
+		return "intermixed-parity"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Location addresses one track on one drive.
+type Location struct {
+	Disk  int
+	Track int
+}
+
+// Group is one placed parity group: C-1 data track locations, in object
+// order, plus the parity track location.
+type Group struct {
+	// Index is the group's sequence number within its object.
+	Index int
+	// Cluster is the cluster holding the data tracks.
+	Cluster int
+	// Data lists the data track locations; entries beyond the object's
+	// last track are zero-padding tracks that still exist on disk.
+	Data []Location
+	// Parity is the parity track location.
+	Parity Location
+	// ValidTracks is how many of Data hold real object content (the rest
+	// is padding in the object's final group).
+	ValidTracks int
+}
+
+// Object is one placed object.
+type Object struct {
+	// ID names the object.
+	ID string
+	// Tracks is the number of real data tracks.
+	Tracks int
+	// Rate is the object's delivery bandwidth b0.
+	Rate units.Rate
+	// StartCluster is h, the cluster of group 0.
+	StartCluster int
+	// Groups are the object's parity groups in order.
+	Groups []Group
+}
+
+// DataLocation returns where data track i of the object lives.
+func (o *Object) DataLocation(i int) (Location, error) {
+	if i < 0 || i >= o.Tracks {
+		return Location{}, fmt.Errorf("layout: track %d out of range [0,%d)", i, o.Tracks)
+	}
+	g := i / len(o.Groups[0].Data)
+	off := i % len(o.Groups[0].Data)
+	return o.Groups[g].Data[off], nil
+}
+
+// GroupOf returns the parity group covering data track i and the track's
+// offset within the group.
+func (o *Object) GroupOf(i int) (*Group, int, error) {
+	if i < 0 || i >= o.Tracks {
+		return nil, 0, fmt.Errorf("layout: track %d out of range [0,%d)", i, o.Tracks)
+	}
+	width := len(o.Groups[0].Data)
+	return &o.Groups[i/width], i % width, nil
+}
+
+// Layout owns track allocation across a farm-shaped topology and the
+// placed objects.
+type Layout struct {
+	d, c          int
+	tracksPerDisk int
+	placement     Placement
+
+	objects map[string]*Object
+	// free[disk] is a stack of reusable track numbers; cursor[disk] is
+	// the next never-used track.
+	free   [][]int
+	cursor []int
+}
+
+// New creates an empty layout for d drives in clusters of c, each with
+// tracksPerDisk tracks.
+func New(d, c, tracksPerDisk int, placement Placement) (*Layout, error) {
+	if c < 2 {
+		return nil, fmt.Errorf("layout: cluster size %d must be >= 2", c)
+	}
+	if d < c || d%c != 0 {
+		return nil, fmt.Errorf("layout: %d drives is not a whole number of clusters of %d", d, c)
+	}
+	if placement == IntermixedParity && d/c < 2 {
+		return nil, errors.New("layout: intermixed parity needs at least 2 clusters")
+	}
+	if tracksPerDisk < 1 {
+		return nil, fmt.Errorf("layout: tracksPerDisk %d must be >= 1", tracksPerDisk)
+	}
+	return &Layout{
+		d: d, c: c, tracksPerDisk: tracksPerDisk, placement: placement,
+		objects: make(map[string]*Object),
+		free:    make([][]int, d),
+		cursor:  make([]int, d),
+	}, nil
+}
+
+// ForFarm creates a layout matching an existing farm.
+func ForFarm(f *disk.Farm, placement Placement) (*Layout, error) {
+	return New(f.Size(), f.ClusterSize(), f.Params().TracksPerDisk(), placement)
+}
+
+// Clusters returns the cluster count.
+func (l *Layout) Clusters() int { return l.d / l.c }
+
+// ClusterSize returns C.
+func (l *Layout) ClusterSize() int { return l.c }
+
+// Placement returns the parity placement family.
+func (l *Layout) Placement() Placement { return l.placement }
+
+// GroupWidth returns C-1, the data tracks per parity group.
+func (l *Layout) GroupWidth() int { return l.c - 1 }
+
+// Object returns a placed object by ID.
+func (l *Layout) Object(id string) (*Object, bool) {
+	o, ok := l.objects[id]
+	return o, ok
+}
+
+// Objects returns the number of placed objects.
+func (l *Layout) Objects() int { return len(l.objects) }
+
+// FreeTracks reports how many unallocated tracks remain farm-wide.
+func (l *Layout) FreeTracks() int {
+	n := 0
+	for d := 0; d < l.d; d++ {
+		n += l.tracksPerDisk - l.cursor[d] + len(l.free[d])
+	}
+	return n
+}
+
+// allocTrack takes one track on the given drive.
+func (l *Layout) allocTrack(d int) (int, error) {
+	if n := len(l.free[d]); n > 0 {
+		t := l.free[d][n-1]
+		l.free[d] = l.free[d][:n-1]
+		return t, nil
+	}
+	if l.cursor[d] >= l.tracksPerDisk {
+		return 0, fmt.Errorf("layout: drive %d is full", d)
+	}
+	t := l.cursor[d]
+	l.cursor[d]++
+	return t, nil
+}
+
+// groupDrives returns, for group g on cluster cl, the drives holding its
+// data tracks (in order) and the drive holding its parity track.
+func (l *Layout) groupDrives(cl, g int) (data []int, par int) {
+	base := cl * l.c
+	switch l.placement {
+	case DedicatedParity:
+		data = make([]int, l.c-1)
+		for i := range data {
+			data[i] = base + i
+		}
+		return data, base + l.c - 1
+	case IntermixedParity:
+		// Skip one drive of the cluster, rotating per group, so every
+		// drive carries data; parity goes to the next cluster, also
+		// rotating over its drives.
+		skip := g % l.c
+		data = make([]int, 0, l.c-1)
+		for i := 0; i < l.c; i++ {
+			if i != skip {
+				data = append(data, base+i)
+			}
+		}
+		nextBase := ((cl + 1) % l.Clusters()) * l.c
+		return data, nextBase + g%l.c
+	default:
+		return nil, -1
+	}
+}
+
+// ParityHomeCluster returns the cluster whose drives hold the parity for
+// data stored on cluster cl: cl itself under dedicated parity, cl+1 under
+// intermixed parity.
+func (l *Layout) ParityHomeCluster(cl int) int {
+	if l.placement == IntermixedParity {
+		return (cl + 1) % l.Clusters()
+	}
+	return cl
+}
+
+// AddObject places an object of dataTracks tracks starting at cluster
+// startCluster. The final group is padded to full width. On allocation
+// failure the layout is left unchanged.
+func (l *Layout) AddObject(id string, dataTracks, startCluster int, rate units.Rate) (*Object, error) {
+	if _, dup := l.objects[id]; dup {
+		return nil, fmt.Errorf("layout: object %q already placed", id)
+	}
+	if dataTracks < 1 {
+		return nil, fmt.Errorf("layout: object %q has %d tracks; need >= 1", id, dataTracks)
+	}
+	if startCluster < 0 || startCluster >= l.Clusters() {
+		return nil, fmt.Errorf("layout: start cluster %d out of range [0,%d)", startCluster, l.Clusters())
+	}
+	width := l.GroupWidth()
+	nGroups := (dataTracks + width - 1) / width
+
+	// Snapshot allocation state for rollback.
+	savedCursor := append([]int(nil), l.cursor...)
+	savedFree := make([][]int, l.d)
+	for i := range l.free {
+		savedFree[i] = append([]int(nil), l.free[i]...)
+	}
+	rollback := func() {
+		l.cursor = savedCursor
+		l.free = savedFree
+	}
+
+	obj := &Object{ID: id, Tracks: dataTracks, Rate: rate, StartCluster: startCluster,
+		Groups: make([]Group, 0, nGroups)}
+	for g := 0; g < nGroups; g++ {
+		cl := (startCluster + g) % l.Clusters()
+		dataDrives, parDrive := l.groupDrives(cl, g)
+		grp := Group{Index: g, Cluster: cl, Data: make([]Location, 0, width)}
+		for _, d := range dataDrives {
+			t, err := l.allocTrack(d)
+			if err != nil {
+				rollback()
+				return nil, fmt.Errorf("layout: placing %q group %d: %w", id, g, err)
+			}
+			grp.Data = append(grp.Data, Location{Disk: d, Track: t})
+		}
+		pt, err := l.allocTrack(parDrive)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("layout: placing %q group %d parity: %w", id, g, err)
+		}
+		grp.Parity = Location{Disk: parDrive, Track: pt}
+		grp.ValidTracks = width
+		if g == nGroups-1 {
+			if rem := dataTracks % width; rem != 0 {
+				grp.ValidTracks = rem
+			}
+		}
+		obj.Groups = append(obj.Groups, grp)
+	}
+	l.objects[id] = obj
+	return obj, nil
+}
+
+// RemoveObject frees an object's tracks (the purge of §1, making space
+// for a newly requested object).
+func (l *Layout) RemoveObject(id string) error {
+	obj, ok := l.objects[id]
+	if !ok {
+		return fmt.Errorf("layout: object %q not placed", id)
+	}
+	for _, g := range obj.Groups {
+		for _, loc := range g.Data {
+			l.free[loc.Disk] = append(l.free[loc.Disk], loc.Track)
+		}
+		l.free[g.Parity.Disk] = append(l.free[g.Parity.Disk], g.Parity.Track)
+	}
+	delete(l.objects, id)
+	return nil
+}
+
+// WriteObject materializes an object's content onto the farm: the byte
+// stream is cut into tracks, the final group zero-padded, and every
+// group's parity computed and written. content longer than the object's
+// track count is rejected.
+func WriteObject(f *disk.Farm, obj *Object, content []byte) error {
+	trackSize := int(f.Params().TrackSize)
+	if len(content) > obj.Tracks*trackSize {
+		return fmt.Errorf("layout: content %d bytes exceeds object's %d tracks", len(content), obj.Tracks)
+	}
+	width := len(obj.Groups[0].Data)
+	trackData := func(i int) []byte {
+		buf := make([]byte, trackSize)
+		start := i * trackSize
+		if start < len(content) {
+			copy(buf, content[start:])
+		}
+		return buf
+	}
+	for _, g := range obj.Groups {
+		blocks := make([][]byte, 0, width)
+		for off, loc := range g.Data {
+			buf := trackData(g.Index*width + off)
+			blocks = append(blocks, buf)
+			drv, err := f.Drive(loc.Disk)
+			if err != nil {
+				return err
+			}
+			if err := drv.WriteTrack(loc.Track, buf); err != nil {
+				return fmt.Errorf("layout: writing %q group %d track %d: %w", obj.ID, g.Index, off, err)
+			}
+		}
+		p, err := parity.Encode(blocks)
+		if err != nil {
+			return err
+		}
+		drv, err := f.Drive(g.Parity.Disk)
+		if err != nil {
+			return err
+		}
+		if err := drv.WriteTrack(g.Parity.Track, p); err != nil {
+			return fmt.Errorf("layout: writing %q group %d parity: %w", obj.ID, g.Index, err)
+		}
+	}
+	return nil
+}
+
+// ReadDataTrack reads data track i of the object directly (no
+// reconstruction); it fails if the holding drive has failed.
+func ReadDataTrack(f *disk.Farm, obj *Object, i int) ([]byte, error) {
+	loc, err := obj.DataLocation(i)
+	if err != nil {
+		return nil, err
+	}
+	drv, err := f.Drive(loc.Disk)
+	if err != nil {
+		return nil, err
+	}
+	return drv.ReadTrack(loc.Track)
+}
+
+// AllObjects returns every placed object (iteration order unspecified).
+func (l *Layout) AllObjects() []*Object {
+	out := make([]*Object, 0, len(l.objects))
+	for _, o := range l.objects {
+		out = append(out, o)
+	}
+	return out
+}
+
+// RebuildDrive restores every track of a replaced drive from the
+// surviving members of each parity group (the paper's rebuild mode,
+// without going back to tertiary storage): data tracks are reconstructed
+// via parity, parity tracks re-encoded from their data. The drive must be
+// operational (already replaced) and all other drives intact.
+func RebuildDrive(f *disk.Farm, l *Layout, driveID int) error {
+	drv, err := f.Drive(driveID)
+	if err != nil {
+		return err
+	}
+	for _, obj := range l.AllObjects() {
+		for gi := range obj.Groups {
+			g := &obj.Groups[gi]
+			// Data tracks on the failed drive.
+			for off, loc := range g.Data {
+				if loc.Disk != driveID {
+					continue
+				}
+				survivors := make([][]byte, 0, len(g.Data))
+				for j, other := range g.Data {
+					if j == off {
+						continue
+					}
+					od, err := f.Drive(other.Disk)
+					if err != nil {
+						return err
+					}
+					blk, err := od.ReadTrack(other.Track)
+					if err != nil {
+						return fmt.Errorf("layout: rebuild of drive %d needs drive %d: %w", driveID, other.Disk, err)
+					}
+					survivors = append(survivors, blk)
+				}
+				pd, err := f.Drive(g.Parity.Disk)
+				if err != nil {
+					return err
+				}
+				pblk, err := pd.ReadTrack(g.Parity.Track)
+				if err != nil {
+					return fmt.Errorf("layout: rebuild of drive %d needs parity drive %d: %w", driveID, g.Parity.Disk, err)
+				}
+				survivors = append(survivors, pblk)
+				rec, err := parity.Reconstruct(survivors)
+				if err != nil {
+					return err
+				}
+				if err := drv.WriteTrack(loc.Track, rec); err != nil {
+					return err
+				}
+			}
+			// Parity track on the failed drive.
+			if g.Parity.Disk == driveID {
+				blocks := make([][]byte, 0, len(g.Data))
+				for _, other := range g.Data {
+					od, err := f.Drive(other.Disk)
+					if err != nil {
+						return err
+					}
+					blk, err := od.ReadTrack(other.Track)
+					if err != nil {
+						return fmt.Errorf("layout: rebuild of parity on drive %d needs drive %d: %w", driveID, other.Disk, err)
+					}
+					blocks = append(blocks, blk)
+				}
+				p, err := parity.Encode(blocks)
+				if err != nil {
+					return err
+				}
+				if err := drv.WriteTrack(g.Parity.Track, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReconstructDataTrack rebuilds data track i of the object from the rest
+// of its parity group, without touching the drive that holds it. This is
+// the on-the-fly degraded-mode read of Observation 2.
+func ReconstructDataTrack(f *disk.Farm, obj *Object, i int) ([]byte, error) {
+	g, off, err := obj.GroupOf(i)
+	if err != nil {
+		return nil, err
+	}
+	survivors := make([][]byte, 0, len(g.Data))
+	for j, loc := range g.Data {
+		if j == off {
+			continue
+		}
+		drv, err := f.Drive(loc.Disk)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := drv.ReadTrack(loc.Track)
+		if err != nil {
+			return nil, fmt.Errorf("layout: reconstructing %q track %d needs drive %d: %w", obj.ID, i, loc.Disk, err)
+		}
+		survivors = append(survivors, blk)
+	}
+	drv, err := f.Drive(g.Parity.Disk)
+	if err != nil {
+		return nil, err
+	}
+	p, err := drv.ReadTrack(g.Parity.Track)
+	if err != nil {
+		return nil, fmt.Errorf("layout: reconstructing %q track %d needs parity drive %d: %w", obj.ID, i, g.Parity.Disk, err)
+	}
+	survivors = append(survivors, p)
+	return parity.Reconstruct(survivors)
+}
+
+// WriteObjectTolerant is WriteObject for recovery scenarios: tracks whose
+// home drive is failed are skipped (counted in skipped) instead of
+// aborting the whole write, so a multi-drive catastrophe can be recovered
+// drive by drive. Parity tracks are likewise skipped when their drive is
+// down.
+func WriteObjectTolerant(f *disk.Farm, obj *Object, content []byte) (skipped int, err error) {
+	trackSize := int(f.Params().TrackSize)
+	if len(content) > obj.Tracks*trackSize {
+		return 0, fmt.Errorf("layout: content %d bytes exceeds object's %d tracks", len(content), obj.Tracks)
+	}
+	width := len(obj.Groups[0].Data)
+	trackData := func(i int) []byte {
+		buf := make([]byte, trackSize)
+		start := i * trackSize
+		if start < len(content) {
+			copy(buf, content[start:])
+		}
+		return buf
+	}
+	for gi := range obj.Groups {
+		g := &obj.Groups[gi]
+		blocks := make([][]byte, 0, width)
+		for off, loc := range g.Data {
+			buf := trackData(g.Index*width + off)
+			blocks = append(blocks, buf)
+			drv, derr := f.Drive(loc.Disk)
+			if derr != nil {
+				return skipped, derr
+			}
+			if drv.State() != disk.Operational {
+				skipped++
+				continue
+			}
+			if werr := drv.WriteTrack(loc.Track, buf); werr != nil {
+				return skipped, fmt.Errorf("layout: writing %q group %d track %d: %w", obj.ID, g.Index, off, werr)
+			}
+		}
+		p, perr := parity.Encode(blocks)
+		if perr != nil {
+			return skipped, perr
+		}
+		drv, derr := f.Drive(g.Parity.Disk)
+		if derr != nil {
+			return skipped, derr
+		}
+		if drv.State() != disk.Operational {
+			skipped++
+			continue
+		}
+		if werr := drv.WriteTrack(g.Parity.Track, p); werr != nil {
+			return skipped, fmt.Errorf("layout: writing %q group %d parity: %w", obj.ID, g.Index, werr)
+		}
+	}
+	return skipped, nil
+}

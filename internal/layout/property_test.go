@@ -1,0 +1,130 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftmm/internal/units"
+)
+
+// Property: across any sequence of adds and removes, no two live groups
+// ever share a (disk, track) location, every group's drives are
+// distinct, data stays inside the group's cluster, and parity sits in
+// the placement's parity-home cluster.
+func TestLayoutInvariantsUnderChurn(t *testing.T) {
+	for _, placement := range []Placement{DedicatedParity, IntermixedParity} {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			l, err := New(15, 5, 40, placement)
+			if err != nil {
+				return false
+			}
+			live := map[string]bool{}
+			next := 0
+			for op := 0; op < 60; op++ {
+				if len(live) > 0 && rng.Intn(3) == 0 {
+					// Remove a random live object.
+					for id := range live {
+						if err := l.RemoveObject(id); err != nil {
+							return false
+						}
+						delete(live, id)
+						break
+					}
+					continue
+				}
+				id := string(rune('a'+next%26)) + string(rune('0'+next/26))
+				next++
+				tracks := 1 + rng.Intn(20)
+				start := rng.Intn(l.Clusters())
+				if _, err := l.AddObject(id, tracks, start, units.MPEG1); err != nil {
+					// Full is fine; anything else means a bug, but we
+					// cannot distinguish here — check invariants below
+					// regardless.
+					continue
+				}
+				live[id] = true
+			}
+			return checkInvariants(t, l)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%v: %v", placement, err)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, l *Layout) bool {
+	t.Helper()
+	used := map[Location]string{}
+	for _, obj := range l.AllObjects() {
+		for gi := range obj.Groups {
+			g := &obj.Groups[gi]
+			drives := map[int]bool{}
+			for _, loc := range g.Data {
+				if owner, dup := used[loc]; dup {
+					t.Logf("location %v shared by %s and %s", loc, owner, obj.ID)
+					return false
+				}
+				used[loc] = obj.ID
+				if drives[loc.Disk] {
+					t.Logf("group %s/%d uses drive %d twice", obj.ID, gi, loc.Disk)
+					return false
+				}
+				drives[loc.Disk] = true
+				if loc.Disk/l.ClusterSize() != g.Cluster {
+					t.Logf("group %s/%d data outside its cluster", obj.ID, gi)
+					return false
+				}
+			}
+			if owner, dup := used[g.Parity]; dup {
+				t.Logf("parity %v shared by %s and %s", g.Parity, owner, obj.ID)
+				return false
+			}
+			used[g.Parity] = obj.ID
+			if drives[g.Parity.Disk] {
+				t.Logf("group %s/%d parity on a data drive of the group", obj.ID, gi)
+				return false
+			}
+			if g.Parity.Disk/l.ClusterSize() != l.ParityHomeCluster(g.Cluster) {
+				t.Logf("group %s/%d parity outside its home cluster", obj.ID, gi)
+				return false
+			}
+			// Round-robin group placement.
+			want := (obj.StartCluster + gi) % l.Clusters()
+			if g.Cluster != want {
+				t.Logf("group %s/%d on cluster %d, want %d", obj.ID, gi, g.Cluster, want)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: FreeTracks is conserved: adds consume exactly
+// groups*(width+1) tracks and removes return them.
+func TestFreeTracksConservation(t *testing.T) {
+	f := func(tracksRaw uint8) bool {
+		l, err := New(10, 5, 100, DedicatedParity)
+		if err != nil {
+			return false
+		}
+		before := l.FreeTracks()
+		tracks := int(tracksRaw%50) + 1
+		obj, err := l.AddObject("x", tracks, 0, units.MPEG1)
+		if err != nil {
+			return true // full; nothing to check
+		}
+		groups := len(obj.Groups)
+		if l.FreeTracks() != before-groups*5 {
+			return false
+		}
+		if err := l.RemoveObject("x"); err != nil {
+			return false
+		}
+		return l.FreeTracks() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

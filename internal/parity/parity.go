@@ -1,0 +1,121 @@
+// Package parity implements the bitwise exclusive-or redundancy the
+// paper's schemes rely on: a parity group is C-1 equally sized data
+// blocks plus one parity block XOp = X0 ⊕ X1 ⊕ … ⊕ X(C-2), from which any
+// single missing block can be reconstructed on the fly.
+//
+// The package operates on real bytes so that the simulation layers above
+// it can verify, bit for bit, that data delivered during degraded-mode
+// operation equals the data that was stored.
+package parity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSizeMismatch is returned when blocks in one group differ in length.
+var ErrSizeMismatch = errors.New("parity: blocks in a group must have equal length")
+
+// ErrEmptyGroup is returned for groups with no data blocks.
+var ErrEmptyGroup = errors.New("parity: group needs at least one data block")
+
+// XORInto xors src into dst element-wise: dst[i] ^= src[i].
+func XORInto(dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d bytes, src %d", ErrSizeMismatch, len(dst), len(src))
+	}
+	for i, b := range src {
+		dst[i] ^= b
+	}
+	return nil
+}
+
+// Encode computes the parity block of the given data blocks. The blocks
+// must be non-empty and equally sized; the result is freshly allocated.
+func Encode(data [][]byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	p := make([]byte, len(data[0]))
+	copy(p, data[0])
+	for i, blk := range data[1:] {
+		if err := XORInto(p, blk); err != nil {
+			return nil, fmt.Errorf("parity: block %d: %w", i+1, err)
+		}
+	}
+	return p, nil
+}
+
+// Reconstruct rebuilds the missing block of a parity group given every
+// other block (the surviving data blocks and the parity block, in any
+// order). It is the same fold as Encode: XOR of all survivors.
+func Reconstruct(survivors [][]byte) ([]byte, error) {
+	return Encode(survivors)
+}
+
+// Group is one parity group: the data blocks of one stripe and their
+// parity block.
+type Group struct {
+	Data   [][]byte
+	Parity []byte
+}
+
+// NewGroup encodes a parity group over the given data blocks. The data
+// slices are referenced, not copied.
+func NewGroup(data [][]byte) (*Group, error) {
+	p, err := Encode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Group{Data: data, Parity: p}, nil
+}
+
+// Verify reports whether the parity block is consistent with the data.
+func (g *Group) Verify() bool {
+	p, err := Encode(g.Data)
+	if err != nil || len(p) != len(g.Parity) {
+		return false
+	}
+	for i := range p {
+		if p[i] != g.Parity[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReconstructData rebuilds data block i from the other data blocks and
+// the parity block, without consulting Data[i] itself.
+func (g *Group) ReconstructData(i int) ([]byte, error) {
+	if i < 0 || i >= len(g.Data) {
+		return nil, fmt.Errorf("parity: block index %d out of range [0,%d)", i, len(g.Data))
+	}
+	survivors := make([][]byte, 0, len(g.Data))
+	for j, blk := range g.Data {
+		if j != i {
+			survivors = append(survivors, blk)
+		}
+	}
+	survivors = append(survivors, g.Parity)
+	return Reconstruct(survivors)
+}
+
+// Update recomputes parity after data block i changes from old to new
+// content, using the parity-delta trick (p ^= old ^ new) rather than a
+// full re-encode.
+func (g *Group) Update(i int, oldBlock, newBlock []byte) error {
+	if i < 0 || i >= len(g.Data) {
+		return fmt.Errorf("parity: block index %d out of range [0,%d)", i, len(g.Data))
+	}
+	if len(oldBlock) != len(g.Parity) || len(newBlock) != len(g.Parity) {
+		return ErrSizeMismatch
+	}
+	if err := XORInto(g.Parity, oldBlock); err != nil {
+		return err
+	}
+	if err := XORInto(g.Parity, newBlock); err != nil {
+		return err
+	}
+	g.Data[i] = newBlock
+	return nil
+}

@@ -1,0 +1,43 @@
+package rebuild_test
+
+import (
+	"fmt"
+
+	"ftmm/internal/disk"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/layout"
+	"ftmm/internal/rebuild"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+// Restore a replaced drive online, two tracks per cycle.
+func ExampleRebuilder() {
+	p := diskmodel.Table1()
+	p.Capacity = 60 * p.TrackSize
+	farm, _ := disk.NewFarm(10, 5, p)
+	lay, _ := layout.ForFarm(farm, layout.DedicatedParity)
+	obj, _ := lay.AddObject("movie", 16, 0, units.MPEG1)
+	content := workload.SyntheticContent("movie", 16*int(p.TrackSize))
+	if err := layout.WriteObject(farm, obj, content); err != nil {
+		panic(err)
+	}
+
+	drv, _ := farm.Drive(0)
+	_ = drv.Fail()
+	_ = drv.Replace()
+
+	r, err := rebuild.New(farm, lay, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tracks to restore: %d\n", r.Remaining())
+	cycles, err := r.Run(8, 1000) // 8 spare reads per cycle = 2 tracks
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored in %d cycles\n", cycles)
+	// Output:
+	// tracks to restore: 2
+	// restored in 1 cycles
+}

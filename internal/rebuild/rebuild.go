@@ -1,0 +1,194 @@
+// Package rebuild implements the paper's third operating mode — rebuild
+// mode, which §1 defines ("the disks are still down, but the process of
+// rebuilding the missing information on spare disks is in progress") and
+// the paper then defers "due to lack of space". It restores a replaced
+// drive's contents *online*, a bounded number of tracks per scheduling
+// cycle, using only spare disk bandwidth, so active streams keep their
+// guarantees while redundancy is restored.
+//
+// Restoring one data track reads the C-2 surviving data tracks plus the
+// parity track of its group (C-1 reads) and XORs them; restoring a parity
+// track reads the group's C-1 data tracks and re-encodes. The rebuild
+// duration in cycles is therefore ceil(tracks·(C-1)/readBudget), which
+// the paper's MTTR parameter summarizes — this package lets experiments
+// measure it instead of assuming it.
+package rebuild
+
+import (
+	"errors"
+	"fmt"
+
+	"ftmm/internal/disk"
+	"ftmm/internal/layout"
+	"ftmm/internal/parity"
+)
+
+// item is one track to restore.
+type item struct {
+	obj *layout.Object
+	// group index within the object.
+	group int
+	// dataOffset is the in-group offset of the lost data track, or -1
+	// when the lost track is the group's parity.
+	dataOffset int
+}
+
+// Rebuilder restores one replaced drive incrementally.
+type Rebuilder struct {
+	farm  *disk.Farm
+	lay   *layout.Layout
+	drive int
+
+	queue []item
+	done  int
+	reads int
+}
+
+// New plans the rebuild of the given drive, which must already be
+// replaced (operational and blank). The plan covers every placed
+// object's tracks that lived on the drive — data and parity.
+func New(farm *disk.Farm, lay *layout.Layout, driveID int) (*Rebuilder, error) {
+	if farm == nil || lay == nil {
+		return nil, errors.New("rebuild: nil farm or layout")
+	}
+	drv, err := farm.Drive(driveID)
+	if err != nil {
+		return nil, err
+	}
+	if drv.State() != disk.Operational {
+		return nil, fmt.Errorf("rebuild: drive %d must be replaced before rebuild (state %v)", driveID, drv.State())
+	}
+	r := &Rebuilder{farm: farm, lay: lay, drive: driveID}
+	for _, obj := range lay.AllObjects() {
+		for gi := range obj.Groups {
+			g := &obj.Groups[gi]
+			for off, loc := range g.Data {
+				if loc.Disk == driveID {
+					r.queue = append(r.queue, item{obj: obj, group: gi, dataOffset: off})
+				}
+			}
+			if g.Parity.Disk == driveID {
+				r.queue = append(r.queue, item{obj: obj, group: gi, dataOffset: -1})
+			}
+		}
+	}
+	return r, nil
+}
+
+// Remaining returns the tracks still to restore.
+func (r *Rebuilder) Remaining() int { return len(r.queue) - r.done }
+
+// Restored returns the tracks restored so far.
+func (r *Rebuilder) Restored() int { return r.done }
+
+// Reads returns the surviving-drive track reads consumed so far.
+func (r *Rebuilder) Reads() int { return r.reads }
+
+// Done reports completion.
+func (r *Rebuilder) Done() bool { return r.Remaining() == 0 }
+
+// ReadsPerTrack returns the surviving reads needed per restored track:
+// C-1 (the group's other members).
+func (r *Rebuilder) ReadsPerTrack() int { return r.farm.ClusterSize() - 1 }
+
+// CyclesNeeded estimates the remaining rebuild duration given a spare
+// read budget per cycle.
+func (r *Rebuilder) CyclesNeeded(readBudget int) int {
+	if readBudget < r.ReadsPerTrack() {
+		return -1 // cannot make progress
+	}
+	perCycle := readBudget / r.ReadsPerTrack()
+	return (r.Remaining() + perCycle - 1) / perCycle
+}
+
+// Step restores as many tracks as the given read budget allows this
+// cycle and returns the number restored. A budget below C-1 restores
+// nothing (one track needs a whole group's worth of reads within the
+// cycle, per Observation 2's all-at-once requirement).
+func (r *Rebuilder) Step(readBudget int) (int, error) {
+	restored := 0
+	for r.done < len(r.queue) && readBudget >= r.ReadsPerTrack() {
+		if err := r.restore(r.queue[r.done]); err != nil {
+			return restored, err
+		}
+		readBudget -= r.ReadsPerTrack()
+		r.reads += r.ReadsPerTrack()
+		r.done++
+		restored++
+	}
+	return restored, nil
+}
+
+// Run drives Step until done, returning the cycles consumed.
+func (r *Rebuilder) Run(readBudget, maxCycles int) (int, error) {
+	for cycles := 0; cycles < maxCycles; cycles++ {
+		if r.Done() {
+			return cycles, nil
+		}
+		n, err := r.Step(readBudget)
+		if err != nil {
+			return cycles, err
+		}
+		if n == 0 {
+			return cycles, fmt.Errorf("rebuild: no progress with budget %d (need >= %d)", readBudget, r.ReadsPerTrack())
+		}
+	}
+	if !r.Done() {
+		return maxCycles, fmt.Errorf("rebuild: incomplete after %d cycles (%d tracks left)", maxCycles, r.Remaining())
+	}
+	return maxCycles, nil
+}
+
+// restore rebuilds one track onto the replacement drive.
+func (r *Rebuilder) restore(it item) error {
+	g := &it.obj.Groups[it.group]
+	drv, err := r.farm.Drive(r.drive)
+	if err != nil {
+		return err
+	}
+	if it.dataOffset >= 0 {
+		survivors := make([][]byte, 0, len(g.Data))
+		for j, loc := range g.Data {
+			if j == it.dataOffset {
+				continue
+			}
+			blk, err := r.readTrack(loc)
+			if err != nil {
+				return fmt.Errorf("rebuild: %s group %d: %w", it.obj.ID, it.group, err)
+			}
+			survivors = append(survivors, blk)
+		}
+		pblk, err := r.readTrack(g.Parity)
+		if err != nil {
+			return fmt.Errorf("rebuild: %s group %d parity: %w", it.obj.ID, it.group, err)
+		}
+		survivors = append(survivors, pblk)
+		rec, err := parity.Reconstruct(survivors)
+		if err != nil {
+			return err
+		}
+		return drv.WriteTrack(g.Data[it.dataOffset].Track, rec)
+	}
+	// Parity track: re-encode from the group's data.
+	blocks := make([][]byte, 0, len(g.Data))
+	for _, loc := range g.Data {
+		blk, err := r.readTrack(loc)
+		if err != nil {
+			return fmt.Errorf("rebuild: %s group %d: %w", it.obj.ID, it.group, err)
+		}
+		blocks = append(blocks, blk)
+	}
+	p, err := parity.Encode(blocks)
+	if err != nil {
+		return err
+	}
+	return drv.WriteTrack(g.Parity.Track, p)
+}
+
+func (r *Rebuilder) readTrack(loc layout.Location) ([]byte, error) {
+	drv, err := r.farm.Drive(loc.Disk)
+	if err != nil {
+		return nil, err
+	}
+	return drv.ReadTrack(loc.Track)
+}

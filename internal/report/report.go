@@ -1,0 +1,154 @@
+// Package report renders the experiment outputs — tables matching the
+// paper's Tables 2-3 and text series matching its figures — as aligned
+// ASCII, so the bench harness prints the same rows the paper reports.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named curve: y values over shared x values.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// RenderSeries prints curves as one aligned column per series, the way
+// the Figure 9 data reads.
+func RenderSeries(title, xLabel string, xs []float64, series []Series, prec int) string {
+	tbl := NewTable(title, append([]string{xLabel}, names(series)...)...)
+	for i, x := range xs {
+		row := []string{trimFloat(x, prec)}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, trimFloat(s.Y[i], prec))
+			} else {
+				row = append(row, "")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String()
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func trimFloat(v float64, prec int) string {
+	s := fmt.Sprintf("%.*f", prec, v)
+	if prec == 0 {
+		return s
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// Pct formats a fraction as a percentage like the paper's tables
+// ("20.0%").
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// Years formats a year count like the paper ("25684.9").
+func Years(y float64) string { return fmt.Sprintf("%.1f", y) }
+
+// Dollars formats a cost ("$173400").
+func Dollars(d float64) string { return fmt.Sprintf("$%.0f", d) }
+
+// Int formats an integer cell.
+func Int(n int) string { return fmt.Sprintf("%d", n) }
+
+// Float formats with the given precision, trimming trailing zeros.
+func Float(v float64, prec int) string { return trimFloat(v, prec) }
+
+// CSV renders the table as comma-separated values (header row first,
+// cells with commas or quotes quoted), for piping experiment output into
+// plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Results", "Metric", "SR", "IB")
+	tbl.AddRow("Streams", "1041", "1263")
+	tbl.AddRow("MTTF", "25684.9")
+	out := tbl.String()
+	if !strings.HasPrefix(out, "Results\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	// Header, separator, rows all share the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator misaligned")
+	}
+	if !strings.Contains(lines[3], "1041") || !strings.Contains(lines[3], "1263") {
+		t.Errorf("row content: %q", lines[3])
+	}
+	// Short row padded, not panicking.
+	if !strings.Contains(lines[4], "25684.9") {
+		t.Errorf("padded row: %q", lines[4])
+	}
+	if tbl.Rows() != 2 {
+		t.Error("Rows")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "A")
+	tbl.AddRow("x")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Fig 9(b)", "C", []float64{2, 3},
+		[]Series{{Name: "SR", Y: []float64{1208.3, 1250}}, {Name: "IB", Y: []float64{2356.2}}}, 1)
+	if !strings.Contains(out, "SR") || !strings.Contains(out, "IB") {
+		t.Error("missing series names")
+	}
+	if !strings.Contains(out, "1208.3") {
+		t.Error("missing value")
+	}
+	// The short IB series leaves a blank cell rather than panicking.
+	if !strings.Contains(out, "2356.2") {
+		t.Error("missing IB value")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Pct(0.2), "20.0%"},
+		{Pct(1.0 / 7.0), "14.3%"},
+		{Years(25684.93), "25684.9"},
+		{Dollars(173400.4), "$173400"},
+		{Int(42), "42"},
+		{Float(1.500, 2), "1.5"},
+		{Float(2, 3), "2"},
+		{Float(2.125, 2), "2.12"}, // round-half-to-even
+		{Float(3, 0), "3"},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: got %q want %q", i, c.got, c.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("ignored title", "A", "B")
+	tbl.AddRow("plain", "with,comma")
+	tbl.AddRow(`with"quote`, "multi\nline")
+	got := tbl.CSV()
+	want := "A,B\nplain,\"with,comma\"\n\"with\"\"quote\",\"multi\nline\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

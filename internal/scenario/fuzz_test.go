@@ -1,0 +1,25 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzParse hardens the scenario JSON surface: arbitrary input must
+// either parse into a spec that passes Validate, or error — never panic,
+// and never produce a spec that Run would crash on structurally.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(validJSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"scheme":"sr","disks":10,"cluster_size":5,"titles":1,"title_groups":1,"requests":[{"cycle":0,"title":"title0"}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A parsed spec must re-validate.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a spec Validate rejects: %v", err)
+		}
+	})
+}

@@ -1,0 +1,216 @@
+// Package scenario runs declarative, reproducible simulation scenarios:
+// a JSON description of a farm, a catalog, a request schedule, and a
+// failure/repair schedule is executed against the full server and
+// summarized. cmd/ftmmsim consumes these via -scenario; tests use them
+// to pin down regression cases.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/server"
+	"ftmm/internal/trace"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+// Spec is the JSON scenario description.
+type Spec struct {
+	// Scheme is a server.ParseScheme name: sr, sg, nc, nc-simple, ib.
+	Scheme string `json:"scheme"`
+	// Disks and ClusterSize shape the farm.
+	Disks       int `json:"disks"`
+	ClusterSize int `json:"cluster_size"`
+	// K is the reserve depth (buffer servers / reserved bandwidth).
+	K int `json:"k"`
+	// Titles to archive, each TitleGroups parity groups long.
+	Titles      int `json:"titles"`
+	TitleGroups int `json:"title_groups"`
+	// Requests schedules stream admissions.
+	Requests []Request `json:"requests"`
+	// Failures schedules drive failures and repairs.
+	Failures []Failure `json:"failures"`
+	// MaxCycles bounds the run (default 10000).
+	MaxCycles int `json:"max_cycles"`
+}
+
+// Request admits a stream for a title at a cycle.
+type Request struct {
+	Cycle int    `json:"cycle"`
+	Title string `json:"title"`
+}
+
+// Failure fails a drive at a cycle, optionally repairing it later.
+// RepairCycle <= 0 means never; Tertiary selects tape reload instead of
+// parity rebuild.
+type Failure struct {
+	Cycle       int  `json:"cycle"`
+	Drive       int  `json:"drive"`
+	RepairCycle int  `json:"repair_cycle"`
+	Tertiary    bool `json:"tertiary"`
+}
+
+// Result summarizes a run.
+type Result struct {
+	Stats       server.Stats
+	Summary     trace.Summary
+	CycleTime   time.Duration
+	StagingTime time.Duration
+	// IntegrityErr is non-nil if any delivered track's bytes differed
+	// from the stored content (should never happen).
+	IntegrityErr error
+	// Admitted and Rejected count request outcomes.
+	Admitted, Rejected int
+}
+
+// Parse decodes and validates a JSON spec. Unknown fields are rejected
+// so typos in scenario files fail loudly.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec's shape.
+func (s *Spec) Validate() error {
+	if _, _, err := server.ParseScheme(s.Scheme); err != nil {
+		return err
+	}
+	switch {
+	case s.Disks < s.ClusterSize || s.ClusterSize < 2:
+		return fmt.Errorf("scenario: bad farm %dx%d", s.Disks, s.ClusterSize)
+	case s.Titles < 1 || s.TitleGroups < 1:
+		return errors.New("scenario: need at least one title with one group")
+	case len(s.Requests) == 0:
+		return errors.New("scenario: no requests")
+	}
+	for _, r := range s.Requests {
+		if r.Cycle < 0 || r.Title == "" {
+			return fmt.Errorf("scenario: bad request %+v", r)
+		}
+	}
+	for _, f := range s.Failures {
+		if f.Cycle < 0 || f.Drive < 0 || f.Drive >= s.Disks {
+			return fmt.Errorf("scenario: bad failure %+v", f)
+		}
+		if f.RepairCycle > 0 && f.RepairCycle <= f.Cycle {
+			return fmt.Errorf("scenario: repair at %d not after failure at %d", f.RepairCycle, f.Cycle)
+		}
+	}
+	return nil
+}
+
+// Run executes the scenario.
+func (s *Spec) Run() (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	scheme, policy, err := server.ParseScheme(s.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Options{
+		Disks: s.Disks, ClusterSize: s.ClusterSize,
+		Scheme: scheme, NCPolicy: policy, K: s.K,
+		DiskParams: s.diskParams(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	trackSize := int(srv.Farm().Params().TrackSize)
+	content := map[string][]byte{}
+	for i := 0; i < s.Titles; i++ {
+		id := fmt.Sprintf("title%d", i)
+		c := workload.SyntheticContent(id, s.TitleGroups*(s.ClusterSize-1)*trackSize)
+		content[id] = c
+		if err := srv.AddTitle(id, units.ByteSize(len(c)), i/4, c); err != nil {
+			return nil, err
+		}
+	}
+	rec, err := trace.NewRecorder(content, trackSize)
+	if err != nil {
+		return nil, err
+	}
+
+	maxCycles := s.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 10_000
+	}
+	res := &Result{}
+	lastEvent := 0
+	for _, r := range s.Requests {
+		if r.Cycle > lastEvent {
+			lastEvent = r.Cycle
+		}
+	}
+	for _, f := range s.Failures {
+		if f.Cycle > lastEvent {
+			lastEvent = f.Cycle
+		}
+		if f.RepairCycle > lastEvent {
+			lastEvent = f.RepairCycle
+		}
+	}
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		for _, r := range s.Requests {
+			if r.Cycle != cycle {
+				continue
+			}
+			if _, _, err := srv.Request(r.Title); err != nil {
+				res.Rejected++
+			} else {
+				res.Admitted++
+			}
+		}
+		for _, f := range s.Failures {
+			if f.Cycle == cycle {
+				if err := srv.FailDisk(f.Drive); err != nil {
+					return nil, fmt.Errorf("scenario: failing drive %d at cycle %d: %w", f.Drive, cycle, err)
+				}
+			}
+			if f.RepairCycle == cycle && f.RepairCycle > 0 {
+				if f.Tertiary {
+					if _, err := srv.RebuildFromTertiary(f.Drive); err != nil {
+						return nil, err
+					}
+				} else if err := srv.RepairDisk(f.Drive); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rep, err := srv.Step()
+		if err != nil {
+			return nil, err
+		}
+		rec.Observe(rep)
+		if cycle >= lastEvent && srv.Engine().Active() == 0 {
+			break
+		}
+	}
+	res.Stats = srv.Stats()
+	res.Summary = rec.Summarize()
+	res.CycleTime = srv.CycleTime()
+	res.StagingTime = srv.StagingTime()
+	res.IntegrityErr = rec.VerifyIntegrity()
+	return res, nil
+}
+
+// diskParams sizes drives to hold the catalog comfortably.
+func (s *Spec) diskParams() diskmodel.Params {
+	p := diskmodel.Table1()
+	tracksPerTitle := s.TitleGroups * s.ClusterSize
+	p.Capacity = units.ByteSize((s.Titles*tracksPerTitle)/s.Disks+tracksPerTitle+50) * p.TrackSize
+	return p
+}

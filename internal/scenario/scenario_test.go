@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validJSON = `{
+  "scheme": "nc",
+  "disks": 10,
+  "cluster_size": 5,
+  "k": 2,
+  "titles": 4,
+  "title_groups": 8,
+  "requests": [
+    {"cycle": 0, "title": "title0"},
+    {"cycle": 1, "title": "title1"},
+    {"cycle": 2, "title": "title2"}
+  ],
+  "failures": [
+    {"cycle": 6, "drive": 2, "repair_cycle": 20}
+  ]
+}`
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse([]byte(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scheme != "nc" || s.Disks != 10 || len(s.Requests) != 3 || len(s.Failures) != 1 {
+		t.Fatalf("parsed = %+v", s)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	bad := strings.Replace(validJSON, `"k": 2,`, `"k": 2, "tyop": 1,`, 1)
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	cases := []struct{ name, from, to string }{
+		{"bad scheme", `"scheme": "nc"`, `"scheme": "zz"`},
+		{"bad farm", `"disks": 10`, `"disks": 3`},
+		{"no titles", `"titles": 4`, `"titles": 0`},
+		{"bad drive", `"drive": 2`, `"drive": 99`},
+		{"repair before failure", `"repair_cycle": 20`, `"repair_cycle": 5`},
+		{"negative request cycle", `{"cycle": 0, "title": "title0"}`, `{"cycle": -1, "title": "title0"}`},
+		{"empty title", `"title": "title1"`, `"title": ""`},
+	}
+	for _, c := range cases {
+		bad := strings.Replace(validJSON, c.from, c.to, 1)
+		if bad == validJSON {
+			t.Fatalf("%s: replacement did not apply", c.name)
+		}
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := Parse([]byte(`{`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	empty := strings.Replace(validJSON, `{"cycle": 0, "title": "title0"},
+    {"cycle": 1, "title": "title1"},
+    {"cycle": 2, "title": "title2"}`, ``, 1)
+	if _, err := Parse([]byte(empty)); err == nil {
+		t.Error("no requests accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	s, err := Parse([]byte(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntegrityErr != nil {
+		t.Fatalf("integrity: %v", res.IntegrityErr)
+	}
+	if res.Admitted != 3 || res.Rejected != 0 {
+		t.Fatalf("admitted/rejected = %d/%d", res.Admitted, res.Rejected)
+	}
+	if res.Stats.Finished != 3 {
+		t.Fatalf("finished = %d", res.Stats.Finished)
+	}
+	// NC failure at cycle 6: the transition may cost a couple of tracks.
+	if res.Summary.Hiccups > 4 {
+		t.Fatalf("hiccups = %d", res.Summary.Hiccups)
+	}
+	if res.Stats.Reconstructions == 0 {
+		t.Fatal("no reconstructions despite failure")
+	}
+	if res.CycleTime <= 0 || res.StagingTime <= 0 {
+		t.Fatal("missing timings")
+	}
+}
+
+func TestRunTertiaryRepair(t *testing.T) {
+	tert := strings.Replace(validJSON, `"repair_cycle": 20}`, `"repair_cycle": 20, "tertiary": true}`, 1)
+	s, err := Parse([]byte(tert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntegrityErr != nil {
+		t.Fatal(res.IntegrityErr)
+	}
+	// Tape reload adds its latency to the staging total? No — it is
+	// accounted separately; just assert the run completed cleanly.
+	if res.Stats.Finished != 3 {
+		t.Fatalf("finished = %d", res.Stats.Finished)
+	}
+}
+
+func TestRunMaxCyclesBound(t *testing.T) {
+	s, err := Parse([]byte(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MaxCycles = 3 // too few to finish
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Finished != 0 {
+		t.Fatal("finished despite tiny cycle bound")
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"sr", "sg", "nc", "nc-simple", "ib"} {
+		spec := strings.Replace(validJSON, `"scheme": "nc"`, `"scheme": "`+scheme+`"`, 1)
+		s, err := Parse([]byte(spec))
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.IntegrityErr != nil {
+			t.Fatalf("%s: %v", scheme, res.IntegrityErr)
+		}
+		if res.Stats.Finished != 3 {
+			t.Fatalf("%s: finished = %d", scheme, res.Stats.Finished)
+		}
+	}
+}
+
+// The scenario files shipped in scenarios/ must stay parseable and
+// runnable.
+func TestShippedScenarios(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		res, err := spec.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if res.IntegrityErr != nil {
+			t.Fatalf("%s: %v", e.Name(), res.IntegrityErr)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no shipped scenarios found")
+	}
+}

@@ -1,0 +1,158 @@
+// Package sched provides the shared machinery of the paper's cycle-based
+// schedulers (§2): per-disk per-cycle slot budgets, the reporting types
+// every scheme simulator emits, and stream bookkeeping.
+//
+// Time advances in cycles. During each cycle a scheme reads tracks from
+// disks into buffers (ordered freely within the cycle, so one maximum
+// seek per disk per cycle is charged by the disk model) while the data
+// read earlier is transmitted. A disk can read at most its slot budget of
+// tracks per cycle; schemes enforce the budget both at admission and when
+// failures add reconstruction reads to the schedule.
+package sched
+
+import (
+	"fmt"
+
+	"ftmm/internal/layout"
+)
+
+// Slots tracks per-disk track-read budgets within one cycle.
+type Slots struct {
+	perDisk int
+	used    []int
+}
+
+// NewSlots creates budgets for the given number of disks with perDisk
+// track reads allowed per disk per cycle.
+func NewSlots(disks, perDisk int) (*Slots, error) {
+	if disks < 1 {
+		return nil, fmt.Errorf("sched: disks %d must be >= 1", disks)
+	}
+	if perDisk < 1 {
+		return nil, fmt.Errorf("sched: per-disk budget %d must be >= 1", perDisk)
+	}
+	return &Slots{perDisk: perDisk, used: make([]int, disks)}, nil
+}
+
+// PerDisk returns the per-disk budget.
+func (s *Slots) PerDisk() int { return s.perDisk }
+
+// Take consumes one slot on the disk; it reports false when the disk's
+// budget is exhausted.
+func (s *Slots) Take(disk int) bool {
+	if disk < 0 || disk >= len(s.used) {
+		return false
+	}
+	if s.used[disk] >= s.perDisk {
+		return false
+	}
+	s.used[disk]++
+	return true
+}
+
+// Put returns one slot on the disk (used when a tentatively scheduled
+// read is dropped in favor of another).
+func (s *Slots) Put(disk int) {
+	if disk >= 0 && disk < len(s.used) && s.used[disk] > 0 {
+		s.used[disk]--
+	}
+}
+
+// Used returns the slots consumed on the disk this cycle.
+func (s *Slots) Used(disk int) int {
+	if disk < 0 || disk >= len(s.used) {
+		return 0
+	}
+	return s.used[disk]
+}
+
+// Free returns the remaining slots on the disk this cycle.
+func (s *Slots) Free(disk int) int {
+	if disk < 0 || disk >= len(s.used) {
+		return 0
+	}
+	return s.perDisk - s.used[disk]
+}
+
+// Reset clears all budgets for the next cycle.
+func (s *Slots) Reset() {
+	for i := range s.used {
+		s.used[i] = 0
+	}
+}
+
+// Delivery is one track handed to the network in a cycle.
+type Delivery struct {
+	StreamID int
+	ObjectID string
+	// Track is the object-relative data track index.
+	Track int
+	// Data is the delivered track content.
+	Data []byte
+	// Reconstructed marks tracks rebuilt from parity rather than read.
+	Reconstructed bool
+}
+
+// Hiccup is a track that was due in a cycle but could not be delivered —
+// the paper's discontinuity in delivery.
+type Hiccup struct {
+	StreamID int
+	ObjectID string
+	Track    int
+	// Reason explains the loss, e.g. "disk failed mid-read" or "dropped
+	// in degraded-mode transition".
+	Reason string
+}
+
+// CycleReport summarizes one simulated cycle.
+type CycleReport struct {
+	Cycle int
+	// Delivered lists the tracks transmitted this cycle, in stream order.
+	Delivered []Delivery
+	// Hiccups lists tracks lost this cycle.
+	Hiccups []Hiccup
+	// DataReads and ParityReads count successful track reads this cycle.
+	DataReads   int
+	ParityReads int
+	// Reconstructions counts tracks rebuilt from parity this cycle.
+	Reconstructions int
+	// Finished lists streams that completed delivery this cycle.
+	Finished []int
+	// Terminated lists streams dropped this cycle because the system
+	// could not continue serving them (degradation of service).
+	Terminated []int
+	// BufferInUse is the farm-wide buffer occupancy in tracks at the end
+	// of the cycle.
+	BufferInUse int
+}
+
+// Stream is one active delivery: a client receiving an object at its
+// bandwidth, one track at a time.
+type Stream struct {
+	ID  int
+	Obj *layout.Object
+	// NextDeliver is the next data track index owed to the client.
+	NextDeliver int
+	// Done marks a completed stream.
+	Done bool
+	// Terminated marks a stream dropped due to degradation of service.
+	Terminated bool
+}
+
+// Remaining returns the number of tracks still owed.
+func (st *Stream) Remaining() int {
+	if st.Done || st.Terminated {
+		return 0
+	}
+	return st.Obj.Tracks - st.NextDeliver
+}
+
+// Advance records count tracks as dealt with (delivered or lost) and
+// flips Done at the end of the object.
+func (st *Stream) Advance(count int) {
+	st.NextDeliver += count
+	if st.NextDeliver >= st.Obj.Tracks {
+		st.NextDeliver = st.Obj.Tracks
+		st.Done = true
+	}
+}

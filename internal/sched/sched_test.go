@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+
+	"ftmm/internal/layout"
+	"ftmm/internal/units"
+)
+
+func TestNewSlotsValidation(t *testing.T) {
+	if _, err := NewSlots(0, 1); err == nil {
+		t.Error("zero disks accepted")
+	}
+	if _, err := NewSlots(1, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewSlots(4, 2); err != nil {
+		t.Errorf("valid slots rejected: %v", err)
+	}
+}
+
+func TestSlotsTakePutFree(t *testing.T) {
+	s, _ := NewSlots(2, 2)
+	if !s.Take(0) || !s.Take(0) {
+		t.Fatal("takes within budget failed")
+	}
+	if s.Take(0) {
+		t.Fatal("take beyond budget succeeded")
+	}
+	if s.Used(0) != 2 || s.Free(0) != 0 {
+		t.Fatalf("used/free = %d/%d", s.Used(0), s.Free(0))
+	}
+	if s.Used(1) != 0 || s.Free(1) != 2 {
+		t.Fatal("disk 1 affected by disk 0")
+	}
+	s.Put(0)
+	if s.Free(0) != 1 {
+		t.Fatal("Put did not free")
+	}
+	if !s.Take(0) {
+		t.Fatal("take after put failed")
+	}
+	s.Reset()
+	if s.Used(0) != 0 || s.Used(1) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if s.PerDisk() != 2 {
+		t.Fatal("PerDisk")
+	}
+}
+
+func TestSlotsBounds(t *testing.T) {
+	s, _ := NewSlots(2, 1)
+	if s.Take(-1) || s.Take(2) {
+		t.Error("out-of-range take succeeded")
+	}
+	if s.Used(-1) != 0 || s.Free(99) != 0 {
+		t.Error("out-of-range accessors")
+	}
+	s.Put(-1) // must not panic
+	s.Put(5)
+	s.Put(0) // below zero must not wrap
+	if s.Used(0) != 0 {
+		t.Error("Put below zero")
+	}
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	l, err := layout.New(10, 5, 100, layout.DedicatedParity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := l.AddObject("x", 10, 0, units.MPEG1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Stream{ID: 1, Obj: obj}
+	if st.Remaining() != 10 {
+		t.Fatalf("Remaining = %d", st.Remaining())
+	}
+	st.Advance(4)
+	if st.Remaining() != 6 || st.Done {
+		t.Fatalf("after 4: remaining=%d done=%v", st.Remaining(), st.Done)
+	}
+	st.Advance(7) // overshoot clamps
+	if !st.Done || st.NextDeliver != 10 || st.Remaining() != 0 {
+		t.Fatalf("after overshoot: %+v", st)
+	}
+	term := &Stream{ID: 2, Obj: obj, Terminated: true}
+	if term.Remaining() != 0 {
+		t.Fatal("terminated stream has remaining tracks")
+	}
+}

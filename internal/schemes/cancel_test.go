@@ -1,0 +1,83 @@
+package schemes
+
+import (
+	"testing"
+
+	"ftmm/internal/layout"
+)
+
+// CancelStream at the engine level: the stream stops consuming capacity
+// immediately, its buffers return to the pool, and the remaining streams
+// finish bit-exactly.
+func TestCancelStreamAllEngines(t *testing.T) {
+	type engineCase struct {
+		name   string
+		place  layout.Placement
+		build  func(r *rig) (Simulator, error)
+		cancel func(e Simulator, id int) error
+		inUse  func(e Simulator) int
+	}
+	cases := []engineCase{
+		{"SR", layout.DedicatedParity,
+			func(r *rig) (Simulator, error) { return NewStreamingRAID(r.config()) },
+			func(e Simulator, id int) error { return e.(*StreamingRAID).CancelStream(id) },
+			func(e Simulator) int { return e.(*StreamingRAID).BufferInUse() }},
+		{"SG", layout.DedicatedParity,
+			func(r *rig) (Simulator, error) { return NewStaggeredGroup(r.config()) },
+			func(e Simulator, id int) error { return e.(*StaggeredGroup).CancelStream(id) },
+			func(e Simulator) int { return e.(*StaggeredGroup).BufferInUse() }},
+		{"NC", layout.DedicatedParity,
+			func(r *rig) (Simulator, error) { return NewNonClustered(r.config(), AlternateSwitchover, 2) },
+			func(e Simulator, id int) error { return e.(*NonClustered).CancelStream(id) },
+			func(e Simulator) int { return e.(*NonClustered).BufferInUse() }},
+		{"IB", layout.IntermixedParity,
+			func(r *rig) (Simulator, error) { return NewImprovedBandwidth(r.config(), 2) },
+			func(e Simulator, id int) error { return e.(*ImprovedBandwidth).CancelStream(id) },
+			func(e Simulator) int { return e.(*ImprovedBandwidth).BufferInUse() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, 10, 5, 2, 10, tc.place)
+			e, err := tc.build(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id0, err := e.AddStream(r.object(t, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepN(t, e, 1)
+			id1, err := e.AddStream(r.object(t, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			early, _, _ := stepN(t, e, 3)
+			if err := tc.cancel(e, id0); err != nil {
+				t.Fatal(err)
+			}
+			if e.Active() != 1 {
+				t.Fatalf("active = %d after cancel, want 1", e.Active())
+			}
+			// Cancelling again, or a bogus ID, fails.
+			if err := tc.cancel(e, id0); err == nil {
+				t.Fatal("double cancel accepted")
+			}
+			if err := tc.cancel(e, 999); err == nil {
+				t.Fatal("bogus cancel accepted")
+			}
+			deliveries, hiccups, _ := runToCompletion(t, e, 200)
+			if len(hiccups) != 0 {
+				t.Fatalf("hiccups after cancel: %v", hiccups)
+			}
+			all := merge(early, deliveries)
+			verifyStream(t, r, r.object(t, 1), all[id1], nil)
+			if tc.inUse(e) != 0 {
+				t.Fatalf("buffers leaked after cancel: %d", tc.inUse(e))
+			}
+			// The cancelled stream's slot is reusable.
+			if _, err := e.AddStream(r.object(t, 0)); err != nil {
+				t.Fatalf("slot not freed: %v", err)
+			}
+		})
+	}
+}

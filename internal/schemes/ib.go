@@ -1,0 +1,486 @@
+package schemes
+
+import (
+	"fmt"
+	"time"
+
+	"ftmm/internal/buffer"
+	"ftmm/internal/disk"
+	"ftmm/internal/layout"
+	"ftmm/internal/sched"
+)
+
+// ImprovedBandwidth is the §4 engine. The layout intermixes the parity of
+// cluster i on the drives of cluster i+1, so in normal operation no
+// bandwidth is spent on parity: every drive delivers data, and only a
+// configurable reserve of slots per drive is held back.
+//
+// When a drive fails, the groups that lose a track read their parity
+// block from the next cluster. If the parity block's drive has no free
+// slot, one of that drive's scheduled local reads is dropped in its
+// favor; the dropped group is treated as a partial failure and performs
+// the same shift on cluster i+2, and so on to the right until idle
+// capacity is found (Figure 8). When the chain finds none, service
+// degrades: the stream at the end of the chain is terminated.
+//
+// A failure in the middle of a cycle cannot be masked for the groups
+// whose track was scheduled but not yet read on the failing drive —
+// parity is not being read concurrently in normal mode — producing the
+// paper's one-time isolated hiccups; from the next cycle on, the shift
+// masks the failure completely.
+type ImprovedBandwidth struct {
+	cfg          Config
+	slotsPerDisk int
+	reserve      int
+	cycle        int
+	nextID       int
+	streams      []*ibStream
+	pool         *buffer.Pool
+	// midFail, when >= 0, is a drive that fails midway through the next
+	// cycle's reads.
+	midFail int
+	// terminations counts degradation-of-service stream kills.
+	terminations int
+}
+
+type ibStream struct {
+	sched.Stream
+	nextGroup  int
+	staged     *bufferedGroup
+	delivering *bufferedGroup
+}
+
+// ibGroupRead is one group's in-flight read state during a cycle.
+type ibGroupRead struct {
+	s  *ibStream
+	g  *layout.Group
+	bg *bufferedGroup
+	// missing lists in-group offsets that could not be read directly.
+	missing []int
+	// tookOn[disk] counts normal data-read slots this group holds on each
+	// drive (victim bookkeeping for the shift).
+	reads []ibRead
+	// unmaskable marks missing offsets that may not be recovered this
+	// cycle (mid-cycle failure: no time to fetch parity).
+	unmaskable map[int]bool
+}
+
+type ibRead struct {
+	offset int
+	disk   int
+}
+
+// NewImprovedBandwidth builds the engine over an intermixed-parity
+// layout, holding reserve slots per drive back from admission (the
+// paper's K_IB disks' worth of reserved bandwidth, expressed per drive).
+func NewImprovedBandwidth(cfg Config, reserve int) (*ImprovedBandwidth, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Layout.Placement() != layout.IntermixedParity {
+		return nil, fmt.Errorf("schemes: Improved-bandwidth needs intermixed parity, got %v", cfg.Layout.Placement())
+	}
+	slots, err := cfg.slotsFor(cfg.Layout.GroupWidth())
+	if err != nil {
+		return nil, err
+	}
+	if reserve < 0 || reserve >= slots {
+		return nil, fmt.Errorf("schemes: reserve %d must be in [0,%d)", reserve, slots)
+	}
+	return &ImprovedBandwidth{cfg: cfg, slotsPerDisk: slots, reserve: reserve, pool: newPool(), midFail: -1}, nil
+}
+
+// Name implements Simulator.
+func (e *ImprovedBandwidth) Name() string { return "Improved-bandwidth" }
+
+// Cycle implements Simulator.
+func (e *ImprovedBandwidth) Cycle() int { return e.cycle }
+
+// CycleTime implements Simulator: Tcyc = (C-1)·B/b0.
+func (e *ImprovedBandwidth) CycleTime() time.Duration {
+	return e.cfg.Farm.Params().CycleTime(e.cfg.Layout.GroupWidth(), e.cfg.Rate)
+}
+
+// SlotsPerDisk returns the per-disk per-cycle track budget.
+func (e *ImprovedBandwidth) SlotsPerDisk() int { return e.slotsPerDisk }
+
+// Reserve returns the per-drive reserved slot count.
+func (e *ImprovedBandwidth) Reserve() int { return e.reserve }
+
+// Active implements Simulator.
+func (e *ImprovedBandwidth) Active() int {
+	n := 0
+	for _, s := range e.streams {
+		if !s.Done && !s.Terminated {
+			n++
+		}
+	}
+	return n
+}
+
+// BufferPeak implements Simulator.
+func (e *ImprovedBandwidth) BufferPeak() int { return e.pool.Peak() }
+
+// BufferInUse returns the current buffer occupancy in tracks.
+func (e *ImprovedBandwidth) BufferInUse() int { return e.pool.InUse() }
+
+// Terminations counts streams killed by degradation of service.
+func (e *ImprovedBandwidth) Terminations() int { return e.terminations }
+
+// clusterLoad counts streams whose next group sits on each cluster.
+func (e *ImprovedBandwidth) clusterLoad() []int {
+	load := make([]int, e.cfg.Layout.Clusters())
+	for _, s := range e.streams {
+		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
+			continue
+		}
+		load[s.Obj.Groups[s.nextGroup].Cluster]++
+	}
+	return load
+}
+
+// AddStream implements Simulator. Admission caps each cluster at the
+// per-drive budget minus the reserve, leaving the headroom the shift
+// needs under failure.
+func (e *ImprovedBandwidth) AddStream(obj *layout.Object) (int, error) {
+	start := obj.Groups[0].Cluster
+	cap := e.slotsPerDisk - e.reserve
+	if e.clusterLoad()[start] >= cap {
+		return 0, fmt.Errorf("schemes: cluster %d is at its %d-stream capacity (reserve %d)", start, cap, e.reserve)
+	}
+	id := e.nextID
+	e.nextID++
+	e.streams = append(e.streams, &ibStream{Stream: sched.Stream{ID: id, Obj: obj}})
+	return id, nil
+}
+
+// CancelStream stops serving a stream immediately and returns its
+// buffers.
+func (e *ImprovedBandwidth) CancelStream(id int) error {
+	for _, s := range e.streams {
+		if s.ID != id {
+			continue
+		}
+		if s.Done || s.Terminated {
+			return fmt.Errorf("schemes: stream %d is not active", id)
+		}
+		s.Done = true
+		for _, bg := range []*bufferedGroup{s.staged, s.delivering} {
+			if bg != nil && bg.pooled > 0 {
+				if err := e.pool.Release(bg.pooled); err != nil {
+					return err
+				}
+				bg.pooled = 0
+			}
+		}
+		s.staged, s.delivering = nil, nil
+		return nil
+	}
+	return fmt.Errorf("schemes: no stream %d", id)
+}
+
+// FailDisk implements Simulator: the drive fails at the cycle boundary,
+// so every subsequent read is masked by the shift.
+func (e *ImprovedBandwidth) FailDisk(id int) error {
+	drv, err := e.cfg.Farm.Drive(id)
+	if err != nil {
+		return err
+	}
+	return drv.Fail()
+}
+
+// FailDiskMidCycle schedules the drive to fail halfway through the next
+// cycle's reads: tracks it had already read are fine, the rest hiccup
+// once, and later cycles are masked.
+func (e *ImprovedBandwidth) FailDiskMidCycle(id int) error {
+	if _, err := e.cfg.Farm.Drive(id); err != nil {
+		return err
+	}
+	e.midFail = id
+	return nil
+}
+
+// Step implements Simulator.
+func (e *ImprovedBandwidth) Step() (*sched.CycleReport, error) {
+	rep := &sched.CycleReport{Cycle: e.cycle}
+	slots, err := sched.NewSlots(e.cfg.Farm.Size(), e.slotsPerDisk)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect this cycle's group reads.
+	var groups []*ibGroupRead
+	for _, s := range e.streams {
+		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
+			continue
+		}
+		g := &s.Obj.Groups[s.nextGroup]
+		s.nextGroup++
+		groups = append(groups, &ibGroupRead{
+			s: s, g: g,
+			bg: &bufferedGroup{
+				group:         g,
+				data:          make([][]byte, len(g.Data)),
+				reconstructed: make([]bool, len(g.Data)),
+			},
+			unmaskable: map[int]bool{},
+		})
+	}
+
+	// Phase 1: normal data reads (no parity in normal mode). A mid-cycle
+	// failure fires after the victim drive has served half of its
+	// scheduled reads.
+	midDisk := e.midFail
+	midAllowance := -1
+	if midDisk >= 0 {
+		scheduled := 0
+		for _, gr := range groups {
+			for _, loc := range gr.g.Data {
+				if loc.Disk == midDisk {
+					scheduled++
+				}
+			}
+		}
+		midAllowance = scheduled / 2
+	}
+	for _, gr := range groups {
+		for j, loc := range gr.g.Data {
+			if !slots.Take(loc.Disk) {
+				gr.missing = append(gr.missing, j)
+				continue
+			}
+			if loc.Disk == midDisk && e.midFail >= 0 {
+				if midAllowance == 0 {
+					drv, err := e.cfg.Farm.Drive(midDisk)
+					if err != nil {
+						return nil, err
+					}
+					if err := drv.Fail(); err != nil {
+						return nil, err
+					}
+					e.midFail = -1
+				} else {
+					midAllowance--
+				}
+			}
+			drv, err := e.cfg.Farm.Drive(loc.Disk)
+			if err != nil {
+				return nil, err
+			}
+			blk, err := drv.ReadTrack(loc.Track)
+			if err != nil {
+				gr.missing = append(gr.missing, j)
+				if loc.Disk == midDisk {
+					// Lost to the mid-cycle failure: no time to shift.
+					gr.unmaskable[j] = true
+				}
+				continue
+			}
+			rep.DataReads++
+			gr.bg.data[j] = blk
+			gr.reads = append(gr.reads, ibRead{offset: j, disk: loc.Disk})
+		}
+	}
+	if e.midFail >= 0 {
+		// The drive had no scheduled reads this cycle; fail it now.
+		drv, err := e.cfg.Farm.Drive(e.midFail)
+		if err != nil {
+			return nil, err
+		}
+		if err := drv.Fail(); err != nil {
+			return nil, err
+		}
+		e.midFail = -1
+	}
+
+	// Phase 2: shift to the right for groups missing blocks.
+	for _, gr := range groups {
+		e.resolve(gr, groups, slots, rep, map[int]bool{})
+	}
+
+	// Buffer accounting for staged groups (terminated streams drop
+	// theirs without ever acquiring).
+	for _, gr := range groups {
+		if gr.s.Terminated {
+			continue
+		}
+		gr.bg.pooled = len(gr.g.Data)
+		if err := e.pool.Acquire(gr.bg.pooled); err != nil {
+			return nil, err
+		}
+		gr.s.staged = gr.bg
+	}
+
+	// Delivery of last cycle's groups.
+	for _, s := range e.streams {
+		if s.Terminated || s.Done {
+			continue
+		}
+		bg := s.delivering
+		s.delivering, s.staged = s.staged, nil
+		if bg == nil {
+			continue
+		}
+		width := len(bg.group.Data)
+		base := bg.group.Index * width
+		for off := 0; off < bg.group.ValidTracks; off++ {
+			if bg.data[off] == nil {
+				rep.Hiccups = append(rep.Hiccups, sched.Hiccup{
+					StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
+					Reason: "unmasked failure",
+				})
+				continue
+			}
+			rep.Delivered = append(rep.Delivered, sched.Delivery{
+				StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
+				Data: bg.data[off], Reconstructed: bg.reconstructed[off],
+			})
+		}
+		if bg.pooled > 0 {
+			if err := e.pool.Release(bg.pooled); err != nil {
+				return nil, err
+			}
+		}
+		s.Advance(bg.group.ValidTracks)
+		if s.Done {
+			rep.Finished = append(rep.Finished, s.ID)
+		}
+	}
+
+	rep.BufferInUse = e.pool.InUse()
+	e.cycle++
+	return rep, nil
+}
+
+// resolve recovers a group's missing blocks via the parity shift. visited
+// guards against wrapping all the way around the clusters.
+func (e *ImprovedBandwidth) resolve(gr *ibGroupRead, groups []*ibGroupRead, slots *sched.Slots, rep *sched.CycleReport, visited map[int]bool) {
+	if len(gr.missing) == 0 {
+		return
+	}
+	// Count the recoverable missing blocks.
+	var recoverable []int
+	for _, j := range gr.missing {
+		if !gr.unmaskable[j] {
+			recoverable = append(recoverable, j)
+		}
+	}
+	gr.missing = nil
+	if len(recoverable) == 0 {
+		return // only mid-cycle losses: one-time hiccups
+	}
+	if len(recoverable) > 1 {
+		// Two blocks gone from one group: catastrophic, nothing to do.
+		return
+	}
+	j := recoverable[0]
+	pCluster := e.cfg.Layout.ParityHomeCluster(gr.g.Cluster)
+	if visited[pCluster] {
+		// Wrapped around: no capacity anywhere. Degradation of service.
+		e.terminate(gr.s, rep)
+		return
+	}
+	visited[pCluster] = true
+
+	par := e.readParity(gr, groups, slots, rep, visited)
+	if par == nil {
+		return // terminate/hiccup already handled downstream
+	}
+	// Reconstruct from the surviving blocks plus parity.
+	rec := make([]byte, len(par))
+	copy(rec, par)
+	for k, blk := range gr.bg.data {
+		if k == j || blk == nil {
+			continue
+		}
+		for i := range rec {
+			rec[i] ^= blk[i]
+		}
+	}
+	gr.bg.data[j] = rec
+	gr.bg.reconstructed[j] = true
+	rep.Reconstructions++
+}
+
+// readParity secures a slot on the group's parity drive — dropping a
+// local read in its favor if necessary — and reads the parity block. It
+// returns nil after handling the failure modes (failed parity drive:
+// catastrophic hiccup; no victim: degradation).
+func (e *ImprovedBandwidth) readParity(gr *ibGroupRead, groups []*ibGroupRead, slots *sched.Slots, rep *sched.CycleReport, visited map[int]bool) []byte {
+	pDisk := gr.g.Parity.Disk
+	drv, err := e.cfg.Farm.Drive(pDisk)
+	if err != nil {
+		return nil
+	}
+	if drv.State() != disk.Operational {
+		// Adjacent-cluster double failure: the paper's data-loss case.
+		return nil
+	}
+	if !slots.Take(pDisk) {
+		// Drop a victim's local read on this drive in favor of parity.
+		victim := e.pickVictim(groups, pDisk, gr)
+		if victim == nil {
+			e.terminate(gr.s, rep)
+			return nil
+		}
+		// The victim loses the block it read from pDisk; the freed slot
+		// carries our parity read. The victim's group then shifts right
+		// itself.
+		for vi, vr := range victim.reads {
+			if vr.disk == pDisk {
+				victim.bg.data[vr.offset] = nil
+				victim.missing = append(victim.missing, vr.offset)
+				victim.reads = append(victim.reads[:vi], victim.reads[vi+1:]...)
+				break
+			}
+		}
+		defer e.resolve(victim, groups, slots, rep, visited)
+	}
+	blk, err := drv.ReadTrack(gr.g.Parity.Track)
+	if err != nil {
+		return nil
+	}
+	rep.ParityReads++
+	// The parity block occupies a buffer only within this cycle.
+	if err := e.pool.Acquire(1); err != nil {
+		return nil
+	}
+	if err := e.pool.Release(1); err != nil {
+		return nil
+	}
+	return blk
+}
+
+// pickVictim finds a group (other than the requester) holding a normal
+// data-read slot on the drive.
+func (e *ImprovedBandwidth) pickVictim(groups []*ibGroupRead, d int, requester *ibGroupRead) *ibGroupRead {
+	for _, gr := range groups {
+		if gr == requester || gr.s.Terminated {
+			continue
+		}
+		for _, r := range gr.reads {
+			if r.disk == d {
+				return gr
+			}
+		}
+	}
+	return nil
+}
+
+// terminate kills a stream: the paper's degradation of service. Buffers
+// the stream still holds from the previous cycle are returned.
+func (e *ImprovedBandwidth) terminate(s *ibStream, rep *sched.CycleReport) {
+	if s.Terminated {
+		return
+	}
+	s.Terminated = true
+	e.terminations++
+	rep.Terminated = append(rep.Terminated, s.ID)
+	for _, bg := range []*bufferedGroup{s.delivering, s.staged} {
+		if bg != nil && bg.pooled > 0 {
+			_ = e.pool.Release(bg.pooled)
+			bg.pooled = 0
+		}
+	}
+	s.delivering, s.staged = nil, nil
+}

@@ -1,0 +1,729 @@
+package schemes
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ftmm/internal/buffer"
+	"ftmm/internal/layout"
+	"ftmm/internal/parity"
+	"ftmm/internal/sched"
+)
+
+// TransitionPolicy selects how a Non-clustered cluster moves into
+// degraded mode after a data-disk failure.
+type TransitionPolicy int
+
+const (
+	// SimpleSwitchover (Figure 6): the cluster immediately shifts to
+	// group-at-a-time reads; streams caught mid-group drop all remaining
+	// tracks of their current group.
+	SimpleSwitchover TransitionPolicy = iota
+	// AlternateSwitchover (Figure 7): streams caught mid-group keep
+	// their per-track schedule (losing only the failed disk's unread
+	// track), and streams at a group boundary run an XOR accumulator,
+	// delaying the extra reads until the cycle the missing track is
+	// needed. Loses strictly fewer tracks than SimpleSwitchover.
+	AlternateSwitchover
+)
+
+// String names the policy.
+func (p TransitionPolicy) String() string {
+	switch p {
+	case SimpleSwitchover:
+		return "simple"
+	case AlternateSwitchover:
+		return "alternate"
+	default:
+		return fmt.Sprintf("TransitionPolicy(%d)", int(p))
+	}
+}
+
+// ncClusterMode is the operating mode of one cluster.
+type ncClusterMode int
+
+const (
+	ncNormal ncClusterMode = iota
+	// ncParityLost: the parity drive failed; normal operation continues
+	// (parity is never read in normal mode) but protection is gone.
+	ncParityLost
+	// ncDegraded: a data drive failed and a buffer server carries the
+	// cluster through group-at-a-time (or XOR-accumulator) operation.
+	ncDegraded
+	// ncUnprotected: a data drive failed and no buffer server was free —
+	// the paper's degradation of service. The failed drive's track is
+	// lost on every pass.
+	ncUnprotected
+)
+
+type ncCluster struct {
+	mode ncClusterMode
+	// failedOffset is the in-cluster index of the failed data drive
+	// (0..C-2), meaningful in ncDegraded/ncUnprotected.
+	failedOffset int
+}
+
+type ncStaged struct {
+	data          []byte
+	reconstructed bool
+}
+
+type ncStream struct {
+	sched.Stream
+	// read is the absolute index of the next data track to read.
+	read int
+	// startCycle is the cycle of the stream's first read (-1 before);
+	// delivery begins the following cycle.
+	startCycle int
+	// staged maps absolute track index -> buffered content.
+	staged map[int]ncStaged
+	// lost marks absolute track indices that will hiccup when due.
+	lost map[int]bool
+	// legacyGroup, when >= 0, is a group the stream finishes with plain
+	// per-track reads even though its cluster is degraded (alternate
+	// switchover for streams caught mid-group).
+	legacyGroup int
+	// xor is the running accumulator for the group being read on a
+	// degraded cluster under the alternate policy.
+	xor      []byte
+	xorGroup int
+}
+
+// NonClustered is the §3 engine: in normal mode each stream reads exactly
+// the track it delivers next cycle (two buffers per stream). A data-disk
+// failure sends that cluster through a short transition — losing a few
+// tracks per Figures 6-7 — into a degraded mode backed by one of K shared
+// buffer servers, after which service continues hiccup-free.
+type NonClustered struct {
+	cfg          Config
+	policy       TransitionPolicy
+	slotsPerDisk int
+	cycle        int
+	nextID       int
+	streams      []*ncStream
+	pool         *buffer.Pool
+	servers      *buffer.Servers
+	clusters     []ncCluster
+	// degradations counts failures that found no free buffer server.
+	degradations int
+}
+
+// NewNonClustered builds the engine with K shared buffer servers.
+func NewNonClustered(cfg Config, policy TransitionPolicy, k int) (*NonClustered, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Layout.Placement() != layout.DedicatedParity {
+		return nil, fmt.Errorf("schemes: Non-clustered needs dedicated parity, got %v", cfg.Layout.Placement())
+	}
+	if policy != SimpleSwitchover && policy != AlternateSwitchover {
+		return nil, fmt.Errorf("schemes: unknown transition policy %v", policy)
+	}
+	servers, err := buffer.NewServers(k)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := cfg.slotsFor(1)
+	if err != nil {
+		return nil, err
+	}
+	return &NonClustered{
+		cfg: cfg, policy: policy, slotsPerDisk: slots,
+		pool: newPool(), servers: servers,
+		clusters: make([]ncCluster, cfg.Layout.Clusters()),
+	}, nil
+}
+
+// Name implements Simulator.
+func (e *NonClustered) Name() string { return "Non-clustered" }
+
+// Policy returns the transition policy in use.
+func (e *NonClustered) Policy() TransitionPolicy { return e.policy }
+
+// Cycle implements Simulator.
+func (e *NonClustered) Cycle() int { return e.cycle }
+
+// CycleTime implements Simulator: Tcyc = B/b0 (k' = 1).
+func (e *NonClustered) CycleTime() time.Duration {
+	return e.cfg.Farm.Params().CycleTime(1, e.cfg.Rate)
+}
+
+// SlotsPerDisk returns the per-disk per-cycle track budget in use.
+func (e *NonClustered) SlotsPerDisk() int { return e.slotsPerDisk }
+
+// Active implements Simulator.
+func (e *NonClustered) Active() int {
+	n := 0
+	for _, s := range e.streams {
+		if !s.Done && !s.Terminated {
+			n++
+		}
+	}
+	return n
+}
+
+// BufferPeak implements Simulator.
+func (e *NonClustered) BufferPeak() int { return e.pool.Peak() }
+
+// BufferInUse returns the current buffer occupancy in tracks.
+func (e *NonClustered) BufferInUse() int { return e.pool.InUse() }
+
+// Degradations counts data-disk failures that found every buffer server
+// busy (the paper's degradation-of-service events).
+func (e *NonClustered) Degradations() int { return e.degradations }
+
+// ClusterDegraded reports whether the cluster is running degraded.
+func (e *NonClustered) ClusterDegraded(cl int) bool {
+	if cl < 0 || cl >= len(e.clusters) {
+		return false
+	}
+	return e.clusters[cl].mode == ncDegraded || e.clusters[cl].mode == ncUnprotected
+}
+
+// width returns C-1.
+func (e *NonClustered) width() int { return e.cfg.Layout.GroupWidth() }
+
+// position splits an absolute track index into (group, offset).
+func (e *NonClustered) position(r int) (g, o int) {
+	return r / e.width(), r % e.width()
+}
+
+// AddStream implements Simulator. A Non-clustered stream reads one track
+// per cycle, walking the drives of its current cluster in order; two
+// streams conflict only when they sit at the same (cluster, offset), and
+// they advance in lockstep, so admission checks the occupancy of the new
+// stream's starting position.
+func (e *NonClustered) AddStream(obj *layout.Object) (int, error) {
+	start := obj.Groups[0].Cluster
+	load := 0
+	for _, s := range e.streams {
+		if s.Done || s.Terminated || s.read >= s.Obj.Tracks {
+			continue
+		}
+		g, o := e.position(s.read)
+		if o == 0 && s.Obj.Groups[g].Cluster == start {
+			load++
+		}
+	}
+	if load >= e.slotsPerDisk {
+		return 0, fmt.Errorf("schemes: position (cluster %d, offset 0) is at its %d-stream capacity", start, e.slotsPerDisk)
+	}
+	id := e.nextID
+	e.nextID++
+	e.streams = append(e.streams, &ncStream{
+		Stream: sched.Stream{ID: id, Obj: obj},
+		staged: make(map[int]ncStaged), lost: make(map[int]bool),
+		legacyGroup: -1, xorGroup: -1, startCycle: -1,
+	})
+	return id, nil
+}
+
+// CancelStream stops serving a stream immediately and returns its
+// buffers (staged tracks and any XOR accumulator).
+func (e *NonClustered) CancelStream(id int) error {
+	for _, s := range e.streams {
+		if s.ID != id {
+			continue
+		}
+		if s.Done || s.Terminated {
+			return fmt.Errorf("schemes: stream %d is not active", id)
+		}
+		s.Done = true
+		for r := range s.staged {
+			delete(s.staged, r)
+			if err := e.pool.Release(1); err != nil {
+				return err
+			}
+		}
+		e.dropXOR(s)
+		return nil
+	}
+	return fmt.Errorf("schemes: no stream %d", id)
+}
+
+// FailDisk implements Simulator: the drive fails at the upcoming cycle
+// boundary, and the owning cluster transitions per the policy.
+func (e *NonClustered) FailDisk(id int) error {
+	drv, err := e.cfg.Farm.Drive(id)
+	if err != nil {
+		return err
+	}
+	if err := drv.Fail(); err != nil {
+		return err
+	}
+	cl, err := e.cfg.Farm.ClusterOf(id)
+	if err != nil {
+		return err
+	}
+	offset := id % e.cfg.Farm.ClusterSize()
+	if offset == e.cfg.Farm.ClusterSize()-1 {
+		// Dedicated parity drive: no operational impact in normal mode.
+		if e.clusters[cl].mode == ncNormal {
+			e.clusters[cl].mode = ncParityLost
+		}
+		return nil
+	}
+	st := &e.clusters[cl]
+	st.failedOffset = offset
+	if err := e.servers.Attach(cl); err != nil {
+		if errors.Is(err, buffer.ErrExhausted) {
+			st.mode = ncUnprotected
+			e.degradations++
+		} else {
+			return err
+		}
+	} else {
+		st.mode = ncDegraded
+	}
+	e.transition(cl, offset)
+	return nil
+}
+
+// transition applies the policy to streams caught mid-group on the
+// failed cluster.
+func (e *NonClustered) transition(cl, failedOffset int) {
+	width := e.width()
+	for _, s := range e.streams {
+		if s.Done || s.Terminated || s.read >= s.Obj.Tracks {
+			continue
+		}
+		g, o := e.position(s.read)
+		if s.Obj.Groups[g].Cluster != cl || o == 0 {
+			continue
+		}
+		groupEnd := (g + 1) * width
+		if groupEnd > s.Obj.Tracks {
+			groupEnd = s.Obj.Tracks
+		}
+		switch e.policy {
+		case SimpleSwitchover:
+			// Drop every remaining track of the current group.
+			for r := s.read; r < groupEnd; r++ {
+				s.lost[r] = true
+			}
+			s.read = groupEnd
+		case AlternateSwitchover:
+			// Keep the schedule; only the failed drive's unread track is
+			// unrecoverable (earlier tracks have left the buffers).
+			failedTrack := g*width + failedOffset
+			if failedTrack >= s.read && failedTrack < groupEnd {
+				s.lost[failedTrack] = true
+			}
+			s.legacyGroup = g
+		}
+	}
+}
+
+// RepairDisk replaces the failed drive, rebuilds its contents from
+// parity (rebuild mode), returns the cluster to normal operation, and
+// frees its buffer server.
+func (e *NonClustered) RepairDisk(id int) error {
+	drv, err := e.cfg.Farm.Drive(id)
+	if err != nil {
+		return err
+	}
+	if err := drv.Replace(); err != nil {
+		return err
+	}
+	if err := layout.RebuildDrive(e.cfg.Farm, e.cfg.Layout, id); err != nil {
+		return err
+	}
+	return e.OnDriveRebuilt(id)
+}
+
+// OnDriveRebuilt tells the engine a drive's contents are whole again
+// (after an external — possibly incremental — rebuild): the cluster
+// returns to normal operation and its buffer server is released.
+func (e *NonClustered) OnDriveRebuilt(id int) error {
+	cl, err := e.cfg.Farm.ClusterOf(id)
+	if err != nil {
+		return err
+	}
+	st := &e.clusters[cl]
+	switch st.mode {
+	case ncDegraded:
+		if err := e.servers.Detach(cl); err != nil {
+			return err
+		}
+	case ncParityLost, ncUnprotected, ncNormal:
+		// nothing extra
+	}
+	st.mode = ncNormal
+	// Streams finishing a group in a special mode revert to plain reads.
+	for _, s := range e.streams {
+		if s.xorGroup >= 0 && s.Obj.Groups[s.xorGroup].Cluster == cl {
+			e.dropXOR(s)
+		}
+		if s.legacyGroup >= 0 && s.Obj.Groups[s.legacyGroup].Cluster == cl {
+			s.legacyGroup = -1
+		}
+	}
+	return nil
+}
+
+// dropXOR releases a stream's accumulator buffer.
+func (e *NonClustered) dropXOR(s *ncStream) {
+	if s.xor != nil {
+		_ = e.pool.Release(1)
+		s.xor = nil
+	}
+	s.xorGroup = -1
+}
+
+// Step implements Simulator.
+func (e *NonClustered) Step() (*sched.CycleReport, error) {
+	rep := &sched.CycleReport{Cycle: e.cycle}
+	slots, err := sched.NewSlots(e.cfg.Farm.Size(), e.slotsPerDisk)
+	if err != nil {
+		return nil, err
+	}
+
+	// Read pass 1: degraded-cluster work (group reads, XOR reconstruction
+	// reads) takes slots first — these reads have hard deadlines.
+	for _, s := range e.streams {
+		if e.readable(s) && e.isDegradedWork(s) {
+			if err := e.readForStream(s, slots, rep); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Read pass 2: plain per-track reads.
+	for _, s := range e.streams {
+		if e.readable(s) && !e.isDegradedWork(s) {
+			if err := e.readForStream(s, slots, rep); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Delivery pass.
+	for _, s := range e.streams {
+		if s.Done || s.Terminated || s.startCycle < 0 || e.cycle <= s.startCycle {
+			continue
+		}
+		r := s.NextDeliver
+		if st, ok := s.staged[r]; ok {
+			rep.Delivered = append(rep.Delivered, sched.Delivery{
+				StreamID: s.ID, ObjectID: s.Obj.ID, Track: r,
+				Data: st.data, Reconstructed: st.reconstructed,
+			})
+			delete(s.staged, r)
+			if err := e.pool.Release(1); err != nil {
+				return nil, err
+			}
+		} else {
+			reason := "track lost in degraded-mode transition"
+			if !s.lost[r] {
+				reason = "track not staged (overload)"
+			}
+			delete(s.lost, r)
+			rep.Hiccups = append(rep.Hiccups, sched.Hiccup{
+				StreamID: s.ID, ObjectID: s.Obj.ID, Track: r, Reason: reason,
+			})
+		}
+		s.Advance(1)
+		if s.Done {
+			rep.Finished = append(rep.Finished, s.ID)
+			// Release anything still staged (early reads past the end
+			// cannot exist, but be defensive) and the accumulator.
+			for r := range s.staged {
+				delete(s.staged, r)
+				if err := e.pool.Release(1); err != nil {
+					return nil, err
+				}
+			}
+			e.dropXOR(s)
+		}
+	}
+
+	rep.BufferInUse = e.pool.InUse()
+	e.cycle++
+	return rep, nil
+}
+
+// readable reports whether the stream has read work this cycle.
+func (e *NonClustered) readable(s *ncStream) bool {
+	if s.Done || s.Terminated || s.read >= s.Obj.Tracks {
+		return false
+	}
+	target := 0
+	if s.startCycle >= 0 {
+		target = s.NextDeliver + 1
+	}
+	return s.read <= target
+}
+
+// isDegradedWork reports whether the stream's next read touches a
+// degraded cluster in a mode that needs priority slots.
+func (e *NonClustered) isDegradedWork(s *ncStream) bool {
+	g, o := e.position(s.read)
+	cl := s.Obj.Groups[g].Cluster
+	if e.clusters[cl].mode != ncDegraded {
+		return false
+	}
+	if s.legacyGroup == g {
+		return false // finishing the group with plain reads
+	}
+	if e.policy == SimpleSwitchover {
+		return o == 0
+	}
+	// Alternate: the reconstruction cycle (o == failedOffset) issues the
+	// batched early reads.
+	return o == e.clusters[cl].failedOffset
+}
+
+// readForStream performs the stream's reads for this cycle.
+func (e *NonClustered) readForStream(s *ncStream, slots *sched.Slots, rep *sched.CycleReport) error {
+	if s.startCycle < 0 {
+		s.startCycle = e.cycle
+	}
+	r := s.read
+	if _, already := s.staged[r]; already {
+		s.read++
+		return nil
+	}
+	if s.lost[r] {
+		s.read++
+		return nil
+	}
+	g, o := e.position(r)
+	grp := &s.Obj.Groups[g]
+	cl := grp.Cluster
+	state := e.clusters[cl]
+
+	switch {
+	case state.mode == ncNormal || state.mode == ncParityLost || s.legacyGroup == g:
+		return e.plainRead(s, grp, r, o, slots, rep)
+	case state.mode == ncUnprotected:
+		if o == state.failedOffset {
+			s.lost[r] = true // recurring loss: the paper's degradation
+			s.read++
+			return nil
+		}
+		return e.plainRead(s, grp, r, o, slots, rep)
+	case state.mode == ncDegraded && e.policy == SimpleSwitchover:
+		if o != 0 {
+			// Mid-group on a degraded cluster outside legacy mode should
+			// not happen (transition drops remnants), but read plainly if
+			// it does.
+			return e.plainRead(s, grp, r, o, slots, rep)
+		}
+		return e.groupRead(s, grp, g, state.failedOffset, slots, rep)
+	case state.mode == ncDegraded && e.policy == AlternateSwitchover:
+		return e.xorRead(s, grp, g, o, state.failedOffset, slots, rep)
+	}
+	return fmt.Errorf("schemes: unhandled cluster mode %d", state.mode)
+}
+
+// plainRead reads a single track; on slot exhaustion or drive failure the
+// track is lost.
+func (e *NonClustered) plainRead(s *ncStream, grp *layout.Group, r, o int, slots *sched.Slots, rep *sched.CycleReport) error {
+	s.read++
+	loc := grp.Data[o]
+	if !slots.Take(loc.Disk) {
+		s.lost[r] = true
+		return nil
+	}
+	drv, err := e.cfg.Farm.Drive(loc.Disk)
+	if err != nil {
+		return err
+	}
+	blk, err := drv.ReadTrack(loc.Track)
+	if err != nil {
+		s.lost[r] = true
+		return nil
+	}
+	rep.DataReads++
+	if err := e.pool.Acquire(1); err != nil {
+		return err
+	}
+	s.staged[r] = ncStaged{data: blk}
+	return nil
+}
+
+// groupRead stages an entire parity group at once (degraded steady state
+// under the simple policy), reconstructing the failed drive's track.
+func (e *NonClustered) groupRead(s *ncStream, grp *layout.Group, g, failedOffset int, slots *sched.Slots, rep *sched.CycleReport) error {
+	width := e.width()
+	base := g * width
+	groupEnd := base + width
+	if groupEnd > s.Obj.Tracks {
+		groupEnd = s.Obj.Tracks
+	}
+	s.read = groupEnd
+
+	// Every offset of the group is read, padding tracks included (they
+	// exist on disk as zeros and are needed for reconstruction).
+	gr := groupRead{data: make([][]byte, len(grp.Data))}
+	for j, loc := range grp.Data {
+		if j == failedOffset {
+			continue
+		}
+		if !slots.Take(loc.Disk) {
+			continue
+		}
+		drv, err := e.cfg.Farm.Drive(loc.Disk)
+		if err != nil {
+			return err
+		}
+		if blk, err := drv.ReadTrack(loc.Track); err == nil {
+			gr.data[j] = blk
+			rep.DataReads++
+		}
+	}
+	reconstructedIdx := -1
+	if slots.Take(grp.Parity.Disk) {
+		if drv, err := e.cfg.Farm.Drive(grp.Parity.Disk); err == nil {
+			if blk, err := drv.ReadTrack(grp.Parity.Track); err == nil {
+				gr.par = blk
+				rep.ParityReads++
+			}
+		}
+	}
+	if gr.par != nil {
+		if rec, err := gr.recoverGroup(); err == nil && rec >= 0 {
+			reconstructedIdx = rec
+			rep.Reconstructions++
+		}
+	}
+	// Parity occupied a buffer during the read; account and drop it.
+	if gr.par != nil {
+		if err := e.pool.Acquire(1); err != nil {
+			return err
+		}
+		if err := e.pool.Release(1); err != nil {
+			return err
+		}
+	}
+	for r := base; r < groupEnd; r++ {
+		j := r - base
+		if gr.data[j] == nil {
+			s.lost[r] = true
+			continue
+		}
+		if err := e.pool.Acquire(1); err != nil {
+			return err
+		}
+		s.staged[r] = ncStaged{data: gr.data[j], reconstructed: j == reconstructedIdx}
+	}
+	return nil
+}
+
+// xorRead handles the alternate policy on a degraded cluster: tracks
+// before the failed offset are read normally while folding into the
+// accumulator; at the failed offset the remaining tracks and parity are
+// read early and the missing track reconstructed; tracks beyond are
+// already staged.
+func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffset int, slots *sched.Slots, rep *sched.CycleReport) error {
+	width := e.width()
+	base := g * width
+	if o > failedOffset {
+		// Past the reconstruction point without staged data (possible
+		// only after an unusual repair/re-fail interleaving): read
+		// plainly; the drive at this offset is healthy.
+		return e.plainRead(s, grp, s.read, o, slots, rep)
+	}
+	if o < failedOffset {
+		if s.xorGroup != g {
+			// Start the accumulator (one buffer).
+			e.dropXOR(s)
+			if err := e.pool.Acquire(1); err != nil {
+				return err
+			}
+			s.xor = make([]byte, int(e.cfg.Farm.Params().TrackSize))
+			s.xorGroup = g
+		}
+		r := s.read
+		if err := e.plainRead(s, grp, r, o, slots, rep); err != nil {
+			return err
+		}
+		if st, ok := s.staged[r]; ok {
+			if err := parity.XORInto(s.xor, st.data); err != nil {
+				return err
+			}
+		} else {
+			// The read failed; the accumulator is now useless for
+			// reconstruction.
+			e.dropXOR(s)
+		}
+		return nil
+	}
+
+	// o == failedOffset: the reconstruction cycle. Read every remaining
+	// track of the group plus parity, reconstruct, stage the lot.
+	groupEnd := base + width
+	if groupEnd > s.Obj.Tracks {
+		groupEnd = s.Obj.Tracks
+	}
+	failedTrack := base + failedOffset
+	s.read = groupEnd
+
+	canRecon := s.xorGroup == g || failedOffset == 0
+	if s.xorGroup != g && failedOffset == 0 {
+		// Group starts at the failed drive: accumulator is trivially
+		// empty.
+		if err := e.pool.Acquire(1); err != nil {
+			return err
+		}
+		s.xor = make([]byte, int(e.cfg.Farm.Params().TrackSize))
+		s.xorGroup = g
+	}
+
+	for r := failedTrack + 1; r < groupEnd; r++ {
+		j := r - base
+		loc := grp.Data[j]
+		if !slots.Take(loc.Disk) {
+			s.lost[r] = true
+			canRecon = false
+			continue
+		}
+		drv, err := e.cfg.Farm.Drive(loc.Disk)
+		if err != nil {
+			return err
+		}
+		blk, err := drv.ReadTrack(loc.Track)
+		if err != nil {
+			s.lost[r] = true
+			canRecon = false
+			continue
+		}
+		rep.DataReads++
+		if err := e.pool.Acquire(1); err != nil {
+			return err
+		}
+		s.staged[r] = ncStaged{data: blk}
+		if s.xor != nil {
+			if err := parity.XORInto(s.xor, blk); err != nil {
+				return err
+			}
+		}
+	}
+	var par []byte
+	if slots.Take(grp.Parity.Disk) {
+		if drv, err := e.cfg.Farm.Drive(grp.Parity.Disk); err == nil {
+			if blk, err := drv.ReadTrack(grp.Parity.Track); err == nil {
+				par = blk
+				rep.ParityReads++
+			}
+		}
+	}
+	if canRecon && par != nil && s.xor != nil && failedTrack < s.Obj.Tracks {
+		if err := parity.XORInto(s.xor, par); err != nil {
+			return err
+		}
+		// Padding tracks of a short final group are zero, so the fold
+		// above is complete even when groupEnd < base+width.
+		rec := s.xor
+		s.xor = nil // buffer ownership moves to the staged track
+		s.xorGroup = -1
+		s.staged[failedTrack] = ncStaged{data: rec, reconstructed: true}
+		rep.Reconstructions++
+	} else {
+		if failedTrack < s.Obj.Tracks {
+			s.lost[failedTrack] = true
+		}
+		e.dropXOR(s)
+	}
+	return nil
+}

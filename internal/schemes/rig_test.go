@@ -1,0 +1,156 @@
+package schemes
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ftmm/internal/disk"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/layout"
+	"ftmm/internal/sched"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+// rig is a small farm with placed, materialized objects for engine tests.
+type rig struct {
+	farm    *disk.Farm
+	lay     *layout.Layout
+	content map[string][]byte
+}
+
+// newRig builds d drives in clusters of c with enough tracks, placing
+// nObjects objects of groupsEach parity groups at staggered start
+// clusters.
+func newRig(t *testing.T, d, c, nObjects, groupsEach int, placement layout.Placement) *rig {
+	t.Helper()
+	p := diskmodel.Table1()
+	// Size drives generously for the objects we place.
+	tracksNeeded := (nObjects*groupsEach*c)/d + 10
+	p.Capacity = units.ByteSize(tracksNeeded+groupsEach*c) * p.TrackSize
+	farm, err := disk.NewFarm(d, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := layout.ForFarm(farm, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{farm: farm, lay: lay, content: map[string][]byte{}}
+	trackSize := int(p.TrackSize)
+	for i := 0; i < nObjects; i++ {
+		id := fmt.Sprintf("obj%d", i)
+		tracks := groupsEach * (c - 1)
+		content := workload.SyntheticContent(id, tracks*trackSize)
+		obj, err := lay.AddObject(id, tracks, i%lay.Clusters(), units.MPEG1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := layout.WriteObject(farm, obj, content); err != nil {
+			t.Fatal(err)
+		}
+		r.content[id] = content
+	}
+	return r
+}
+
+func (r *rig) object(t *testing.T, i int) *layout.Object {
+	t.Helper()
+	obj, ok := r.lay.Object(fmt.Sprintf("obj%d", i))
+	if !ok {
+		t.Fatalf("obj%d not placed", i)
+	}
+	return obj
+}
+
+func (r *rig) config() Config {
+	return Config{Farm: r.farm, Layout: r.lay, Rate: units.MPEG1}
+}
+
+// stepN runs exactly n cycles, collecting deliveries and hiccups.
+func stepN(t *testing.T, e Simulator, n int) (map[int][]sched.Delivery, []sched.Hiccup, []*sched.CycleReport) {
+	t.Helper()
+	deliveries := map[int][]sched.Delivery{}
+	var hiccups []sched.Hiccup
+	var reports []*sched.CycleReport
+	for i := 0; i < n; i++ {
+		rep, err := e.Step()
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		reports = append(reports, rep)
+		for _, d := range rep.Delivered {
+			deliveries[d.StreamID] = append(deliveries[d.StreamID], d)
+		}
+		hiccups = append(hiccups, rep.Hiccups...)
+	}
+	return deliveries, hiccups, reports
+}
+
+// merge folds b's per-stream deliveries into a.
+func merge(a, b map[int][]sched.Delivery) map[int][]sched.Delivery {
+	for id, ds := range b {
+		a[id] = append(a[id], ds...)
+	}
+	return a
+}
+
+// runToCompletion steps the engine until no stream is active (or the
+// cycle bound is hit), collecting deliveries and hiccups.
+func runToCompletion(t *testing.T, e Simulator, maxCycles int) (map[int][]sched.Delivery, []sched.Hiccup, []*sched.CycleReport) {
+	t.Helper()
+	deliveries := map[int][]sched.Delivery{}
+	var hiccups []sched.Hiccup
+	var reports []*sched.CycleReport
+	for i := 0; i < maxCycles; i++ {
+		rep, err := e.Step()
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		reports = append(reports, rep)
+		for _, d := range rep.Delivered {
+			deliveries[d.StreamID] = append(deliveries[d.StreamID], d)
+		}
+		hiccups = append(hiccups, rep.Hiccups...)
+		if e.Active() == 0 {
+			return deliveries, hiccups, reports
+		}
+	}
+	t.Fatalf("%s: streams still active after %d cycles", e.Name(), maxCycles)
+	return nil, nil, nil
+}
+
+// verifyStream checks a stream's deliveries reconstruct the object's
+// content exactly, with lost tracks excused.
+func verifyStream(t *testing.T, r *rig, obj *layout.Object, deliveries []sched.Delivery, lost map[int]bool) {
+	t.Helper()
+	content := r.content[obj.ID]
+	trackSize := int(r.farm.Params().TrackSize)
+	got := map[int][]byte{}
+	for _, d := range deliveries {
+		if d.ObjectID != obj.ID {
+			t.Fatalf("stream delivered wrong object %q", d.ObjectID)
+		}
+		if _, dup := got[d.Track]; dup {
+			t.Fatalf("track %d delivered twice", d.Track)
+		}
+		got[d.Track] = d.Data
+	}
+	for i := 0; i < obj.Tracks; i++ {
+		data, ok := got[i]
+		if !ok {
+			if lost[i] {
+				continue
+			}
+			t.Fatalf("object %s track %d never delivered", obj.ID, i)
+		}
+		if lost != nil && lost[i] {
+			t.Fatalf("object %s track %d delivered but expected lost", obj.ID, i)
+		}
+		want := content[i*trackSize : (i+1)*trackSize]
+		if !bytes.Equal(data, want) {
+			t.Fatalf("object %s track %d content differs", obj.ID, i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package schemes implements the paper's four fault-tolerance schemes as
+// operational cycle-driven simulators over a real (simulated) disk farm:
+//
+//   - StreamingRAID (§2): whole parity group read per stream per cycle,
+//     delivered the next cycle; single failures masked with zero hiccups.
+//   - StaggeredGroup (§2): same layout, group read once per C-1 short
+//     cycles and delivered one track per cycle; ~half the memory.
+//   - NonClustered (§3): one track read per stream per cycle; a failure
+//     puts the cluster through a C-cycle transition (losing some tracks,
+//     per Figures 6-7) into a degraded group-at-a-time mode backed by a
+//     shared buffer-server pool.
+//   - ImprovedBandwidth (§4): parity intermixed on the next cluster; no
+//     parity bandwidth spent in normal mode; failures masked by a chained
+//     "shift to the right" into reserved capacity.
+//
+// Every simulator moves real bytes: deliveries carry track content that
+// tests compare against the originally written object data, so masking a
+// failure means proving the reconstructed bytes are identical.
+package schemes
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ftmm/internal/buffer"
+	"ftmm/internal/disk"
+	"ftmm/internal/layout"
+	"ftmm/internal/parity"
+	"ftmm/internal/sched"
+	"ftmm/internal/units"
+)
+
+// Simulator is the behaviour common to all four scheme engines.
+type Simulator interface {
+	// Name returns the paper's name for the scheme.
+	Name() string
+	// Cycle returns the index of the next cycle Step will run.
+	Cycle() int
+	// CycleTime returns the wall-clock length of one cycle.
+	CycleTime() time.Duration
+	// AddStream admits a stream for a placed object, returning its ID.
+	// Admission fails when the scheme's bandwidth budget is exhausted.
+	AddStream(obj *layout.Object) (int, error)
+	// Step simulates one cycle: reads, failure handling, deliveries.
+	Step() (*sched.CycleReport, error)
+	// FailDisk fails a drive at the upcoming cycle boundary.
+	FailDisk(id int) error
+	// Active returns the number of streams still being served.
+	Active() int
+	// BufferPeak returns the high-water buffer occupancy in tracks.
+	BufferPeak() int
+}
+
+// Config carries what every scheme engine needs.
+type Config struct {
+	Farm   *disk.Farm
+	Layout *layout.Layout
+	// Rate is the object bandwidth b0 (uniform across streams, as in the
+	// paper's analysis).
+	Rate units.Rate
+	// SlotsPerDisk overrides the per-disk per-cycle track budget; 0
+	// derives it from the disk model and the scheme's cycle time.
+	SlotsPerDisk int
+}
+
+func (c Config) validate() error {
+	if c.Farm == nil || c.Layout == nil {
+		return errors.New("schemes: nil farm or layout")
+	}
+	if c.Rate <= 0 {
+		return errors.New("schemes: object rate must be positive")
+	}
+	if c.SlotsPerDisk < 0 {
+		return errors.New("schemes: negative slot budget")
+	}
+	if c.Farm.Size() != c.Layout.Clusters()*c.Layout.ClusterSize() ||
+		c.Farm.ClusterSize() != c.Layout.ClusterSize() {
+		return errors.New("schemes: farm and layout topologies differ")
+	}
+	return nil
+}
+
+// slotsFor resolves the per-disk budget for a cycle of the given k'.
+func (c Config) slotsFor(kPrime int) (int, error) {
+	if c.SlotsPerDisk > 0 {
+		return c.SlotsPerDisk, nil
+	}
+	window := c.Farm.Params().CycleTime(kPrime, c.Rate)
+	budget := c.Farm.Params().TrackBudget(window)
+	if budget < 1 {
+		return 0, fmt.Errorf("schemes: cycle of k'=%d tracks leaves no read budget", kPrime)
+	}
+	return budget, nil
+}
+
+// groupRead is the outcome of reading one parity group with failures
+// tolerated: per-track data (nil where unreadable), the parity block (nil
+// if unreadable), and how many track reads succeeded.
+type groupRead struct {
+	data        [][]byte
+	par         []byte
+	dataReads   int
+	parityReads int
+}
+
+// readGroup reads every block of a parity group from the farm, tolerating
+// failed drives.
+func readGroup(f *disk.Farm, g *layout.Group, withParity bool) groupRead {
+	out := groupRead{data: make([][]byte, len(g.Data))}
+	for i, loc := range g.Data {
+		drv, err := f.Drive(loc.Disk)
+		if err != nil {
+			continue
+		}
+		blk, err := drv.ReadTrack(loc.Track)
+		if err == nil {
+			out.data[i] = blk
+			out.dataReads++
+		}
+	}
+	if withParity {
+		if drv, err := f.Drive(g.Parity.Disk); err == nil {
+			if blk, err := drv.ReadTrack(g.Parity.Track); err == nil {
+				out.par = blk
+				out.parityReads++
+			}
+		}
+	}
+	return out
+}
+
+// recoverGroup fills in a single missing data block from the others plus
+// parity. It returns the index recovered, or -1 if nothing was missing,
+// and an error when recovery is impossible (two or more blocks missing,
+// or parity unavailable).
+func (gr *groupRead) recoverGroup() (int, error) {
+	missing := -1
+	for i, d := range gr.data {
+		if d == nil {
+			if missing >= 0 {
+				return 0, errors.New("schemes: two data blocks missing in one parity group (catastrophic)")
+			}
+			missing = i
+		}
+	}
+	if missing < 0 {
+		return -1, nil
+	}
+	if gr.par == nil {
+		return 0, errors.New("schemes: missing block and no parity available")
+	}
+	survivors := make([][]byte, 0, len(gr.data))
+	for i, d := range gr.data {
+		if i != missing {
+			survivors = append(survivors, d)
+		}
+	}
+	survivors = append(survivors, gr.par)
+	rec, err := parity.Reconstruct(survivors)
+	if err != nil {
+		return 0, err
+	}
+	gr.data[missing] = rec
+	return missing, nil
+}
+
+// bufferedGroup is a fully (or partially) read parity group staged for
+// delivery.
+type bufferedGroup struct {
+	group *layout.Group
+	// data[i] holds track i of the group, nil where lost.
+	data [][]byte
+	// reconstructed[i] marks tracks rebuilt from parity.
+	reconstructed []bool
+	// next is the next in-group offset to deliver.
+	next int
+	// pooled is how many buffer-pool tracks this group holds.
+	pooled int
+}
+
+// newPool builds the unbounded accounting pool every engine uses.
+func newPool() *buffer.Pool {
+	p, err := buffer.NewPool(0)
+	if err != nil {
+		// NewPool(0) cannot fail; keep the invariant loud.
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,261 @@
+package schemes
+
+import (
+	"fmt"
+	"time"
+
+	"ftmm/internal/buffer"
+	"ftmm/internal/layout"
+	"ftmm/internal/sched"
+)
+
+// StaggeredGroup is the §2 memory-saving variant: the layout and the
+// failure tolerance are exactly Streaming RAID's, but the cycle is the
+// display time of a single track (B/b0) and a stream reads its whole next
+// parity group only once every C-1 cycles, delivering one track per cycle
+// in between. Streams are staggered across read phases, so their buffer
+// sawtooths interleave (Figure 4) and the farm-wide peak is roughly half
+// of Streaming RAID's.
+type StaggeredGroup struct {
+	cfg          Config
+	slotsPerDisk int
+	cycle        int
+	nextID       int
+	streams      []*sgStream
+	pool         *buffer.Pool
+}
+
+type sgStream struct {
+	sched.Stream
+	// phase selects the stream's read cycles: cycle ≡ phase (mod C-1).
+	phase int
+	// nextGroup is the next parity-group index to read.
+	nextGroup int
+	// buf is the group draining one track per cycle; pending is the group
+	// read this cycle, installed once buf finishes draining.
+	buf     *bufferedGroup
+	pending *bufferedGroup
+}
+
+// NewStaggeredGroup builds the engine over a dedicated-parity layout.
+func NewStaggeredGroup(cfg Config) (*StaggeredGroup, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Layout.Placement() != layout.DedicatedParity {
+		return nil, fmt.Errorf("schemes: Staggered-group needs dedicated parity, got %v", cfg.Layout.Placement())
+	}
+	slots, err := cfg.slotsFor(1)
+	if err != nil {
+		return nil, err
+	}
+	return &StaggeredGroup{cfg: cfg, slotsPerDisk: slots, pool: newPool()}, nil
+}
+
+// Name implements Simulator.
+func (e *StaggeredGroup) Name() string { return "Staggered-group" }
+
+// Cycle implements Simulator.
+func (e *StaggeredGroup) Cycle() int { return e.cycle }
+
+// CycleTime implements Simulator: Tcyc = B/b0 (k' = 1).
+func (e *StaggeredGroup) CycleTime() time.Duration {
+	return e.cfg.Farm.Params().CycleTime(1, e.cfg.Rate)
+}
+
+// SlotsPerDisk returns the per-disk per-cycle track budget in use.
+func (e *StaggeredGroup) SlotsPerDisk() int { return e.slotsPerDisk }
+
+// Active implements Simulator.
+func (e *StaggeredGroup) Active() int {
+	n := 0
+	for _, s := range e.streams {
+		if !s.Done && !s.Terminated {
+			n++
+		}
+	}
+	return n
+}
+
+// BufferPeak implements Simulator.
+func (e *StaggeredGroup) BufferPeak() int { return e.pool.Peak() }
+
+// BufferInUse returns the current buffer occupancy in tracks.
+func (e *StaggeredGroup) BufferInUse() int { return e.pool.InUse() }
+
+// AddStream implements Simulator. The stream's read phase is the
+// admission cycle mod C-1; only streams sharing a phase ever touch the
+// same disks in the same cycle (different phases read in different
+// cycles), and same-phase streams advance clusters in lockstep, so
+// admission checks the count of same-phase streams currently on the new
+// stream's start cluster.
+func (e *StaggeredGroup) AddStream(obj *layout.Object) (int, error) {
+	width := e.cfg.Layout.GroupWidth()
+	phase := e.cycle % width
+	start := obj.Groups[0].Cluster
+	load := 0
+	for _, s := range e.streams {
+		if s.Done || s.Terminated || s.phase != phase || s.nextGroup >= len(s.Obj.Groups) {
+			continue
+		}
+		if s.Obj.Groups[s.nextGroup].Cluster == start {
+			load++
+		}
+	}
+	if load >= e.slotsPerDisk {
+		return 0, fmt.Errorf("schemes: phase %d of cluster %d is at its %d-stream capacity", phase, start, e.slotsPerDisk)
+	}
+	id := e.nextID
+	e.nextID++
+	e.streams = append(e.streams, &sgStream{Stream: sched.Stream{ID: id, Obj: obj}, phase: phase})
+	return id, nil
+}
+
+// CancelStream stops serving a stream immediately and returns its
+// buffers.
+func (e *StaggeredGroup) CancelStream(id int) error {
+	for _, s := range e.streams {
+		if s.ID != id {
+			continue
+		}
+		if s.Done || s.Terminated {
+			return fmt.Errorf("schemes: stream %d is not active", id)
+		}
+		s.Done = true
+		for _, bg := range []*bufferedGroup{s.buf, s.pending} {
+			if bg != nil && bg.pooled > 0 {
+				if err := e.pool.Release(bg.pooled); err != nil {
+					return err
+				}
+				bg.pooled = 0
+			}
+		}
+		s.buf, s.pending = nil, nil
+		return nil
+	}
+	return fmt.Errorf("schemes: no stream %d", id)
+}
+
+// FailDisk implements Simulator.
+func (e *StaggeredGroup) FailDisk(id int) error {
+	drv, err := e.cfg.Farm.Drive(id)
+	if err != nil {
+		return err
+	}
+	return drv.Fail()
+}
+
+// Step implements Simulator.
+func (e *StaggeredGroup) Step() (*sched.CycleReport, error) {
+	rep := &sched.CycleReport{Cycle: e.cycle}
+	slots, err := sched.NewSlots(e.cfg.Farm.Size(), e.slotsPerDisk)
+	if err != nil {
+		return nil, err
+	}
+	width := e.cfg.Layout.GroupWidth()
+
+	// Read pass: streams at their phase read their next whole group.
+	for _, s := range e.streams {
+		if s.Done || s.Terminated || e.cycle%width != s.phase || s.nextGroup >= len(s.Obj.Groups) {
+			continue
+		}
+		g := &s.Obj.Groups[s.nextGroup]
+		s.nextGroup++
+		staged := &bufferedGroup{group: g, data: make([][]byte, len(g.Data)), reconstructed: make([]bool, len(g.Data))}
+		ok := true
+		for _, loc := range g.Data {
+			if !slots.Take(loc.Disk) {
+				ok = false
+			}
+		}
+		if !slots.Take(g.Parity.Disk) {
+			ok = false
+		}
+		if ok {
+			gr := readGroup(e.cfg.Farm, g, true)
+			rep.DataReads += gr.dataReads
+			rep.ParityReads += gr.parityReads
+			if rec, recErr := gr.recoverGroup(); recErr == nil && rec >= 0 {
+				staged.reconstructed[rec] = true
+				rep.Reconstructions++
+			}
+			staged.data = gr.data
+			// C-1 data buffers plus the parity buffer; parity is dropped
+			// at the end of this read cycle (its only post-read use is
+			// masking a failure during the read).
+			staged.pooled = len(g.Data) + 1
+			if err := e.pool.Acquire(staged.pooled); err != nil {
+				return nil, err
+			}
+		}
+		s.pending = staged
+	}
+
+	// Delivery pass: one track per active stream per cycle; releases
+	// happen here so the read pass above records the within-cycle peak.
+	for _, s := range e.streams {
+		if s.Done || s.Terminated {
+			continue
+		}
+		if s.buf != nil && s.buf.next < s.buf.group.ValidTracks {
+			e.deliverOne(s, rep)
+			if s.buf.pooled > 0 {
+				if err := e.pool.Release(1); err != nil {
+					return nil, err
+				}
+				s.buf.pooled--
+			}
+		}
+		if s.buf != nil && s.buf.next >= s.buf.group.ValidTracks {
+			// Fully drained (padding tracks, if any, are released too).
+			if s.buf.pooled > 0 {
+				if err := e.pool.Release(s.buf.pooled); err != nil {
+					return nil, err
+				}
+			}
+			s.buf = nil
+		}
+		if s.pending != nil {
+			// Drop the pending group's parity buffer at end of its read
+			// cycle, then promote it if the previous group has drained.
+			if s.pending.pooled > 0 {
+				if err := e.pool.Release(1); err != nil {
+					return nil, err
+				}
+				s.pending.pooled--
+			}
+			if s.buf == nil {
+				s.buf = s.pending
+				s.pending = nil
+			}
+		}
+		if s.Done {
+			rep.Finished = append(rep.Finished, s.ID)
+		}
+	}
+
+	rep.BufferInUse = e.pool.InUse()
+	e.cycle++
+	return rep, nil
+}
+
+// deliverOne sends the next track of the stream's buffered group.
+func (e *StaggeredGroup) deliverOne(s *sgStream, rep *sched.CycleReport) {
+	bg := s.buf
+	width := len(bg.group.Data)
+	base := bg.group.Index * width
+	off := bg.next
+	bg.next++
+	if bg.data[off] == nil {
+		rep.Hiccups = append(rep.Hiccups, sched.Hiccup{
+			StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
+			Reason: "parity group unrecoverable",
+		})
+	} else {
+		rep.Delivered = append(rep.Delivered, sched.Delivery{
+			StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
+			Data: bg.data[off], Reconstructed: bg.reconstructed[off],
+		})
+	}
+	s.Advance(1)
+}

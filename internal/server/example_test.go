@@ -1,0 +1,51 @@
+package server_test
+
+import (
+	"fmt"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/server"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+// Build a small Streaming RAID server, survive a drive failure
+// mid-playback, and read the service report.
+func ExampleServer() {
+	params := diskmodel.Table1()
+	params.Capacity = 100 * params.TrackSize
+
+	srv, err := server.New(server.Options{
+		Disks: 10, ClusterSize: 5,
+		DiskParams: params,
+		Scheme:     analytic.StreamingRAID,
+	})
+	if err != nil {
+		panic(err)
+	}
+	size := units.ByteSize(16) * params.TrackSize
+	if err := srv.AddTitle("movie", size, 0, workload.SyntheticContent("movie", int(size))); err != nil {
+		panic(err)
+	}
+	if _, _, err := srv.Request("movie"); err != nil {
+		panic(err)
+	}
+	if err := srv.RunFor(2); err != nil {
+		panic(err)
+	}
+	if err := srv.FailDisk(1); err != nil {
+		panic(err)
+	}
+	if err := srv.RunUntilIdle(100); err != nil {
+		panic(err)
+	}
+	st := srv.Stats()
+	fmt.Printf("delivered: %d tracks\n", st.Delivered)
+	fmt.Printf("hiccups: %d\n", st.Hiccups)
+	fmt.Printf("reconstructed on the fly: %d\n", st.Reconstructions)
+	// Output:
+	// delivered: 16 tracks
+	// hiccups: 0
+	// reconstructed on the fly: 1
+}

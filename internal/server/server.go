@@ -1,0 +1,503 @@
+// Package server assembles the full multimedia on-demand server of the
+// paper's Figure 1: a tertiary tape library holding the permanent
+// database, a disk farm staging the working set, a fault-tolerance scheme
+// engine scheduling cycle-based delivery, and admission control. It is
+// the top-level public surface the examples and benchmarks drive.
+//
+// A Request stages the title from tape if needed (evicting cold titles),
+// pins it, and admits a stream under the active scheme's bandwidth
+// budget. Step advances one scheduling cycle. Failures are injected with
+// FailDisk and repaired with RepairDisk, which replaces the drive and
+// rebuilds its contents from parity.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/catalog"
+	"ftmm/internal/disk"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/layout"
+	"ftmm/internal/rebuild"
+	"ftmm/internal/sched"
+	"ftmm/internal/schemes"
+	"ftmm/internal/tertiary"
+	"ftmm/internal/units"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Disks and ClusterSize shape the farm (Disks must be a whole number
+	// of clusters).
+	Disks, ClusterSize int
+	// DiskParams are the drive characteristics (Table 1 if zero).
+	DiskParams diskmodel.Params
+	// Scheme selects the fault-tolerance scheme.
+	Scheme analytic.Scheme
+	// Rate is the uniform object bandwidth b0 (MPEG-1 if zero).
+	Rate units.Rate
+	// K is the reserve depth: buffer servers for Non-clustered, disks'
+	// worth of reserved bandwidth for Improved-bandwidth.
+	K int
+	// NCPolicy selects the Non-clustered transition policy.
+	NCPolicy schemes.TransitionPolicy
+	// Tertiary configures the tape library (DefaultConfig if zero).
+	Tertiary tertiary.Config
+	// SlotsPerDisk optionally overrides the per-disk per-cycle budget.
+	SlotsPerDisk int
+}
+
+func (o *Options) fillDefaults() {
+	if o.DiskParams == (diskmodel.Params{}) {
+		o.DiskParams = diskmodel.Table1()
+	}
+	if o.Rate == 0 {
+		o.Rate = units.MPEG1
+	}
+	if o.Tertiary == (tertiary.Config{}) {
+		o.Tertiary = tertiary.DefaultConfig()
+	}
+}
+
+// Stats aggregates a server's lifetime activity.
+type Stats struct {
+	Cycles          int
+	QueuedAdmitted  int
+	Delivered       int
+	Hiccups         int
+	Reconstructions int
+	Finished        int
+	Terminated      int
+	DataReads       int
+	ParityReads     int
+	BufferPeak      int // tracks
+	Stagings        int
+	Evictions       int
+}
+
+// Server is one multimedia on-demand server.
+type Server struct {
+	opts   Options
+	farm   *disk.Farm
+	lib    *tertiary.Library
+	cat    *catalog.Catalog
+	engine schemes.Simulator
+
+	// object IDs by engine stream ID, for unpinning.
+	objOf map[int]string
+	stats Stats
+	// staging accumulates simulated tertiary time spent.
+	staging time.Duration
+	// rebuilder, when non-nil, is an online rebuild in progress.
+	rebuilder     *rebuild.Rebuilder
+	rebuildDrive  int
+	rebuildBudget int
+	// pending holds queued admission requests (title IDs), FIFO.
+	pending []string
+}
+
+// repairer is implemented by engines that coordinate their own repair
+// (the Non-clustered engine, which must also release its buffer server).
+type repairer interface {
+	RepairDisk(int) error
+}
+
+// rebuiltNotifier is implemented by engines that track per-cluster
+// degraded state and must learn when an incremental rebuild completes.
+type rebuiltNotifier interface {
+	OnDriveRebuilt(int) error
+}
+
+// New builds a server. The tape library starts empty; use AddTitle.
+func New(opts Options) (*Server, error) {
+	opts.fillDefaults()
+	lib, err := tertiary.NewLibrary(opts.Tertiary)
+	if err != nil {
+		return nil, err
+	}
+	farm, err := disk.NewFarm(opts.Disks, opts.ClusterSize, opts.DiskParams)
+	if err != nil {
+		return nil, err
+	}
+	placement := layout.DedicatedParity
+	if opts.Scheme == analytic.ImprovedBandwidth {
+		placement = layout.IntermixedParity
+	}
+	cat, err := catalog.New(lib, farm, placement)
+	if err != nil {
+		return nil, err
+	}
+	cfg := schemes.Config{Farm: farm, Layout: cat.Layout(), Rate: opts.Rate, SlotsPerDisk: opts.SlotsPerDisk}
+	var engine schemes.Simulator
+	switch opts.Scheme {
+	case analytic.StreamingRAID:
+		engine, err = schemes.NewStreamingRAID(cfg)
+	case analytic.StaggeredGroup:
+		engine, err = schemes.NewStaggeredGroup(cfg)
+	case analytic.NonClustered:
+		engine, err = schemes.NewNonClustered(cfg, opts.NCPolicy, opts.K)
+	case analytic.ImprovedBandwidth:
+		engine, err = schemes.NewImprovedBandwidth(cfg, ibReserveSlots(opts))
+	default:
+		return nil, fmt.Errorf("server: unknown scheme %v", opts.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		opts: opts, farm: farm, lib: lib, cat: cat, engine: engine,
+		objOf: make(map[int]string),
+	}, nil
+}
+
+// ibReserveSlots converts the paper's "K disks' worth of bandwidth" into
+// a per-drive slot reserve: ceil(slots·K/D), at least 1 when K > 0.
+func ibReserveSlots(opts Options) int {
+	if opts.K <= 0 {
+		return 0
+	}
+	slots := opts.SlotsPerDisk
+	if slots == 0 {
+		window := opts.DiskParams.CycleTime(opts.ClusterSize-1, opts.Rate)
+		slots = opts.DiskParams.TrackBudget(window)
+	}
+	r := (slots*opts.K + opts.Disks - 1) / opts.Disks
+	if r < 1 {
+		r = 1
+	}
+	if r >= slots {
+		r = slots - 1
+	}
+	return r
+}
+
+// Library exposes the tape library (e.g. for pre-loading a catalog).
+func (s *Server) Library() *tertiary.Library { return s.lib }
+
+// Farm exposes the disk subsystem.
+func (s *Server) Farm() *disk.Farm { return s.farm }
+
+// Engine exposes the scheme engine.
+func (s *Server) Engine() schemes.Simulator { return s.engine }
+
+// Catalog exposes residency state.
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+// AddTitle archives a title with deterministic synthetic content of the
+// given size onto the given tape.
+func (s *Server) AddTitle(id string, size units.ByteSize, tape int, content []byte) error {
+	if content == nil {
+		return errors.New("server: nil content; generate it with workload.SyntheticContent")
+	}
+	if units.ByteSize(len(content)) != size {
+		return fmt.Errorf("server: content is %d bytes, size says %d", len(content), int64(size))
+	}
+	return s.lib.Store(id, tape, content)
+}
+
+// Request admits a new stream for the title, staging it from tertiary
+// storage if it is not disk-resident. It returns the stream ID and the
+// simulated staging latency (zero for resident titles).
+func (s *Server) Request(id string) (int, time.Duration, error) {
+	obj, cost, err := s.cat.Ensure(id, s.opts.Rate)
+	if err != nil {
+		return 0, 0, err
+	}
+	streamID, err := s.engine.AddStream(obj)
+	if err != nil {
+		return 0, cost, fmt.Errorf("server: admission rejected: %w", err)
+	}
+	if err := s.cat.Pin(id); err != nil {
+		return 0, cost, err
+	}
+	s.objOf[streamID] = id
+	s.staging += cost
+	if cost > 0 {
+		s.stats.Stagings++
+	}
+	return streamID, cost, nil
+}
+
+// Step advances one scheduling cycle and folds the report into the
+// server's stats. Finished and terminated streams unpin their titles.
+func (s *Server) Step() (*sched.CycleReport, error) {
+	s.drainQueue()
+	rep, err := s.engine.Step()
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Cycles++
+	s.stats.Delivered += len(rep.Delivered)
+	s.stats.Hiccups += len(rep.Hiccups)
+	s.stats.Reconstructions += rep.Reconstructions
+	s.stats.DataReads += rep.DataReads
+	s.stats.ParityReads += rep.ParityReads
+	s.stats.Finished += len(rep.Finished)
+	s.stats.Terminated += len(rep.Terminated)
+	if p := s.engine.BufferPeak(); p > s.stats.BufferPeak {
+		s.stats.BufferPeak = p
+	}
+	for _, id := range rep.Finished {
+		s.release(id)
+	}
+	for _, id := range rep.Terminated {
+		s.release(id)
+	}
+	if err := s.stepRebuild(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (s *Server) release(streamID int) {
+	if objID, ok := s.objOf[streamID]; ok {
+		_ = s.cat.Unpin(objID)
+		delete(s.objOf, streamID)
+	}
+}
+
+// RunFor advances n cycles.
+func (s *Server) RunFor(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntilIdle advances until no stream is active (bounded by maxCycles).
+func (s *Server) RunUntilIdle(maxCycles int) error {
+	for i := 0; i < maxCycles; i++ {
+		if s.engine.Active() == 0 {
+			return nil
+		}
+		if _, err := s.Step(); err != nil {
+			return err
+		}
+	}
+	if s.engine.Active() != 0 {
+		return fmt.Errorf("server: %d streams still active after %d cycles", s.engine.Active(), maxCycles)
+	}
+	return nil
+}
+
+// FailDisk injects a drive failure at the next cycle boundary.
+func (s *Server) FailDisk(id int) error { return s.engine.FailDisk(id) }
+
+// RepairDisk replaces a failed drive and rebuilds its contents from the
+// surviving parity groups (rebuild mode).
+func (s *Server) RepairDisk(id int) error {
+	if r, ok := s.engine.(repairer); ok {
+		return r.RepairDisk(id)
+	}
+	drv, err := s.farm.Drive(id)
+	if err != nil {
+		return err
+	}
+	if err := drv.Replace(); err != nil {
+		return err
+	}
+	return layout.RebuildDrive(s.farm, s.cat.Layout(), id)
+}
+
+// StartOnlineRebuild replaces a failed drive and begins restoring its
+// contents incrementally — the paper's rebuild mode — spending at most
+// readBudget spare track reads per cycle. Until the rebuild completes
+// the scheme keeps operating degraded; Step advances the rebuild
+// alongside normal service and notifies the engine on completion.
+func (s *Server) StartOnlineRebuild(id, readBudget int) error {
+	if s.rebuilder != nil && !s.rebuilder.Done() {
+		return fmt.Errorf("server: a rebuild of drive %d is already running", s.rebuildDrive)
+	}
+	drv, err := s.farm.Drive(id)
+	if err != nil {
+		return err
+	}
+	if drv.State() == disk.Failed {
+		if err := drv.Replace(); err != nil {
+			return err
+		}
+	}
+	r, err := rebuild.New(s.farm, s.cat.Layout(), id)
+	if err != nil {
+		return err
+	}
+	if r.CyclesNeeded(readBudget) < 0 {
+		return fmt.Errorf("server: rebuild budget %d below the %d reads one track needs", readBudget, r.ReadsPerTrack())
+	}
+	s.rebuilder, s.rebuildDrive, s.rebuildBudget = r, id, readBudget
+	return nil
+}
+
+// RebuildRemaining returns the tracks left in the online rebuild, or 0.
+func (s *Server) RebuildRemaining() int {
+	if s.rebuilder == nil {
+		return 0
+	}
+	return s.rebuilder.Remaining()
+}
+
+// stepRebuild advances an in-progress online rebuild by one cycle.
+func (s *Server) stepRebuild() error {
+	if s.rebuilder == nil || s.rebuilder.Done() {
+		return nil
+	}
+	if _, err := s.rebuilder.Step(s.rebuildBudget); err != nil {
+		return err
+	}
+	if s.rebuilder.Done() {
+		if n, ok := s.engine.(rebuiltNotifier); ok {
+			if err := n.OnDriveRebuilt(s.rebuildDrive); err != nil {
+				return err
+			}
+		}
+		s.rebuilder = nil
+	}
+	return nil
+}
+
+// RebuildFromTertiary restores a replaced drive by re-staging the
+// affected objects from tape instead of from parity — what a catastrophic
+// failure forces — and returns the simulated tertiary time it cost. The
+// whole objects touching the drive are re-fetched ("portions of many
+// objects to be loaded ... many tapes may need to be referenced").
+func (s *Server) RebuildFromTertiary(id int) (time.Duration, error) {
+	drv, err := s.farm.Drive(id)
+	if err != nil {
+		return 0, err
+	}
+	if drv.State() == disk.Failed {
+		if err := drv.Replace(); err != nil {
+			return 0, err
+		}
+	}
+	var total time.Duration
+	for _, obj := range s.cat.Layout().AllObjects() {
+		touched := false
+		for gi := range obj.Groups {
+			g := &obj.Groups[gi]
+			if g.Parity.Disk == id {
+				touched = true
+			}
+			for _, loc := range g.Data {
+				if loc.Disk == id {
+					touched = true
+				}
+			}
+		}
+		if !touched {
+			continue
+		}
+		content, cost, err := s.lib.Fetch(obj.ID)
+		if err != nil {
+			return total, err
+		}
+		total += cost
+		// Tolerant write: in a multi-drive catastrophe the other failed
+		// drives' tracks stay missing until their own rebuilds run.
+		if _, err := layout.WriteObjectTolerant(s.farm, obj, content); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Stats returns the lifetime aggregate counters, merging in catalog
+// activity.
+func (s *Server) Stats() Stats {
+	st := s.stats
+	stagings, evictions := s.cat.Stats()
+	st.Stagings = stagings
+	st.Evictions = evictions
+	return st
+}
+
+// StagingTime returns the cumulative simulated tertiary latency.
+func (s *Server) StagingTime() time.Duration { return s.staging }
+
+// BufferPeakBytes converts the engine's peak buffer occupancy to bytes.
+func (s *Server) BufferPeakBytes() units.ByteSize {
+	return units.ByteSize(s.engine.BufferPeak()) * s.opts.DiskParams.TrackSize
+}
+
+// CycleTime returns the engine's cycle duration.
+func (s *Server) CycleTime() time.Duration { return s.engine.CycleTime() }
+
+// ParseScheme maps a command-line scheme name to its scheme and
+// Non-clustered transition policy. Accepted: "sr"/"raid"/
+// "streaming-raid", "sg"/"staggered", "nc"/"nc-alternate", "nc-simple",
+// "ib"/"improved".
+func ParseScheme(name string) (analytic.Scheme, schemes.TransitionPolicy, error) {
+	switch strings.ToLower(name) {
+	case "sr", "raid", "streaming-raid":
+		return analytic.StreamingRAID, 0, nil
+	case "sg", "staggered":
+		return analytic.StaggeredGroup, 0, nil
+	case "nc", "nc-alternate":
+		return analytic.NonClustered, schemes.AlternateSwitchover, nil
+	case "nc-simple":
+		return analytic.NonClustered, schemes.SimpleSwitchover, nil
+	case "ib", "improved":
+		return analytic.ImprovedBandwidth, 0, nil
+	default:
+		return 0, 0, fmt.Errorf("server: unknown scheme %q", name)
+	}
+}
+
+// canceller is implemented by all engines: stop one stream immediately.
+type canceller interface {
+	CancelStream(int) error
+}
+
+// Cancel stops a stream (client hang-up) and unpins its title.
+func (s *Server) Cancel(streamID int) error {
+	c, ok := s.engine.(canceller)
+	if !ok {
+		return errors.New("server: engine cannot cancel streams")
+	}
+	if err := c.CancelStream(streamID); err != nil {
+		return err
+	}
+	s.release(streamID)
+	return nil
+}
+
+// QueueRequest admits the title's stream now if capacity allows, or
+// parks the request to be retried each cycle — the paper's "terminated
+// and rescheduled at a later time" discipline for requests that cannot
+// be served immediately. Queued requests are retried in FIFO order at
+// the start of every Step; QueuedRequests reports the backlog.
+func (s *Server) QueueRequest(id string) (streamID int, queued bool, err error) {
+	streamID, _, err = s.Request(id)
+	if err == nil {
+		return streamID, false, nil
+	}
+	// Only admission rejections queue; unknown titles and staging
+	// failures surface immediately.
+	if !s.cat.Resident(id) {
+		return 0, false, err
+	}
+	s.pending = append(s.pending, id)
+	return 0, true, nil
+}
+
+// QueuedRequests returns the admission backlog length.
+func (s *Server) QueuedRequests() int { return len(s.pending) }
+
+// drainQueue retries parked requests in order, stopping at the first
+// that still does not fit (FIFO fairness).
+func (s *Server) drainQueue() {
+	for len(s.pending) > 0 {
+		id := s.pending[0]
+		if _, _, err := s.Request(id); err != nil {
+			return
+		}
+		s.pending = s.pending[1:]
+		s.stats.QueuedAdmitted++
+	}
+}

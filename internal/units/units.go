@@ -1,0 +1,142 @@
+// Package units defines the measurement types used throughout the library:
+// data sizes, data rates, and long-horizon times, plus the conversions the
+// paper uses implicitly.
+//
+// The paper ("Fault Tolerant Design of Multimedia Servers", SIGMOD 1995)
+// quotes object bandwidths in megabits per second (e.g. 1.5 Mb/s MPEG-1,
+// 4.5 Mb/s MPEG-2) but all of its equations take b0 in megabytes per
+// second, and track sizes in megabytes. Mixing those up changes every
+// result by a factor of eight, so the conversion lives here, once, in one
+// direction: construct rates with FromMegabitsPerSecond or
+// FromMegabytesPerSecond and read them back explicitly.
+//
+// Decimal prefixes are used (1 MB = 1e6 bytes, 1 KB = 1e3 bytes), matching
+// the disk-industry convention the paper follows (a "1 gigabyte" disk,
+// 50 KB tracks, 4 MB/s disks).
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// ByteSize is a data size in bytes.
+type ByteSize int64
+
+// Common decimal size units.
+const (
+	Byte ByteSize = 1
+	KB            = 1000 * Byte
+	MB            = 1000 * KB
+	GB            = 1000 * MB
+	TB            = 1000 * GB
+)
+
+// Bytes returns the size as an integer byte count.
+func (s ByteSize) Bytes() int64 { return int64(s) }
+
+// Megabytes returns the size in (decimal) megabytes.
+func (s ByteSize) Megabytes() float64 { return float64(s) / float64(MB) }
+
+// Kilobytes returns the size in (decimal) kilobytes.
+func (s ByteSize) Kilobytes() float64 { return float64(s) / float64(KB) }
+
+// FromMegabytes builds a ByteSize from a (possibly fractional) MB count.
+func FromMegabytes(mb float64) ByteSize { return ByteSize(mb * float64(MB)) }
+
+// String formats the size with a suitable unit, e.g. "50 KB", "1.2 GB".
+func (s ByteSize) String() string {
+	switch {
+	case s < 0:
+		return "-" + (-s).String()
+	case s >= TB:
+		return trimUnit(float64(s)/float64(TB), "TB")
+	case s >= GB:
+		return trimUnit(float64(s)/float64(GB), "GB")
+	case s >= MB:
+		return trimUnit(float64(s)/float64(MB), "MB")
+	case s >= KB:
+		return trimUnit(float64(s)/float64(KB), "KB")
+	default:
+		return fmt.Sprintf("%d B", int64(s))
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d %s", int64(v), unit)
+	}
+	return fmt.Sprintf("%.2f %s", v, unit)
+}
+
+// Rate is a data rate in bytes per second.
+type Rate float64
+
+// FromMegabitsPerSecond converts a rate quoted in Mb/s (as the paper quotes
+// object bandwidths) into a Rate.
+func FromMegabitsPerSecond(mbps float64) Rate { return Rate(mbps * 1e6 / 8) }
+
+// FromMegabytesPerSecond converts a rate quoted in MB/s (as the paper's
+// equations use) into a Rate.
+func FromMegabytesPerSecond(mBps float64) Rate { return Rate(mBps * 1e6) }
+
+// MegabitsPerSecond reports the rate in Mb/s.
+func (r Rate) MegabitsPerSecond() float64 { return float64(r) * 8 / 1e6 }
+
+// MegabytesPerSecond reports the rate in MB/s, the unit the paper's
+// equations expect for b0.
+func (r Rate) MegabytesPerSecond() float64 { return float64(r) / 1e6 }
+
+// BytesPerSecond reports the raw rate.
+func (r Rate) BytesPerSecond() float64 { return float64(r) }
+
+// String formats the rate in Mb/s, the unit the paper quotes.
+func (r Rate) String() string { return fmt.Sprintf("%.3g Mb/s", r.MegabitsPerSecond()) }
+
+// TimeFor returns how long transferring size at this rate takes.
+func (r Rate) TimeFor(size ByteSize) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / float64(r) * float64(time.Second))
+}
+
+// Standard object bandwidths from the paper's introduction.
+var (
+	// MPEG1 is "about 1.5 mbps, i.e., low TV quality".
+	MPEG1 = FromMegabitsPerSecond(1.5)
+	// MPEG2 is "about 4.5 megabits per second, i.e., good TV quality".
+	MPEG2 = FromMegabitsPerSecond(4.5)
+)
+
+// HoursPerYear converts the paper's MTTF hours into years; the paper's
+// "25684.9 years" style figures use the 8760 h civil year.
+const HoursPerYear = 8760.0
+
+// Years is a long-horizon duration expressed in years, used for MTTF and
+// MTTDS figures. time.Duration overflows at ~292 years, far below the
+// paper's 3-million-year MTTDS values, hence a float type.
+type Years float64
+
+// YearsFromHours converts an hour count (the unit of the MTTF algebra)
+// into Years.
+func YearsFromHours(h float64) Years { return Years(h / HoursPerYear) }
+
+// Hours converts back into hours.
+func (y Years) Hours() float64 { return float64(y) * HoursPerYear }
+
+// String formats like the paper's tables, e.g. "25684.9".
+func (y Years) String() string { return fmt.Sprintf("%.1f", float64(y)) }
+
+// Dollars is a cost in US dollars (the paper's cost model unit).
+type Dollars float64
+
+// String formats with a thousands-friendly precision, e.g. "$173400".
+func (d Dollars) String() string { return fmt.Sprintf("$%.0f", float64(d)) }
+
+// PerMB is a unit price in dollars per megabyte, used for the memory cost
+// c_b and the disk cost c_d in the paper's equations (16)-(19).
+type PerMB float64
+
+// Times returns the price of size at this unit cost.
+func (p PerMB) Times(size ByteSize) Dollars { return Dollars(float64(p) * size.Megabytes()) }

@@ -1,0 +1,140 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestByteSizeConversions(t *testing.T) {
+	cases := []struct {
+		size ByteSize
+		mb   float64
+		kb   float64
+	}{
+		{50 * KB, 0.05, 50},
+		{MB, 1, 1000},
+		{GB, 1000, 1e6},
+		{0, 0, 0},
+		{100 * KB, 0.1, 100},
+	}
+	for _, c := range cases {
+		if got := c.size.Megabytes(); !almostEqual(got, c.mb, 1e-12) {
+			t.Errorf("%v.Megabytes() = %v, want %v", c.size, got, c.mb)
+		}
+		if got := c.size.Kilobytes(); !almostEqual(got, c.kb, 1e-12) {
+			t.Errorf("%v.Kilobytes() = %v, want %v", c.size, got, c.kb)
+		}
+	}
+}
+
+func TestFromMegabytesRoundTrip(t *testing.T) {
+	f := func(mb uint16) bool {
+		s := FromMegabytes(float64(mb))
+		return almostEqual(s.Megabytes(), float64(mb), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		size ByteSize
+		want string
+	}{
+		{50 * KB, "50 KB"},
+		{1500 * KB, "1.50 MB"},
+		{GB, "1 GB"},
+		{2 * TB, "2 TB"},
+		{999, "999 B"},
+		{-50 * KB, "-50 KB"},
+	}
+	for _, c := range cases {
+		if got := c.size.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.size), got, c.want)
+		}
+	}
+}
+
+// The critical factor-of-8: the paper's b0 = 1.5 Mb/s must become
+// 0.1875 MB/s inside the equations.
+func TestMegabitConversion(t *testing.T) {
+	r := FromMegabitsPerSecond(1.5)
+	if got := r.MegabytesPerSecond(); !almostEqual(got, 0.1875, 1e-12) {
+		t.Fatalf("1.5 Mb/s = %v MB/s, want 0.1875", got)
+	}
+	if got := r.MegabitsPerSecond(); !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("round trip = %v Mb/s, want 1.5", got)
+	}
+}
+
+func TestStandardBandwidths(t *testing.T) {
+	if got := MPEG1.MegabytesPerSecond(); !almostEqual(got, 0.1875, 1e-12) {
+		t.Errorf("MPEG1 = %v MB/s, want 0.1875", got)
+	}
+	if got := MPEG2.MegabytesPerSecond(); !almostEqual(got, 0.5625, 1e-12) {
+		t.Errorf("MPEG2 = %v MB/s, want 0.5625", got)
+	}
+}
+
+func TestRateTimeFor(t *testing.T) {
+	r := FromMegabytesPerSecond(4) // the paper's 4 MB/s disk
+	// One 50 KB track takes 12.5 ms of pure transfer at 4 MB/s.
+	if got := r.TimeFor(50 * KB); got != 12500*time.Microsecond {
+		t.Errorf("TimeFor(50KB @ 4MB/s) = %v, want 12.5ms", got)
+	}
+	if got := Rate(0).TimeFor(MB); got != 0 {
+		t.Errorf("TimeFor at zero rate = %v, want 0", got)
+	}
+}
+
+func TestRateTimeForProperty(t *testing.T) {
+	// Transferring twice the data takes twice as long (within ns rounding).
+	f := func(kb uint16) bool {
+		if kb == 0 {
+			return true
+		}
+		r := FromMegabitsPerSecond(1.5)
+		one := r.TimeFor(ByteSize(kb) * KB)
+		two := r.TimeFor(2 * ByteSize(kb) * KB)
+		diff := two - 2*one
+		return diff >= -time.Microsecond && diff <= time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYears(t *testing.T) {
+	// 2.25e8 hours is the paper's Table 2 MTTF for C=5: 25684.9 years.
+	y := YearsFromHours(2.25e8)
+	if !almostEqual(float64(y), 25684.93, 0.01) {
+		t.Fatalf("2.25e8 h = %v years, want 25684.93", float64(y))
+	}
+	if got := y.String(); got != "25684.9" {
+		t.Fatalf("String = %q, want 25684.9", got)
+	}
+	if got := y.Hours(); !almostEqual(got, 2.25e8, 1) {
+		t.Fatalf("round trip hours = %v", got)
+	}
+}
+
+func TestDollarsAndPerMB(t *testing.T) {
+	p := PerMB(100) // $100/MB memory
+	if got := p.Times(50 * KB); !almostEqual(float64(got), 5, 1e-9) {
+		t.Errorf("100$/MB * 50KB = %v, want $5", got)
+	}
+	if got := Dollars(173400).String(); got != "$173400" {
+		t.Errorf("Dollars.String = %q", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if got := MPEG1.String(); got != "1.5 Mb/s" {
+		t.Errorf("MPEG1.String() = %q", got)
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:              1,
+		Objects:           ObjectNames("movie", 20),
+		ZipfS:             1.0,
+		ArrivalsPerSecond: 2.0,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := testConfig()
+	bad.Objects = nil
+	if _, err := New(bad); err == nil {
+		t.Error("no objects accepted")
+	}
+	bad = testConfig()
+	bad.ZipfS = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative skew accepted")
+	}
+	bad = testConfig()
+	bad.ArrivalsPerSecond = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero arrival rate accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := New(testConfig())
+	g2, _ := New(testConfig())
+	r1 := g1.Generate(100)
+	r2 := g2.Generate(100)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("request %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	g3cfg := testConfig()
+	g3cfg.Seed = 2
+	g3, _ := New(g3cfg)
+	r3 := g3.Generate(100)
+	same := 0
+	for i := range r1 {
+		if r1[i].ObjectID == r3[i].ObjectID {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical picks")
+	}
+}
+
+func TestArrivalsAreOrderedAndPoissonish(t *testing.T) {
+	g, _ := New(testConfig())
+	reqs := g.Generate(5000)
+	var prev time.Duration
+	var sum time.Duration
+	for _, r := range reqs {
+		if r.At < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		sum += r.At - prev
+		prev = r.At
+	}
+	mean := sum.Seconds() / float64(len(reqs))
+	// Rate 2/s => mean gap 0.5 s; allow 10%.
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("mean inter-arrival = %.3f s, want ~0.5", mean)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, _ := New(testConfig())
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[g.Pick()]++
+	}
+	// With s=1 over 20 objects, object 0 should get ~1/H(20) = 27.8% and
+	// object 19 ~1.4%; check the ratio is clearly skewed.
+	first, last := counts["movie0"], counts["movie19"]
+	if first < 8*last {
+		t.Fatalf("popularity not skewed: first=%d last=%d", first, last)
+	}
+	// Every object is reachable.
+	if len(counts) != 20 {
+		t.Fatalf("picked %d distinct objects, want 20", len(counts))
+	}
+}
+
+func TestUniformWhenSkewZero(t *testing.T) {
+	cfg := testConfig()
+	cfg.ZipfS = 0
+	g, _ := New(cfg)
+	counts := map[string]int{}
+	n := 40000
+	for i := 0; i < n; i++ {
+		counts[g.Pick()]++
+	}
+	want := n / len(cfg.Objects)
+	for id, c := range counts {
+		if math.Abs(float64(c-want)) > 0.2*float64(want) {
+			t.Fatalf("object %s count %d deviates from uniform %d", id, c, want)
+		}
+	}
+}
+
+func TestObjectNames(t *testing.T) {
+	names := ObjectNames("m", 3)
+	if len(names) != 3 || names[0] != "m0" || names[2] != "m2" {
+		t.Fatalf("ObjectNames = %v", names)
+	}
+	if len(ObjectNames("m", 0)) != 0 {
+		t.Error("zero names")
+	}
+}
+
+func TestSyntheticContent(t *testing.T) {
+	a1 := SyntheticContent("a", 1000)
+	a2 := SyntheticContent("a", 1000)
+	b := SyntheticContent("b", 1000)
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("not deterministic")
+	}
+	if bytes.Equal(a1, b) {
+		t.Fatal("different IDs produced identical content")
+	}
+	if len(SyntheticContent("a", 0)) != 0 {
+		t.Fatal("zero-size content")
+	}
+	// Prefix property: longer content starts with shorter content.
+	long := SyntheticContent("a", 2000)
+	if !bytes.Equal(long[:1000], a1) {
+		t.Fatal("content is not prefix-stable")
+	}
+	// Not all zeros / trivially constant.
+	same := true
+	for _, v := range a1[1:] {
+		if v != a1[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("content is constant")
+	}
+}
