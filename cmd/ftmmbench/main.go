@@ -8,9 +8,14 @@
 //	ftmmbench [flags] [experiment]
 //
 // Run `ftmmbench -list` for the experiment names; the default runs all.
+// -workers N fans independent experiments out across N goroutines
+// (results print in registry order regardless); -json emits
+// machine-readable results (metric values plus wall-clock) instead of
+// the rendered tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +24,21 @@ import (
 )
 
 var (
-	trials  = flag.Int("trials", 1000, "Monte-Carlo trials for the stochastic experiments")
-	streams = flag.Float64("streams", 1200, "required streams for the sizing experiment")
-	list    = flag.Bool("list", false, "list experiments and exit")
+	trials   = flag.Int("trials", 1000, "Monte-Carlo trials for the stochastic experiments")
+	streams  = flag.Float64("streams", 1200, "required streams for the sizing experiment")
+	list     = flag.Bool("list", false, "list experiments and exit")
+	workers = flag.Int("workers", 1, "experiments run concurrently (0 = GOMAXPROCS)")
+	jsonOut = flag.Bool("json", false, "emit machine-readable JSON results")
 )
+
+// jsonResult is the -json wire shape for one experiment.
+type jsonResult struct {
+	Name        string             `json:"name"`
+	Description string             `json:"description"`
+	WallMillis  float64            `json:"wall_ms"`
+	Values      map[string]float64 `json:"values,omitempty"`
+	Error       string             `json:"error,omitempty"`
+}
 
 func main() {
 	flag.Usage = usage
@@ -40,28 +56,60 @@ func main() {
 	if flag.NArg() > 0 {
 		want = flag.Arg(0)
 	}
+
+	var results []experiments.Result
 	if want == "all" {
-		for _, e := range experiments.All() {
-			run(e, opts)
+		results = experiments.RunAll(opts, *workers)
+	} else {
+		e, err := experiments.Find(want)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftmmbench: %v\n\n", err)
+			usage()
+			os.Exit(2)
 		}
+		results = []experiments.Result{experiments.Run(e, opts)}
+	}
+
+	if *jsonOut {
+		emitJSON(results)
 		return
 	}
-	e, err := experiments.Find(want)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ftmmbench: %v\n\n", err)
-		usage()
-		os.Exit(2)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "ftmmbench: %s: %v\n", r.Name, r.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s\n\n%s\n", r.Name, r.Description, r.Output.Text)
 	}
-	run(e, opts)
 }
 
-func run(e experiments.Named, opts experiments.Options) {
-	out, err := e.Run(opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ftmmbench: %s: %v\n", e.Name, err)
+// emitJSON prints one JSON array with every result; experiment failures
+// are reported in-band and reflected in the exit status.
+func emitJSON(results []experiments.Result) {
+	out := make([]jsonResult, 0, len(results))
+	failed := false
+	for _, r := range results {
+		jr := jsonResult{
+			Name:        r.Name,
+			Description: r.Description,
+			WallMillis:  float64(r.Wall.Microseconds()) / 1000,
+			Values:      r.Output.Values,
+		}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+			failed = true
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("== %s — %s\n\n%s\n", e.Name, e.Description, out)
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func usage() {

@@ -36,6 +36,8 @@ var (
 	repairCycle  = flag.Int("repair-cycle", -1, "cycle at which the drive is repaired (-1: never)")
 	seed         = flag.Int64("seed", 1, "workload seed")
 	zipf         = flag.Float64("zipf", 1.0, "title popularity skew")
+	workers      = flag.Int("workers", 0, "engine per-cluster worker goroutines (0 = GOMAXPROCS)")
+	showMetrics  = flag.Bool("metrics", false, "print the engine metrics snapshot after the run")
 )
 
 func main() {
@@ -62,6 +64,7 @@ func run() error {
 	srv, err := server.New(server.Options{
 		Disks: *disks, ClusterSize: *cluster,
 		DiskParams: p, Scheme: scheme, K: *k, NCPolicy: policy,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -134,6 +137,9 @@ func run() error {
 	fmt.Printf("disk reads:         %d data, %d parity\n", st.DataReads, st.ParityReads)
 	fmt.Printf("buffer peak:        %d tracks (%v)\n", st.BufferPeak, srv.BufferPeakBytes())
 	fmt.Printf("tertiary stagings:  %d (%v), evictions: %d\n", st.Stagings, srv.StagingTime(), st.Evictions)
+	if *showMetrics {
+		fmt.Printf("\n--- engine metrics ---\n%s", srv.MetricsSnapshot())
+	}
 	return nil
 }
 

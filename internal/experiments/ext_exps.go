@@ -226,6 +226,23 @@ func Reliability(trials int) (*ReliabilityResult, error) {
 // Render returns the rendered table.
 func (r *ReliabilityResult) Render() string { return r.Text }
 
+// Values exports each comparison row three ways.
+func (r *ReliabilityResult) Values() map[string]float64 {
+	keys := []string{"mttf_dedicated", "mttds_k3"}
+	v := map[string]float64{}
+	for i, row := range r.Rows {
+		k := fmt.Sprintf("row%d", i)
+		if i < len(keys) {
+			k = keys[i]
+		}
+		v[k+"_closed_hours"] = row.ClosedHours
+		v[k+"_markov_hours"] = row.MarkovHours
+		v[k+"_mc_hours"] = row.MCHours
+		v[k+"_mc_stderr_hours"] = row.MCErrHours
+	}
+	return v
+}
+
 // AblationResult holds the design-knob sweeps.
 type AblationResult struct {
 	// NCServerYears[k] is the Markov MTTDS (years) with k buffer servers.

@@ -231,8 +231,8 @@ func TestRegistryAllRender(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
-		if len(out) < 40 {
-			t.Fatalf("%s: output suspiciously short: %q", e.Name, out)
+		if len(out.Text) < 40 {
+			t.Fatalf("%s: output suspiciously short: %q", e.Name, out.Text)
 		}
 	}
 	if len(names) < 19 {

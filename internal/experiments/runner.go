@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Result is one completed experiment run.
+type Result struct {
+	Name        string
+	Description string
+	Output      Output
+	Err         error
+	// Wall is the experiment's wall-clock runtime.
+	Wall time.Duration
+}
+
+// Run executes one experiment and times it.
+func Run(e Named, opts Options) Result {
+	start := time.Now()
+	out, err := e.Run(opts)
+	return Result{
+		Name: e.Name, Description: e.Description,
+		Output: out, Err: err, Wall: time.Since(start),
+	}
+}
+
+// RunAll executes every registered experiment across at most workers
+// goroutines (0 means GOMAXPROCS, 1 runs serial). Experiments are
+// independent — each builds its own farms and rigs — and results return
+// in registry order at any worker count.
+func RunAll(opts Options, workers int) []Result {
+	exps := All()
+	results := make([]Result, len(exps))
+	run := func(i int) { results[i] = Run(exps[i], opts) }
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers <= 1 {
+		for i := range exps {
+			run(i)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exps) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestRunAllWorkerInvariance checks the parallel harness: results come
+// back in registry order and every experiment produces the same output
+// serially and concurrently (each builds its own rigs and seeds its own
+// RNGs, so text and values must match exactly).
+func TestRunAllWorkerInvariance(t *testing.T) {
+	opts := Options{Trials: 60}
+	serial := RunAll(opts, 1)
+	parallel := RunAll(opts, 4)
+	if len(serial) != len(All()) || len(parallel) != len(serial) {
+		t.Fatalf("result counts: serial %d, parallel %d, registry %d",
+			len(serial), len(parallel), len(All()))
+	}
+	for i, e := range All() {
+		s, p := serial[i], parallel[i]
+		if s.Name != e.Name || p.Name != e.Name {
+			t.Fatalf("slot %d: names %q/%q, registry %q", i, s.Name, p.Name, e.Name)
+		}
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s: errors serial=%v parallel=%v", e.Name, s.Err, p.Err)
+		}
+		if s.Output.Text != p.Output.Text {
+			t.Errorf("%s: text differs between serial and parallel runs", e.Name)
+		}
+		if len(s.Output.Values) != len(p.Output.Values) {
+			t.Fatalf("%s: value counts differ: %d vs %d",
+				e.Name, len(s.Output.Values), len(p.Output.Values))
+		}
+		for k, v := range s.Output.Values {
+			if pv, ok := p.Output.Values[k]; !ok || pv != v {
+				t.Errorf("%s: value %q = %v serial, %v parallel", e.Name, k, v, pv)
+			}
+		}
+	}
+}
+
+// TestRunTimes ensures the runner records a wall clock.
+func TestRunTimes(t *testing.T) {
+	e, err := Find("intro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(e, Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Wall <= 0 {
+		t.Fatalf("wall = %v", r.Wall)
+	}
+}

@@ -414,11 +414,56 @@ func MonteCarlo(trials int) (*MonteCarloResult, error) {
 // Render returns the rendered occupancy series.
 func (r *Fig4Result) Render() string { return r.Text }
 
+// Values exports the buffer peaks.
+func (r *Fig4Result) Values() map[string]float64 {
+	return map[string]float64{
+		"sg_peak_tracks": float64(r.SGPeak),
+		"sr_peak_tracks": float64(r.SRPeak),
+	}
+}
+
 // Render returns the rendered loss table.
 func (r *NCFailureResult) Render() string { return r.Text }
+
+// Values exports the per-policy, per-failed-disk track losses.
+func (r *NCFailureResult) Values() map[string]float64 {
+	v := map[string]float64{}
+	for policy, byDisk := range r.Lost {
+		for disk, lost := range byDisk {
+			v[fmt.Sprintf("lost_%s_disk%d", policy, disk)] = float64(lost)
+		}
+	}
+	return v
+}
 
 // Render returns the rendered shift table.
 func (r *IBShiftResult) Render() string { return r.Text }
 
+// Values exports the scenario outcomes.
+func (r *IBShiftResult) Values() map[string]float64 {
+	return map[string]float64{
+		"masked_hiccups":         float64(r.MaskedHiccups),
+		"masked_terminations":    float64(r.MaskedTerminations),
+		"saturated_terminations": float64(r.SaturatedTerminations),
+		"midcycle_hiccups":       float64(r.MidCycleHiccups),
+	}
+}
+
 // Render returns the rendered validation table.
 func (r *MonteCarloResult) Render() string { return r.Text }
+
+// Values exports each validation row's simulated/analytic hours.
+func (r *MonteCarloResult) Values() map[string]float64 {
+	keys := []string{"mttf_dedicated", "mttf_intermixed", "mttds_k2"}
+	v := map[string]float64{}
+	for i, row := range r.Rows {
+		k := fmt.Sprintf("row%d", i)
+		if i < len(keys) {
+			k = keys[i]
+		}
+		v[k+"_sim_hours"] = row.SimulatedHours
+		v[k+"_stderr_hours"] = row.StdErrHours
+		v[k+"_analytic_hours"] = row.AnalyticHours
+	}
+	return v
+}

@@ -26,6 +26,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ftmm/internal/layout"
 	"ftmm/internal/units"
@@ -166,6 +169,61 @@ func (m Model) timeToKOverlapping(rng *rand.Rand) float64 {
 	}
 }
 
+// trialSeed derives the RNG seed of trial i from the caller's seed with
+// a splitmix64 finalizer. Each trial owns an independent source, so
+// sample i depends only on (seed, i) — never on which worker ran it or
+// how many trials precede it — and nearby caller seeds do not produce
+// overlapping trial streams (a naive seed+i would share all but one
+// stream between seeds 42 and 43).
+func trialSeed(seed int64, i int) int64 {
+	z := uint64(seed) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// sample runs trials independent simulations of fn across at most
+// workers goroutines (workers <= 0 means GOMAXPROCS) and returns the
+// samples in trial order. Results are bit-identical at any worker count.
+func sample(trials int, seed int64, workers int, fn func(*rand.Rand) float64) []float64 {
+	samples := make([]float64, trials)
+	run := func(i int) {
+		samples[i] = fn(rand.New(rand.NewSource(trialSeed(seed, i))))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		for i := 0; i < trials; i++ {
+			run(i)
+		}
+		return samples
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return samples
+}
+
+// estimate folds samples into a mean and standard error. Summation is
+// serial and in trial order, so the floating-point result is exactly
+// reproducible for a given (seed, trials) pair.
 func estimate(samples []float64) Estimate {
 	n := float64(len(samples))
 	mean := 0.0
@@ -189,20 +247,22 @@ func estimate(samples []float64) Estimate {
 	}
 }
 
-// EstimateMTTF runs trials independent catastrophe simulations.
+// EstimateMTTF runs trials independent catastrophe simulations across
+// GOMAXPROCS workers.
 func (m Model) EstimateMTTF(trials int, seed int64) (Estimate, error) {
+	return m.EstimateMTTFWorkers(trials, seed, 0)
+}
+
+// EstimateMTTFWorkers is EstimateMTTF with an explicit worker count
+// (<= 0 means GOMAXPROCS). The estimate is identical at any count.
+func (m Model) EstimateMTTFWorkers(trials int, seed int64, workers int) (Estimate, error) {
 	if err := m.Validate(); err != nil {
 		return Estimate{}, err
 	}
 	if trials < 1 {
 		return Estimate{}, errors.New("failure: need at least one trial")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	samples := make([]float64, trials)
-	for i := range samples {
-		samples[i] = m.timeToCatastrophe(rng)
-	}
-	e := estimate(samples)
+	e := estimate(sample(trials, seed, workers, m.timeToCatastrophe))
 	e.AnalyticNote = "equations (4)-(5)"
 	return e, nil
 }
@@ -264,6 +324,12 @@ func (m Model) timeToServerExhaustion(rng *rand.Rand) float64 {
 // never consume a server, and repeat failures within a degraded cluster
 // are catastrophes rather than server demands.
 func (m Model) EstimateMTTDSNonClustered(trials int, seed int64) (Estimate, error) {
+	return m.EstimateMTTDSNonClusteredWorkers(trials, seed, 0)
+}
+
+// EstimateMTTDSNonClusteredWorkers is EstimateMTTDSNonClustered with an
+// explicit worker count (<= 0 means GOMAXPROCS).
+func (m Model) EstimateMTTDSNonClusteredWorkers(trials int, seed int64, workers int) (Estimate, error) {
 	if err := m.Validate(); err != nil {
 		return Estimate{}, err
 	}
@@ -273,19 +339,20 @@ func (m Model) EstimateMTTDSNonClustered(trials int, seed int64) (Estimate, erro
 	if trials < 1 {
 		return Estimate{}, errors.New("failure: need at least one trial")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	samples := make([]float64, trials)
-	for i := range samples {
-		samples[i] = m.timeToServerExhaustion(rng)
-	}
-	e := estimate(samples)
+	e := estimate(sample(trials, seed, workers, m.timeToServerExhaustion))
 	e.AnalyticNote = "scheme-faithful NC degradation (cf. equation (6))"
 	return e, nil
 }
 
 // EstimateMTTDS runs trials degradation simulations (time to K
-// overlapping failures).
+// overlapping failures) across GOMAXPROCS workers.
 func (m Model) EstimateMTTDS(trials int, seed int64) (Estimate, error) {
+	return m.EstimateMTTDSWorkers(trials, seed, 0)
+}
+
+// EstimateMTTDSWorkers is EstimateMTTDS with an explicit worker count
+// (<= 0 means GOMAXPROCS).
+func (m Model) EstimateMTTDSWorkers(trials int, seed int64, workers int) (Estimate, error) {
 	if err := m.Validate(); err != nil {
 		return Estimate{}, err
 	}
@@ -295,12 +362,7 @@ func (m Model) EstimateMTTDS(trials int, seed int64) (Estimate, error) {
 	if trials < 1 {
 		return Estimate{}, errors.New("failure: need at least one trial")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	samples := make([]float64, trials)
-	for i := range samples {
-		samples[i] = m.timeToKOverlapping(rng)
-	}
-	e := estimate(samples)
+	e := estimate(sample(trials, seed, workers, m.timeToKOverlapping))
 	e.AnalyticNote = "equation (6)"
 	return e, nil
 }

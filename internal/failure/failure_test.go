@@ -134,6 +134,40 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvariance pins the parallel sampler's contract: trial
+// i draws from a source derived only from (seed, i), and the summation
+// runs in trial order, so the estimate is bit-identical at any worker
+// count.
+func TestWorkerCountInvariance(t *testing.T) {
+	m := scaled(layout.DedicatedParity, 3)
+	type est func(trials int, seed int64, workers int) (Estimate, error)
+	cases := []struct {
+		name string
+		fn   est
+	}{
+		{"mttf", m.EstimateMTTFWorkers},
+		{"mttds", m.EstimateMTTDSWorkers},
+		{"mttds-nc", m.EstimateMTTDSNonClusteredWorkers},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := tc.fn(64, 7, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				par, err := tc.fn(64, 7, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par != serial {
+					t.Fatalf("workers=%d: %+v != serial %+v", workers, par, serial)
+				}
+			}
+		})
+	}
+}
+
 // Sanity on the closed forms themselves at the paper's scale.
 func TestAnalyticFormsPaperScale(t *testing.T) {
 	m := Model{D: 100, C: 5, MTTFHours: 300_000, MTTRHours: 1, Placement: layout.DedicatedParity, K: 3}

@@ -1,0 +1,315 @@
+// Package metrics provides the cheap, concurrency-safe instrumentation
+// the cycle engines and the Monte-Carlo harness record into: counters,
+// gauges with high-water tracking, and fixed-bucket histograms, grouped
+// in a Registry with a stable Snapshot export.
+//
+// Everything is stdlib-only and safe for concurrent use: instruments are
+// lock-free (atomics), the registry serializes only get-or-create and
+// snapshotting. All instrument methods are nil-receiver-safe, so code can
+// record unconditionally and pay nothing when instrumentation is off.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (no-op on a nil counter).
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value with a high-water mark.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records the current value, updating the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last value set (zero on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the largest value ever set (zero on a nil gauge).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram counts integer observations into fixed buckets. Bucket i
+// counts observations <= bounds[i]; one implicit overflow bucket counts
+// the rest.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (zero on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Registry is a named collection of instruments. The zero value is not
+// usable; construct with New. A nil *Registry hands out nil instruments,
+// so recording through an unconfigured registry is free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (sorted ascending) on first use; later calls
+// return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		bs := append([]int64(nil), bounds...)
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// GaugeValue is a gauge's exported state.
+type GaugeValue struct {
+	Value, Max int64
+}
+
+// Bucket is one exported histogram bucket; the overflow bucket has
+// Overflow set and UpperBound 0.
+type Bucket struct {
+	UpperBound int64
+	Overflow   bool
+	Count      int64
+}
+
+// HistogramValue is a histogram's exported state.
+type HistogramValue struct {
+	Buckets    []Bucket
+	Count, Sum int64
+}
+
+// Snapshot is a point-in-time copy of every instrument's value.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]GaugeValue
+	Histograms map[string]HistogramValue
+}
+
+// Snapshot exports the registry's current values. Safe to call while
+// instruments are being updated; each instrument is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeValue),
+		Histograms: make(map[string]HistogramValue),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeValue{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range r.histograms {
+		hv := HistogramValue{Count: h.Count(), Sum: h.Sum()}
+		for i, b := range h.bounds {
+			hv.Buckets = append(hv.Buckets, Bucket{UpperBound: b, Count: h.counts[i].Load()})
+		}
+		hv.Buckets = append(hv.Buckets, Bucket{Overflow: true, Count: h.counts[len(h.bounds)].Load()})
+		s.Histograms[name] = hv
+	}
+	return s
+}
+
+// Values flattens the snapshot into name -> float64, with gauge maxima
+// as "<name>_max" and histograms as "<name>_count"/"<name>_mean".
+func (s Snapshot) Values() map[string]float64 {
+	out := make(map[string]float64, len(s.Counters)+2*len(s.Gauges)+2*len(s.Histograms))
+	for name, v := range s.Counters {
+		out[name] = float64(v)
+	}
+	for name, g := range s.Gauges {
+		out[name] = float64(g.Value)
+		out[name+"_max"] = float64(g.Max)
+	}
+	for name, h := range s.Histograms {
+		out[name+"_count"] = float64(h.Count)
+		if h.Count > 0 {
+			out[name+"_mean"] = float64(h.Sum) / float64(h.Count)
+		}
+	}
+	return out
+}
+
+// String renders the snapshot as sorted "name value" lines — stable
+// output for logs and tests.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := s.Gauges[n]
+		fmt.Fprintf(&b, "%-40s %d (max %d)\n", n, g.Value, g.Max)
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%-40s count %d mean %.2f", n, h.Count, meanOf(h))
+		for _, bk := range h.Buckets {
+			if bk.Overflow {
+				fmt.Fprintf(&b, " [+Inf]=%d", bk.Count)
+			} else {
+				fmt.Fprintf(&b, " [<=%d]=%d", bk.UpperBound, bk.Count)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func meanOf(h HistogramValue) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("reads")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reads") != c {
+		t.Fatal("counter not memoized")
+	}
+
+	g := r.Gauge("buffer")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 7 {
+		t.Fatalf("gauge = %d max %d, want 3 max 7", g.Value(), g.Max())
+	}
+
+	h := r.Histogram("slots", 1, 4, 16)
+	for _, v := range []int64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 108 {
+		t.Fatalf("hist count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	if m := h.Mean(); m != 108.0/5 {
+		t.Fatalf("mean = %v", m)
+	}
+	snap := r.Snapshot()
+	hv := snap.Histograms["slots"]
+	wantCounts := []int64{2, 1, 1, 0, 1} // <=1, <=4, <=16, then overflow... bounds are 1,4,16
+	if len(hv.Buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 4", len(hv.Buckets))
+	}
+	got := []int64{hv.Buckets[0].Count, hv.Buckets[1].Count, hv.Buckets[2].Count, hv.Buckets[3].Count}
+	// 0,1 <= 1; 2 <= 4; 5 <= 16; 100 overflow.
+	if got[0] != 2 || got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("bucket counts = %v, want [2 1 1 1] (wantCounts doc: %v)", got, wantCounts)
+	}
+	if !hv.Buckets[3].Overflow {
+		t.Fatal("last bucket not marked overflow")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter recorded")
+	}
+	g := r.Gauge("y")
+	g.Set(9)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatal("nil gauge recorded")
+	}
+	h := r.Histogram("z", 1, 2)
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h", 10, 100).Observe(int64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if max := r.Gauge("g").Max(); max != 999 {
+		t.Fatalf("gauge max = %d, want 999", max)
+	}
+}
+
+func TestSnapshotRendering(t *testing.T) {
+	r := New()
+	r.Counter("b_counter").Add(2)
+	r.Counter("a_counter").Add(1)
+	r.Gauge("g").Set(4)
+	r.Histogram("h", 1).Observe(3)
+	s := r.Snapshot()
+	text := s.String()
+	if !strings.Contains(text, "a_counter") || !strings.Contains(text, "b_counter") {
+		t.Fatalf("rendering missing counters:\n%s", text)
+	}
+	if strings.Index(text, "a_counter") > strings.Index(text, "b_counter") {
+		t.Fatal("counters not sorted")
+	}
+	vals := s.Values()
+	if vals["a_counter"] != 1 || vals["g"] != 4 || vals["g_max"] != 4 {
+		t.Fatalf("values = %v", vals)
+	}
+	if vals["h_count"] != 1 || vals["h_mean"] != 3 {
+		t.Fatalf("histogram values = %v", vals)
+	}
+}

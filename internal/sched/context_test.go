@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ftmm/internal/buffer"
+	"ftmm/internal/metrics"
+)
+
+func newTestCtx(t *testing.T) *CycleContext {
+	t.Helper()
+	slots, err := NewSlots(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.NewPool(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCycleContext(3, slots, pool, NewRecorder(nil))
+}
+
+func TestShardMergeIsOrdered(t *testing.T) {
+	ctx := newTestCtx(t)
+	a := ctx.Shard()
+	b := ctx.Shard()
+	// Shards share slots/pool but have private reports.
+	a.Rep.DataReads = 2
+	a.Rep.Delivered = append(a.Rep.Delivered, Delivery{StreamID: 1})
+	b.Rep.DataReads = 3
+	b.Rep.Delivered = append(b.Rep.Delivered, Delivery{StreamID: 2})
+	b.Rep.Hiccups = append(b.Rep.Hiccups, Hiccup{StreamID: 2})
+	ctx.MergeShards(a, b)
+	if ctx.Rep.DataReads != 5 {
+		t.Fatalf("merged DataReads = %d", ctx.Rep.DataReads)
+	}
+	if len(ctx.Rep.Delivered) != 2 || ctx.Rep.Delivered[0].StreamID != 1 || ctx.Rep.Delivered[1].StreamID != 2 {
+		t.Fatalf("merge order broken: %+v", ctx.Rep.Delivered)
+	}
+	if len(ctx.Rep.Hiccups) != 1 {
+		t.Fatal("hiccups not merged")
+	}
+	if a.Slots != ctx.Slots || a.Pool != ctx.Pool || a.Cycle != ctx.Cycle {
+		t.Fatal("shard does not share slots/pool/cycle")
+	}
+}
+
+func TestFinishStampsBufferAndMetrics(t *testing.T) {
+	reg := metrics.New()
+	slots, _ := NewSlots(2, 3)
+	pool, _ := buffer.NewPool(0)
+	ctx := NewCycleContext(0, slots, pool, NewRecorder(reg))
+	if err := pool.Acquire(4); err != nil {
+		t.Fatal(err)
+	}
+	slots.Take(0)
+	ctx.Rep.DataReads = 7
+	ctx.Rep.Delivered = append(ctx.Rep.Delivered, Delivery{})
+	rep := ctx.Finish()
+	if rep.BufferInUse != 4 {
+		t.Fatalf("BufferInUse = %d, want 4", rep.BufferInUse)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["engine_cycles"] != 1 || snap.Counters["engine_data_reads"] != 7 {
+		t.Fatalf("metrics not recorded: %v", snap.Counters)
+	}
+	if snap.Gauges["engine_buffer_in_use_tracks"].Value != 4 {
+		t.Fatal("buffer gauge not set")
+	}
+	if snap.Histograms["engine_slots_used_per_disk"].Count != 2 {
+		t.Fatal("slot histogram did not observe both disks")
+	}
+}
+
+func TestRunClustersCoversAllAndPropagatesLowestError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var n atomic.Int64
+		if err := RunClusters(10, workers, func(cl int) error {
+			n.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n.Load() != 10 {
+			t.Fatalf("workers=%d ran %d clusters", workers, n.Load())
+		}
+
+		errLow := errors.New("low")
+		errHigh := errors.New("high")
+		err := RunClusters(10, workers, func(cl int) error {
+			switch cl {
+			case 2:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d returned %v, want lowest-index error", workers, err)
+		}
+	}
+	if err := RunClusters(0, 4, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatal("n=0 ran work")
+	}
+}

@@ -37,12 +37,23 @@ func NewSlots(disks, perDisk int) (*Slots, error) {
 // PerDisk returns the per-disk budget.
 func (s *Slots) PerDisk() int { return s.perDisk }
 
-// Take consumes one slot on the disk; it reports false when the disk's
-// budget is exhausted.
-func (s *Slots) Take(disk int) bool {
+// Disks returns the number of disks budgeted.
+func (s *Slots) Disks() int { return len(s.used) }
+
+// check panics on an out-of-range disk index. A bad index is always a
+// scheduling bug (a scheme reading a drive that does not exist), never a
+// budget condition, so it must fail loudly rather than masquerade as an
+// exhausted or empty budget.
+func (s *Slots) check(disk int) {
 	if disk < 0 || disk >= len(s.used) {
-		return false
+		panic(fmt.Sprintf("sched: disk index %d out of range [0,%d)", disk, len(s.used)))
 	}
+}
+
+// Take consumes one slot on the disk; it reports false when the disk's
+// budget is exhausted. It panics on an out-of-range disk index.
+func (s *Slots) Take(disk int) bool {
+	s.check(disk)
 	if s.used[disk] >= s.perDisk {
 		return false
 	}
@@ -51,26 +62,27 @@ func (s *Slots) Take(disk int) bool {
 }
 
 // Put returns one slot on the disk (used when a tentatively scheduled
-// read is dropped in favor of another).
+// read is dropped in favor of another). It panics on an out-of-range
+// index or when the disk has no slot to return.
 func (s *Slots) Put(disk int) {
-	if disk >= 0 && disk < len(s.used) && s.used[disk] > 0 {
-		s.used[disk]--
+	s.check(disk)
+	if s.used[disk] == 0 {
+		panic(fmt.Sprintf("sched: Put on disk %d with no slot taken", disk))
 	}
+	s.used[disk]--
 }
 
-// Used returns the slots consumed on the disk this cycle.
+// Used returns the slots consumed on the disk this cycle. It panics on
+// an out-of-range disk index.
 func (s *Slots) Used(disk int) int {
-	if disk < 0 || disk >= len(s.used) {
-		return 0
-	}
+	s.check(disk)
 	return s.used[disk]
 }
 
-// Free returns the remaining slots on the disk this cycle.
+// Free returns the remaining slots on the disk this cycle. It panics on
+// an out-of-range disk index.
 func (s *Slots) Free(disk int) int {
-	if disk < 0 || disk >= len(s.used) {
-		return 0
-	}
+	s.check(disk)
 	return s.perDisk - s.used[disk]
 }
 

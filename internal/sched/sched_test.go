@@ -49,19 +49,38 @@ func TestSlotsTakePutFree(t *testing.T) {
 	}
 }
 
-func TestSlotsBounds(t *testing.T) {
+// mustPanic asserts fn panics — Slots misuse (an out-of-range disk or an
+// unmatched Put) is a scheduling bug and must be loud, not a silent
+// zero-value that lets a broken schedule limp on.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestSlotsMisuseIsLoud(t *testing.T) {
 	s, _ := NewSlots(2, 1)
-	if s.Take(-1) || s.Take(2) {
-		t.Error("out-of-range take succeeded")
+	mustPanic(t, "Take(-1)", func() { s.Take(-1) })
+	mustPanic(t, "Take(2)", func() { s.Take(2) })
+	mustPanic(t, "Used(-1)", func() { s.Used(-1) })
+	mustPanic(t, "Free(99)", func() { s.Free(99) })
+	mustPanic(t, "Put(-1)", func() { s.Put(-1) })
+	mustPanic(t, "Put(5)", func() { s.Put(5) })
+	mustPanic(t, "unmatched Put(0)", func() { s.Put(0) })
+	// Valid use still works after the panics above.
+	if !s.Take(0) || s.Used(0) != 1 {
+		t.Error("valid Take broken")
 	}
-	if s.Used(-1) != 0 || s.Free(99) != 0 {
-		t.Error("out-of-range accessors")
-	}
-	s.Put(-1) // must not panic
-	s.Put(5)
-	s.Put(0) // below zero must not wrap
+	s.Put(0)
 	if s.Used(0) != 0 {
-		t.Error("Put below zero")
+		t.Error("valid Put broken")
+	}
+	if s.Disks() != 2 {
+		t.Errorf("Disks = %d, want 2", s.Disks())
 	}
 }
 

@@ -1,0 +1,298 @@
+package schemes
+
+import (
+	"fmt"
+
+	"ftmm/internal/buffer"
+	"ftmm/internal/layout"
+	"ftmm/internal/sched"
+)
+
+// engineCore is the chassis shared by the four scheme engines: the
+// validated configuration, the per-disk slot budget, the cycle counter,
+// stream-ID allocation, the buffer pool, the metrics recorder, and the
+// bounded per-cluster worker pool. Engines embed it and keep only their
+// scheme-specific scheduling logic.
+type engineCore struct {
+	cfg          Config
+	slotsPerDisk int
+	cycle        int
+	nextID       int
+	pool         *buffer.Pool
+	rec          *sched.Recorder
+	workers      int
+}
+
+// newEngineCore validates the config and builds the chassis for an
+// engine whose cycle reads k' tracks per stream.
+func newEngineCore(cfg Config, kPrime int) (engineCore, error) {
+	if err := cfg.validate(); err != nil {
+		return engineCore{}, err
+	}
+	slots, err := cfg.slotsFor(kPrime)
+	if err != nil {
+		return engineCore{}, err
+	}
+	return engineCore{
+		cfg:          cfg,
+		slotsPerDisk: slots,
+		pool:         newPool(),
+		rec:          sched.NewRecorder(cfg.Metrics),
+		workers:      cfg.Workers,
+	}, nil
+}
+
+// Cycle implements Simulator.
+func (c *engineCore) Cycle() int { return c.cycle }
+
+// SlotsPerDisk returns the per-disk per-cycle track budget in use.
+func (c *engineCore) SlotsPerDisk() int { return c.slotsPerDisk }
+
+// BufferPeak implements Simulator.
+func (c *engineCore) BufferPeak() int { return c.pool.Peak() }
+
+// BufferInUse returns the current buffer occupancy in tracks.
+func (c *engineCore) BufferInUse() int { return c.pool.InUse() }
+
+// FailDisk implements Simulator for engines with no extra failure
+// bookkeeping (the Non-clustered engine overrides this).
+func (c *engineCore) FailDisk(id int) error {
+	drv, err := c.cfg.Farm.Drive(id)
+	if err != nil {
+		return err
+	}
+	return drv.Fail()
+}
+
+// allocStreamID hands out the next stream ID.
+func (c *engineCore) allocStreamID() int {
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+// beginCycle opens the cycle's context: fresh slot budgets, the shared
+// pool, an empty report, and the recorder.
+func (c *engineCore) beginCycle() (*sched.CycleContext, error) {
+	slots, err := sched.NewSlots(c.cfg.Farm.Size(), c.slotsPerDisk)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewCycleContext(c.cycle, slots, c.pool, c.rec), nil
+}
+
+// endCycle closes the cycle: stamps buffer occupancy, feeds the metrics
+// recorder, and advances the clock.
+func (c *engineCore) endCycle(ctx *sched.CycleContext) *sched.CycleReport {
+	rep := ctx.Finish()
+	c.cycle++
+	return rep
+}
+
+// runClusters fans one cycle phase out across clusters on the bounded
+// worker pool. Each cluster's work records into a private shard of ctx;
+// shards merge back in cluster-index order, so the assembled report is
+// bit-identical at any worker count. Correct only for phases whose
+// per-cluster work touches disjoint disks (true for every scheme here:
+// a stream's reads stay within its current cluster).
+func (c *engineCore) runClusters(ctx *sched.CycleContext, fn func(shard *sched.CycleContext, cl int) error) error {
+	n := c.cfg.Layout.Clusters()
+	shards := make([]*sched.CycleContext, n)
+	if err := sched.RunClusters(n, c.workers, func(cl int) error {
+		shard := ctx.Shard()
+		shards[cl] = shard
+		return fn(shard, cl)
+	}); err != nil {
+		return err
+	}
+	ctx.MergeShards(shards...)
+	return nil
+}
+
+// releaseGroups returns the pooled tracks held by the given buffered
+// groups (nils are fine).
+func (c *engineCore) releaseGroups(bgs ...*bufferedGroup) error {
+	for _, bg := range bgs {
+		if bg != nil && bg.pooled > 0 {
+			if err := c.pool.Release(bg.pooled); err != nil {
+				return err
+			}
+			bg.pooled = 0
+		}
+	}
+	return nil
+}
+
+// engineStream lets generic helpers reach the embedded sched.Stream of
+// any engine's stream type.
+type engineStream interface {
+	stream() *sched.Stream
+}
+
+// activeCount counts streams still being served.
+func activeCount[S engineStream](streams []S) int {
+	n := 0
+	for _, s := range streams {
+		if st := s.stream(); !st.Done && !st.Terminated {
+			n++
+		}
+	}
+	return n
+}
+
+// findActive locates an active stream by ID.
+func findActive[S engineStream](streams []S, id int) (S, error) {
+	var zero S
+	for _, s := range streams {
+		st := s.stream()
+		if st.ID != id {
+			continue
+		}
+		if st.Done || st.Terminated {
+			return zero, fmt.Errorf("schemes: stream %d is not active", id)
+		}
+		return s, nil
+	}
+	return zero, fmt.Errorf("schemes: no stream %d", id)
+}
+
+// groupStream is the double-buffered stream state shared by the
+// whole-group engines (Streaming RAID and Improved-bandwidth): the group
+// read this cycle is staged; the group read last cycle is delivering.
+type groupStream struct {
+	sched.Stream
+	// nextGroup is the next parity-group index to read.
+	nextGroup  int
+	staged     *bufferedGroup
+	delivering *bufferedGroup
+}
+
+func (s *groupStream) stream() *sched.Stream { return &s.Stream }
+
+// groupClusterLoad counts the streams whose next group read lands on
+// each cluster.
+func (c *engineCore) groupClusterLoad(streams []*groupStream) []int {
+	load := make([]int, c.cfg.Layout.Clusters())
+	for _, s := range streams {
+		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
+			continue
+		}
+		load[s.Obj.Groups[s.nextGroup].Cluster]++
+	}
+	return load
+}
+
+// groupReadersByCluster partitions this cycle's group readers by the
+// cluster their next group lives on, preserving stream order within
+// each cluster. want filters which streams read this cycle.
+func (c *engineCore) groupReadersByCluster(streams []*groupStream, want func(*groupStream) bool) [][]*groupStream {
+	readers := make([][]*groupStream, c.cfg.Layout.Clusters())
+	for _, s := range streams {
+		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
+			continue
+		}
+		if want != nil && !want(s) {
+			continue
+		}
+		cl := s.Obj.Groups[s.nextGroup].Cluster
+		readers[cl] = append(readers[cl], s)
+	}
+	return readers
+}
+
+// cancelGroupStream implements CancelStream for double-buffered engines:
+// the stream stops immediately (a client hanging up, not a degradation
+// event) and its buffers are returned.
+func (c *engineCore) cancelGroupStream(streams []*groupStream, id int) error {
+	s, err := findActive(streams, id)
+	if err != nil {
+		return err
+	}
+	s.Done = true
+	if err := c.releaseGroups(s.staged, s.delivering); err != nil {
+		return err
+	}
+	s.staged, s.delivering = nil, nil
+	return nil
+}
+
+// stageGroup schedules and reads one whole parity group for later
+// delivery, tolerating failed drives: one slot is taken on every drive
+// of the group's cluster (failed drives keep their slot — the arm is
+// still scheduled — but yield nothing), a single missing track is
+// rebuilt from parity, and the group's buffers are acquired. When the
+// slot budget is exceeded (over-admission under a manual SlotsPerDisk
+// override) the group stays empty and hiccups at delivery.
+func (c *engineCore) stageGroup(ctx *sched.CycleContext, g *layout.Group) (*bufferedGroup, error) {
+	staged := &bufferedGroup{
+		group:         g,
+		data:          make([][]byte, len(g.Data)),
+		reconstructed: make([]bool, len(g.Data)),
+	}
+	ok := true
+	for _, loc := range g.Data {
+		if !ctx.Slots.Take(loc.Disk) {
+			ok = false
+		}
+	}
+	if !ctx.Slots.Take(g.Parity.Disk) {
+		ok = false
+	}
+	if !ok {
+		return staged, nil
+	}
+	gr := readGroup(c.cfg.Farm, g, true)
+	ctx.Rep.DataReads += gr.dataReads
+	ctx.Rep.ParityReads += gr.parityReads
+	if rec, recErr := gr.recoverGroup(); recErr == nil && rec >= 0 {
+		staged.reconstructed[rec] = true
+		ctx.Rep.Reconstructions++
+	}
+	staged.data = gr.data
+	staged.pooled = len(g.Data) + 1
+	if err := c.pool.Acquire(staged.pooled); err != nil {
+		return nil, err
+	}
+	return staged, nil
+}
+
+// deliverDouble runs the delivery phase for double-buffered engines:
+// groups read in the previous cycle go out now, hiccuping tracks that
+// could not be read or rebuilt (hiccupReason labels the loss).
+func (c *engineCore) deliverDouble(ctx *sched.CycleContext, streams []*groupStream, hiccupReason string) error {
+	for _, s := range streams {
+		if s.Terminated || s.Done {
+			continue
+		}
+		bg := s.delivering
+		s.delivering, s.staged = s.staged, nil
+		if bg == nil {
+			continue
+		}
+		width := len(bg.group.Data)
+		base := bg.group.Index * width
+		for off := 0; off < bg.group.ValidTracks; off++ {
+			if bg.data[off] == nil {
+				ctx.Rep.Hiccups = append(ctx.Rep.Hiccups, sched.Hiccup{
+					StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
+					Reason: hiccupReason,
+				})
+				continue
+			}
+			ctx.Rep.Delivered = append(ctx.Rep.Delivered, sched.Delivery{
+				StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
+				Data: bg.data[off], Reconstructed: bg.reconstructed[off],
+			})
+		}
+		if bg.pooled > 0 {
+			if err := c.pool.Release(bg.pooled); err != nil {
+				return err
+			}
+		}
+		s.Advance(bg.group.ValidTracks)
+		if s.Done {
+			ctx.Rep.Finished = append(ctx.Rep.Finished, s.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package schemes
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ftmm/internal/layout"
+	"ftmm/internal/sched"
+)
+
+// runDeterminismScenario drives one engine through a fixed scenario —
+// staggered admissions, a mid-run drive failure — and returns every
+// per-cycle report plus the final buffer peak.
+func runDeterminismScenario(t *testing.T, e Simulator, r *rig, nStreams int) ([]*sched.CycleReport, int) {
+	t.Helper()
+	var reports []*sched.CycleReport
+	for cyc := 0; cyc < 60; cyc++ {
+		if cyc < nStreams {
+			if _, err := e.AddStream(r.object(t, cyc)); err != nil {
+				t.Fatalf("cycle %d: admit: %v", cyc, err)
+			}
+		}
+		if cyc == 10 {
+			if err := e.FailDisk(1); err != nil {
+				t.Fatalf("cycle %d: fail disk: %v", cyc, err)
+			}
+		}
+		rep, err := e.Step()
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cyc, err)
+		}
+		reports = append(reports, rep)
+		if cyc >= nStreams && e.Active() == 0 {
+			break
+		}
+	}
+	return reports, e.BufferPeak()
+}
+
+// TestWorkerCountInvariance pins the core determinism contract of the
+// parallel cycle engine: for a fixed scenario the per-cycle reports are
+// bit-identical whether the engine runs serially or with many workers,
+// even on a single-CPU machine (workers beyond GOMAXPROCS still change
+// the shard partitioning).
+func TestWorkerCountInvariance(t *testing.T) {
+	const nStreams = 4
+	cases := []struct {
+		name      string
+		placement layout.Placement
+		build     func(cfg Config) (Simulator, error)
+	}{
+		{"sr", layout.DedicatedParity, func(cfg Config) (Simulator, error) {
+			return NewStreamingRAID(cfg)
+		}},
+		{"sg", layout.DedicatedParity, func(cfg Config) (Simulator, error) {
+			return NewStaggeredGroup(cfg)
+		}},
+		{"nc-simple", layout.DedicatedParity, func(cfg Config) (Simulator, error) {
+			return NewNonClustered(cfg, SimpleSwitchover, 2)
+		}},
+		{"nc-alternate", layout.DedicatedParity, func(cfg Config) (Simulator, error) {
+			return NewNonClustered(cfg, AlternateSwitchover, 2)
+		}},
+		{"ib", layout.IntermixedParity, func(cfg Config) (Simulator, error) {
+			return NewImprovedBandwidth(cfg, 2)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var baseline []*sched.CycleReport
+			var basePeak int
+			for _, workers := range []int{1, 8} {
+				// A fresh rig per run: FailDisk mutates the farm.
+				r := newRig(t, 10, 5, nStreams, 6, tc.placement)
+				cfg := r.config()
+				cfg.Workers = workers
+				e, err := tc.build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reports, peak := runDeterminismScenario(t, e, r, nStreams)
+				if workers == 1 {
+					baseline, basePeak = reports, peak
+					continue
+				}
+				if len(reports) != len(baseline) {
+					t.Fatalf("workers=%d ran %d cycles, serial ran %d",
+						workers, len(reports), len(baseline))
+				}
+				for i := range reports {
+					if !reflect.DeepEqual(reports[i], baseline[i]) {
+						t.Fatalf("workers=%d: cycle %d report differs from serial:\n got %+v\nwant %+v",
+							workers, i, stripData(reports[i]), stripData(baseline[i]))
+					}
+				}
+				if peak != basePeak {
+					t.Fatalf("workers=%d: buffer peak %d, serial %d", workers, peak, basePeak)
+				}
+			}
+		})
+	}
+}
+
+// stripData summarizes a report for failure messages without dumping
+// track payloads.
+func stripData(rep *sched.CycleReport) string {
+	tracks := make([]string, 0, len(rep.Delivered))
+	for _, d := range rep.Delivered {
+		tracks = append(tracks, fmt.Sprintf("s%d:%s/%d", d.StreamID, d.ObjectID, d.Track))
+	}
+	return fmt.Sprintf("{cycle %d delivered %v hiccups %d reads %d/%d finished %v terminated %v inuse %d}",
+		rep.Cycle, tracks, len(rep.Hiccups), rep.DataReads, rep.ParityReads,
+		rep.Finished, rep.Terminated, rep.BufferInUse)
+}
+
+// TestWorkerCountInvarianceMidFail covers the Improved-bandwidth
+// mid-cycle failure path, which must fall back to the serial schedule to
+// keep the half-cycle allowance semantics.
+func TestWorkerCountInvarianceMidFail(t *testing.T) {
+	const nStreams = 4
+	var baseline []*sched.CycleReport
+	for _, workers := range []int{1, 8} {
+		r := newRig(t, 10, 5, nStreams, 6, layout.IntermixedParity)
+		cfg := r.config()
+		cfg.Workers = workers
+		e, err := NewImprovedBandwidth(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reports []*sched.CycleReport
+		for cyc := 0; cyc < 40; cyc++ {
+			if cyc < nStreams {
+				if _, err := e.AddStream(r.object(t, cyc)); err != nil {
+					t.Fatalf("cycle %d: admit: %v", cyc, err)
+				}
+			}
+			if cyc == 8 {
+				if err := e.FailDiskMidCycle(2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, err := e.Step()
+			if err != nil {
+				t.Fatalf("cycle %d: %v", cyc, err)
+			}
+			reports = append(reports, rep)
+			if cyc >= nStreams && e.Active() == 0 {
+				break
+			}
+		}
+		if workers == 1 {
+			baseline = reports
+			continue
+		}
+		if !reflect.DeepEqual(reports, baseline) {
+			t.Fatalf("workers=%d: mid-cycle failure run differs from serial", workers)
+		}
+	}
+}

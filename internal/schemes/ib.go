@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"ftmm/internal/buffer"
 	"ftmm/internal/disk"
 	"ftmm/internal/layout"
 	"ftmm/internal/sched"
@@ -29,13 +28,9 @@ import (
 // paper's one-time isolated hiccups; from the next cycle on, the shift
 // masks the failure completely.
 type ImprovedBandwidth struct {
-	cfg          Config
-	slotsPerDisk int
-	reserve      int
-	cycle        int
-	nextID       int
-	streams      []*ibStream
-	pool         *buffer.Pool
+	engineCore
+	reserve int
+	streams []*groupStream
 	// midFail, when >= 0, is a drive that fails midway through the next
 	// cycle's reads.
 	midFail int
@@ -43,16 +38,9 @@ type ImprovedBandwidth struct {
 	terminations int
 }
 
-type ibStream struct {
-	sched.Stream
-	nextGroup  int
-	staged     *bufferedGroup
-	delivering *bufferedGroup
-}
-
 // ibGroupRead is one group's in-flight read state during a cycle.
 type ibGroupRead struct {
-	s  *ibStream
+	s  *groupStream
 	g  *layout.Group
 	bg *bufferedGroup
 	// missing lists in-group offsets that could not be read directly.
@@ -74,70 +62,35 @@ type ibRead struct {
 // layout, holding reserve slots per drive back from admission (the
 // paper's K_IB disks' worth of reserved bandwidth, expressed per drive).
 func NewImprovedBandwidth(cfg Config, reserve int) (*ImprovedBandwidth, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Layout.Placement() != layout.IntermixedParity {
+	if cfg.Layout != nil && cfg.Layout.Placement() != layout.IntermixedParity {
 		return nil, fmt.Errorf("schemes: Improved-bandwidth needs intermixed parity, got %v", cfg.Layout.Placement())
 	}
-	slots, err := cfg.slotsFor(cfg.Layout.GroupWidth())
+	core, err := newEngineCore(cfg, cfg.Layout.GroupWidth())
 	if err != nil {
 		return nil, err
 	}
-	if reserve < 0 || reserve >= slots {
-		return nil, fmt.Errorf("schemes: reserve %d must be in [0,%d)", reserve, slots)
+	if reserve < 0 || reserve >= core.slotsPerDisk {
+		return nil, fmt.Errorf("schemes: reserve %d must be in [0,%d)", reserve, core.slotsPerDisk)
 	}
-	return &ImprovedBandwidth{cfg: cfg, slotsPerDisk: slots, reserve: reserve, pool: newPool(), midFail: -1}, nil
+	return &ImprovedBandwidth{engineCore: core, reserve: reserve, midFail: -1}, nil
 }
 
 // Name implements Simulator.
 func (e *ImprovedBandwidth) Name() string { return "Improved-bandwidth" }
-
-// Cycle implements Simulator.
-func (e *ImprovedBandwidth) Cycle() int { return e.cycle }
 
 // CycleTime implements Simulator: Tcyc = (C-1)·B/b0.
 func (e *ImprovedBandwidth) CycleTime() time.Duration {
 	return e.cfg.Farm.Params().CycleTime(e.cfg.Layout.GroupWidth(), e.cfg.Rate)
 }
 
-// SlotsPerDisk returns the per-disk per-cycle track budget.
-func (e *ImprovedBandwidth) SlotsPerDisk() int { return e.slotsPerDisk }
-
 // Reserve returns the per-drive reserved slot count.
 func (e *ImprovedBandwidth) Reserve() int { return e.reserve }
 
 // Active implements Simulator.
-func (e *ImprovedBandwidth) Active() int {
-	n := 0
-	for _, s := range e.streams {
-		if !s.Done && !s.Terminated {
-			n++
-		}
-	}
-	return n
-}
-
-// BufferPeak implements Simulator.
-func (e *ImprovedBandwidth) BufferPeak() int { return e.pool.Peak() }
-
-// BufferInUse returns the current buffer occupancy in tracks.
-func (e *ImprovedBandwidth) BufferInUse() int { return e.pool.InUse() }
+func (e *ImprovedBandwidth) Active() int { return activeCount(e.streams) }
 
 // Terminations counts streams killed by degradation of service.
 func (e *ImprovedBandwidth) Terminations() int { return e.terminations }
-
-// clusterLoad counts streams whose next group sits on each cluster.
-func (e *ImprovedBandwidth) clusterLoad() []int {
-	load := make([]int, e.cfg.Layout.Clusters())
-	for _, s := range e.streams {
-		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
-			continue
-		}
-		load[s.Obj.Groups[s.nextGroup].Cluster]++
-	}
-	return load
-}
 
 // AddStream implements Simulator. Admission caps each cluster at the
 // per-drive budget minus the reserve, leaving the headroom the shift
@@ -145,48 +98,18 @@ func (e *ImprovedBandwidth) clusterLoad() []int {
 func (e *ImprovedBandwidth) AddStream(obj *layout.Object) (int, error) {
 	start := obj.Groups[0].Cluster
 	cap := e.slotsPerDisk - e.reserve
-	if e.clusterLoad()[start] >= cap {
+	if e.groupClusterLoad(e.streams)[start] >= cap {
 		return 0, fmt.Errorf("schemes: cluster %d is at its %d-stream capacity (reserve %d)", start, cap, e.reserve)
 	}
-	id := e.nextID
-	e.nextID++
-	e.streams = append(e.streams, &ibStream{Stream: sched.Stream{ID: id, Obj: obj}})
+	id := e.allocStreamID()
+	e.streams = append(e.streams, &groupStream{Stream: sched.Stream{ID: id, Obj: obj}})
 	return id, nil
 }
 
 // CancelStream stops serving a stream immediately and returns its
 // buffers.
 func (e *ImprovedBandwidth) CancelStream(id int) error {
-	for _, s := range e.streams {
-		if s.ID != id {
-			continue
-		}
-		if s.Done || s.Terminated {
-			return fmt.Errorf("schemes: stream %d is not active", id)
-		}
-		s.Done = true
-		for _, bg := range []*bufferedGroup{s.staged, s.delivering} {
-			if bg != nil && bg.pooled > 0 {
-				if err := e.pool.Release(bg.pooled); err != nil {
-					return err
-				}
-				bg.pooled = 0
-			}
-		}
-		s.staged, s.delivering = nil, nil
-		return nil
-	}
-	return fmt.Errorf("schemes: no stream %d", id)
-}
-
-// FailDisk implements Simulator: the drive fails at the cycle boundary,
-// so every subsequent read is masked by the shift.
-func (e *ImprovedBandwidth) FailDisk(id int) error {
-	drv, err := e.cfg.Farm.Drive(id)
-	if err != nil {
-		return err
-	}
-	return drv.Fail()
+	return e.cancelGroupStream(e.streams, id)
 }
 
 // FailDiskMidCycle schedules the drive to fail halfway through the next
@@ -200,10 +123,33 @@ func (e *ImprovedBandwidth) FailDiskMidCycle(id int) error {
 	return nil
 }
 
+// readGroupBlocks runs one group's phase-1 data reads, recording into
+// ctx (a per-cluster shard when the phase runs parallel).
+func (e *ImprovedBandwidth) readGroupBlocks(gr *ibGroupRead, ctx *sched.CycleContext) error {
+	for j, loc := range gr.g.Data {
+		if !ctx.Slots.Take(loc.Disk) {
+			gr.missing = append(gr.missing, j)
+			continue
+		}
+		drv, err := e.cfg.Farm.Drive(loc.Disk)
+		if err != nil {
+			return err
+		}
+		blk, err := drv.ReadTrack(loc.Track)
+		if err != nil {
+			gr.missing = append(gr.missing, j)
+			continue
+		}
+		ctx.Rep.DataReads++
+		gr.bg.data[j] = blk
+		gr.reads = append(gr.reads, ibRead{offset: j, disk: loc.Disk})
+	}
+	return nil
+}
+
 // Step implements Simulator.
 func (e *ImprovedBandwidth) Step() (*sched.CycleReport, error) {
-	rep := &sched.CycleReport{Cycle: e.cycle}
-	slots, err := sched.NewSlots(e.cfg.Farm.Size(), e.slotsPerDisk)
+	ctx, err := e.beginCycle()
 	if err != nil {
 		return nil, err
 	}
@@ -227,75 +173,37 @@ func (e *ImprovedBandwidth) Step() (*sched.CycleReport, error) {
 		})
 	}
 
-	// Phase 1: normal data reads (no parity in normal mode). A mid-cycle
-	// failure fires after the victim drive has served half of its
-	// scheduled reads.
-	midDisk := e.midFail
-	midAllowance := -1
-	if midDisk >= 0 {
-		scheduled := 0
-		for _, gr := range groups {
-			for _, loc := range gr.g.Data {
-				if loc.Disk == midDisk {
-					scheduled++
-				}
-			}
-		}
-		midAllowance = scheduled / 2
-	}
-	for _, gr := range groups {
-		for j, loc := range gr.g.Data {
-			if !slots.Take(loc.Disk) {
-				gr.missing = append(gr.missing, j)
-				continue
-			}
-			if loc.Disk == midDisk && e.midFail >= 0 {
-				if midAllowance == 0 {
-					drv, err := e.cfg.Farm.Drive(midDisk)
-					if err != nil {
-						return nil, err
-					}
-					if err := drv.Fail(); err != nil {
-						return nil, err
-					}
-					e.midFail = -1
-				} else {
-					midAllowance--
-				}
-			}
-			drv, err := e.cfg.Farm.Drive(loc.Disk)
-			if err != nil {
-				return nil, err
-			}
-			blk, err := drv.ReadTrack(loc.Track)
-			if err != nil {
-				gr.missing = append(gr.missing, j)
-				if loc.Disk == midDisk {
-					// Lost to the mid-cycle failure: no time to shift.
-					gr.unmaskable[j] = true
-				}
-				continue
-			}
-			rep.DataReads++
-			gr.bg.data[j] = blk
-			gr.reads = append(gr.reads, ibRead{offset: j, disk: loc.Disk})
-		}
-	}
+	// Phase 1: normal data reads (no parity in normal mode). Each group's
+	// reads stay on its own cluster, so the phase fans out per cluster —
+	// except under a scheduled mid-cycle failure, whose semantics (the
+	// victim drive serves exactly half of its scheduled reads, in
+	// schedule order) depend on a serial read order.
 	if e.midFail >= 0 {
-		// The drive had no scheduled reads this cycle; fail it now.
-		drv, err := e.cfg.Farm.Drive(e.midFail)
-		if err != nil {
+		if err := e.stepMidFailReads(groups, ctx); err != nil {
 			return nil, err
 		}
-		if err := drv.Fail(); err != nil {
+	} else {
+		byCluster := make([][]*ibGroupRead, e.cfg.Layout.Clusters())
+		for _, gr := range groups {
+			byCluster[gr.g.Cluster] = append(byCluster[gr.g.Cluster], gr)
+		}
+		if err := e.runClusters(ctx, func(shard *sched.CycleContext, cl int) error {
+			for _, gr := range byCluster[cl] {
+				if err := e.readGroupBlocks(gr, shard); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		e.midFail = -1
 	}
 
-	// Phase 2: shift to the right for groups missing blocks.
+	// Phase 2: shift to the right for groups missing blocks. The chain
+	// crosses clusters (parity lives one cluster to the right, victims
+	// cascade further), so it stays serial in group order.
 	for _, gr := range groups {
-		e.resolve(gr, groups, slots, rep, map[int]bool{})
+		e.resolve(gr, groups, ctx, map[int]bool{})
 	}
 
 	// Buffer accounting for staged groups (terminated streams drop
@@ -312,49 +220,82 @@ func (e *ImprovedBandwidth) Step() (*sched.CycleReport, error) {
 	}
 
 	// Delivery of last cycle's groups.
-	for _, s := range e.streams {
-		if s.Terminated || s.Done {
-			continue
-		}
-		bg := s.delivering
-		s.delivering, s.staged = s.staged, nil
-		if bg == nil {
-			continue
-		}
-		width := len(bg.group.Data)
-		base := bg.group.Index * width
-		for off := 0; off < bg.group.ValidTracks; off++ {
-			if bg.data[off] == nil {
-				rep.Hiccups = append(rep.Hiccups, sched.Hiccup{
-					StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-					Reason: "unmasked failure",
-				})
-				continue
-			}
-			rep.Delivered = append(rep.Delivered, sched.Delivery{
-				StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-				Data: bg.data[off], Reconstructed: bg.reconstructed[off],
-			})
-		}
-		if bg.pooled > 0 {
-			if err := e.pool.Release(bg.pooled); err != nil {
-				return nil, err
-			}
-		}
-		s.Advance(bg.group.ValidTracks)
-		if s.Done {
-			rep.Finished = append(rep.Finished, s.ID)
-		}
+	if err := e.deliverDouble(ctx, e.streams, "unmasked failure"); err != nil {
+		return nil, err
 	}
 
-	rep.BufferInUse = e.pool.InUse()
-	e.cycle++
-	return rep, nil
+	return e.endCycle(ctx), nil
+}
+
+// stepMidFailReads is the serial phase-1 variant under a scheduled
+// mid-cycle failure: the victim drive fails after serving half of its
+// scheduled reads.
+func (e *ImprovedBandwidth) stepMidFailReads(groups []*ibGroupRead, ctx *sched.CycleContext) error {
+	midDisk := e.midFail
+	scheduled := 0
+	for _, gr := range groups {
+		for _, loc := range gr.g.Data {
+			if loc.Disk == midDisk {
+				scheduled++
+			}
+		}
+	}
+	midAllowance := scheduled / 2
+	for _, gr := range groups {
+		for j, loc := range gr.g.Data {
+			if !ctx.Slots.Take(loc.Disk) {
+				gr.missing = append(gr.missing, j)
+				continue
+			}
+			if loc.Disk == midDisk && e.midFail >= 0 {
+				if midAllowance == 0 {
+					drv, err := e.cfg.Farm.Drive(midDisk)
+					if err != nil {
+						return err
+					}
+					if err := drv.Fail(); err != nil {
+						return err
+					}
+					e.midFail = -1
+				} else {
+					midAllowance--
+				}
+			}
+			drv, err := e.cfg.Farm.Drive(loc.Disk)
+			if err != nil {
+				return err
+			}
+			blk, err := drv.ReadTrack(loc.Track)
+			if err != nil {
+				gr.missing = append(gr.missing, j)
+				if loc.Disk == midDisk {
+					// Lost to the mid-cycle failure: no time to shift.
+					gr.unmaskable[j] = true
+				}
+				continue
+			}
+			ctx.Rep.DataReads++
+			gr.bg.data[j] = blk
+			gr.reads = append(gr.reads, ibRead{offset: j, disk: loc.Disk})
+		}
+	}
+	if e.midFail >= 0 {
+		// The drive had no scheduled reads this cycle; fail it now.
+		drv, err := e.cfg.Farm.Drive(e.midFail)
+		if err != nil {
+			return err
+		}
+		if err := drv.Fail(); err != nil {
+			return err
+		}
+		e.midFail = -1
+	}
+	return nil
 }
 
 // resolve recovers a group's missing blocks via the parity shift. visited
 // guards against wrapping all the way around the clusters.
-func (e *ImprovedBandwidth) resolve(gr *ibGroupRead, groups []*ibGroupRead, slots *sched.Slots, rep *sched.CycleReport, visited map[int]bool) {
+func (e *ImprovedBandwidth) resolve(gr *ibGroupRead, groups []*ibGroupRead, ctx *sched.CycleContext, visited map[int]bool) {
 	if len(gr.missing) == 0 {
 		return
 	}
@@ -377,12 +318,12 @@ func (e *ImprovedBandwidth) resolve(gr *ibGroupRead, groups []*ibGroupRead, slot
 	pCluster := e.cfg.Layout.ParityHomeCluster(gr.g.Cluster)
 	if visited[pCluster] {
 		// Wrapped around: no capacity anywhere. Degradation of service.
-		e.terminate(gr.s, rep)
+		e.terminate(gr.s, ctx.Rep)
 		return
 	}
 	visited[pCluster] = true
 
-	par := e.readParity(gr, groups, slots, rep, visited)
+	par := e.readParity(gr, groups, ctx, visited)
 	if par == nil {
 		return // terminate/hiccup already handled downstream
 	}
@@ -399,14 +340,14 @@ func (e *ImprovedBandwidth) resolve(gr *ibGroupRead, groups []*ibGroupRead, slot
 	}
 	gr.bg.data[j] = rec
 	gr.bg.reconstructed[j] = true
-	rep.Reconstructions++
+	ctx.Rep.Reconstructions++
 }
 
 // readParity secures a slot on the group's parity drive — dropping a
 // local read in its favor if necessary — and reads the parity block. It
 // returns nil after handling the failure modes (failed parity drive:
 // catastrophic hiccup; no victim: degradation).
-func (e *ImprovedBandwidth) readParity(gr *ibGroupRead, groups []*ibGroupRead, slots *sched.Slots, rep *sched.CycleReport, visited map[int]bool) []byte {
+func (e *ImprovedBandwidth) readParity(gr *ibGroupRead, groups []*ibGroupRead, ctx *sched.CycleContext, visited map[int]bool) []byte {
 	pDisk := gr.g.Parity.Disk
 	drv, err := e.cfg.Farm.Drive(pDisk)
 	if err != nil {
@@ -416,11 +357,11 @@ func (e *ImprovedBandwidth) readParity(gr *ibGroupRead, groups []*ibGroupRead, s
 		// Adjacent-cluster double failure: the paper's data-loss case.
 		return nil
 	}
-	if !slots.Take(pDisk) {
+	if !ctx.Slots.Take(pDisk) {
 		// Drop a victim's local read on this drive in favor of parity.
 		victim := e.pickVictim(groups, pDisk, gr)
 		if victim == nil {
-			e.terminate(gr.s, rep)
+			e.terminate(gr.s, ctx.Rep)
 			return nil
 		}
 		// The victim loses the block it read from pDisk; the freed slot
@@ -434,13 +375,13 @@ func (e *ImprovedBandwidth) readParity(gr *ibGroupRead, groups []*ibGroupRead, s
 				break
 			}
 		}
-		defer e.resolve(victim, groups, slots, rep, visited)
+		defer e.resolve(victim, groups, ctx, visited)
 	}
 	blk, err := drv.ReadTrack(gr.g.Parity.Track)
 	if err != nil {
 		return nil
 	}
-	rep.ParityReads++
+	ctx.Rep.ParityReads++
 	// The parity block occupies a buffer only within this cycle.
 	if err := e.pool.Acquire(1); err != nil {
 		return nil
@@ -469,7 +410,7 @@ func (e *ImprovedBandwidth) pickVictim(groups []*ibGroupRead, d int, requester *
 
 // terminate kills a stream: the paper's degradation of service. Buffers
 // the stream still holds from the previous cycle are returned.
-func (e *ImprovedBandwidth) terminate(s *ibStream, rep *sched.CycleReport) {
+func (e *ImprovedBandwidth) terminate(s *groupStream, rep *sched.CycleReport) {
 	if s.Terminated {
 		return
 	}

@@ -90,47 +90,41 @@ type ncStream struct {
 	xorGroup int
 }
 
+func (s *ncStream) stream() *sched.Stream { return &s.Stream }
+
 // NonClustered is the §3 engine: in normal mode each stream reads exactly
 // the track it delivers next cycle (two buffers per stream). A data-disk
 // failure sends that cluster through a short transition — losing a few
 // tracks per Figures 6-7 — into a degraded mode backed by one of K shared
 // buffer servers, after which service continues hiccup-free.
 type NonClustered struct {
-	cfg          Config
-	policy       TransitionPolicy
-	slotsPerDisk int
-	cycle        int
-	nextID       int
-	streams      []*ncStream
-	pool         *buffer.Pool
-	servers      *buffer.Servers
-	clusters     []ncCluster
+	engineCore
+	policy   TransitionPolicy
+	streams  []*ncStream
+	servers  *buffer.Servers
+	clusters []ncCluster
 	// degradations counts failures that found no free buffer server.
 	degradations int
 }
 
 // NewNonClustered builds the engine with K shared buffer servers.
 func NewNonClustered(cfg Config, policy TransitionPolicy, k int) (*NonClustered, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Layout.Placement() != layout.DedicatedParity {
+	if cfg.Layout != nil && cfg.Layout.Placement() != layout.DedicatedParity {
 		return nil, fmt.Errorf("schemes: Non-clustered needs dedicated parity, got %v", cfg.Layout.Placement())
 	}
 	if policy != SimpleSwitchover && policy != AlternateSwitchover {
 		return nil, fmt.Errorf("schemes: unknown transition policy %v", policy)
 	}
+	core, err := newEngineCore(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
 	servers, err := buffer.NewServers(k)
 	if err != nil {
 		return nil, err
 	}
-	slots, err := cfg.slotsFor(1)
-	if err != nil {
-		return nil, err
-	}
 	return &NonClustered{
-		cfg: cfg, policy: policy, slotsPerDisk: slots,
-		pool: newPool(), servers: servers,
+		engineCore: core, policy: policy, servers: servers,
 		clusters: make([]ncCluster, cfg.Layout.Clusters()),
 	}, nil
 }
@@ -141,33 +135,13 @@ func (e *NonClustered) Name() string { return "Non-clustered" }
 // Policy returns the transition policy in use.
 func (e *NonClustered) Policy() TransitionPolicy { return e.policy }
 
-// Cycle implements Simulator.
-func (e *NonClustered) Cycle() int { return e.cycle }
-
 // CycleTime implements Simulator: Tcyc = B/b0 (k' = 1).
 func (e *NonClustered) CycleTime() time.Duration {
 	return e.cfg.Farm.Params().CycleTime(1, e.cfg.Rate)
 }
 
-// SlotsPerDisk returns the per-disk per-cycle track budget in use.
-func (e *NonClustered) SlotsPerDisk() int { return e.slotsPerDisk }
-
 // Active implements Simulator.
-func (e *NonClustered) Active() int {
-	n := 0
-	for _, s := range e.streams {
-		if !s.Done && !s.Terminated {
-			n++
-		}
-	}
-	return n
-}
-
-// BufferPeak implements Simulator.
-func (e *NonClustered) BufferPeak() int { return e.pool.Peak() }
-
-// BufferInUse returns the current buffer occupancy in tracks.
-func (e *NonClustered) BufferInUse() int { return e.pool.InUse() }
+func (e *NonClustered) Active() int { return activeCount(e.streams) }
 
 // Degradations counts data-disk failures that found every buffer server
 // busy (the paper's degradation-of-service events).
@@ -209,8 +183,7 @@ func (e *NonClustered) AddStream(obj *layout.Object) (int, error) {
 	if load >= e.slotsPerDisk {
 		return 0, fmt.Errorf("schemes: position (cluster %d, offset 0) is at its %d-stream capacity", start, e.slotsPerDisk)
 	}
-	id := e.nextID
-	e.nextID++
+	id := e.allocStreamID()
 	e.streams = append(e.streams, &ncStream{
 		Stream: sched.Stream{ID: id, Obj: obj},
 		staged: make(map[int]ncStaged), lost: make(map[int]bool),
@@ -222,24 +195,19 @@ func (e *NonClustered) AddStream(obj *layout.Object) (int, error) {
 // CancelStream stops serving a stream immediately and returns its
 // buffers (staged tracks and any XOR accumulator).
 func (e *NonClustered) CancelStream(id int) error {
-	for _, s := range e.streams {
-		if s.ID != id {
-			continue
-		}
-		if s.Done || s.Terminated {
-			return fmt.Errorf("schemes: stream %d is not active", id)
-		}
-		s.Done = true
-		for r := range s.staged {
-			delete(s.staged, r)
-			if err := e.pool.Release(1); err != nil {
-				return err
-			}
-		}
-		e.dropXOR(s)
-		return nil
+	s, err := findActive(e.streams, id)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("schemes: no stream %d", id)
+	s.Done = true
+	for r := range s.staged {
+		delete(s.staged, r)
+		if err := e.pool.Release(1); err != nil {
+			return err
+		}
+	}
+	e.dropXOR(s)
+	return nil
 }
 
 // FailDisk implements Simulator: the drive fails at the upcoming cycle
@@ -373,27 +341,60 @@ func (e *NonClustered) dropXOR(s *ncStream) {
 
 // Step implements Simulator.
 func (e *NonClustered) Step() (*sched.CycleReport, error) {
-	rep := &sched.CycleReport{Cycle: e.cycle}
-	slots, err := sched.NewSlots(e.cfg.Farm.Size(), e.slotsPerDisk)
+	ctx, err := e.beginCycle()
 	if err != nil {
 		return nil, err
 	}
 
-	// Read pass 1: degraded-cluster work (group reads, XOR reconstruction
-	// reads) takes slots first — these reads have hard deadlines.
-	for _, s := range e.streams {
-		if e.readable(s) && e.isDegradedWork(s) {
-			if err := e.readForStream(s, slots, rep); err != nil {
-				return nil, err
-			}
+	degraded := 0
+	for _, c := range e.clusters {
+		if c.mode == ncDegraded || c.mode == ncUnprotected {
+			degraded++
 		}
 	}
-	// Read pass 2: plain per-track reads.
-	for _, s := range e.streams {
-		if e.readable(s) && !e.isDegradedWork(s) {
-			if err := e.readForStream(s, slots, rep); err != nil {
-				return nil, err
+	e.rec.DegradedClusterCycles.Add(int64(degraded))
+
+	if degraded > 0 {
+		// Degraded-mode work (group reads, XOR accumulators) releases
+		// buffers mid-read and its slot priority depends on pass order,
+		// so degraded cycles keep the engine's original serial two-pass
+		// schedule: deadline-bound degraded reads take slots first.
+		for _, s := range e.streams {
+			if e.readable(s) && e.isDegradedWork(s) {
+				if err := e.readForStream(s, ctx); err != nil {
+					return nil, err
+				}
 			}
+		}
+		for _, s := range e.streams {
+			if e.readable(s) && !e.isDegradedWork(s) {
+				if err := e.readForStream(s, ctx); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		// Normal steady state: every read is a plain single-track read on
+		// the stream's current cluster — acquire-only on the pool and
+		// disjoint across clusters — so the pass fans out per cluster.
+		readers := make([][]*ncStream, e.cfg.Layout.Clusters())
+		for _, s := range e.streams {
+			if !e.readable(s) {
+				continue
+			}
+			g, _ := e.position(s.read)
+			cl := s.Obj.Groups[g].Cluster
+			readers[cl] = append(readers[cl], s)
+		}
+		if err := e.runClusters(ctx, func(shard *sched.CycleContext, cl int) error {
+			for _, s := range readers[cl] {
+				if err := e.readForStream(s, shard); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 
@@ -404,7 +405,7 @@ func (e *NonClustered) Step() (*sched.CycleReport, error) {
 		}
 		r := s.NextDeliver
 		if st, ok := s.staged[r]; ok {
-			rep.Delivered = append(rep.Delivered, sched.Delivery{
+			ctx.Rep.Delivered = append(ctx.Rep.Delivered, sched.Delivery{
 				StreamID: s.ID, ObjectID: s.Obj.ID, Track: r,
 				Data: st.data, Reconstructed: st.reconstructed,
 			})
@@ -418,13 +419,13 @@ func (e *NonClustered) Step() (*sched.CycleReport, error) {
 				reason = "track not staged (overload)"
 			}
 			delete(s.lost, r)
-			rep.Hiccups = append(rep.Hiccups, sched.Hiccup{
+			ctx.Rep.Hiccups = append(ctx.Rep.Hiccups, sched.Hiccup{
 				StreamID: s.ID, ObjectID: s.Obj.ID, Track: r, Reason: reason,
 			})
 		}
 		s.Advance(1)
 		if s.Done {
-			rep.Finished = append(rep.Finished, s.ID)
+			ctx.Rep.Finished = append(ctx.Rep.Finished, s.ID)
 			// Release anything still staged (early reads past the end
 			// cannot exist, but be defensive) and the accumulator.
 			for r := range s.staged {
@@ -437,9 +438,7 @@ func (e *NonClustered) Step() (*sched.CycleReport, error) {
 		}
 	}
 
-	rep.BufferInUse = e.pool.InUse()
-	e.cycle++
-	return rep, nil
+	return e.endCycle(ctx), nil
 }
 
 // readable reports whether the stream has read work this cycle.
@@ -473,8 +472,9 @@ func (e *NonClustered) isDegradedWork(s *ncStream) bool {
 	return o == e.clusters[cl].failedOffset
 }
 
-// readForStream performs the stream's reads for this cycle.
-func (e *NonClustered) readForStream(s *ncStream, slots *sched.Slots, rep *sched.CycleReport) error {
+// readForStream performs the stream's reads for this cycle, recording
+// into the given cycle context (a shard in parallel normal-mode passes).
+func (e *NonClustered) readForStream(s *ncStream, ctx *sched.CycleContext) error {
 	if s.startCycle < 0 {
 		s.startCycle = e.cycle
 	}
@@ -494,34 +494,34 @@ func (e *NonClustered) readForStream(s *ncStream, slots *sched.Slots, rep *sched
 
 	switch {
 	case state.mode == ncNormal || state.mode == ncParityLost || s.legacyGroup == g:
-		return e.plainRead(s, grp, r, o, slots, rep)
+		return e.plainRead(s, grp, r, o, ctx)
 	case state.mode == ncUnprotected:
 		if o == state.failedOffset {
 			s.lost[r] = true // recurring loss: the paper's degradation
 			s.read++
 			return nil
 		}
-		return e.plainRead(s, grp, r, o, slots, rep)
+		return e.plainRead(s, grp, r, o, ctx)
 	case state.mode == ncDegraded && e.policy == SimpleSwitchover:
 		if o != 0 {
 			// Mid-group on a degraded cluster outside legacy mode should
 			// not happen (transition drops remnants), but read plainly if
 			// it does.
-			return e.plainRead(s, grp, r, o, slots, rep)
+			return e.plainRead(s, grp, r, o, ctx)
 		}
-		return e.groupRead(s, grp, g, state.failedOffset, slots, rep)
+		return e.groupRead(s, grp, g, state.failedOffset, ctx)
 	case state.mode == ncDegraded && e.policy == AlternateSwitchover:
-		return e.xorRead(s, grp, g, o, state.failedOffset, slots, rep)
+		return e.xorRead(s, grp, g, o, state.failedOffset, ctx)
 	}
 	return fmt.Errorf("schemes: unhandled cluster mode %d", state.mode)
 }
 
 // plainRead reads a single track; on slot exhaustion or drive failure the
 // track is lost.
-func (e *NonClustered) plainRead(s *ncStream, grp *layout.Group, r, o int, slots *sched.Slots, rep *sched.CycleReport) error {
+func (e *NonClustered) plainRead(s *ncStream, grp *layout.Group, r, o int, ctx *sched.CycleContext) error {
 	s.read++
 	loc := grp.Data[o]
-	if !slots.Take(loc.Disk) {
+	if !ctx.Slots.Take(loc.Disk) {
 		s.lost[r] = true
 		return nil
 	}
@@ -534,7 +534,7 @@ func (e *NonClustered) plainRead(s *ncStream, grp *layout.Group, r, o int, slots
 		s.lost[r] = true
 		return nil
 	}
-	rep.DataReads++
+	ctx.Rep.DataReads++
 	if err := e.pool.Acquire(1); err != nil {
 		return err
 	}
@@ -544,7 +544,7 @@ func (e *NonClustered) plainRead(s *ncStream, grp *layout.Group, r, o int, slots
 
 // groupRead stages an entire parity group at once (degraded steady state
 // under the simple policy), reconstructing the failed drive's track.
-func (e *NonClustered) groupRead(s *ncStream, grp *layout.Group, g, failedOffset int, slots *sched.Slots, rep *sched.CycleReport) error {
+func (e *NonClustered) groupRead(s *ncStream, grp *layout.Group, g, failedOffset int, ctx *sched.CycleContext) error {
 	width := e.width()
 	base := g * width
 	groupEnd := base + width
@@ -560,7 +560,7 @@ func (e *NonClustered) groupRead(s *ncStream, grp *layout.Group, g, failedOffset
 		if j == failedOffset {
 			continue
 		}
-		if !slots.Take(loc.Disk) {
+		if !ctx.Slots.Take(loc.Disk) {
 			continue
 		}
 		drv, err := e.cfg.Farm.Drive(loc.Disk)
@@ -569,22 +569,22 @@ func (e *NonClustered) groupRead(s *ncStream, grp *layout.Group, g, failedOffset
 		}
 		if blk, err := drv.ReadTrack(loc.Track); err == nil {
 			gr.data[j] = blk
-			rep.DataReads++
+			ctx.Rep.DataReads++
 		}
 	}
 	reconstructedIdx := -1
-	if slots.Take(grp.Parity.Disk) {
+	if ctx.Slots.Take(grp.Parity.Disk) {
 		if drv, err := e.cfg.Farm.Drive(grp.Parity.Disk); err == nil {
 			if blk, err := drv.ReadTrack(grp.Parity.Track); err == nil {
 				gr.par = blk
-				rep.ParityReads++
+				ctx.Rep.ParityReads++
 			}
 		}
 	}
 	if gr.par != nil {
 		if rec, err := gr.recoverGroup(); err == nil && rec >= 0 {
 			reconstructedIdx = rec
-			rep.Reconstructions++
+			ctx.Rep.Reconstructions++
 		}
 	}
 	// Parity occupied a buffer during the read; account and drop it.
@@ -615,14 +615,14 @@ func (e *NonClustered) groupRead(s *ncStream, grp *layout.Group, g, failedOffset
 // accumulator; at the failed offset the remaining tracks and parity are
 // read early and the missing track reconstructed; tracks beyond are
 // already staged.
-func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffset int, slots *sched.Slots, rep *sched.CycleReport) error {
+func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffset int, ctx *sched.CycleContext) error {
 	width := e.width()
 	base := g * width
 	if o > failedOffset {
 		// Past the reconstruction point without staged data (possible
 		// only after an unusual repair/re-fail interleaving): read
 		// plainly; the drive at this offset is healthy.
-		return e.plainRead(s, grp, s.read, o, slots, rep)
+		return e.plainRead(s, grp, s.read, o, ctx)
 	}
 	if o < failedOffset {
 		if s.xorGroup != g {
@@ -635,7 +635,7 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 			s.xorGroup = g
 		}
 		r := s.read
-		if err := e.plainRead(s, grp, r, o, slots, rep); err != nil {
+		if err := e.plainRead(s, grp, r, o, ctx); err != nil {
 			return err
 		}
 		if st, ok := s.staged[r]; ok {
@@ -673,7 +673,7 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 	for r := failedTrack + 1; r < groupEnd; r++ {
 		j := r - base
 		loc := grp.Data[j]
-		if !slots.Take(loc.Disk) {
+		if !ctx.Slots.Take(loc.Disk) {
 			s.lost[r] = true
 			canRecon = false
 			continue
@@ -688,7 +688,7 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 			canRecon = false
 			continue
 		}
-		rep.DataReads++
+		ctx.Rep.DataReads++
 		if err := e.pool.Acquire(1); err != nil {
 			return err
 		}
@@ -700,11 +700,11 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 		}
 	}
 	var par []byte
-	if slots.Take(grp.Parity.Disk) {
+	if ctx.Slots.Take(grp.Parity.Disk) {
 		if drv, err := e.cfg.Farm.Drive(grp.Parity.Disk); err == nil {
 			if blk, err := drv.ReadTrack(grp.Parity.Track); err == nil {
 				par = blk
-				rep.ParityReads++
+				ctx.Rep.ParityReads++
 			}
 		}
 	}
@@ -718,7 +718,7 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 		s.xor = nil // buffer ownership moves to the staged track
 		s.xorGroup = -1
 		s.staged[failedTrack] = ncStaged{data: rec, reconstructed: true}
-		rep.Reconstructions++
+		ctx.Rep.Reconstructions++
 	} else {
 		if failedTrack < s.Obj.Tracks {
 			s.lost[failedTrack] = true

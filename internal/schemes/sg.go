@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"ftmm/internal/buffer"
 	"ftmm/internal/layout"
 	"ftmm/internal/sched"
 )
@@ -17,12 +16,8 @@ import (
 // sawtooths interleave (Figure 4) and the farm-wide peak is roughly half
 // of Streaming RAID's.
 type StaggeredGroup struct {
-	cfg          Config
-	slotsPerDisk int
-	cycle        int
-	nextID       int
-	streams      []*sgStream
-	pool         *buffer.Pool
+	engineCore
+	streams []*sgStream
 }
 
 type sgStream struct {
@@ -37,51 +32,30 @@ type sgStream struct {
 	pending *bufferedGroup
 }
 
+func (s *sgStream) stream() *sched.Stream { return &s.Stream }
+
 // NewStaggeredGroup builds the engine over a dedicated-parity layout.
 func NewStaggeredGroup(cfg Config) (*StaggeredGroup, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Layout.Placement() != layout.DedicatedParity {
+	if cfg.Layout != nil && cfg.Layout.Placement() != layout.DedicatedParity {
 		return nil, fmt.Errorf("schemes: Staggered-group needs dedicated parity, got %v", cfg.Layout.Placement())
 	}
-	slots, err := cfg.slotsFor(1)
+	core, err := newEngineCore(cfg, 1)
 	if err != nil {
 		return nil, err
 	}
-	return &StaggeredGroup{cfg: cfg, slotsPerDisk: slots, pool: newPool()}, nil
+	return &StaggeredGroup{engineCore: core}, nil
 }
 
 // Name implements Simulator.
 func (e *StaggeredGroup) Name() string { return "Staggered-group" }
-
-// Cycle implements Simulator.
-func (e *StaggeredGroup) Cycle() int { return e.cycle }
 
 // CycleTime implements Simulator: Tcyc = B/b0 (k' = 1).
 func (e *StaggeredGroup) CycleTime() time.Duration {
 	return e.cfg.Farm.Params().CycleTime(1, e.cfg.Rate)
 }
 
-// SlotsPerDisk returns the per-disk per-cycle track budget in use.
-func (e *StaggeredGroup) SlotsPerDisk() int { return e.slotsPerDisk }
-
 // Active implements Simulator.
-func (e *StaggeredGroup) Active() int {
-	n := 0
-	for _, s := range e.streams {
-		if !s.Done && !s.Terminated {
-			n++
-		}
-	}
-	return n
-}
-
-// BufferPeak implements Simulator.
-func (e *StaggeredGroup) BufferPeak() int { return e.pool.Peak() }
-
-// BufferInUse returns the current buffer occupancy in tracks.
-func (e *StaggeredGroup) BufferInUse() int { return e.pool.InUse() }
+func (e *StaggeredGroup) Active() int { return activeCount(e.streams) }
 
 // AddStream implements Simulator. The stream's read phase is the
 // admission cycle mod C-1; only streams sharing a phase ever touch the
@@ -105,8 +79,7 @@ func (e *StaggeredGroup) AddStream(obj *layout.Object) (int, error) {
 	if load >= e.slotsPerDisk {
 		return 0, fmt.Errorf("schemes: phase %d of cluster %d is at its %d-stream capacity", phase, start, e.slotsPerDisk)
 	}
-	id := e.nextID
-	e.nextID++
+	id := e.allocStreamID()
 	e.streams = append(e.streams, &sgStream{Stream: sched.Stream{ID: id, Obj: obj}, phase: phase})
 	return id, nil
 }
@@ -114,81 +87,54 @@ func (e *StaggeredGroup) AddStream(obj *layout.Object) (int, error) {
 // CancelStream stops serving a stream immediately and returns its
 // buffers.
 func (e *StaggeredGroup) CancelStream(id int) error {
-	for _, s := range e.streams {
-		if s.ID != id {
-			continue
-		}
-		if s.Done || s.Terminated {
-			return fmt.Errorf("schemes: stream %d is not active", id)
-		}
-		s.Done = true
-		for _, bg := range []*bufferedGroup{s.buf, s.pending} {
-			if bg != nil && bg.pooled > 0 {
-				if err := e.pool.Release(bg.pooled); err != nil {
-					return err
-				}
-				bg.pooled = 0
-			}
-		}
-		s.buf, s.pending = nil, nil
-		return nil
-	}
-	return fmt.Errorf("schemes: no stream %d", id)
-}
-
-// FailDisk implements Simulator.
-func (e *StaggeredGroup) FailDisk(id int) error {
-	drv, err := e.cfg.Farm.Drive(id)
+	s, err := findActive(e.streams, id)
 	if err != nil {
 		return err
 	}
-	return drv.Fail()
+	s.Done = true
+	if err := e.releaseGroups(s.buf, s.pending); err != nil {
+		return err
+	}
+	s.buf, s.pending = nil, nil
+	return nil
 }
 
 // Step implements Simulator.
 func (e *StaggeredGroup) Step() (*sched.CycleReport, error) {
-	rep := &sched.CycleReport{Cycle: e.cycle}
-	slots, err := sched.NewSlots(e.cfg.Farm.Size(), e.slotsPerDisk)
+	ctx, err := e.beginCycle()
 	if err != nil {
 		return nil, err
 	}
 	width := e.cfg.Layout.GroupWidth()
 
-	// Read pass: streams at their phase read their next whole group.
+	// Read pass: streams at their phase read their next whole group. As
+	// in Streaming RAID, each reading stream touches exactly one cluster
+	// this cycle, so the pass fans out per cluster; the buffer pool only
+	// grows here, keeping its peak worker-count-independent.
+	readers := make([][]*sgStream, e.cfg.Layout.Clusters())
 	for _, s := range e.streams {
 		if s.Done || s.Terminated || e.cycle%width != s.phase || s.nextGroup >= len(s.Obj.Groups) {
 			continue
 		}
-		g := &s.Obj.Groups[s.nextGroup]
-		s.nextGroup++
-		staged := &bufferedGroup{group: g, data: make([][]byte, len(g.Data)), reconstructed: make([]bool, len(g.Data))}
-		ok := true
-		for _, loc := range g.Data {
-			if !slots.Take(loc.Disk) {
-				ok = false
+		cl := s.Obj.Groups[s.nextGroup].Cluster
+		readers[cl] = append(readers[cl], s)
+	}
+	if err := e.runClusters(ctx, func(shard *sched.CycleContext, cl int) error {
+		for _, s := range readers[cl] {
+			g := &s.Obj.Groups[s.nextGroup]
+			s.nextGroup++
+			staged, err := e.stageGroup(shard, g)
+			if err != nil {
+				return err
 			}
+			// The staged group holds C-1 data buffers plus the parity
+			// buffer; parity is dropped at the end of this read cycle (its
+			// only post-read use is masking a failure during the read).
+			s.pending = staged
 		}
-		if !slots.Take(g.Parity.Disk) {
-			ok = false
-		}
-		if ok {
-			gr := readGroup(e.cfg.Farm, g, true)
-			rep.DataReads += gr.dataReads
-			rep.ParityReads += gr.parityReads
-			if rec, recErr := gr.recoverGroup(); recErr == nil && rec >= 0 {
-				staged.reconstructed[rec] = true
-				rep.Reconstructions++
-			}
-			staged.data = gr.data
-			// C-1 data buffers plus the parity buffer; parity is dropped
-			// at the end of this read cycle (its only post-read use is
-			// masking a failure during the read).
-			staged.pooled = len(g.Data) + 1
-			if err := e.pool.Acquire(staged.pooled); err != nil {
-				return nil, err
-			}
-		}
-		s.pending = staged
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Delivery pass: one track per active stream per cycle; releases
@@ -198,7 +144,7 @@ func (e *StaggeredGroup) Step() (*sched.CycleReport, error) {
 			continue
 		}
 		if s.buf != nil && s.buf.next < s.buf.group.ValidTracks {
-			e.deliverOne(s, rep)
+			e.deliverOne(s, ctx.Rep)
 			if s.buf.pooled > 0 {
 				if err := e.pool.Release(1); err != nil {
 					return nil, err
@@ -230,13 +176,11 @@ func (e *StaggeredGroup) Step() (*sched.CycleReport, error) {
 			}
 		}
 		if s.Done {
-			rep.Finished = append(rep.Finished, s.ID)
+			ctx.Rep.Finished = append(ctx.Rep.Finished, s.ID)
 		}
 	}
 
-	rep.BufferInUse = e.pool.InUse()
-	e.cycle++
-	return rep, nil
+	return e.endCycle(ctx), nil
 }
 
 // deliverOne sends the next track of the stream's buffered group.

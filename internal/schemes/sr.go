@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"ftmm/internal/buffer"
 	"ftmm/internal/layout"
 	"ftmm/internal/sched"
 )
@@ -16,82 +15,33 @@ import (
 // memory together with its group, any single drive failure per cluster is
 // masked with zero hiccups, whenever it strikes.
 type StreamingRAID struct {
-	cfg          Config
-	slotsPerDisk int
-	cycle        int
-	nextID       int
-	streams      []*srStream
-	pool         *buffer.Pool
-}
-
-type srStream struct {
-	sched.Stream
-	// nextGroup is the next parity-group index to read.
-	nextGroup int
-	// staged is the group read this cycle; delivering is the group read
-	// last cycle, owed to the client this cycle.
-	staged     *bufferedGroup
-	delivering *bufferedGroup
+	engineCore
+	streams []*groupStream
 }
 
 // NewStreamingRAID builds the engine. The layout must use dedicated
 // parity placement.
 func NewStreamingRAID(cfg Config) (*StreamingRAID, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Layout.Placement() != layout.DedicatedParity {
+	if cfg.Layout != nil && cfg.Layout.Placement() != layout.DedicatedParity {
 		return nil, fmt.Errorf("schemes: Streaming RAID needs dedicated parity, got %v", cfg.Layout.Placement())
 	}
-	slots, err := cfg.slotsFor(cfg.Layout.GroupWidth())
+	core, err := newEngineCore(cfg, cfg.Layout.GroupWidth())
 	if err != nil {
 		return nil, err
 	}
-	return &StreamingRAID{cfg: cfg, slotsPerDisk: slots, pool: newPool()}, nil
+	return &StreamingRAID{engineCore: core}, nil
 }
 
 // Name implements Simulator.
 func (e *StreamingRAID) Name() string { return "Streaming RAID" }
-
-// Cycle implements Simulator.
-func (e *StreamingRAID) Cycle() int { return e.cycle }
 
 // CycleTime implements Simulator: Tcyc = (C-1)·B/b0.
 func (e *StreamingRAID) CycleTime() time.Duration {
 	return e.cfg.Farm.Params().CycleTime(e.cfg.Layout.GroupWidth(), e.cfg.Rate)
 }
 
-// SlotsPerDisk returns the per-disk per-cycle track budget in use.
-func (e *StreamingRAID) SlotsPerDisk() int { return e.slotsPerDisk }
-
 // Active implements Simulator.
-func (e *StreamingRAID) Active() int {
-	n := 0
-	for _, s := range e.streams {
-		if !s.Done && !s.Terminated {
-			n++
-		}
-	}
-	return n
-}
-
-// BufferPeak implements Simulator.
-func (e *StreamingRAID) BufferPeak() int { return e.pool.Peak() }
-
-// BufferInUse returns the current buffer occupancy in tracks.
-func (e *StreamingRAID) BufferInUse() int { return e.pool.InUse() }
-
-// clusterLoad counts the streams whose next read is on each cluster.
-func (e *StreamingRAID) clusterLoad() []int {
-	load := make([]int, e.cfg.Layout.Clusters())
-	for _, s := range e.streams {
-		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
-			continue
-		}
-		load[s.Obj.Groups[s.nextGroup].Cluster]++
-	}
-	return load
-}
+func (e *StreamingRAID) Active() int { return activeCount(e.streams) }
 
 // AddStream implements Simulator. A stream consumes one track read on
 // every drive of its current cluster each cycle, and every active stream
@@ -100,132 +50,51 @@ func (e *StreamingRAID) clusterLoad() []int {
 // count to be under the per-disk budget.
 func (e *StreamingRAID) AddStream(obj *layout.Object) (int, error) {
 	start := obj.Groups[0].Cluster
-	if e.clusterLoad()[start] >= e.slotsPerDisk {
+	if e.groupClusterLoad(e.streams)[start] >= e.slotsPerDisk {
 		return 0, fmt.Errorf("schemes: cluster %d is at its %d-stream capacity", start, e.slotsPerDisk)
 	}
-	id := e.nextID
-	e.nextID++
-	e.streams = append(e.streams, &srStream{Stream: sched.Stream{ID: id, Obj: obj}})
+	id := e.allocStreamID()
+	e.streams = append(e.streams, &groupStream{Stream: sched.Stream{ID: id, Obj: obj}})
 	return id, nil
 }
 
 // CancelStream stops serving a stream immediately (a client hanging
 // up); its buffers are returned. It is not a degradation event.
 func (e *StreamingRAID) CancelStream(id int) error {
-	for _, s := range e.streams {
-		if s.ID != id {
-			continue
-		}
-		if s.Done || s.Terminated {
-			return fmt.Errorf("schemes: stream %d is not active", id)
-		}
-		s.Done = true
-		for _, bg := range []*bufferedGroup{s.staged, s.delivering} {
-			if bg != nil && bg.pooled > 0 {
-				if err := e.pool.Release(bg.pooled); err != nil {
-					return err
-				}
-				bg.pooled = 0
-			}
-		}
-		s.staged, s.delivering = nil, nil
-		return nil
-	}
-	return fmt.Errorf("schemes: no stream %d", id)
-}
-
-// FailDisk implements Simulator.
-func (e *StreamingRAID) FailDisk(id int) error {
-	drv, err := e.cfg.Farm.Drive(id)
-	if err != nil {
-		return err
-	}
-	return drv.Fail()
+	return e.cancelGroupStream(e.streams, id)
 }
 
 // Step implements Simulator.
 func (e *StreamingRAID) Step() (*sched.CycleReport, error) {
-	rep := &sched.CycleReport{Cycle: e.cycle}
-	slots, err := sched.NewSlots(e.cfg.Farm.Size(), e.slotsPerDisk)
+	ctx, err := e.beginCycle()
 	if err != nil {
 		return nil, err
 	}
 
 	// Read phase: each active stream reads its next whole parity group.
-	for _, s := range e.streams {
-		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
-			continue
-		}
-		g := &s.Obj.Groups[s.nextGroup]
-		s.nextGroup++
-		staged := &bufferedGroup{group: g, data: make([][]byte, len(g.Data)), reconstructed: make([]bool, len(g.Data))}
-		// One slot on every drive of the group's cluster; failed drives
-		// keep their slot (the arm is still scheduled) but yield nothing.
-		ok := true
-		for _, loc := range g.Data {
-			if !slots.Take(loc.Disk) {
-				ok = false
+	// A stream's reads stay on one cluster this cycle, so clusters are
+	// independent and run on the worker pool; the buffer pool only grows
+	// during this phase, keeping its peak worker-count-independent.
+	readers := e.groupReadersByCluster(e.streams, nil)
+	if err := e.runClusters(ctx, func(shard *sched.CycleContext, cl int) error {
+		for _, s := range readers[cl] {
+			g := &s.Obj.Groups[s.nextGroup]
+			s.nextGroup++
+			staged, err := e.stageGroup(shard, g)
+			if err != nil {
+				return err
 			}
+			s.staged = staged
 		}
-		if !slots.Take(g.Parity.Disk) {
-			ok = false
-		}
-		if ok {
-			gr := readGroup(e.cfg.Farm, g, true)
-			rep.DataReads += gr.dataReads
-			rep.ParityReads += gr.parityReads
-			if rec, recErr := gr.recoverGroup(); recErr == nil && rec >= 0 {
-				staged.reconstructed[rec] = true
-				rep.Reconstructions++
-			}
-			staged.data = gr.data
-			staged.pooled = len(g.Data) + 1
-			if err := e.pool.Acquire(staged.pooled); err != nil {
-				return nil, err
-			}
-		}
-		// When !ok (over-admission under a manual SlotsPerDisk override)
-		// the group stays empty and hiccups at delivery.
-		s.staged = staged
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Delivery phase: groups read in the previous cycle go out now.
-	for _, s := range e.streams {
-		if s.Terminated || s.Done {
-			continue
-		}
-		bg := s.delivering
-		s.delivering, s.staged = s.staged, nil
-		if bg == nil {
-			continue
-		}
-		width := len(bg.group.Data)
-		base := bg.group.Index * width
-		for off := 0; off < bg.group.ValidTracks; off++ {
-			if bg.data[off] == nil {
-				rep.Hiccups = append(rep.Hiccups, sched.Hiccup{
-					StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-					Reason: "parity group unrecoverable",
-				})
-				continue
-			}
-			rep.Delivered = append(rep.Delivered, sched.Delivery{
-				StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-				Data: bg.data[off], Reconstructed: bg.reconstructed[off],
-			})
-		}
-		if bg.pooled > 0 {
-			if err := e.pool.Release(bg.pooled); err != nil {
-				return nil, err
-			}
-		}
-		s.Advance(bg.group.ValidTracks)
-		if s.Done {
-			rep.Finished = append(rep.Finished, s.ID)
-		}
+	if err := e.deliverDouble(ctx, e.streams, "parity group unrecoverable"); err != nil {
+		return nil, err
 	}
 
-	rep.BufferInUse = e.pool.InUse()
-	e.cycle++
-	return rep, nil
+	return e.endCycle(ctx), nil
 }

@@ -22,6 +22,7 @@ import (
 	"ftmm/internal/disk"
 	"ftmm/internal/diskmodel"
 	"ftmm/internal/layout"
+	"ftmm/internal/metrics"
 	"ftmm/internal/rebuild"
 	"ftmm/internal/sched"
 	"ftmm/internal/schemes"
@@ -49,6 +50,12 @@ type Options struct {
 	Tertiary tertiary.Config
 	// SlotsPerDisk optionally overrides the per-disk per-cycle budget.
 	SlotsPerDisk int
+	// Workers bounds the engine's per-cluster parallelism within a cycle:
+	// 0 uses GOMAXPROCS, 1 runs serial. Reports are identical either way.
+	Workers int
+	// Metrics receives the engine's instruments; nil installs a fresh
+	// registry (exposed via Metrics/MetricsSnapshot).
+	Metrics *metrics.Registry
 }
 
 func (o *Options) fillDefaults() {
@@ -60,6 +67,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.Tertiary == (tertiary.Config{}) {
 		o.Tertiary = tertiary.DefaultConfig()
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.New()
 	}
 }
 
@@ -131,7 +141,12 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := schemes.Config{Farm: farm, Layout: cat.Layout(), Rate: opts.Rate, SlotsPerDisk: opts.SlotsPerDisk}
+	cfg := schemes.Config{
+		Farm: farm, Layout: cat.Layout(), Rate: opts.Rate,
+		SlotsPerDisk: opts.SlotsPerDisk,
+		Workers:      opts.Workers,
+		Metrics:      opts.Metrics,
+	}
 	var engine schemes.Simulator
 	switch opts.Scheme {
 	case analytic.StreamingRAID:
@@ -419,6 +434,12 @@ func (s *Server) Stats() Stats {
 
 // StagingTime returns the cumulative simulated tertiary latency.
 func (s *Server) StagingTime() time.Duration { return s.staging }
+
+// Metrics returns the engine's instrument registry.
+func (s *Server) Metrics() *metrics.Registry { return s.opts.Metrics }
+
+// MetricsSnapshot returns a point-in-time copy of every instrument.
+func (s *Server) MetricsSnapshot() metrics.Snapshot { return s.opts.Metrics.Snapshot() }
 
 // BufferPeakBytes converts the engine's peak buffer occupancy to bytes.
 func (s *Server) BufferPeakBytes() units.ByteSize {
