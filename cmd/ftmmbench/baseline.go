@@ -1,0 +1,322 @@
+// Performance-baseline mode: -bench-baseline <path> runs the data-path
+// benchmark suite (one scheduling cycle per scheme, plus the parity
+// substrate) via testing.Benchmark and writes ns/op, allocs/op, and the
+// stream count to a BENCH_*.json file.
+//
+// If the output file already exists, its previous "benchmarks" section
+// is carried forward as "pre_change" (unless it already carries one), so
+// a committed baseline records both sides of an optimisation: write the
+// old numbers once, re-run after the change, diff inside one file.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ftmm/internal/disk"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/layout"
+	"ftmm/internal/parity"
+	"ftmm/internal/schemes"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+// benchEntry is one benchmark's result in the baseline file.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// Streams is the number of active streams the engine serves during
+	// the measured cycles (0 for substrate microbenchmarks).
+	Streams int `json:"streams"`
+}
+
+// baselineFile is the BENCH_*.json wire shape.
+type baselineFile struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	// PreChange holds the numbers from before the change under test,
+	// carried forward from the file's previous contents.
+	PreChange []benchEntry `json:"pre_change,omitempty"`
+}
+
+// baselineRig mirrors the bench_test.go rig: 20 drives in clusters of 5,
+// 8 objects of 200 parity groups each.
+func baselineRig(tb testing.TB, placement layout.Placement) (schemes.Config, []*layout.Object) {
+	p := diskmodel.Table1()
+	const d, c, nObj, groups = 20, 5, 8, 200
+	p.Capacity = units.ByteSize(nObj*groups*c/d+groups*c+10) * p.TrackSize
+	farm, err := disk.NewFarm(d, c, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lay, err := layout.ForFarm(farm, placement)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	trackSize := int(p.TrackSize)
+	var objs []*layout.Object
+	for i := 0; i < nObj; i++ {
+		id := fmt.Sprintf("obj%d", i)
+		obj, err := lay.AddObject(id, groups*(c-1), i%lay.Clusters(), units.MPEG1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := layout.WriteObject(farm, obj, workload.SyntheticContent(id, groups*(c-1)*trackSize)); err != nil {
+			tb.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	return schemes.Config{Farm: farm, Layout: lay, Rate: units.MPEG1}, objs
+}
+
+// benchEngineCycles drives Step b.N times, rebuilding the engine (off
+// the clock) whenever its finite streams run out.
+func benchEngineCycles(b *testing.B, build func(tb testing.TB) schemes.Simulator, perCycleBytes int64) {
+	e := build(b)
+	b.SetBytes(perCycleBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Active() == 0 {
+			b.StopTimer()
+			e = build(b)
+			b.StartTimer()
+		}
+		if _, err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// admitAll adds every object as a stream; prime additionally steps once
+// per admission, matching the staggered-admission engines' benchmarks.
+func admitAll(tb testing.TB, e schemes.Simulator, objs []*layout.Object, prime bool) {
+	for _, o := range objs {
+		if _, err := e.AddStream(o); err != nil {
+			tb.Fatal(err)
+		}
+		if prime {
+			if _, err := e.Step(); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+}
+
+// baselineSpec names one benchmark in the suite.
+type baselineSpec struct {
+	name    string
+	streams int
+	run     func(b *testing.B)
+}
+
+const baselineTrack = 50_000 // Table 1 track size in bytes
+
+func baselineSpecs() []baselineSpec {
+	const nObj = 8
+	return []baselineSpec{
+		{"CycleStreamingRAID", nObj, func(b *testing.B) {
+			cfg, objs := baselineRig(b, layout.DedicatedParity)
+			benchEngineCycles(b, func(tb testing.TB) schemes.Simulator {
+				e, err := schemes.NewStreamingRAID(cfg)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				admitAll(tb, e, objs, false)
+				return e
+			}, nObj*5*baselineTrack)
+		}},
+		{"CycleStaggeredGroup", nObj, func(b *testing.B) {
+			cfg, objs := baselineRig(b, layout.DedicatedParity)
+			benchEngineCycles(b, func(tb testing.TB) schemes.Simulator {
+				e, err := schemes.NewStaggeredGroup(cfg)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				admitAll(tb, e, objs, true)
+				return e
+			}, nObj*baselineTrack/4*5)
+		}},
+		{"CycleNonClustered", nObj, func(b *testing.B) {
+			cfg, objs := baselineRig(b, layout.DedicatedParity)
+			benchEngineCycles(b, func(tb testing.TB) schemes.Simulator {
+				e, err := schemes.NewNonClustered(cfg, schemes.AlternateSwitchover, 2)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				admitAll(tb, e, objs, true)
+				return e
+			}, nObj*baselineTrack)
+		}},
+		{"CycleNonClusteredDegraded", nObj, func(b *testing.B) {
+			// FailDisk mutates the farm, so each engine instance needs a
+			// fresh rig.
+			benchEngineCycles(b, func(tb testing.TB) schemes.Simulator {
+				cfg, objs := baselineRig(tb, layout.DedicatedParity)
+				e, err := schemes.NewNonClustered(cfg, schemes.AlternateSwitchover, 2)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				admitAll(tb, e, objs, true)
+				if err := e.FailDisk(0); err != nil {
+					tb.Fatal(err)
+				}
+				return e
+			}, nObj*baselineTrack)
+		}},
+		{"CycleImprovedBandwidth", nObj, func(b *testing.B) {
+			cfg, objs := baselineRig(b, layout.IntermixedParity)
+			benchEngineCycles(b, func(tb testing.TB) schemes.Simulator {
+				e, err := schemes.NewImprovedBandwidth(cfg, 2)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				admitAll(tb, e, objs, false)
+				return e
+			}, nObj*4*baselineTrack)
+		}},
+		{"ParityEncode", 0, func(b *testing.B) {
+			blocks := parityBlocks(4)
+			b.SetBytes(4 * baselineTrack)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := parity.Encode(blocks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ParityReconstruct", 0, func(b *testing.B) {
+			g, err := parity.NewGroup(parityBlocks(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(baselineTrack)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.ReconstructData(2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ParityXORIntoWord", 0, func(b *testing.B) {
+			blocks := parityBlocks(2)
+			b.SetBytes(baselineTrack)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := parity.XORInto(blocks[0], blocks[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ParityXORIntoRef", 0, func(b *testing.B) {
+			blocks := parityBlocks(2)
+			b.SetBytes(baselineTrack)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := parity.XORIntoRef(blocks[0], blocks[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+func parityBlocks(n int) [][]byte {
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = workload.SyntheticContent(fmt.Sprintf("b%d", i), baselineTrack)
+	}
+	return blocks
+}
+
+// runBaseline executes the suite and writes the baseline file,
+// preserving prior numbers as pre_change. It prints a per-benchmark
+// summary, including the allocs/op delta against pre_change when one is
+// available.
+func runBaseline(path string) error {
+	prev, err := readBaseline(path)
+	if err != nil {
+		return err
+	}
+
+	out := baselineFile{
+		Schema:    "ftmm-bench-baseline/1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	if prev != nil {
+		if len(prev.PreChange) > 0 {
+			out.PreChange = prev.PreChange
+		} else {
+			out.PreChange = prev.Benchmarks
+		}
+	}
+	pre := map[string]benchEntry{}
+	for _, e := range out.PreChange {
+		pre[e.Name] = e
+	}
+
+	for _, spec := range baselineSpecs() {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			spec.run(b)
+		})
+		e := benchEntry{
+			Name:        spec.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Streams:     spec.streams,
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			e.MBPerSec = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+		}
+		out.Benchmarks = append(out.Benchmarks, e)
+		line := fmt.Sprintf("%-28s %12.0f ns/op %8d allocs/op %10d B/op",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		if p, ok := pre[e.Name]; ok && p.AllocsPerOp > 0 {
+			line += fmt.Sprintf("   allocs vs pre_change: %+.0f%%",
+				100*(float64(e.AllocsPerOp)-float64(p.AllocsPerOp))/float64(p.AllocsPerOp))
+		}
+		fmt.Println(line)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// readBaseline loads an existing baseline file; a missing file is not an
+// error (first run), a malformed one is.
+func readBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: existing baseline unreadable: %w", path, err)
+	}
+	return &f, nil
+}

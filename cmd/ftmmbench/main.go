@@ -12,6 +12,12 @@
 // (results print in registry order regardless); -json emits
 // machine-readable results (metric values plus wall-clock) instead of
 // the rendered tables.
+//
+// -bench-baseline <path> instead runs the data-path benchmark suite
+// (one scheduling cycle per scheme plus the parity substrate) and
+// writes ns/op, allocs/op, and stream counts to a BENCH_*.json file;
+// numbers already in the file are preserved as pre_change for
+// before/after comparison (see BENCH_0.json).
 package main
 
 import (
@@ -29,6 +35,9 @@ var (
 	list     = flag.Bool("list", false, "list experiments and exit")
 	workers = flag.Int("workers", 1, "experiments run concurrently (0 = GOMAXPROCS)")
 	jsonOut = flag.Bool("json", false, "emit machine-readable JSON results")
+
+	benchBaseline = flag.String("bench-baseline", "",
+		"run the data-path benchmark suite and write ns/op, allocs/op, and stream counts to this JSON file (existing numbers are kept as pre_change)")
 )
 
 // jsonResult is the -json wire shape for one experiment.
@@ -43,6 +52,14 @@ type jsonResult struct {
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+
+	if *benchBaseline != "" {
+		if err := runBaseline(*benchBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -116,6 +133,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: ftmmbench [flags] [experiment]
 
 Run -list for experiment names; default runs all.
+Run -bench-baseline BENCH_N.json for the performance baseline suite.
 
 Flags:
 `)

@@ -1,0 +1,101 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaGetPut(t *testing.T) {
+	a := NewArena(128)
+	if a.TrackSize() != 128 {
+		t.Fatalf("TrackSize = %d, want 128", a.TrackSize())
+	}
+	b := a.Get()
+	if len(b) != 128 {
+		t.Fatalf("Get returned %d bytes, want 128", len(b))
+	}
+	for i := range b {
+		b[i] = 0xAB
+	}
+	a.Put(b)
+	z := a.GetZeroed()
+	if len(z) != 128 {
+		t.Fatalf("GetZeroed returned %d bytes, want 128", len(z))
+	}
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed byte %d = %#x, want 0", i, v)
+		}
+	}
+	gets, puts, _ := a.Stats()
+	if gets != 2 || puts != 1 {
+		t.Fatalf("Stats = (%d gets, %d puts), want (2, 1)", gets, puts)
+	}
+}
+
+func TestArenaRejectsWrongSize(t *testing.T) {
+	a := NewArena(64)
+	a.Put(nil)
+	a.Put(make([]byte, 63))
+	a.Put(make([]byte, 65))
+	if _, puts, _ := a.Stats(); puts != 0 {
+		t.Fatalf("puts = %d, want 0 (all rejected)", puts)
+	}
+}
+
+func TestArenaNilSafe(t *testing.T) {
+	var a *Arena
+	if b := a.Get(); b != nil {
+		t.Fatal("nil arena Get returned a buffer")
+	}
+	a.Put(make([]byte, 10))
+	if a.TrackSize() != 0 {
+		t.Fatal("nil arena TrackSize != 0")
+	}
+	if g, p, n := a.Stats(); g != 0 || p != 0 || n != 0 {
+		t.Fatal("nil arena has stats")
+	}
+}
+
+// TestArenaConcurrent hammers Get/Put from many goroutines; run with
+// -race in CI to cover the pool paths.
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := a.Get()
+				for j := range b {
+					b[j] = seed
+				}
+				for j := range b {
+					if b[j] != seed {
+						t.Errorf("buffer shared between goroutines")
+						return
+					}
+				}
+				a.Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}
+
+// TestArenaSteadyStateAllocs checks that a Get/Put cycle in steady state
+// costs at most the one small header allocation sync.Pool.Put makes for
+// the *[]byte box — not a track-sized buffer.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	a := NewArena(50_000)
+	a.Put(a.Get()) // warm the pool
+	n := testing.AllocsPerRun(100, func() {
+		a.Put(a.Get())
+	})
+	// Allow a little slack: a GC during the run may clear the pool and
+	// force one fresh track allocation.
+	if n > 1.5 {
+		t.Errorf("steady-state Get/Put allocates %.1f per run, want ~1", n)
+	}
+}

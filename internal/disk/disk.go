@@ -99,24 +99,39 @@ func (d *Drive) WriteTrack(track int, data []byte) error {
 	return nil
 }
 
-// ReadTrack returns a copy of one track's data.
+// ReadTrack returns a copy of one track's data. Allocation-sensitive
+// callers use ReadTrackInto with a recycled buffer instead.
 func (d *Drive) ReadTrack(track int) ([]byte, error) {
+	out := make([]byte, int(d.params.TrackSize))
+	if err := d.ReadTrackInto(out, track); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadTrackInto copies one track's data into dst, which must be exactly
+// one track long. On error dst is left unmodified. This is the zero-
+// allocation read path: pair it with a buffer.Arena to recycle track
+// buffers across cycles.
+func (d *Drive) ReadTrackInto(dst []byte, track int) error {
 	if track < 0 || track >= d.Tracks() {
-		return nil, fmt.Errorf("%w: %d (drive has %d)", ErrBadTrack, track, d.Tracks())
+		return fmt.Errorf("%w: %d (drive has %d)", ErrBadTrack, track, d.Tracks())
+	}
+	if len(dst) != int(d.params.TrackSize) {
+		return fmt.Errorf("%w: dst is %d bytes, track is %d", ErrBadSize, len(dst), d.params.TrackSize)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.state == Failed {
-		return nil, fmt.Errorf("drive %d: %w", d.id, ErrFailed)
+		return fmt.Errorf("drive %d: %w", d.id, ErrFailed)
 	}
 	data, ok := d.tracks[track]
 	if !ok {
-		return nil, fmt.Errorf("drive %d track %d: %w", d.id, track, ErrEmptyTrack)
+		return fmt.Errorf("drive %d track %d: %w", d.id, track, ErrEmptyTrack)
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
+	copy(dst, data)
 	d.reads++
-	return out, nil
+	return nil
 }
 
 // Fail marks the drive failed and discards its contents (the paper's

@@ -43,6 +43,44 @@ func TestDriveReadWrite(t *testing.T) {
 	}
 }
 
+func TestDriveReadTrackInto(t *testing.T) {
+	d := NewDrive(0, testParams())
+	want := track(0xCD)
+	if err := d.WriteTrack(2, want); err != nil {
+		t.Fatal(err)
+	}
+	dst := track(0)
+	if err := d.ReadTrackInto(dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Fatal("ReadTrackInto differs from written data")
+	}
+	// Mis-sized destination is rejected.
+	if err := d.ReadTrackInto(make([]byte, 10), 2); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("short dst: got %v, want ErrBadSize", err)
+	}
+	// Errors leave dst untouched.
+	marker := track(0x5A)
+	if err := d.ReadTrackInto(marker, 9); !errors.Is(err, ErrEmptyTrack) {
+		t.Fatalf("empty track: got %v, want ErrEmptyTrack", err)
+	}
+	if marker[0] != 0x5A {
+		t.Fatal("failed ReadTrackInto modified dst")
+	}
+	if err := d.ReadTrackInto(marker, -1); !errors.Is(err, ErrBadTrack) {
+		t.Fatalf("bad track: got %v, want ErrBadTrack", err)
+	}
+	// Zero-allocation steady state.
+	if n := testing.AllocsPerRun(50, func() {
+		if err := d.ReadTrackInto(dst, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ReadTrackInto allocates %.1f per run, want 0", n)
+	}
+}
+
 func TestDriveCopySemantics(t *testing.T) {
 	d := NewDrive(0, testParams())
 	buf := track(1)

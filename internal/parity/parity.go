@@ -6,9 +6,18 @@
 // The package operates on real bytes so that the simulation layers above
 // it can verify, bit for bit, that data delivered during degraded-mode
 // operation equals the data that was stored.
+//
+// Two implementations of the XOR fold coexist: the word-wise kernel
+// (xorWords) that every public entry point uses, and the byte-wise
+// reference (XORIntoRef) retained for differential testing. The kernel
+// folds eight 64-bit words per unrolled iteration through
+// encoding/binary loads, then finishes unaligned tails word- and
+// byte-wise, so track-sized blocks move at memory bandwidth without any
+// unsafe or architecture-specific code.
 package parity
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -19,8 +28,49 @@ var ErrSizeMismatch = errors.New("parity: blocks in a group must have equal leng
 // ErrEmptyGroup is returned for groups with no data blocks.
 var ErrEmptyGroup = errors.New("parity: group needs at least one data block")
 
-// XORInto xors src into dst element-wise: dst[i] ^= src[i].
+// xorWords is the word-wise XOR kernel: dst[i] ^= src[i] for equally
+// sized slices, eight uint64 lanes per unrolled iteration with a
+// word-wise then byte-wise tail. Callers guarantee len(dst) == len(src).
+func xorWords(dst, src []byte) {
+	n := len(dst)
+	i := 0
+	// Main loop: 64 bytes (8 words) per iteration.
+	for ; i+64 <= n; i += 64 {
+		d := dst[i : i+64 : i+64]
+		s := src[i : i+64 : i+64]
+		binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(d[0:8])^binary.LittleEndian.Uint64(s[0:8]))
+		binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(d[8:16])^binary.LittleEndian.Uint64(s[8:16]))
+		binary.LittleEndian.PutUint64(d[16:24], binary.LittleEndian.Uint64(d[16:24])^binary.LittleEndian.Uint64(s[16:24]))
+		binary.LittleEndian.PutUint64(d[24:32], binary.LittleEndian.Uint64(d[24:32])^binary.LittleEndian.Uint64(s[24:32]))
+		binary.LittleEndian.PutUint64(d[32:40], binary.LittleEndian.Uint64(d[32:40])^binary.LittleEndian.Uint64(s[32:40]))
+		binary.LittleEndian.PutUint64(d[40:48], binary.LittleEndian.Uint64(d[40:48])^binary.LittleEndian.Uint64(s[40:48]))
+		binary.LittleEndian.PutUint64(d[48:56], binary.LittleEndian.Uint64(d[48:56])^binary.LittleEndian.Uint64(s[48:56]))
+		binary.LittleEndian.PutUint64(d[56:64], binary.LittleEndian.Uint64(d[56:64])^binary.LittleEndian.Uint64(s[56:64]))
+	}
+	// Word tail.
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:i+8], binary.LittleEndian.Uint64(dst[i:i+8])^binary.LittleEndian.Uint64(src[i:i+8]))
+	}
+	// Byte tail.
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// XORInto xors src into dst element-wise: dst[i] ^= src[i]. It uses the
+// word-wise kernel and performs no allocations.
 func XORInto(dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d bytes, src %d", ErrSizeMismatch, len(dst), len(src))
+	}
+	xorWords(dst, src)
+	return nil
+}
+
+// XORIntoRef is the byte-wise reference implementation of XORInto, kept
+// for differential tests and kernel-speedup benchmarks. Production code
+// uses XORInto.
+func XORIntoRef(dst, src []byte) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("%w: dst %d bytes, src %d", ErrSizeMismatch, len(dst), len(src))
 	}
@@ -30,20 +80,48 @@ func XORInto(dst, src []byte) error {
 	return nil
 }
 
+// EncodeInto computes the parity of the data blocks into dst without
+// allocating: dst = data[0] ⊕ data[1] ⊕ … The blocks must be non-empty,
+// equally sized, and the same length as dst. dst may alias data[0] (the
+// copy is skipped) but no other block.
+func EncodeInto(dst []byte, data [][]byte) error {
+	if len(data) == 0 {
+		return ErrEmptyGroup
+	}
+	if len(dst) != len(data[0]) {
+		return fmt.Errorf("%w: dst %d bytes, blocks %d", ErrSizeMismatch, len(dst), len(data[0]))
+	}
+	if len(dst) > 0 && &dst[0] != &data[0][0] {
+		copy(dst, data[0])
+	}
+	for i, blk := range data[1:] {
+		if err := XORInto(dst, blk); err != nil {
+			return fmt.Errorf("parity: block %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
 // Encode computes the parity block of the given data blocks. The blocks
 // must be non-empty and equally sized; the result is freshly allocated.
+// Allocation-sensitive callers use EncodeInto.
 func Encode(data [][]byte) ([]byte, error) {
 	if len(data) == 0 {
 		return nil, ErrEmptyGroup
 	}
 	p := make([]byte, len(data[0]))
-	copy(p, data[0])
-	for i, blk := range data[1:] {
-		if err := XORInto(p, blk); err != nil {
-			return nil, fmt.Errorf("parity: block %d: %w", i+1, err)
-		}
+	if err := EncodeInto(p, data); err != nil {
+		return nil, err
 	}
 	return p, nil
+}
+
+// ReconstructInto rebuilds the missing block of a parity group into dst
+// given every other block (the surviving data blocks and the parity
+// block, in any order), without allocating. It is the same fold as
+// EncodeInto: XOR of all survivors.
+func ReconstructInto(dst []byte, survivors [][]byte) error {
+	return EncodeInto(dst, survivors)
 }
 
 // Reconstruct rebuilds the missing block of a parity group given every
@@ -90,14 +168,17 @@ func (g *Group) ReconstructData(i int) ([]byte, error) {
 	if i < 0 || i >= len(g.Data) {
 		return nil, fmt.Errorf("parity: block index %d out of range [0,%d)", i, len(g.Data))
 	}
-	survivors := make([][]byte, 0, len(g.Data))
+	rec := make([]byte, len(g.Parity))
+	copy(rec, g.Parity)
 	for j, blk := range g.Data {
-		if j != i {
-			survivors = append(survivors, blk)
+		if j == i {
+			continue
+		}
+		if err := XORInto(rec, blk); err != nil {
+			return nil, err
 		}
 	}
-	survivors = append(survivors, g.Parity)
-	return Reconstruct(survivors)
+	return rec, nil
 }
 
 // Update recomputes parity after data block i changes from old to new

@@ -94,6 +94,17 @@ func NewCycleContext(cycle int, slots *Slots, pool *buffer.Pool, rec *Recorder) 
 	}
 }
 
+// Reset rewinds the context for a new cycle: slot budgets clear and the
+// report empties while keeping its backing slices. Engines call this
+// from a persistent context each Step instead of allocating a fresh one,
+// which is why reports handed out by Step are only valid until the next
+// Step (see CycleReport.Clone).
+func (c *CycleContext) Reset(cycle int) {
+	c.Cycle = cycle
+	c.Slots.Reset()
+	c.Rep.Reset(cycle)
+}
+
 // Shard derives a context for one cluster's share of a parallel phase:
 // it shares the slot budgets, pool, and recorder but accumulates into a
 // private report so concurrent clusters never contend, and so the merge

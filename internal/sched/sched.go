@@ -138,6 +138,38 @@ type CycleReport struct {
 	BufferInUse int
 }
 
+// Reset clears the report for reuse on a new cycle, keeping the backing
+// slices so steady-state cycles do not reallocate them.
+func (r *CycleReport) Reset(cycle int) {
+	r.Cycle = cycle
+	r.Delivered = r.Delivered[:0]
+	r.Hiccups = r.Hiccups[:0]
+	r.Finished = r.Finished[:0]
+	r.Terminated = r.Terminated[:0]
+	r.DataReads = 0
+	r.ParityReads = 0
+	r.Reconstructions = 0
+	r.BufferInUse = 0
+}
+
+// Clone deep-copies the report, including every Delivery's Data bytes.
+// Engines reuse report backing slices and recycle track buffers between
+// cycles, so a report (and the Data it references) is only valid until
+// the engine's next Step; callers that retain reports across cycles must
+// Clone them first.
+func (r *CycleReport) Clone() *CycleReport {
+	out := *r
+	out.Delivered = make([]Delivery, len(r.Delivered))
+	for i, d := range r.Delivered {
+		d.Data = append([]byte(nil), d.Data...)
+		out.Delivered[i] = d
+	}
+	out.Hiccups = append([]Hiccup(nil), r.Hiccups...)
+	out.Finished = append([]int(nil), r.Finished...)
+	out.Terminated = append([]int(nil), r.Terminated...)
+	return &out
+}
+
 // Stream is one active delivery: a client receiving an object at its
 // bandwidth, one track at a time.
 type Stream struct {

@@ -110,3 +110,47 @@ func TestStreamLifecycle(t *testing.T) {
 		t.Fatal("terminated stream has remaining tracks")
 	}
 }
+
+func TestCycleReportResetKeepsBackingSlices(t *testing.T) {
+	rep := &CycleReport{
+		Cycle:           3,
+		Delivered:       []Delivery{{StreamID: 1, Data: []byte{1, 2}}},
+		Hiccups:         []Hiccup{{StreamID: 2}},
+		Finished:        []int{1},
+		Terminated:      []int{2},
+		DataReads:       5,
+		ParityReads:     1,
+		Reconstructions: 1,
+		BufferInUse:     9,
+	}
+	d0 := cap(rep.Delivered)
+	rep.Reset(4)
+	if rep.Cycle != 4 || len(rep.Delivered) != 0 || len(rep.Hiccups) != 0 ||
+		len(rep.Finished) != 0 || len(rep.Terminated) != 0 ||
+		rep.DataReads != 0 || rep.ParityReads != 0 || rep.Reconstructions != 0 || rep.BufferInUse != 0 {
+		t.Fatalf("Reset left state behind: %+v", rep)
+	}
+	if cap(rep.Delivered) != d0 {
+		t.Fatal("Reset dropped the Delivered backing slice")
+	}
+}
+
+func TestCycleReportCloneIsDeep(t *testing.T) {
+	data := []byte{1, 2, 3}
+	rep := &CycleReport{
+		Cycle:     7,
+		Delivered: []Delivery{{StreamID: 1, Data: data}},
+		Hiccups:   []Hiccup{{StreamID: 2, Reason: "x"}},
+		Finished:  []int{1},
+	}
+	cl := rep.Clone()
+	data[0] = 99 // mutate the original's backing bytes
+	rep.Delivered[0].StreamID = 50
+	rep.Finished[0] = 50
+	if cl.Delivered[0].Data[0] != 1 {
+		t.Fatal("Clone shares Delivery.Data bytes")
+	}
+	if cl.Delivered[0].StreamID != 1 || cl.Finished[0] != 1 {
+		t.Fatal("Clone shares list backing arrays")
+	}
+}

@@ -1,0 +1,87 @@
+package schemes
+
+import (
+	"testing"
+
+	"ftmm/internal/layout"
+)
+
+// Steady-state per-cycle allocation budgets. The data path itself is
+// allocation-free (arena-recycled track buffers, persistent cycle
+// context, reused report slices); what remains is small fixed-size
+// bookkeeping — bufferedGroup headers, groupRead slices, sync.Pool put
+// boxes, map churn — all independent of track size. The budgets are
+// deliberately loose (roughly 2x observed) so they catch a regression
+// back to per-track allocation (hundreds of KB per cycle) without
+// flaking on allocator noise.
+const (
+	srCycleAllocBudget = 50
+	ncCycleAllocBudget = 20
+)
+
+// steadyStateAllocs measures allocations per Step once the engine is
+// warmed up (arena populated, report slices grown).
+func steadyStateAllocs(t *testing.T, e Simulator, warmup, runs int) float64 {
+	t.Helper()
+	for i := 0; i < warmup; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return testing.AllocsPerRun(runs, func() {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSRSteadyStateCycleAllocBudget pins the Streaming RAID engine to a
+// fixed small per-cycle allocation budget in steady state. Workers must
+// be 1: spawning read-phase goroutines allocates by design.
+func TestSRSteadyStateCycleAllocBudget(t *testing.T) {
+	r := newRig(t, 10, 5, 2, 60, layout.DedicatedParity)
+	cfg := r.config()
+	cfg.Workers = 1
+	e, err := NewStreamingRAID(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := e.AddStream(r.object(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := steadyStateAllocs(t, e, 5, 20)
+	t.Logf("Streaming RAID steady-state allocs/cycle: %.1f", n)
+	if n > srCycleAllocBudget {
+		t.Errorf("Streaming RAID allocates %.1f per cycle, budget %d", n, srCycleAllocBudget)
+	}
+	if e.Active() == 0 {
+		t.Fatal("streams finished during measurement; grow the rig")
+	}
+}
+
+// TestNCSteadyStateCycleAllocBudget pins the Non-clustered engine's
+// normal-mode cycle to a fixed small allocation budget.
+func TestNCSteadyStateCycleAllocBudget(t *testing.T) {
+	r := newRig(t, 10, 5, 2, 60, layout.DedicatedParity)
+	cfg := r.config()
+	cfg.Workers = 1
+	e, err := NewNonClustered(cfg, SimpleSwitchover, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := e.AddStream(r.object(t, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := steadyStateAllocs(t, e, 5, 20)
+	t.Logf("Non-clustered steady-state allocs/cycle: %.1f", n)
+	if n > ncCycleAllocBudget {
+		t.Errorf("Non-clustered allocates %.1f per cycle, budget %d", n, ncCycleAllocBudget)
+	}
+	if e.Active() == 0 {
+		t.Fatal("streams finished during measurement; grow the rig")
+	}
+}

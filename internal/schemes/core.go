@@ -19,8 +19,16 @@ type engineCore struct {
 	cycle        int
 	nextID       int
 	pool         *buffer.Pool
-	rec          *sched.Recorder
-	workers      int
+	// arena recycles track-sized byte buffers across cycles; pool above
+	// remains the paper's track-count accounting.
+	arena   *buffer.Arena
+	rec     *sched.Recorder
+	workers int
+	// ctx and shards are the persistent cycle context and per-cluster
+	// shards, reset each Step instead of reallocated; this is why reports
+	// returned by Step are only valid until the next Step.
+	ctx    *sched.CycleContext
+	shards []*sched.CycleContext
 }
 
 // newEngineCore validates the config and builds the chassis for an
@@ -37,6 +45,7 @@ func newEngineCore(cfg Config, kPrime int) (engineCore, error) {
 		cfg:          cfg,
 		slotsPerDisk: slots,
 		pool:         newPool(),
+		arena:        buffer.NewArena(int(cfg.Farm.Params().TrackSize)),
 		rec:          sched.NewRecorder(cfg.Metrics),
 		workers:      cfg.Workers,
 	}, nil
@@ -71,14 +80,21 @@ func (c *engineCore) allocStreamID() int {
 	return id
 }
 
-// beginCycle opens the cycle's context: fresh slot budgets, the shared
-// pool, an empty report, and the recorder.
+// beginCycle opens the cycle's context: cleared slot budgets, the shared
+// pool, an emptied report, and the recorder. The context is persistent —
+// reset, not reallocated — so the report Step hands out is valid only
+// until the next Step.
 func (c *engineCore) beginCycle() (*sched.CycleContext, error) {
-	slots, err := sched.NewSlots(c.cfg.Farm.Size(), c.slotsPerDisk)
-	if err != nil {
-		return nil, err
+	if c.ctx == nil {
+		slots, err := sched.NewSlots(c.cfg.Farm.Size(), c.slotsPerDisk)
+		if err != nil {
+			return nil, err
+		}
+		c.ctx = sched.NewCycleContext(c.cycle, slots, c.pool, c.rec)
+		return c.ctx, nil
 	}
-	return sched.NewCycleContext(c.cycle, slots, c.pool, c.rec), nil
+	c.ctx.Reset(c.cycle)
+	return c.ctx, nil
 }
 
 // endCycle closes the cycle: stamps buffer occupancy, feeds the metrics
@@ -97,30 +113,60 @@ func (c *engineCore) endCycle(ctx *sched.CycleContext) *sched.CycleReport {
 // a stream's reads stay within its current cluster).
 func (c *engineCore) runClusters(ctx *sched.CycleContext, fn func(shard *sched.CycleContext, cl int) error) error {
 	n := c.cfg.Layout.Clusters()
-	shards := make([]*sched.CycleContext, n)
+	if c.shards == nil {
+		c.shards = make([]*sched.CycleContext, n)
+	}
 	if err := sched.RunClusters(n, c.workers, func(cl int) error {
-		shard := ctx.Shard()
-		shards[cl] = shard
+		shard := c.shards[cl]
+		if shard == nil {
+			shard = ctx.Shard()
+			c.shards[cl] = shard
+		} else {
+			// Rewind only the shard's private report; slot budgets are
+			// shared with ctx and were reset in beginCycle.
+			shard.Cycle = ctx.Cycle
+			shard.Rep.Reset(ctx.Cycle)
+		}
 		return fn(shard, cl)
 	}); err != nil {
 		return err
 	}
-	ctx.MergeShards(shards...)
+	ctx.MergeShards(c.shards...)
 	return nil
 }
 
 // releaseGroups returns the pooled tracks held by the given buffered
-// groups (nils are fine).
+// groups (nils are fine) and recycles their byte buffers to the arena.
 func (c *engineCore) releaseGroups(bgs ...*bufferedGroup) error {
 	for _, bg := range bgs {
-		if bg != nil && bg.pooled > 0 {
+		if bg == nil {
+			continue
+		}
+		if bg.pooled > 0 {
 			if err := c.pool.Release(bg.pooled); err != nil {
 				return err
 			}
 			bg.pooled = 0
 		}
+		c.recycleGroup(bg)
 	}
 	return nil
+}
+
+// recycleGroup hands a buffered group's remaining track buffers back to
+// the arena and clears the slots. Callers must ensure no live CycleReport
+// older than the current Step references the buffers (delivered buffers
+// recycled here stay intact until the next Step's reads reuse them).
+func (c *engineCore) recycleGroup(bg *bufferedGroup) {
+	if bg == nil {
+		return
+	}
+	for i, d := range bg.data {
+		if d != nil {
+			c.arena.Put(d)
+			bg.data[i] = nil
+		}
+	}
 }
 
 // engineStream lets generic helpers reach the embedded sched.Stream of
@@ -241,13 +287,17 @@ func (c *engineCore) stageGroup(ctx *sched.CycleContext, g *layout.Group) (*buff
 	if !ok {
 		return staged, nil
 	}
-	gr := readGroup(c.cfg.Farm, g, true)
+	gr := readGroup(c.cfg.Farm, g, true, c.arena)
 	ctx.Rep.DataReads += gr.dataReads
 	ctx.Rep.ParityReads += gr.parityReads
 	if rec, recErr := gr.recoverGroup(); recErr == nil && rec >= 0 {
 		staged.reconstructed[rec] = true
 		ctx.Rep.Reconstructions++
 	}
+	// The parity buffer's only post-read use is the recovery above (which
+	// consumes it on success); recycle whatever is left.
+	c.arena.Put(gr.par)
+	gr.par = nil
 	staged.data = gr.data
 	staged.pooled = len(g.Data) + 1
 	if err := c.pool.Acquire(staged.pooled); err != nil {
@@ -288,7 +338,13 @@ func (c *engineCore) deliverDouble(ctx *sched.CycleContext, streams []*groupStre
 			if err := c.pool.Release(bg.pooled); err != nil {
 				return err
 			}
+			bg.pooled = 0
 		}
+		// Delivered buffers go back to the arena now; the report still
+		// references them, which is safe because nothing reuses them
+		// before the next Step's reads (the engine's read phase precedes
+		// delivery within every Step).
+		c.recycleGroup(bg)
 		s.Advance(bg.group.ValidTracks)
 		if s.Done {
 			ctx.Rep.Finished = append(ctx.Rep.Finished, s.ID)

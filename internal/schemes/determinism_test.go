@@ -30,7 +30,9 @@ func runDeterminismScenario(t *testing.T, e Simulator, r *rig, nStreams int) ([]
 		if err != nil {
 			t.Fatalf("cycle %d: %v", cyc, err)
 		}
-		reports = append(reports, rep)
+		// Retained across Steps, so clone (reports are valid only until
+		// the next Step).
+		reports = append(reports, rep.Clone())
 		if cyc >= nStreams && e.Active() == 0 {
 			break
 		}
@@ -144,7 +146,7 @@ func TestWorkerCountInvarianceMidFail(t *testing.T) {
 			if err != nil {
 				t.Fatalf("cycle %d: %v", cyc, err)
 			}
-			reports = append(reports, rep)
+			reports = append(reports, rep.Clone())
 			if cyc >= nStreams && e.Active() == 0 {
 				break
 			}

@@ -6,6 +6,7 @@ import (
 
 	"ftmm/internal/disk"
 	"ftmm/internal/layout"
+	"ftmm/internal/parity"
 	"ftmm/internal/sched"
 )
 
@@ -135,7 +136,7 @@ func (e *ImprovedBandwidth) readGroupBlocks(gr *ibGroupRead, ctx *sched.CycleCon
 		if err != nil {
 			return err
 		}
-		blk, err := drv.ReadTrack(loc.Track)
+		blk, err := readTrackArena(drv, loc.Track, e.arena)
 		if err != nil {
 			gr.missing = append(gr.missing, j)
 			continue
@@ -207,9 +208,10 @@ func (e *ImprovedBandwidth) Step() (*sched.CycleReport, error) {
 	}
 
 	// Buffer accounting for staged groups (terminated streams drop
-	// theirs without ever acquiring).
+	// theirs without ever acquiring; their buffers go back to the arena).
 	for _, gr := range groups {
 		if gr.s.Terminated {
+			e.recycleGroup(gr.bg)
 			continue
 		}
 		gr.bg.pooled = len(gr.g.Data)
@@ -265,7 +267,7 @@ func (e *ImprovedBandwidth) stepMidFailReads(groups []*ibGroupRead, ctx *sched.C
 			if err != nil {
 				return err
 			}
-			blk, err := drv.ReadTrack(loc.Track)
+			blk, err := readTrackArena(drv, loc.Track, e.arena)
 			if err != nil {
 				gr.missing = append(gr.missing, j)
 				if loc.Disk == midDisk {
@@ -327,18 +329,18 @@ func (e *ImprovedBandwidth) resolve(gr *ibGroupRead, groups []*ibGroupRead, ctx 
 	if par == nil {
 		return // terminate/hiccup already handled downstream
 	}
-	// Reconstruct from the surviving blocks plus parity.
-	rec := make([]byte, len(par))
-	copy(rec, par)
+	// Reconstruct in place: fold the surviving blocks into the parity
+	// buffer, whose ownership then moves to the missing data slot.
 	for k, blk := range gr.bg.data {
 		if k == j || blk == nil {
 			continue
 		}
-		for i := range rec {
-			rec[i] ^= blk[i]
+		if err := parity.XORInto(par, blk); err != nil {
+			e.arena.Put(par)
+			return
 		}
 	}
-	gr.bg.data[j] = rec
+	gr.bg.data[j] = par
 	gr.bg.reconstructed[j] = true
 	ctx.Rep.Reconstructions++
 }
@@ -369,6 +371,7 @@ func (e *ImprovedBandwidth) readParity(gr *ibGroupRead, groups []*ibGroupRead, c
 		// itself.
 		for vi, vr := range victim.reads {
 			if vr.disk == pDisk {
+				e.arena.Put(victim.bg.data[vr.offset])
 				victim.bg.data[vr.offset] = nil
 				victim.missing = append(victim.missing, vr.offset)
 				victim.reads = append(victim.reads[:vi], victim.reads[vi+1:]...)
@@ -377,16 +380,20 @@ func (e *ImprovedBandwidth) readParity(gr *ibGroupRead, groups []*ibGroupRead, c
 		}
 		defer e.resolve(victim, groups, ctx, visited)
 	}
-	blk, err := drv.ReadTrack(gr.g.Parity.Track)
+	blk, err := readTrackArena(drv, gr.g.Parity.Track, e.arena)
 	if err != nil {
 		return nil
 	}
 	ctx.Rep.ParityReads++
-	// The parity block occupies a buffer only within this cycle.
+	// The parity block occupies a buffer only within this cycle. The
+	// caller owns the returned arena buffer (resolve transfers it into
+	// the reconstructed slot).
 	if err := e.pool.Acquire(1); err != nil {
+		e.arena.Put(blk)
 		return nil
 	}
 	if err := e.pool.Release(1); err != nil {
+		e.arena.Put(blk)
 		return nil
 	}
 	return blk
@@ -418,9 +425,12 @@ func (e *ImprovedBandwidth) terminate(s *groupStream, rep *sched.CycleReport) {
 	e.terminations++
 	rep.Terminated = append(rep.Terminated, s.ID)
 	for _, bg := range []*bufferedGroup{s.delivering, s.staged} {
-		if bg != nil && bg.pooled > 0 {
-			_ = e.pool.Release(bg.pooled)
-			bg.pooled = 0
+		if bg != nil {
+			if bg.pooled > 0 {
+				_ = e.pool.Release(bg.pooled)
+				bg.pooled = 0
+			}
+			e.recycleGroup(bg)
 		}
 	}
 	s.delivering, s.staged = nil, nil

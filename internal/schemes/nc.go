@@ -200,8 +200,9 @@ func (e *NonClustered) CancelStream(id int) error {
 		return err
 	}
 	s.Done = true
-	for r := range s.staged {
+	for r, st := range s.staged {
 		delete(s.staged, r)
+		e.arena.Put(st.data)
 		if err := e.pool.Release(1); err != nil {
 			return err
 		}
@@ -330,10 +331,11 @@ func (e *NonClustered) OnDriveRebuilt(id int) error {
 	return nil
 }
 
-// dropXOR releases a stream's accumulator buffer.
+// dropXOR releases a stream's accumulator buffer (accounting and bytes).
 func (e *NonClustered) dropXOR(s *ncStream) {
 	if s.xor != nil {
 		_ = e.pool.Release(1)
+		e.arena.Put(s.xor)
 		s.xor = nil
 	}
 	s.xorGroup = -1
@@ -410,6 +412,9 @@ func (e *NonClustered) Step() (*sched.CycleReport, error) {
 				Data: st.data, Reconstructed: st.reconstructed,
 			})
 			delete(s.staged, r)
+			// Recycle at delivery: the report's reference stays intact
+			// until the next Step's reads reuse the buffer.
+			e.arena.Put(st.data)
 			if err := e.pool.Release(1); err != nil {
 				return nil, err
 			}
@@ -428,8 +433,9 @@ func (e *NonClustered) Step() (*sched.CycleReport, error) {
 			ctx.Rep.Finished = append(ctx.Rep.Finished, s.ID)
 			// Release anything still staged (early reads past the end
 			// cannot exist, but be defensive) and the accumulator.
-			for r := range s.staged {
+			for r, st := range s.staged {
 				delete(s.staged, r)
+				e.arena.Put(st.data)
 				if err := e.pool.Release(1); err != nil {
 					return nil, err
 				}
@@ -529,7 +535,7 @@ func (e *NonClustered) plainRead(s *ncStream, grp *layout.Group, r, o int, ctx *
 	if err != nil {
 		return err
 	}
-	blk, err := drv.ReadTrack(loc.Track)
+	blk, err := readTrackArena(drv, loc.Track, e.arena)
 	if err != nil {
 		s.lost[r] = true
 		return nil
@@ -567,28 +573,34 @@ func (e *NonClustered) groupRead(s *ncStream, grp *layout.Group, g, failedOffset
 		if err != nil {
 			return err
 		}
-		if blk, err := drv.ReadTrack(loc.Track); err == nil {
+		if blk, err := readTrackArena(drv, loc.Track, e.arena); err == nil {
 			gr.data[j] = blk
 			ctx.Rep.DataReads++
 		}
 	}
 	reconstructedIdx := -1
+	hadPar := false
 	if ctx.Slots.Take(grp.Parity.Disk) {
 		if drv, err := e.cfg.Farm.Drive(grp.Parity.Disk); err == nil {
-			if blk, err := drv.ReadTrack(grp.Parity.Track); err == nil {
+			if blk, err := readTrackArena(drv, grp.Parity.Track, e.arena); err == nil {
 				gr.par = blk
+				hadPar = true
 				ctx.Rep.ParityReads++
 			}
 		}
 	}
 	if gr.par != nil {
+		// recoverGroup consumes the parity buffer on success (it becomes
+		// the reconstructed track); otherwise recycle it below.
 		if rec, err := gr.recoverGroup(); err == nil && rec >= 0 {
 			reconstructedIdx = rec
 			ctx.Rep.Reconstructions++
 		}
+		e.arena.Put(gr.par)
+		gr.par = nil
 	}
 	// Parity occupied a buffer during the read; account and drop it.
-	if gr.par != nil {
+	if hadPar {
 		if err := e.pool.Acquire(1); err != nil {
 			return err
 		}
@@ -606,6 +618,12 @@ func (e *NonClustered) groupRead(s *ncStream, grp *layout.Group, g, failedOffset
 			return err
 		}
 		s.staged[r] = ncStaged{data: gr.data[j], reconstructed: j == reconstructedIdx}
+		gr.data[j] = nil
+	}
+	// Padding tracks of a short final group were read for reconstruction
+	// but are never staged; recycle them.
+	for _, d := range gr.data {
+		e.arena.Put(d)
 	}
 	return nil
 }
@@ -631,7 +649,7 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 			if err := e.pool.Acquire(1); err != nil {
 				return err
 			}
-			s.xor = make([]byte, int(e.cfg.Farm.Params().TrackSize))
+			s.xor = e.arena.GetZeroed()
 			s.xorGroup = g
 		}
 		r := s.read
@@ -666,7 +684,7 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 		if err := e.pool.Acquire(1); err != nil {
 			return err
 		}
-		s.xor = make([]byte, int(e.cfg.Farm.Params().TrackSize))
+		s.xor = e.arena.GetZeroed()
 		s.xorGroup = g
 	}
 
@@ -682,7 +700,7 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 		if err != nil {
 			return err
 		}
-		blk, err := drv.ReadTrack(loc.Track)
+		blk, err := readTrackArena(drv, loc.Track, e.arena)
 		if err != nil {
 			s.lost[r] = true
 			canRecon = false
@@ -702,7 +720,7 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 	var par []byte
 	if ctx.Slots.Take(grp.Parity.Disk) {
 		if drv, err := e.cfg.Farm.Drive(grp.Parity.Disk); err == nil {
-			if blk, err := drv.ReadTrack(grp.Parity.Track); err == nil {
+			if blk, err := readTrackArena(drv, grp.Parity.Track, e.arena); err == nil {
 				par = blk
 				ctx.Rep.ParityReads++
 			}
@@ -725,5 +743,6 @@ func (e *NonClustered) xorRead(s *ncStream, grp *layout.Group, g, o, failedOffse
 		}
 		e.dropXOR(s)
 	}
+	e.arena.Put(par) // parity's only use is the fold above
 	return nil
 }

@@ -79,6 +79,9 @@ func stepN(t *testing.T, e Simulator, n int) (map[int][]sched.Delivery, []sched.
 		if err != nil {
 			t.Fatalf("cycle %d: %v", i, err)
 		}
+		// Reports (and their delivered bytes) are valid only until the
+		// next Step; clone to retain.
+		rep = rep.Clone()
 		reports = append(reports, rep)
 		for _, d := range rep.Delivered {
 			deliveries[d.StreamID] = append(deliveries[d.StreamID], d)
@@ -108,6 +111,7 @@ func runToCompletion(t *testing.T, e Simulator, maxCycles int) (map[int][]sched.
 		if err != nil {
 			t.Fatalf("cycle %d: %v", i, err)
 		}
+		rep = rep.Clone()
 		reports = append(reports, rep)
 		for _, d := range rep.Delivered {
 			deliveries[d.StreamID] = append(deliveries[d.StreamID], d)

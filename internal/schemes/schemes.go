@@ -112,16 +112,31 @@ type groupRead struct {
 	parityReads int
 }
 
-// readGroup reads every block of a parity group from the farm, tolerating
-// failed drives.
-func readGroup(f *disk.Farm, g *layout.Group, withParity bool) groupRead {
+// readTrackArena reads one track into a buffer from the arena, returning
+// the buffer to the arena on failure. A nil arena falls back to plain
+// allocation (used by tests poking at helpers directly).
+func readTrackArena(drv *disk.Drive, track int, arena *buffer.Arena) ([]byte, error) {
+	if arena == nil {
+		return drv.ReadTrack(track)
+	}
+	buf := arena.Get()
+	if err := drv.ReadTrackInto(buf, track); err != nil {
+		arena.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readGroup reads every block of a parity group from the farm into arena
+// buffers, tolerating failed drives.
+func readGroup(f *disk.Farm, g *layout.Group, withParity bool, arena *buffer.Arena) groupRead {
 	out := groupRead{data: make([][]byte, len(g.Data))}
 	for i, loc := range g.Data {
 		drv, err := f.Drive(loc.Disk)
 		if err != nil {
 			continue
 		}
-		blk, err := drv.ReadTrack(loc.Track)
+		blk, err := readTrackArena(drv, loc.Track, arena)
 		if err == nil {
 			out.data[i] = blk
 			out.dataReads++
@@ -129,7 +144,7 @@ func readGroup(f *disk.Farm, g *layout.Group, withParity bool) groupRead {
 	}
 	if withParity {
 		if drv, err := f.Drive(g.Parity.Disk); err == nil {
-			if blk, err := drv.ReadTrack(g.Parity.Track); err == nil {
+			if blk, err := readTrackArena(drv, g.Parity.Track, arena); err == nil {
 				out.par = blk
 				out.parityReads++
 			}
@@ -139,9 +154,11 @@ func readGroup(f *disk.Farm, g *layout.Group, withParity bool) groupRead {
 }
 
 // recoverGroup fills in a single missing data block from the others plus
-// parity. It returns the index recovered, or -1 if nothing was missing,
-// and an error when recovery is impossible (two or more blocks missing,
-// or parity unavailable).
+// parity, in place and without allocating: the surviving data blocks are
+// folded into the parity buffer, whose ownership then moves to the
+// missing data slot (par becomes nil). It returns the index recovered,
+// or -1 if nothing was missing, and an error when recovery is impossible
+// (two or more blocks missing, or parity unavailable).
 func (gr *groupRead) recoverGroup() (int, error) {
 	missing := -1
 	for i, d := range gr.data {
@@ -158,18 +175,16 @@ func (gr *groupRead) recoverGroup() (int, error) {
 	if gr.par == nil {
 		return 0, errors.New("schemes: missing block and no parity available")
 	}
-	survivors := make([][]byte, 0, len(gr.data))
 	for i, d := range gr.data {
-		if i != missing {
-			survivors = append(survivors, d)
+		if i == missing {
+			continue
+		}
+		if err := parity.XORInto(gr.par, d); err != nil {
+			return 0, err
 		}
 	}
-	survivors = append(survivors, gr.par)
-	rec, err := parity.Reconstruct(survivors)
-	if err != nil {
-		return 0, err
-	}
-	gr.data[missing] = rec
+	gr.data[missing] = gr.par
+	gr.par = nil
 	return missing, nil
 }
 

@@ -92,6 +92,7 @@ func (e *StaggeredGroup) CancelStream(id int) error {
 		return err
 	}
 	s.Done = true
+	// releaseGroups also recycles the groups' buffers to the arena.
 	if err := e.releaseGroups(s.buf, s.pending); err != nil {
 		return err
 	}
@@ -158,7 +159,9 @@ func (e *StaggeredGroup) Step() (*sched.CycleReport, error) {
 				if err := e.pool.Release(s.buf.pooled); err != nil {
 					return nil, err
 				}
+				s.buf.pooled = 0
 			}
+			e.recycleGroup(s.buf)
 			s.buf = nil
 		}
 		if s.pending != nil {
@@ -200,6 +203,10 @@ func (e *StaggeredGroup) deliverOne(s *sgStream, rep *sched.CycleReport) {
 			StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
 			Data: bg.data[off], Reconstructed: bg.reconstructed[off],
 		})
+		// The track is out the door: recycle its buffer (the report's
+		// reference stays intact until the next Step's reads).
+		e.arena.Put(bg.data[off])
+		bg.data[off] = nil
 	}
 	s.Advance(1)
 }

@@ -52,12 +52,15 @@ func NewRecorder(content map[string][]byte, trackSize int) (*Recorder, error) {
 	return &Recorder{content: content, trackSize: trackSize}, nil
 }
 
-// Observe folds one cycle report into the trace.
+// Observe folds one cycle report into the trace. Delivered bytes are
+// copied: engines recycle a report's track buffers after the next Step,
+// but a trace retains content for verification at the end of the run.
 func (r *Recorder) Observe(rep *sched.CycleReport) {
 	for _, d := range rep.Delivered {
 		r.events = append(r.events, Event{
 			Cycle: rep.Cycle, StreamID: d.StreamID, ObjectID: d.ObjectID,
-			Track: d.Track, Reconstructed: d.Reconstructed, Data: d.Data,
+			Track: d.Track, Reconstructed: d.Reconstructed,
+			Data: append([]byte(nil), d.Data...),
 		})
 	}
 	for _, h := range rep.Hiccups {
