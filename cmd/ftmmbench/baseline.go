@@ -1,7 +1,8 @@
 // Performance-baseline mode: -bench-baseline <path> runs the data-path
-// benchmark suite (one scheduling cycle per scheme, plus the parity
-// substrate) via testing.Benchmark and writes ns/op, allocs/op, and the
-// stream count to a BENCH_*.json file.
+// benchmark suite (one scheduling cycle per scheme, the netserve
+// loopback delivery path, plus the parity substrate) via
+// testing.Benchmark and writes ns/op, allocs/op, and the stream count
+// to a BENCH_*.json file.
 //
 // If the output file already exists, its previous "benchmarks" section
 // is carried forward as "pre_change" (unless it already carries one), so
@@ -15,12 +16,15 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"ftmm/internal/disk"
 	"ftmm/internal/diskmodel"
 	"ftmm/internal/layout"
+	"ftmm/internal/netserve"
 	"ftmm/internal/parity"
 	"ftmm/internal/schemes"
+	"ftmm/internal/server"
 	"ftmm/internal/units"
 	"ftmm/internal/workload"
 )
@@ -184,6 +188,61 @@ func baselineSpecs() []baselineSpec {
 				admitAll(tb, e, objs, false)
 				return e
 			}, nObj*4*baselineTrack)
+		}},
+		{"NetserveLoopbackStream", 1, func(b *testing.B) {
+			// End-to-end network delivery: one client streams a full title
+			// over loopback TCP with virtual-clock pacing, so the number is
+			// protocol + socket cost, not cycle-time sleep.
+			scheme, policy, err := server.ParseScheme("sr")
+			if err != nil {
+				b.Fatal(err)
+			}
+			const d, c, reserve, groups = 8, 4, 2, 4
+			p := diskmodel.Table1()
+			tracksPerTitle := groups * c
+			p.Capacity = units.ByteSize(c*tracksPerTitle/d+tracksPerTitle+50) * p.TrackSize
+			srv, err := server.New(server.Options{
+				Disks: d, ClusterSize: c,
+				DiskParams: p, Scheme: scheme, K: reserve, NCPolicy: policy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			trackSize := int(p.TrackSize)
+			titleSize := groups * (c - 1) * trackSize
+			const title = "bench-title"
+			if err := srv.AddTitle(title, units.ByteSize(titleSize), 0, workload.SyntheticContent(title, titleSize)); err != nil {
+				b.Fatal(err)
+			}
+			ns, err := netserve.New(netserve.Options{Server: srv, Clock: netserve.VirtualClock()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ns.Close()
+			b.SetBytes(int64(titleSize))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl, err := netserve.Dial(ns.Addr().String(), 30*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cl.Admit(title); err != nil {
+					b.Fatal(err)
+				}
+				for {
+					ev, err := cl.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if ev.Bye != nil {
+						if ev.Bye.Reason != "finished" {
+							b.Fatalf("bye %q", ev.Bye.Reason)
+						}
+						break
+					}
+				}
+				cl.Close()
+			}
 		}},
 		{"ParityEncode", 0, func(b *testing.B) {
 			blocks := parityBlocks(4)

@@ -1,0 +1,227 @@
+// Command ftmmload is a closed-loop load generator for ftmmserve: N
+// concurrent clients repeatedly pick a title from a Zipf popularity
+// distribution, stream it over the session protocol, verify every
+// received track bit-for-bit against the deterministic synthetic
+// content, and report hiccups, rejections, throughput, and inter-track
+// gap percentiles.
+//
+// Example (against a running ftmmserve):
+//
+//	ftmmload -addr 127.0.0.1:5500 -http 127.0.0.1:5580 -clients 4 -requests 3
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ftmm/internal/netserve"
+	"ftmm/internal/trace"
+	"ftmm/internal/workload"
+)
+
+var (
+	addr        = flag.String("addr", "127.0.0.1:5500", "session protocol address of the server")
+	httpAddr    = flag.String("http", "127.0.0.1:5580", "server HTTP address, used to fetch /titlesz")
+	clients     = flag.Int("clients", 4, "concurrent closed-loop clients")
+	requests    = flag.Int("requests", 2, "streams each client plays to completion")
+	seed        = flag.Int64("seed", 1, "workload seed")
+	zipf        = flag.Float64("zipf", 1.0, "title popularity skew")
+	readTimeout = flag.Duration("read-timeout", 2*time.Minute, "per-frame read deadline")
+	retries     = flag.Int("retries", 200, "admission retries before a request counts as failed")
+)
+
+// tally aggregates everything the clients saw.
+type tally struct {
+	mu          sync.Mutex
+	streams     int
+	failures    int
+	rejects     int
+	tracks      int
+	bytes       int64
+	hiccups     int
+	corrupt     int
+	gaps        []time.Duration
+	elapsedBusy time.Duration
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftmmload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	titles, err := fetchTitles(*httpAddr)
+	if err != nil {
+		return fmt.Errorf("fetching /titlesz from %s: %w", *httpAddr, err)
+	}
+	if len(titles) == 0 {
+		return errors.New("server has no titles")
+	}
+	fmt.Printf("load   %s  clients=%d requests=%d titles=%d zipf=%.2f\n",
+		*addr, *clients, *requests, len(titles), *zipf)
+
+	var tl tally
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen, err := workload.New(workload.Config{
+				Seed: *seed + int64(c), Objects: titles, ZipfS: *zipf, ArrivalsPerSecond: 1,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
+				return
+			}
+			for rq := 0; rq < *requests; rq++ {
+				playOne(&tl, gen.Pick())
+			}
+		}(c)
+	}
+	wg.Wait()
+	report(&tl, time.Since(start))
+	if tl.failures > 0 || tl.corrupt > 0 {
+		return fmt.Errorf("%d failed requests, %d corrupt tracks", tl.failures, tl.corrupt)
+	}
+	return nil
+}
+
+// playOne streams one title to completion, retrying transient admission
+// rejections with the server's hint.
+func playOne(tl *tally, title string) {
+	for attempt := 0; ; attempt++ {
+		c, err := netserve.Dial(*addr, *readTimeout)
+		if err != nil {
+			tl.fail("dial %s: %v", title, err)
+			return
+		}
+		ok, err := c.Admit(title)
+		var rej *netserve.RejectedError
+		if errors.As(err, &rej) && rej.Reject.RetryAfterMillis > 0 && attempt < *retries {
+			c.Close()
+			tl.mu.Lock()
+			tl.rejects++
+			tl.mu.Unlock()
+			time.Sleep(time.Duration(rej.Reject.RetryAfterMillis) * time.Millisecond)
+			continue
+		}
+		if err != nil {
+			c.Close()
+			tl.fail("admit %s: %v", title, err)
+			return
+		}
+		consumeStream(tl, c, ok)
+		c.Close()
+		return
+	}
+}
+
+// consumeStream plays the admitted session out, verifying every track
+// with the same predicate the engine's integrity checker uses.
+func consumeStream(tl *tally, c *netserve.Client, ok netserve.AdmitOK) {
+	content := workload.SyntheticContent(ok.Title, ok.Size)
+	covered := make(map[int]bool, ok.Tracks)
+	begin := time.Now()
+	last := begin
+	tracks, hiccups, corrupt := 0, 0, 0
+	var gaps []time.Duration
+	var nbytes int64
+	for {
+		ev, err := c.Next()
+		if err != nil {
+			tl.fail("%s: read: %v", ok.Title, err)
+			return
+		}
+		switch {
+		case ev.Bye != nil:
+			missing := 0
+			for i := 0; i < ok.Tracks; i++ {
+				if !covered[i] {
+					missing++
+				}
+			}
+			if missing > 0 {
+				tl.fail("%s: %d tracks neither delivered nor hiccuped", ok.Title, missing)
+				return
+			}
+			tl.mu.Lock()
+			tl.streams++
+			tl.tracks += tracks
+			tl.bytes += nbytes
+			tl.hiccups += hiccups
+			tl.corrupt += corrupt
+			tl.gaps = append(tl.gaps, gaps...)
+			tl.elapsedBusy += time.Since(begin)
+			tl.mu.Unlock()
+			return
+		case ev.Hiccup != nil:
+			hiccups++
+			covered[ev.Hiccup.Track] = true
+		default:
+			now := time.Now()
+			if tracks > 0 {
+				gaps = append(gaps, now.Sub(last))
+			}
+			last = now
+			tracks++
+			nbytes += int64(len(ev.Data))
+			covered[ev.Track] = true
+			if err := trace.CheckTrack(content, ok.TrackSize, ev.Track, ev.Data); err != nil {
+				corrupt++
+				fmt.Fprintf(os.Stderr, "ftmmload: %v\n", err)
+			}
+		}
+	}
+}
+
+func (tl *tally) fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftmmload: "+format+"\n", args...)
+	tl.mu.Lock()
+	tl.failures++
+	tl.mu.Unlock()
+}
+
+func report(tl *tally, wall time.Duration) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	fmt.Printf("\nstreams   %d ok, %d failed, %d transient rejects\n", tl.streams, tl.failures, tl.rejects)
+	fmt.Printf("tracks    %d delivered, %d hiccups, %d corrupt\n", tl.tracks, tl.hiccups, tl.corrupt)
+	mb := float64(tl.bytes) / 1e6
+	fmt.Printf("volume    %.1f MB in %v (%.1f MB/s)\n", mb, wall.Round(time.Millisecond), mb/wall.Seconds())
+	if len(tl.gaps) > 0 {
+		sort.Slice(tl.gaps, func(i, j int) bool { return tl.gaps[i] < tl.gaps[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(tl.gaps)-1))
+			return tl.gaps[i].Round(time.Microsecond)
+		}
+		fmt.Printf("gap       p50=%v p95=%v p99=%v max=%v (between tracks)\n",
+			q(0.50), q(0.95), q(0.99), tl.gaps[len(tl.gaps)-1].Round(time.Microsecond))
+	}
+}
+
+func fetchTitles(httpAddr string) ([]string, error) {
+	resp, err := http.Get("http://" + httpAddr + "/titlesz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/titlesz: %s", resp.Status)
+	}
+	var titles []string
+	if err := json.NewDecoder(resp.Body).Decode(&titles); err != nil {
+		return nil, err
+	}
+	return titles, nil
+}

@@ -1,0 +1,158 @@
+// Command ftmmserve runs a multimedia server farm behind the netserve
+// network front end: clients connect over TCP with the framed session
+// protocol (see internal/netserve), an HTTP surface answers admission
+// probes and serves status/metrics, and an optional failure schedule
+// injects drive faults mid-run to demonstrate the schemes' fault
+// tolerance over a real socket.
+//
+// Examples:
+//
+//	ftmmserve -scheme sr -addr :5500 -http :5580
+//	ftmmserve -scheme nc -disks 20 -cluster 5 -fail-disk 2 -fail-cycle 40 \
+//	          -repair-cycle 200 -speed 100
+//
+// The pacer runs on a wall clock divided by -speed; -speed 0 selects
+// the virtual clock (cycles run back to back, for load tests). SIGINT
+// drains gracefully: admissions stop, live streams play out, then the
+// process exits. A second SIGINT exits immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/netserve"
+	"ftmm/internal/server"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+var (
+	addr          = flag.String("addr", "127.0.0.1:5500", "TCP listen address for the session protocol")
+	httpAddr      = flag.String("http", "127.0.0.1:5580", "HTTP listen address for /statusz /metricsz /titlesz /admitz (empty: disabled)")
+	schemeFlag    = flag.String("scheme", "sr", "fault-tolerance scheme: sr, sg, nc, nc-simple, ib")
+	disks         = flag.Int("disks", 20, "number of drives")
+	cluster       = flag.Int("cluster", 5, "cluster (parity group) size C")
+	k             = flag.Int("k", 2, "reserve depth (buffer servers / reserved bandwidth)")
+	titles        = flag.Int("titles", 8, "titles in the tape library")
+	titleGroups   = flag.Int("groups", 20, "parity groups per title")
+	workers       = flag.Int("workers", 0, "engine per-cluster worker goroutines (0 = GOMAXPROCS)")
+	speed         = flag.Float64("speed", 1, "wall-clock speedup for the pacer (0: virtual clock, cycles back to back)")
+	queue         = flag.Int("queue", 64, "per-session send queue depth (overflow sheds the client)")
+	writeTimeout  = flag.Duration("write-timeout", 10*time.Second, "per-frame socket write deadline")
+	failDisk      = flag.Int("fail-disk", -1, "drive to fail (-1: none)")
+	failCycle     = flag.Int("fail-cycle", 20, "cycle at which the drive fails")
+	repairCycle   = flag.Int("repair-cycle", -1, "cycle at which the drive is repaired offline (-1: never)")
+	rebuildCycle  = flag.Int("rebuild-cycle", -1, "cycle at which an online rebuild starts (-1: never)")
+	rebuildBudget = flag.Int("rebuild-budget", 2, "spare reads per cycle for the online rebuild")
+	drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long to wait for streams to play out on shutdown")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftmmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scheme, policy, err := server.ParseScheme(*schemeFlag)
+	if err != nil {
+		return err
+	}
+	p := diskmodel.Table1()
+	tracksPerTitle := *titleGroups * *cluster
+	p.Capacity = units.ByteSize((*titles**cluster*tracksPerTitle)/(*disks)+tracksPerTitle+50) * p.TrackSize
+	srv, err := server.New(server.Options{
+		Disks: *disks, ClusterSize: *cluster,
+		DiskParams: p, Scheme: scheme, K: *k, NCPolicy: policy,
+		Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	trackSize := int(p.TrackSize)
+	for i, id := range workload.ObjectNames("title", *titles) {
+		size := units.ByteSize(*titleGroups * (*cluster - 1) * trackSize)
+		if err := srv.AddTitle(id, size, i/4, workload.SyntheticContent(id, int(size))); err != nil {
+			return err
+		}
+		// Prestage: an admit-and-cancel pulls the title from tape onto the
+		// farm now, so later admissions (possibly under a failed drive,
+		// when staging writes would be refused) find it resident.
+		sid, _, err := srv.Request(id)
+		if err != nil {
+			return fmt.Errorf("prestaging %s: %w", id, err)
+		}
+		if err := srv.Cancel(sid); err != nil {
+			return err
+		}
+	}
+
+	var clock netserve.Clock
+	if *speed > 0 {
+		clock = netserve.WallClock(*speed)
+	} else {
+		clock = netserve.VirtualClock()
+	}
+	ns, err := netserve.New(netserve.Options{
+		Server:       srv,
+		Addr:         *addr,
+		Clock:        clock,
+		SendQueue:    *queue,
+		WriteTimeout: *writeTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer ns.Close()
+
+	if *failDisk >= 0 {
+		ns.ScheduleFailure(*failCycle, *failDisk)
+		if *repairCycle >= 0 {
+			ns.ScheduleRepair(*repairCycle, *failDisk)
+		}
+		if *rebuildCycle >= 0 {
+			ns.ScheduleRebuild(*rebuildCycle, *failDisk, *rebuildBudget)
+		}
+	}
+
+	if *httpAddr != "" {
+		hs := &http.Server{Addr: *httpAddr, Handler: ns.Handler()}
+		go func() {
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "ftmmserve: http:", err)
+			}
+		}()
+		defer hs.Close()
+		fmt.Printf("http   %s  (/statusz /metricsz /titlesz /admitz)\n", *httpAddr)
+	}
+	fmt.Printf("serve  %s  scheme=%s D=%d C=%d K=%d cycle=%v burst=%d titles=%d\n",
+		ns.Addr(), srv.Engine().Name(), *disks, *cluster, *k, ns.CycleTime(), ns.Burst(), *titles)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ftmmserve: draining (interrupt again to exit immediately)")
+	done := make(chan error, 1)
+	go func() { done <- ns.Drain(*drainTimeout) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftmmserve:", err)
+		}
+	case <-sig:
+		fmt.Println("ftmmserve: hard exit")
+	}
+	return ns.Close()
+}

@@ -38,6 +38,7 @@ var (
 	zipf         = flag.Float64("zipf", 1.0, "title popularity skew")
 	workers      = flag.Int("workers", 0, "engine per-cluster worker goroutines (0 = GOMAXPROCS)")
 	showMetrics  = flag.Bool("metrics", false, "print the engine metrics snapshot after the run")
+	metricsJSON  = flag.Bool("metrics-json", false, "emit the metrics snapshot as JSON on stdout after the run")
 )
 
 func main() {
@@ -139,6 +140,11 @@ func run() error {
 	fmt.Printf("tertiary stagings:  %d (%v), evictions: %d\n", st.Stagings, srv.StagingTime(), st.Evictions)
 	if *showMetrics {
 		fmt.Printf("\n--- engine metrics ---\n%s", srv.MetricsSnapshot())
+	}
+	if *metricsJSON {
+		if err := srv.Metrics().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONStableKeyOrder pins the property ftmmserve's /metricsz
+// and ftmmsim -metrics-json rely on: the same registry state always
+// encodes to the same bytes, with instrument names in sorted order.
+func TestWriteJSONStableKeyOrder(t *testing.T) {
+	r := New()
+	r.Counter("zeta_reads").Add(7)
+	r.Counter("alpha_reads").Add(3)
+	r.Counter("mid_reads").Add(5)
+	r.Gauge("z_depth").Set(2)
+	r.Gauge("a_depth").Set(9)
+	r.Histogram("lat", 1, 4).Observe(3)
+
+	var first, second bytes.Buffer
+	if err := r.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("two encodes of the same state differ:\n%s\n----\n%s", first.String(), second.String())
+	}
+
+	out := first.String()
+	for _, pair := range [][2]string{
+		{`"alpha_reads"`, `"mid_reads"`},
+		{`"mid_reads"`, `"zeta_reads"`},
+		{`"a_depth"`, `"z_depth"`},
+	} {
+		i, j := strings.Index(out, pair[0]), strings.Index(out, pair[1])
+		if i < 0 || j < 0 {
+			t.Fatalf("output missing %v:\n%s", pair, out)
+		}
+		if i > j {
+			t.Errorf("key %s appears after %s; want sorted order", pair[0], pair[1])
+		}
+	}
+
+	// The document must round-trip into an equivalent Snapshot.
+	var got Snapshot
+	if err := json.Unmarshal(first.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["zeta_reads"] != 7 || got.Counters["alpha_reads"] != 3 {
+		t.Errorf("counters did not round-trip: %+v", got.Counters)
+	}
+	if got.Gauges["a_depth"].Value != 9 {
+		t.Errorf("gauges did not round-trip: %+v", got.Gauges)
+	}
+	h := got.Histograms["lat"]
+	if h.Count != 1 || h.Sum != 3 || len(h.Buckets) != 3 {
+		t.Errorf("histogram did not round-trip: %+v", h)
+	}
+	if !h.Buckets[2].Overflow {
+		t.Errorf("last bucket should be the overflow bucket: %+v", h.Buckets)
+	}
+}
+
+// TestWriteJSONNilRegistry checks a nil registry writes a valid empty
+// document instead of panicking.
+func TestWriteJSONNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Counters)+len(got.Gauges)+len(got.Histograms) != 0 {
+		t.Errorf("nil registry produced instruments: %+v", got)
+	}
+}

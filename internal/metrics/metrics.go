@@ -10,7 +10,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -192,28 +194,30 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 
 // GaugeValue is a gauge's exported state.
 type GaugeValue struct {
-	Value, Max int64
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
 }
 
 // Bucket is one exported histogram bucket; the overflow bucket has
 // Overflow set and UpperBound 0.
 type Bucket struct {
-	UpperBound int64
-	Overflow   bool
-	Count      int64
+	UpperBound int64 `json:"upper_bound"`
+	Overflow   bool  `json:"overflow,omitempty"`
+	Count      int64 `json:"count"`
 }
 
 // HistogramValue is a histogram's exported state.
 type HistogramValue struct {
-	Buckets    []Bucket
-	Count, Sum int64
+	Buckets []Bucket `json:"buckets"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
 }
 
 // Snapshot is a point-in-time copy of every instrument's value.
 type Snapshot struct {
-	Counters   map[string]int64
-	Gauges     map[string]GaugeValue
-	Histograms map[string]HistogramValue
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]GaugeValue     `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
 }
 
 // Snapshot exports the registry's current values. Safe to call while
@@ -244,6 +248,22 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = hv
 	}
 	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Key order is
+// deterministic — encoding/json sorts map keys — so the same registry
+// state always encodes to the same bytes. ftmmserve's /metricsz
+// endpoint and ftmmsim's -metrics-json flag share this encoder.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON snapshots the registry and writes it as JSON (see
+// Snapshot.WriteJSON). A nil registry writes an empty snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
 }
 
 // Values flattens the snapshot into name -> float64, with gauge maxima

@@ -1,0 +1,143 @@
+package netserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is the consumer half of the session protocol, used by ftmmload
+// and the loopback tests. It is not concurrency-safe: one goroutine per
+// client.
+type Client struct {
+	conn        net.Conn
+	readTimeout time.Duration
+	admit       AdmitOK
+}
+
+// RejectedError is the admission refusal as the client sees it.
+type RejectedError struct {
+	Reject Reject
+}
+
+func (e *RejectedError) Error() string {
+	if e.Reject.RetryAfterMillis > 0 {
+		return fmt.Sprintf("netserve: rejected: %s (retry after %d ms)", e.Reject.Reason, e.Reject.RetryAfterMillis)
+	}
+	return "netserve: rejected: " + e.Reject.Reason
+}
+
+// Dial connects and completes the HELLO exchange. readTimeout bounds
+// every subsequent frame read (0 means no deadline).
+func Dial(addr string, readTimeout time.Duration) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, readTimeout: readTimeout}
+	if err := writeFrame(conn, frameHello, []byte(protocolMagic)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, err := c.read()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if typ != frameHello || string(payload) != protocolMagic {
+		conn.Close()
+		return nil, fmt.Errorf("netserve: bad HELLO reply (type 0x%02x %q)", typ, payload)
+	}
+	return c, nil
+}
+
+// Admit requests a stream for the title. A refusal returns
+// *RejectedError.
+func (c *Client) Admit(title string) (AdmitOK, error) {
+	if err := writeFrame(c.conn, frameAdmit, []byte(title)); err != nil {
+		return AdmitOK{}, err
+	}
+	typ, payload, err := c.read()
+	if err != nil {
+		return AdmitOK{}, err
+	}
+	switch typ {
+	case frameAdmitOK:
+		if err := json.Unmarshal(payload, &c.admit); err != nil {
+			return AdmitOK{}, fmt.Errorf("netserve: bad ADMIT-OK payload: %w", err)
+		}
+		return c.admit, nil
+	case frameReject:
+		var rej Reject
+		if err := json.Unmarshal(payload, &rej); err != nil {
+			return AdmitOK{}, fmt.Errorf("netserve: bad REJECT payload: %w", err)
+		}
+		return AdmitOK{}, &RejectedError{Reject: rej}
+	default:
+		return AdmitOK{}, fmt.Errorf("netserve: unexpected frame 0x%02x to ADMIT", typ)
+	}
+}
+
+// Event is one post-admission frame, decoded.
+type Event struct {
+	// Track and Data are set for track deliveries (Data is owned by the
+	// caller).
+	Track int
+	Data  []byte
+	// Hiccup is set for lost-track notes.
+	Hiccup *HiccupNote
+	// Bye is set when the server ends the session; no further events
+	// follow.
+	Bye *Bye
+}
+
+// Next returns the next event. After a Bye event (or an error) the
+// session is over.
+func (c *Client) Next() (Event, error) {
+	for {
+		typ, payload, err := c.read()
+		if err != nil {
+			return Event{}, err
+		}
+		switch typ {
+		case frameTrack:
+			track, data, err := parseTrack(payload)
+			if err != nil {
+				return Event{}, err
+			}
+			return Event{Track: track, Data: data}, nil
+		case frameHiccup:
+			var h HiccupNote
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return Event{}, fmt.Errorf("netserve: bad HICCUP payload: %w", err)
+			}
+			return Event{Hiccup: &h}, nil
+		case frameBye:
+			var b Bye
+			if err := json.Unmarshal(payload, &b); err != nil {
+				return Event{}, fmt.Errorf("netserve: bad BYE payload: %w", err)
+			}
+			return Event{Bye: &b}, nil
+		default:
+			// Tolerate unknown control frames from newer servers.
+			continue
+		}
+	}
+}
+
+// Admitted returns the handshake parameters from the last Admit.
+func (c *Client) Admitted() AdmitOK { return c.admit }
+
+// Close sends BYE (best-effort) and closes the connection.
+func (c *Client) Close() error {
+	_ = writeJSONFrame(c.conn, frameBye, Bye{Reason: "client close"})
+	return c.conn.Close()
+}
+
+func (c *Client) read() (byte, []byte, error) {
+	if c.readTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
+	return readFrame(c.conn)
+}

@@ -1,0 +1,70 @@
+package netserve
+
+import (
+	"time"
+)
+
+// Clock paces the transmission loop. Pace blocks for one cycle of
+// length d (or returns early, reporting false, when stop closes); Now
+// returns the accumulated virtual time so session records agree across
+// wall and virtual pacing.
+//
+// Options.Clock == nil selects manual mode: nothing paces, and the
+// owner drives cycles explicitly through NetServer.StepCycle. Tests use
+// manual mode to place disk failures at exact cycle boundaries.
+type Clock interface {
+	Pace(d time.Duration, stop <-chan struct{}) bool
+	Now() time.Duration
+}
+
+// wallClock sleeps real time, optionally sped up.
+type wallClock struct {
+	speedup float64
+	elapsed time.Duration
+}
+
+// WallClock paces cycles in real time divided by speedup (1 = real
+// time, 100 = hundred-fold fast-forward). Use for live demos where the
+// client should observe genuine playback pacing.
+func WallClock(speedup float64) Clock {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	return &wallClock{speedup: speedup}
+}
+
+func (c *wallClock) Pace(d time.Duration, stop <-chan struct{}) bool {
+	c.elapsed += d
+	t := time.NewTimer(time.Duration(float64(d) / c.speedup))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+func (c *wallClock) Now() time.Duration { return c.elapsed }
+
+// virtualClock advances instantly: cycles run back to back as fast as
+// the engine and the sockets allow, while Now still reports proper
+// simulated time. Use for throughput tests and load generation.
+type virtualClock struct {
+	elapsed time.Duration
+}
+
+// VirtualClock returns a clock that never sleeps.
+func VirtualClock() Clock { return &virtualClock{} }
+
+func (c *virtualClock) Pace(d time.Duration, stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return false
+	default:
+	}
+	c.elapsed += d
+	return true
+}
+
+func (c *virtualClock) Now() time.Duration { return c.elapsed }

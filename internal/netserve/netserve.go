@@ -1,0 +1,604 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"ftmm/internal/server"
+)
+
+// Default tuning knobs.
+const (
+	defaultSendQueue    = 64
+	defaultWriteTimeout = 10 * time.Second
+	helloTimeout        = 30 * time.Second
+)
+
+// Options configures a NetServer.
+type Options struct {
+	// Server is the cycle-engine back end. NetServer serializes all
+	// access to it behind one mutex — server.Server itself is not
+	// concurrency-safe.
+	Server *server.Server
+	// Addr is the TCP listen address; empty means loopback with an
+	// OS-assigned port (the usual test setting).
+	Addr string
+	// Clock paces transmission cycles. nil selects manual mode: the
+	// owner drives cycles through StepCycle, nothing runs on a timer.
+	Clock Clock
+	// SendQueue bounds the per-session outbound frame queue. A session
+	// whose queue overflows is shed (its stream cancelled, connection
+	// closed) so one stalled client cannot delay the cycle loop or
+	// other streams.
+	SendQueue int
+	// WriteTimeout is the per-frame socket write deadline.
+	WriteTimeout time.Duration
+	// WriteBufferBytes shrinks the kernel send buffer on accepted
+	// connections when > 0. Shedding tests use a small value so a
+	// non-reading client exerts backpressure quickly.
+	WriteBufferBytes int
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// scheduledEvent is a fault-injection action bound to a cycle number.
+type scheduledEvent struct {
+	cycle int
+	desc  string
+	apply func() error
+}
+
+// NetServer accepts framed TCP sessions and paces admitted streams'
+// tracks out at playback rate, one burst per transmission cycle.
+type NetServer struct {
+	opts      Options
+	srv       *server.Server
+	ln        net.Listener
+	cycleTime time.Duration
+	burst     int
+	trackSize int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sessions map[int]*session
+	schedule []scheduledEvent
+	draining bool
+	drained  chan struct{}
+	closed   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// session is one admitted client connection.
+type session struct {
+	id    int
+	title string
+	conn  net.Conn
+
+	// sendq carries encoded frames from the cycle loop to the write
+	// loop. Only the cycle loop sends; it closes the queue on graceful
+	// finish so the writer flushes the tail and closes the connection.
+	sendq chan []byte
+	// done is closed when the session is shed or the server shuts down;
+	// the writer exits without draining.
+	done chan struct{}
+	once sync.Once
+
+	shed     bool
+	finished bool
+}
+
+// abort closes the connection and releases the writer immediately.
+func (s *session) abort() {
+	s.once.Do(func() {
+		close(s.done)
+		s.conn.Close()
+	})
+}
+
+// New starts listening and, when a Clock is configured, begins pacing.
+func New(opts Options) (*NetServer, error) {
+	if opts.Server == nil {
+		return nil, errors.New("netserve: Options.Server is required")
+	}
+	if opts.SendQueue <= 0 {
+		opts.SendQueue = defaultSendQueue
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = defaultWriteTimeout
+	}
+	addr := opts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netserve: listen: %w", err)
+	}
+	srv := opts.Server
+	cycle := srv.CycleTime()
+	trackSize := int(srv.Farm().Params().TrackSize)
+	burst := int(math.Round(cycle.Seconds() * srv.Rate().BytesPerSecond() / float64(trackSize)))
+	if burst < 1 {
+		burst = 1
+	}
+	ns := &NetServer{
+		opts:      opts,
+		srv:       srv,
+		ln:        ln,
+		cycleTime: cycle,
+		burst:     burst,
+		trackSize: trackSize,
+		sessions:  make(map[int]*session),
+		drained:   make(chan struct{}),
+		stop:      make(chan struct{}),
+	}
+	ns.cond = sync.NewCond(&ns.mu)
+	ns.wg.Add(1)
+	go ns.acceptLoop()
+	if opts.Clock != nil {
+		ns.wg.Add(1)
+		go ns.paceLoop()
+	}
+	return ns, nil
+}
+
+// Addr returns the bound listen address.
+func (ns *NetServer) Addr() net.Addr { return ns.ln.Addr() }
+
+// CycleTime returns the transmission cycle length.
+func (ns *NetServer) CycleTime() time.Duration { return ns.cycleTime }
+
+// Burst returns k′: tracks shipped to each stream per transmission
+// cycle.
+func (ns *NetServer) Burst() int { return ns.burst }
+
+// Sessions returns the number of connected, admitted sessions.
+func (ns *NetServer) Sessions() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.sessions)
+}
+
+// StreamProgress reports the back end's delivery progress for a stream.
+func (ns *NetServer) StreamProgress(id int) (next, total int, ok bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.srv.StreamProgress(id)
+}
+
+// FailDisk injects a drive failure at the next cycle boundary.
+func (ns *NetServer) FailDisk(id int) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.srv.FailDisk(id)
+}
+
+// RepairDisk replaces a failed drive (offline rebuild).
+func (ns *NetServer) RepairDisk(id int) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.srv.RepairDisk(id)
+}
+
+// StartOnlineRebuild begins a budgeted online rebuild of a drive.
+func (ns *NetServer) StartOnlineRebuild(id, readBudget int) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.srv.StartOnlineRebuild(id, readBudget)
+}
+
+// ScheduleFailure arranges for drive id to fail at the start of the
+// given engine cycle.
+func (ns *NetServer) ScheduleFailure(cycle, id int) {
+	ns.scheduleEvent(cycle, fmt.Sprintf("fail disk %d", id), func() error { return ns.srv.FailDisk(id) })
+}
+
+// ScheduleRepair arranges an offline repair of drive id at the given
+// cycle.
+func (ns *NetServer) ScheduleRepair(cycle, id int) {
+	ns.scheduleEvent(cycle, fmt.Sprintf("repair disk %d", id), func() error { return ns.srv.RepairDisk(id) })
+}
+
+// ScheduleRebuild arranges an online rebuild of drive id at the given
+// cycle.
+func (ns *NetServer) ScheduleRebuild(cycle, id, readBudget int) {
+	ns.scheduleEvent(cycle, fmt.Sprintf("rebuild disk %d", id), func() error { return ns.srv.StartOnlineRebuild(id, readBudget) })
+}
+
+func (ns *NetServer) scheduleEvent(cycle int, desc string, apply func() error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.schedule = append(ns.schedule, scheduledEvent{cycle: cycle, desc: desc, apply: apply})
+	ns.cond.Broadcast()
+}
+
+// Drain stops admitting new sessions and waits until every in-flight
+// stream finishes (the graceful half of shutdown; Close is the hard
+// half). In manual mode the caller must keep stepping cycles for the
+// drain to make progress.
+func (ns *NetServer) Drain(timeout time.Duration) error {
+	ns.mu.Lock()
+	ns.draining = true
+	ns.srv.BeginDrain()
+	ns.checkDrainedLocked()
+	ns.mu.Unlock()
+	ns.cond.Broadcast()
+	select {
+	case <-ns.drained:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("netserve: drain timed out after %v with %d sessions live", timeout, ns.Sessions())
+	}
+}
+
+// Drained reports whether a drain has completed.
+func (ns *NetServer) Drained() bool {
+	select {
+	case <-ns.drained:
+		return true
+	default:
+		return false
+	}
+}
+
+func (ns *NetServer) checkDrainedLocked() {
+	if !ns.draining {
+		return
+	}
+	if len(ns.sessions) == 0 && ns.srv.Engine().Active() == 0 {
+		select {
+		case <-ns.drained:
+		default:
+			close(ns.drained)
+		}
+	}
+}
+
+// Close tears everything down: the listener, the pacer, every live
+// connection. Pending frames are not flushed — call Drain first for a
+// graceful exit.
+func (ns *NetServer) Close() error {
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return nil
+	}
+	ns.closed = true
+	close(ns.stop)
+	err := ns.ln.Close()
+	for id, sess := range ns.sessions {
+		delete(ns.sessions, id)
+		sess.abort()
+	}
+	ns.gaugeSessions()
+	ns.mu.Unlock()
+	ns.cond.Broadcast()
+	ns.wg.Wait()
+	return err
+}
+
+func (ns *NetServer) logf(format string, args ...any) {
+	if ns.opts.Logf != nil {
+		ns.opts.Logf(format, args...)
+	}
+}
+
+// ---- accept / per-connection handling ----
+
+func (ns *NetServer) acceptLoop() {
+	defer ns.wg.Done()
+	for {
+		conn, err := ns.ln.Accept()
+		if err != nil {
+			select {
+			case <-ns.stop:
+			default:
+				ns.logf("netserve: accept: %v", err)
+			}
+			return
+		}
+		ns.srv.Metrics().Counter("net_conns_accepted").Inc()
+		ns.wg.Add(1)
+		go ns.handleConn(conn)
+	}
+}
+
+// handleConn runs the HELLO/ADMIT handshake, then becomes the
+// connection's reader until the client hangs up.
+func (ns *NetServer) handleConn(conn net.Conn) {
+	defer ns.wg.Done()
+	if ns.opts.WriteBufferBytes > 0 {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetWriteBuffer(ns.opts.WriteBufferBytes)
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != frameHello || string(payload) != protocolMagic {
+		conn.Close()
+		return
+	}
+	if err := writeFrame(conn, frameHello, []byte(protocolMagic)); err != nil {
+		conn.Close()
+		return
+	}
+	typ, payload, err = readFrame(conn)
+	if err != nil || typ != frameAdmit {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	sess, reject := ns.admit(conn, string(payload))
+	if sess == nil {
+		_ = writeJSONFrame(conn, frameReject, reject)
+		conn.Close()
+		return
+	}
+	ns.wg.Add(1)
+	go ns.writeLoop(sess)
+
+	// Reader: the client speaks only BYE after admission; any read
+	// error means it hung up. Either way the session (and its back-end
+	// stream, if still live) is torn down.
+	for {
+		typ, _, err := readFrame(conn)
+		if err != nil || typ == frameBye {
+			ns.dropSession(sess, "client gone")
+			return
+		}
+	}
+}
+
+// admit asks the back end for a stream and registers the session. A nil
+// session means rejection, with the Reject to send.
+func (ns *NetServer) admit(conn net.Conn, title string) (*session, Reject) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.closed || ns.draining {
+		return nil, Reject{Reason: "draining"}
+	}
+	id, _, err := ns.srv.Request(title)
+	if err != nil {
+		ns.srv.Metrics().Counter("net_rejects").Inc()
+		rej := Reject{Reason: err.Error()}
+		if errors.Is(err, server.ErrRejected) {
+			// Capacity frees up at cycle granularity: one cycle of real
+			// time (at least a millisecond) is the natural retry hint.
+			ms := ns.cycleTime.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			rej.RetryAfterMillis = ms
+		}
+		return nil, rej
+	}
+	_, total, _ := ns.srv.StreamProgress(id)
+	size, _ := ns.srv.Library().Size(title)
+	sess := &session{
+		id:    id,
+		title: title,
+		conn:  conn,
+		sendq: make(chan []byte, ns.opts.SendQueue),
+		done:  make(chan struct{}),
+	}
+	ok, err := jsonFrame(frameAdmitOK, AdmitOK{
+		StreamID:   id,
+		Title:      title,
+		TrackSize:  ns.trackSize,
+		Tracks:     total,
+		Size:       int(size),
+		CycleNanos: ns.cycleTime.Nanoseconds(),
+		Burst:      ns.burst,
+	})
+	if err != nil {
+		_ = ns.srv.Cancel(id)
+		return nil, Reject{Reason: "internal: " + err.Error()}
+	}
+	sess.sendq <- ok
+	ns.sessions[id] = sess
+	ns.srv.Metrics().Counter("net_admits").Inc()
+	ns.gaugeSessions()
+	ns.cond.Broadcast()
+	return sess, Reject{}
+}
+
+// writeLoop drains the session's queue onto the socket under per-frame
+// deadlines. It exits when the queue closes (graceful finish: flush
+// then close) or done closes (shed/shutdown: the connection is already
+// closed).
+func (ns *NetServer) writeLoop(sess *session) {
+	defer ns.wg.Done()
+	for {
+		select {
+		case <-sess.done:
+			return
+		case buf, ok := <-sess.sendq:
+			if !ok {
+				sess.abort() // tail flushed; hang up
+				return
+			}
+			sess.conn.SetWriteDeadline(time.Now().Add(ns.opts.WriteTimeout))
+			if _, err := sess.conn.Write(buf); err != nil {
+				ns.srv.Metrics().Counter("net_write_errors").Inc()
+				ns.dropSession(sess, "write error")
+				return
+			}
+		}
+	}
+}
+
+// dropSession removes a session whose connection died and cancels its
+// back-end stream if it is still live.
+func (ns *NetServer) dropSession(sess *session, reason string) {
+	ns.mu.Lock()
+	if cur, ok := ns.sessions[sess.id]; ok && cur == sess {
+		delete(ns.sessions, sess.id)
+		_ = ns.srv.Cancel(sess.id)
+		ns.gaugeSessions()
+		ns.checkDrainedLocked()
+	}
+	ns.mu.Unlock()
+	sess.abort()
+	_ = reason
+}
+
+func (ns *NetServer) gaugeSessions() {
+	ns.srv.Metrics().Gauge("net_sessions_active").Set(int64(len(ns.sessions)))
+}
+
+// ---- the cycle loop ----
+
+// paceLoop drives cycles on the configured clock, idling (no busy spin)
+// while nothing is admitted or scheduled.
+func (ns *NetServer) paceLoop() {
+	defer ns.wg.Done()
+	for {
+		ns.mu.Lock()
+		for !ns.closed && ns.idleLocked() {
+			ns.cond.Wait()
+		}
+		closed := ns.closed
+		ns.mu.Unlock()
+		if closed {
+			return
+		}
+		if !ns.opts.Clock.Pace(ns.cycleTime, ns.stop) {
+			return
+		}
+		if err := ns.StepCycle(); err != nil {
+			ns.logf("netserve: step: %v", err)
+			return
+		}
+	}
+}
+
+// idleLocked gates the pacer: with no sessions and no live streams
+// there is nothing to transmit, so cycles stop (and with them the cycle
+// counter scheduled fault events compare against — a failure scheduled
+// for cycle 40 lands forty cycles into service, not into an idle farm).
+func (ns *NetServer) idleLocked() bool {
+	return len(ns.sessions) == 0 && ns.srv.Engine().Active() == 0
+}
+
+// StepCycle runs one transmission cycle: apply due scheduled events,
+// step the engine, and route the cycle's deliveries, hiccups, and
+// completions to their sessions. In manual mode (no Clock) this is the
+// only way cycles happen; with a Clock it also serves as a test hook.
+func (ns *NetServer) StepCycle() error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.stepLocked()
+}
+
+func (ns *NetServer) stepLocked() error {
+	cycle := ns.srv.Engine().Cycle()
+	kept := ns.schedule[:0]
+	for _, ev := range ns.schedule {
+		if ev.cycle > cycle {
+			kept = append(kept, ev)
+			continue
+		}
+		if err := ev.apply(); err != nil {
+			ns.logf("netserve: scheduled %s at cycle %d: %v", ev.desc, cycle, err)
+		}
+	}
+	ns.schedule = kept
+
+	rep, err := ns.srv.Step()
+	if err != nil {
+		return err
+	}
+	m := ns.srv.Metrics()
+	for i := range rep.Delivered {
+		d := &rep.Delivered[i]
+		sess, ok := ns.sessions[d.StreamID]
+		if !ok {
+			continue
+		}
+		// trackFrame copies d.Data: the engine recycles these bytes on
+		// its next Step, so the socket boundary owns its own copy.
+		if ns.pushLocked(sess, trackFrame(d.Track, d.Data)) {
+			m.Counter("net_tracks_sent").Inc()
+			m.Counter("net_bytes_sent").Add(int64(len(d.Data)))
+		}
+	}
+	for _, h := range rep.Hiccups {
+		sess, ok := ns.sessions[h.StreamID]
+		if !ok {
+			continue
+		}
+		buf, err := jsonFrame(frameHiccup, HiccupNote{Track: h.Track, Reason: h.Reason})
+		if err != nil {
+			continue
+		}
+		if ns.pushLocked(sess, buf) {
+			m.Counter("net_hiccups_sent").Inc()
+		}
+	}
+	for _, id := range rep.Finished {
+		ns.finishLocked(id, "finished")
+	}
+	for _, id := range rep.Terminated {
+		ns.finishLocked(id, "terminated")
+	}
+	ns.checkDrainedLocked()
+	return nil
+}
+
+// pushLocked enqueues a frame without ever blocking the cycle loop; a
+// full queue sheds the session. Reports whether the frame was queued.
+func (ns *NetServer) pushLocked(sess *session, frame []byte) bool {
+	if sess.shed || sess.finished {
+		return false
+	}
+	select {
+	case sess.sendq <- frame:
+		return true
+	default:
+		ns.shedLocked(sess)
+		return false
+	}
+}
+
+// shedLocked evicts a slow client: its queue overflowed, meaning the
+// socket stalled for at least SendQueue frames' worth of cycles. The
+// stream is cancelled so its disk bandwidth and buffers return to the
+// farm, and the connection is closed; other sessions never waited.
+func (ns *NetServer) shedLocked(sess *session) {
+	ns.logf("netserve: shedding stream %d (%s): send queue full", sess.id, sess.title)
+	sess.shed = true
+	delete(ns.sessions, sess.id)
+	_ = ns.srv.Cancel(sess.id)
+	ns.srv.Metrics().Counter("net_sessions_shed").Inc()
+	ns.gaugeSessions()
+	sess.abort()
+	ns.checkDrainedLocked()
+}
+
+// finishLocked ends a session gracefully: a BYE frame, then the queue
+// closes so the writer flushes everything and hangs up.
+func (ns *NetServer) finishLocked(id int, reason string) {
+	sess, ok := ns.sessions[id]
+	if !ok {
+		return
+	}
+	sess.finished = true
+	delete(ns.sessions, id)
+	ns.gaugeSessions()
+	if buf, err := jsonFrame(frameBye, Bye{Reason: reason}); err == nil {
+		select {
+		case sess.sendq <- buf:
+		default: // full queue: the flush below still delivers the tracks
+		}
+	}
+	// Only the cycle loop sends on sendq and the session is now
+	// unregistered, so closing here is safe.
+	close(sess.sendq)
+}

@@ -1,0 +1,170 @@
+// Package netserve is the network delivery layer over internal/server:
+// a stdlib-only TCP front-end that admits client sessions over a small
+// framed protocol and paces each admitted stream's tracks out at its
+// playback rate, plus an HTTP surface for admission probes, status, and
+// metrics.
+//
+// The session protocol is five frame types over one TCP connection:
+//
+//	client                          server
+//	HELLO "FTMM/1"     ──────────▶
+//	                   ◀──────────  HELLO "FTMM/1"
+//	ADMIT <title>      ──────────▶
+//	                   ◀──────────  ADMIT-OK {stream, tracks, burst, …}
+//	                                (or REJECT {reason, retry_after_ms})
+//	                   ◀──────────  TRACK <index><bytes>   ┐ one burst per
+//	                   ◀──────────  TRACK <index><bytes>   ┘ transmission cycle
+//	                   ◀──────────  HICCUP {track, reason}   (lost track)
+//	                   ◀──────────  BYE {reason}
+//	BYE                ──────────▶  (client hang-up at any point)
+//
+// Every frame is a 1-byte type, a 4-byte big-endian payload length, and
+// the payload. Control payloads are JSON; TRACK payloads are a 4-byte
+// big-endian track index followed by the raw track bytes. The burst
+// field of ADMIT-OK is the scheme's k′: whole-group schemes (Streaming
+// RAID, Improved-bandwidth) ship C-1 tracks per read cycle, per-track
+// schemes (Staggered-group, Non-clustered) one track per transmission
+// cycle.
+package netserve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// protocolMagic identifies protocol version 1 in the HELLO exchange.
+const protocolMagic = "FTMM/1"
+
+// Frame types.
+const (
+	frameHello   byte = 0x01
+	frameAdmit   byte = 0x02
+	frameAdmitOK byte = 0x03
+	frameReject  byte = 0x04
+	frameTrack   byte = 0x05
+	frameHiccup  byte = 0x06
+	frameBye     byte = 0x07
+)
+
+const (
+	frameHeaderLen = 5
+	// maxFramePayload bounds a payload: a track plus its index fits with
+	// room to spare; anything larger is a protocol violation, not a read.
+	maxFramePayload = 16 << 20
+)
+
+// AdmitOK is the server's answer to a successful ADMIT.
+type AdmitOK struct {
+	StreamID  int    `json:"stream_id"`
+	Title     string `json:"title"`
+	TrackSize int    `json:"track_size"`
+	// Tracks is the total number of tracks the stream will carry; Size
+	// is the object's exact byte length (the last track may be shorter,
+	// padded with zeros on the wire). Clients verifying synthetic
+	// content regenerate it from Size.
+	Tracks int `json:"tracks"`
+	Size   int `json:"size"`
+	// CycleNanos is the transmission cycle length; Burst tracks arrive
+	// per cycle (k′-aware pacing: C-1 for SR/IB, 1 for SG/NC).
+	CycleNanos int64 `json:"cycle_ns"`
+	Burst      int   `json:"burst"`
+}
+
+// Reject is the server's answer to a refused ADMIT. RetryAfterMillis is
+// non-zero when the refusal is transient (farm at capacity): the client
+// should wait that long and try again.
+type Reject struct {
+	Reason           string `json:"reason"`
+	RetryAfterMillis int64  `json:"retry_after_ms,omitempty"`
+}
+
+// HiccupNote tells the client a track was lost (the paper's
+// discontinuity in delivery) so it can account for the gap.
+type HiccupNote struct {
+	Track  int    `json:"track"`
+	Reason string `json:"reason"`
+}
+
+// Bye ends a session. Reason is "finished", "terminated", "shed", or
+// "shutdown".
+type Bye struct {
+	Reason string `json:"reason"`
+}
+
+// writeFrame writes one frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("netserve: %d-byte payload exceeds frame limit", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeJSONFrame writes one control frame with a JSON payload.
+func writeJSONFrame(w io.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, payload)
+}
+
+// jsonFrame encodes a full control frame into one buffer.
+func jsonFrame(typ byte, v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, frameHeaderLen+len(payload))
+	buf[0] = typ
+	binary.BigEndian.PutUint32(buf[1:frameHeaderLen], uint32(len(payload)))
+	copy(buf[frameHeaderLen:], payload)
+	return buf, nil
+}
+
+// trackFrame encodes a full TRACK wire frame in one buffer, copying
+// data: the arena ownership rules (DESIGN.md, "Zero-alloc data path")
+// require delivered bytes to be copied at the socket boundary before
+// the engine's next Step recycles them.
+func trackFrame(track int, data []byte) []byte {
+	buf := make([]byte, frameHeaderLen+4+len(data))
+	buf[0] = frameTrack
+	binary.BigEndian.PutUint32(buf[1:frameHeaderLen], uint32(4+len(data)))
+	binary.BigEndian.PutUint32(buf[frameHeaderLen:frameHeaderLen+4], uint32(track))
+	copy(buf[frameHeaderLen+4:], data)
+	return buf
+}
+
+// parseTrack splits a TRACK payload into index and content. The content
+// aliases the payload.
+func parseTrack(payload []byte) (int, []byte, error) {
+	if len(payload) < 4 {
+		return 0, nil, fmt.Errorf("netserve: TRACK payload of %d bytes is too short", len(payload))
+	}
+	return int(binary.BigEndian.Uint32(payload[:4])), payload[4:], nil
+}
+
+// readFrame reads one frame, allocating the payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("netserve: frame claims %d-byte payload, limit %d", n, maxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}

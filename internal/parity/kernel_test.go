@@ -202,6 +202,9 @@ func TestKernelSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation penalizes the word kernel's accesses; timing ratio is meaningless")
+	}
 	const size = 50_000
 	dst := make([]byte, size)
 	src := make([]byte, size)

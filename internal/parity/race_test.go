@@ -1,0 +1,7 @@
+//go:build race
+
+package parity
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive tests skip under it.
+const raceEnabled = true

@@ -175,6 +175,19 @@ type engineStream interface {
 	stream() *sched.Stream
 }
 
+// streamProgress reports a stream's delivery progress: the next track
+// owed to the client and the object's total tracks. ok is false for
+// streams the engine never knew or has forgotten; finished and
+// terminated streams still report (next pinned at total for finished).
+func streamProgress[S engineStream](streams []S, id int) (next, total int, ok bool) {
+	for _, s := range streams {
+		if st := s.stream(); st.ID == id {
+			return st.NextDeliver, st.Obj.Tracks, true
+		}
+	}
+	return 0, 0, false
+}
+
 // activeCount counts streams still being served.
 func activeCount[S engineStream](streams []S) int {
 	n := 0

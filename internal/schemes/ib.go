@@ -90,6 +90,12 @@ func (e *ImprovedBandwidth) Reserve() int { return e.reserve }
 // Active implements Simulator.
 func (e *ImprovedBandwidth) Active() int { return activeCount(e.streams) }
 
+// StreamProgress reports the next track owed to the stream and its
+// object's total tracks; ok is false for unknown streams.
+func (e *ImprovedBandwidth) StreamProgress(id int) (next, total int, ok bool) {
+	return streamProgress(e.streams, id)
+}
+
 // Terminations counts streams killed by degradation of service.
 func (e *ImprovedBandwidth) Terminations() int { return e.terminations }
 

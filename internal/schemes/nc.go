@@ -143,6 +143,12 @@ func (e *NonClustered) CycleTime() time.Duration {
 // Active implements Simulator.
 func (e *NonClustered) Active() int { return activeCount(e.streams) }
 
+// StreamProgress reports the next track owed to the stream and its
+// object's total tracks; ok is false for unknown streams.
+func (e *NonClustered) StreamProgress(id int) (next, total int, ok bool) {
+	return streamProgress(e.streams, id)
+}
+
 // Degradations counts data-disk failures that found every buffer server
 // busy (the paper's degradation-of-service events).
 func (e *NonClustered) Degradations() int { return e.degradations }

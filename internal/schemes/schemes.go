@@ -16,6 +16,18 @@
 // Every simulator moves real bytes: deliveries carry track content that
 // tests compare against the originally written object data, so masking a
 // failure means proving the reconstructed bytes are identical.
+//
+// # Report retention
+//
+// The *sched.CycleReport returned by Step — and every Delivery.Data
+// slice inside it — is valid only until the engine's next Step: engines
+// reuse the report's backing slices and recycle delivered track buffers
+// through a buffer.Arena (DESIGN.md, "Zero-alloc data path"). A caller
+// that holds a report across Steps must deep-copy it first with
+// CycleReport.Clone; trace.Recorder.Observe copies delivered bytes for
+// the same reason, and the network layer copies them into wire frames
+// at the socket boundary. Reading a stale report is a use-after-free
+// the race detector cannot see — the bytes stay valid, just wrong.
 package schemes
 
 import (

@@ -57,6 +57,12 @@ func (e *StaggeredGroup) CycleTime() time.Duration {
 // Active implements Simulator.
 func (e *StaggeredGroup) Active() int { return activeCount(e.streams) }
 
+// StreamProgress reports the next track owed to the stream and its
+// object's total tracks; ok is false for unknown streams.
+func (e *StaggeredGroup) StreamProgress(id int) (next, total int, ok bool) {
+	return streamProgress(e.streams, id)
+}
+
 // AddStream implements Simulator. The stream's read phase is the
 // admission cycle mod C-1; only streams sharing a phase ever touch the
 // same disks in the same cycle (different phases read in different

@@ -43,6 +43,12 @@ func (e *StreamingRAID) CycleTime() time.Duration {
 // Active implements Simulator.
 func (e *StreamingRAID) Active() int { return activeCount(e.streams) }
 
+// StreamProgress reports the next track owed to the stream and its
+// object's total tracks; ok is false for unknown streams.
+func (e *StreamingRAID) StreamProgress(id int) (next, total int, ok bool) {
+	return streamProgress(e.streams, id)
+}
+
 // AddStream implements Simulator. A stream consumes one track read on
 // every drive of its current cluster each cycle, and every active stream
 // advances one cluster per cycle, so per-cluster stream counts are

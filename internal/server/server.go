@@ -14,6 +14,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -73,6 +74,17 @@ func (o *Options) fillDefaults() {
 	}
 }
 
+var (
+	// ErrRejected marks admission failures: the active scheme's bandwidth
+	// budget cannot fit another stream right now. Retrying after streams
+	// finish can succeed; front-ends translate this into Retry-After.
+	ErrRejected = errors.New("server: admission rejected")
+	// ErrDraining marks admissions refused because the server is shutting
+	// down gracefully (BeginDrain): existing streams play out, new ones
+	// are turned away.
+	ErrDraining = errors.New("server: draining, not admitting")
+)
+
 // Stats aggregates a server's lifetime activity.
 type Stats struct {
 	Cycles          int
@@ -108,6 +120,8 @@ type Server struct {
 	rebuildBudget int
 	// pending holds queued admission requests (title IDs), FIFO.
 	pending []string
+	// draining, once set, refuses all new admissions (graceful shutdown).
+	draining bool
 }
 
 // repairer is implemented by engines that coordinate their own repair
@@ -218,13 +232,16 @@ func (s *Server) AddTitle(id string, size units.ByteSize, tape int, content []by
 // storage if it is not disk-resident. It returns the stream ID and the
 // simulated staging latency (zero for resident titles).
 func (s *Server) Request(id string) (int, time.Duration, error) {
+	if s.draining {
+		return 0, 0, ErrDraining
+	}
 	obj, cost, err := s.cat.Ensure(id, s.opts.Rate)
 	if err != nil {
 		return 0, 0, err
 	}
 	streamID, err := s.engine.AddStream(obj)
 	if err != nil {
-		return 0, cost, fmt.Errorf("server: admission rejected: %w", err)
+		return 0, cost, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
 	if err := s.cat.Pin(id); err != nil {
 		return 0, cost, err
@@ -449,6 +466,9 @@ func (s *Server) BufferPeakBytes() units.ByteSize {
 // CycleTime returns the engine's cycle duration.
 func (s *Server) CycleTime() time.Duration { return s.engine.CycleTime() }
 
+// Rate returns the uniform object bandwidth b0 streams play at.
+func (s *Server) Rate() units.Rate { return s.opts.Rate }
+
 // ParseScheme maps a command-line scheme name to its scheme and
 // Non-clustered transition policy. Accepted: "sr"/"raid"/
 // "streaming-raid", "sg"/"staggered", "nc"/"nc-alternate", "nc-simple",
@@ -498,9 +518,9 @@ func (s *Server) QueueRequest(id string) (streamID int, queued bool, err error) 
 	if err == nil {
 		return streamID, false, nil
 	}
-	// Only admission rejections queue; unknown titles and staging
-	// failures surface immediately.
-	if !s.cat.Resident(id) {
+	// Only admission rejections queue; unknown titles, staging failures,
+	// and drain refusals surface immediately.
+	if errors.Is(err, ErrDraining) || !s.cat.Resident(id) {
 		return 0, false, err
 	}
 	s.pending = append(s.pending, id)
@@ -509,6 +529,49 @@ func (s *Server) QueueRequest(id string) (streamID int, queued bool, err error) 
 
 // QueuedRequests returns the admission backlog length.
 func (s *Server) QueuedRequests() int { return len(s.pending) }
+
+// BeginDrain stops admitting new streams (Request and QueueRequest
+// return ErrDraining, and parked queue entries stop retrying); existing
+// streams keep playing to completion. The network layer uses this for
+// graceful shutdown: pace out what was promised, promise nothing new.
+func (s *Server) BeginDrain() { s.draining = true }
+
+// Draining reports whether the server is refusing new admissions.
+func (s *Server) Draining() bool { return s.draining }
+
+// StreamTitle returns the title a live stream is delivering; ok is
+// false once the stream has finished, terminated, or been cancelled.
+func (s *Server) StreamTitle(streamID int) (string, bool) {
+	id, ok := s.objOf[streamID]
+	return id, ok
+}
+
+// ActiveStreamIDs returns the live stream IDs in ascending order.
+func (s *Server) ActiveStreamIDs() []int {
+	ids := make([]int, 0, len(s.objOf))
+	for id := range s.objOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// progresser is implemented by all engines: per-stream delivery
+// progress for status surfaces and pacing front-ends.
+type progresser interface {
+	StreamProgress(id int) (next, total int, ok bool)
+}
+
+// StreamProgress reports how far a stream has played: the next track
+// owed to the client and the object's total tracks. ok is false for
+// streams the engine no longer knows.
+func (s *Server) StreamProgress(streamID int) (next, total int, ok bool) {
+	p, o := s.engine.(progresser)
+	if !o {
+		return 0, 0, false
+	}
+	return p.StreamProgress(streamID)
+}
 
 // drainQueue retries parked requests in order, stopping at the first
 // that still does not fit (FIFO fairness).

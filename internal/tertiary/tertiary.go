@@ -115,6 +115,19 @@ func (l *Library) Objects() int {
 	return len(l.objects)
 }
 
+// IDs returns the archived object IDs, sorted — the server's title
+// catalog as clients (ftmmserve /titlesz, ftmmload) see it.
+func (l *Library) IDs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]string, 0, len(l.objects))
+	for id := range l.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // Fetch retrieves the object's full content and the simulated time the
 // retrieval took (one mount plus the transfer).
 func (l *Library) Fetch(id string) ([]byte, time.Duration, error) {

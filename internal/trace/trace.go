@@ -71,6 +71,16 @@ func (r *Recorder) Observe(rep *sched.CycleReport) {
 	}
 }
 
+// Record appends one event observed outside a CycleReport — e.g. a
+// network client folding received frames into a trace. Delivered data
+// is copied, like Observe.
+func (r *Recorder) Record(e Event) {
+	if !e.Lost {
+		e.Data = append([]byte(nil), e.Data...)
+	}
+	r.events = append(r.events, e)
+}
+
 // Events returns the recorded events in observation order.
 func (r *Recorder) Events() []Event { return r.events }
 
@@ -98,6 +108,37 @@ func (r *Recorder) perStream() map[int][]Event {
 	return m
 }
 
+// CheckTrack is the single definition of bit-exactness: a correct
+// delivery of the given track carries trackSize bytes of content at the
+// track's offset, zero-padded past the end of the object. It allocates
+// nothing, so network clients (ftmmload) can verify every received
+// track on the fly with the same predicate the server-side trace uses.
+func CheckTrack(content []byte, trackSize, track int, got []byte) error {
+	if trackSize <= 0 {
+		return fmt.Errorf("trace: track size %d must be positive", trackSize)
+	}
+	if len(got) != trackSize {
+		return fmt.Errorf("trace: track %d carries %d bytes, want %d", track, len(got), trackSize)
+	}
+	start := track * trackSize
+	if track < 0 || start >= len(content) {
+		return fmt.Errorf("trace: track %d beyond content (%d bytes)", track, len(content))
+	}
+	end := start + trackSize
+	if end > len(content) {
+		end = len(content)
+	}
+	if !bytes.Equal(got[:end-start], content[start:end]) {
+		return fmt.Errorf("trace: track %d: content differs", track)
+	}
+	for _, b := range got[end-start:] { // final partial track, zero padded
+		if b != 0 {
+			return fmt.Errorf("trace: track %d: padding past object end is not zero", track)
+		}
+	}
+	return nil
+}
+
 // VerifyIntegrity checks every delivered track's bytes against the
 // stored content.
 func (r *Recorder) VerifyIntegrity() error {
@@ -109,20 +150,9 @@ func (r *Recorder) VerifyIntegrity() error {
 		if !ok {
 			return fmt.Errorf("trace: delivery of unknown object %q", e.ObjectID)
 		}
-		start := e.Track * r.trackSize
-		if start >= len(content) {
-			return fmt.Errorf("trace: object %q track %d beyond content (%d bytes)", e.ObjectID, e.Track, len(content))
-		}
-		end := start + r.trackSize
-		want := make([]byte, r.trackSize)
-		if end <= len(content) {
-			copy(want, content[start:end])
-		} else {
-			copy(want, content[start:]) // final partial track, zero padded
-		}
-		if !bytes.Equal(e.Data, want) {
-			return fmt.Errorf("trace: stream %d object %q track %d: content differs (cycle %d, reconstructed=%v)",
-				e.StreamID, e.ObjectID, e.Track, e.Cycle, e.Reconstructed)
+		if err := CheckTrack(content, r.trackSize, e.Track, e.Data); err != nil {
+			return fmt.Errorf("trace: stream %d object %q (cycle %d, reconstructed=%v): %w",
+				e.StreamID, e.ObjectID, e.Cycle, e.Reconstructed, err)
 		}
 	}
 	return nil

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// chiSquared computes Pearson's statistic for observed counts against
+// expected probabilities over n draws.
+func chiSquared(obs []int, probs []float64, n int) float64 {
+	x2 := 0.0
+	for i, o := range obs {
+		exp := probs[i] * float64(n)
+		d := float64(o) - exp
+		x2 += d * d / exp
+	}
+	return x2
+}
+
+// zipfProbs returns the generator's nominal distribution: weight
+// 1/(i+1)^s, normalized.
+func zipfProbs(objects int, s float64) []float64 {
+	probs := make([]float64, objects)
+	total := 0.0
+	for i := range probs {
+		probs[i] = 1 / math.Pow(float64(i+1), s)
+		total += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	return probs
+}
+
+// TestZipfRankFrequencies draws a large sample and checks the empirical
+// rank frequencies against the configured Zipf law with a chi-squared
+// goodness-of-fit test. With 8 objects (7 degrees of freedom) the 99.9%
+// critical value is 24.32; the seeds are fixed, so a pass is
+// deterministic — a failure means the popularity sampling drifted.
+func TestZipfRankFrequencies(t *testing.T) {
+	const (
+		objects  = 8
+		draws    = 20000
+		critical = 24.32 // chi-squared df=7, p=0.001
+		zipfSkew = 1.0
+	)
+	names := ObjectNames("obj", objects)
+	index := map[string]int{}
+	for i, id := range names {
+		index[id] = i
+	}
+	probs := zipfProbs(objects, zipfSkew)
+	for _, seed := range []int64{1, 42, 9001} {
+		gen, err := New(Config{Seed: seed, Objects: names, ZipfS: zipfSkew, ArrivalsPerSecond: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := make([]int, objects)
+		for i := 0; i < draws; i++ {
+			obs[index[gen.Pick()]]++
+		}
+		if x2 := chiSquared(obs, probs, draws); x2 > critical {
+			t.Errorf("seed %d: chi-squared %.2f > %.2f; counts %v", seed, x2, critical, obs)
+		}
+		// The defining Zipf property, rank order: each rank at least as
+		// popular as the next (with a slack well under the rank-1 gap).
+		for i := 1; i < objects; i++ {
+			if float64(obs[i]) > float64(obs[i-1])*1.15 {
+				t.Errorf("seed %d: rank %d (%d draws) out-drew rank %d (%d)", seed, i, obs[i], i-1, obs[i-1])
+			}
+		}
+	}
+}
+
+// TestUniformChiSquared: ZipfS = 0 must degenerate to uniform, to
+// chi-squared precision (the basic test elsewhere only bounds per-object
+// deviation).
+func TestUniformChiSquared(t *testing.T) {
+	const (
+		objects  = 10
+		draws    = 20000
+		critical = 27.88 // chi-squared df=9, p=0.001
+	)
+	names := ObjectNames("obj", objects)
+	index := map[string]int{}
+	for i, id := range names {
+		index[id] = i
+	}
+	probs := zipfProbs(objects, 0)
+	gen, err := New(Config{Seed: 7, Objects: names, ZipfS: 0, ArrivalsPerSecond: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]int, objects)
+	for i := 0; i < draws; i++ {
+		obs[index[gen.Pick()]]++
+	}
+	if x2 := chiSquared(obs, probs, draws); x2 > critical {
+		t.Errorf("chi-squared %.2f > %.2f; counts %v", x2, critical, obs)
+	}
+}
+
+// TestPoissonInterArrivals checks the arrival process: exponential
+// inter-arrival gaps with the configured rate. The sample mean and
+// standard deviation must both approximate 1/rate (the exponential's
+// defining property), and a four-bucket quartile chi-squared test
+// checks the shape, all across three seeds.
+func TestPoissonInterArrivals(t *testing.T) {
+	const (
+		rate     = 4.0 // arrivals per second
+		draws    = 20000
+		critical = 16.27 // chi-squared df=3, p=0.001
+	)
+	mean := 1 / rate
+	// Exponential quartile boundaries: -ln(1-q)/rate.
+	bounds := []float64{
+		-math.Log(0.75) * mean,
+		-math.Log(0.50) * mean,
+		-math.Log(0.25) * mean,
+	}
+	for _, seed := range []int64{1, 42, 9001} {
+		gen, err := New(Config{Seed: seed, Objects: []string{"o"}, ArrivalsPerSecond: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last time.Duration
+		obs := make([]int, 4)
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			req := gen.Next()
+			gap := (req.At - last).Seconds()
+			last = req.At
+			sum += gap
+			sumSq += gap * gap
+			bucket := 0
+			for bucket < 3 && gap > bounds[bucket] {
+				bucket++
+			}
+			obs[bucket]++
+		}
+		gotMean := sum / draws
+		if math.Abs(gotMean-mean)/mean > 0.05 {
+			t.Errorf("seed %d: mean gap %.4fs, want %.4fs ±5%%", seed, gotMean, mean)
+		}
+		gotSD := math.Sqrt(sumSq/draws - gotMean*gotMean)
+		if math.Abs(gotSD-mean)/mean > 0.10 {
+			t.Errorf("seed %d: stddev %.4fs, want %.4fs ±10%% (exponential: sd = mean)", seed, gotSD, mean)
+		}
+		probs := []float64{0.25, 0.25, 0.25, 0.25}
+		if x2 := chiSquared(obs, probs, draws); x2 > critical {
+			t.Errorf("seed %d: quartile chi-squared %.2f > %.2f; counts %v", seed, x2, critical, obs)
+		}
+	}
+}
