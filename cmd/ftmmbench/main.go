@@ -17,7 +17,9 @@
 // (one scheduling cycle per scheme plus the parity substrate) and
 // writes ns/op, allocs/op, and stream counts to a BENCH_*.json file;
 // numbers already in the file are preserved as pre_change for
-// before/after comparison (see BENCH_0.json).
+// before/after comparison (see BENCH_0.json). -bench-compare old.json
+// new.json diffs two such files and exits non-zero on regressions
+// (allocs/op always; ns/op unless -compare-warn-ns).
 package main
 
 import (
@@ -38,6 +40,10 @@ var (
 
 	benchBaseline = flag.String("bench-baseline", "",
 		"run the data-path benchmark suite and write ns/op, allocs/op, and stream counts to this JSON file (existing numbers are kept as pre_change)")
+	benchCompare = flag.Bool("bench-compare", false,
+		"diff two -bench-baseline files (args: old.json new.json); exit non-zero on >20% ns/op or any allocs/op regression beyond pool-refill noise")
+	compareWarnNS = flag.Bool("compare-warn-ns", false,
+		"with -bench-compare, demote ns/op regressions to warnings (allocs/op still hard-fails) — for CI runners whose speed differs from the committed baseline's machine")
 )
 
 // jsonResult is the -json wire shape for one experiment.
@@ -55,6 +61,18 @@ func main() {
 
 	if *benchBaseline != "" {
 		if err := runBaseline(*benchBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "ftmmbench: -bench-compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *compareWarnNS); err != nil {
 			fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -134,6 +152,8 @@ func usage() {
 
 Run -list for experiment names; default runs all.
 Run -bench-baseline BENCH_N.json for the performance baseline suite.
+Run -bench-compare [-compare-warn-ns] old.json new.json to diff two
+baseline files (fails on regressions).
 
 Flags:
 `)

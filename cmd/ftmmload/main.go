@@ -106,6 +106,9 @@ func playOne(tl *tally, title string) {
 			tl.fail("dial %s: %v", title, err)
 			return
 		}
+		// Each track is verified before the next Next() call, so the
+		// client can recycle its payload buffer between frames.
+		c.ReuseBuffers(true)
 		ok, err := c.Admit(title)
 		var rej *netserve.RejectedError
 		if errors.As(err, &rej) && rej.Reject.RetryAfterMillis > 0 && attempt < *retries {

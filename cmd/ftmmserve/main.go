@@ -44,8 +44,9 @@ var (
 	titleGroups   = flag.Int("groups", 20, "parity groups per title")
 	workers       = flag.Int("workers", 0, "engine per-cluster worker goroutines (0 = GOMAXPROCS)")
 	speed         = flag.Float64("speed", 1, "wall-clock speedup for the pacer (0: virtual clock, cycles back to back)")
-	queue         = flag.Int("queue", 64, "per-session send queue depth (overflow sheds the client)")
-	writeTimeout  = flag.Duration("write-timeout", 10*time.Second, "per-frame socket write deadline")
+	queue         = flag.Int("queue", 64, "per-session send queue depth in bursts (overflow sheds the client)")
+	writeTimeout  = flag.Duration("write-timeout", 10*time.Second, "per-burst socket write stall limit (timer-wheel supervised)")
+	pprofFlag     = flag.Bool("pprof", false, "mount /debug/pprof profiling handlers on the HTTP surface")
 	failDisk      = flag.Int("fail-disk", -1, "drive to fail (-1: none)")
 	failCycle     = flag.Int("fail-cycle", 20, "cycle at which the drive fails")
 	repairCycle   = flag.Int("repair-cycle", -1, "cycle at which the drive is repaired offline (-1: never)")
@@ -108,6 +109,7 @@ func run() error {
 		Clock:        clock,
 		SendQueue:    *queue,
 		WriteTimeout: *writeTimeout,
+		EnablePprof:  *pprofFlag,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -1,0 +1,78 @@
+package buffer
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ref is a refcounted handle on an arena buffer. It exists so one
+// delivered track can be handed to N consumers (session writers, a
+// trace recorder) without copying: the producer Shares the buffer once,
+// each consumer Retains it, and the buffer returns to the arena when
+// the last holder Releases. Ref headers themselves are pooled on the
+// arena, so steady-state sharing allocates nothing.
+//
+// Ownership rule: Share transfers the buffer from plain Get/Put
+// discipline into refcounted discipline — after Share the producer must
+// not Put the raw slice, only Release the Ref. Bytes must not be read
+// after the holder's own Release (another stream may be filling the
+// recycled buffer by then).
+type Ref struct {
+	arena *Arena
+	buf   []byte
+	refs  atomic.Int32
+}
+
+// refHeaders pools Ref structs for arenas (including the nil arena) so
+// Share is allocation-free in steady state.
+var refHeaders = sync.Pool{New: func() any { return new(Ref) }}
+
+// Share wraps buf in a Ref with an initial count of one, transferring
+// ownership of the slice to the Ref. Works on a nil arena too (the
+// final Release then simply drops the slice for the GC).
+func (a *Arena) Share(buf []byte) *Ref {
+	r := refHeaders.Get().(*Ref)
+	r.arena = a
+	r.buf = buf
+	r.refs.Store(1)
+	return r
+}
+
+// Bytes returns the shared buffer. Valid only while the caller holds an
+// unreleased reference.
+func (r *Ref) Bytes() []byte { return r.buf }
+
+// Retain adds a reference. The caller must already hold one (retaining
+// a Ref that may concurrently hit zero is a use-after-free).
+func (r *Ref) Retain() {
+	if r.refs.Add(1) <= 1 {
+		panic("buffer: Retain on released Ref")
+	}
+}
+
+// Release drops one reference. When the last one drops the buffer goes
+// back to the arena and the header back to its pool; the Ref must not
+// be touched afterwards.
+func (r *Ref) Release() {
+	n := r.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("buffer: Release on released Ref")
+	}
+	a, buf := r.arena, r.buf
+	r.arena, r.buf = nil, nil
+	a.Put(buf)
+	refHeaders.Put(r)
+}
+
+// Outstanding is the number of buffers currently checked out of the
+// arena (handed out and not yet returned). Leak tests assert it drops
+// back to zero once every consumer has Released.
+func (a *Arena) Outstanding() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.gets.Load() - a.puts.Load()
+}

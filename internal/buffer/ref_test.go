@@ -1,0 +1,55 @@
+package buffer
+
+import "testing"
+
+func TestRefLifecycle(t *testing.T) {
+	a := NewArena(8)
+	buf := a.Get()
+	if got := a.Outstanding(); got != 1 {
+		t.Fatalf("Outstanding after Get = %d, want 1", got)
+	}
+
+	ref := a.Share(buf)
+	if &ref.Bytes()[0] != &buf[0] {
+		t.Fatal("Share copied the buffer")
+	}
+	ref.Retain()
+	ref.Release()
+	if got := a.Outstanding(); got != 1 {
+		t.Fatalf("Outstanding with one ref held = %d, want 1", got)
+	}
+	ref.Release()
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding after final Release = %d, want 0", got)
+	}
+
+	// The recycled buffer must be reachable again through the pool.
+	buf2 := a.Get()
+	a.Put(buf2)
+	if gets, puts, _ := a.Stats(); gets != puts {
+		t.Fatalf("gets %d != puts %d after balanced use", gets, puts)
+	}
+}
+
+func TestRefNilArena(t *testing.T) {
+	var a *Arena
+	ref := a.Share(make([]byte, 4))
+	ref.Retain()
+	ref.Release()
+	ref.Release() // must not panic; slice just drops to the GC
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("nil arena Outstanding = %d", got)
+	}
+}
+
+func TestRefOverRelease(t *testing.T) {
+	a := NewArena(8)
+	ref := a.Share(a.Get())
+	ref.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release past zero did not panic")
+		}
+	}()
+	ref.Release()
+}

@@ -14,7 +14,16 @@ type Client struct {
 	conn        net.Conn
 	readTimeout time.Duration
 	admit       AdmitOK
+	reuse       bool
+	buf         []byte
 }
+
+// ReuseBuffers switches Next to fill one reused payload buffer instead
+// of allocating per frame. With it on, Event.Data is valid only until
+// the next call to Next — right for consumers that verify or copy each
+// track immediately (ftmmload, benchmarks), wrong for ones that retain
+// tracks. Off by default.
+func (c *Client) ReuseBuffers(on bool) { c.reuse = on }
 
 // RejectedError is the admission refusal as the client sees it.
 type RejectedError struct {
@@ -81,8 +90,9 @@ func (c *Client) Admit(title string) (AdmitOK, error) {
 
 // Event is one post-admission frame, decoded.
 type Event struct {
-	// Track and Data are set for track deliveries (Data is owned by the
-	// caller).
+	// Track and Data are set for track deliveries. Data is owned by the
+	// caller, unless ReuseBuffers is on — then it is valid only until
+	// the next call to Next.
 	Track int
 	Data  []byte
 	// Hiccup is set for lost-track notes.
@@ -138,6 +148,9 @@ func (c *Client) Close() error {
 func (c *Client) read() (byte, []byte, error) {
 	if c.readTimeout > 0 {
 		c.conn.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
+	if c.reuse {
+		return readFrameBuf(c.conn, &c.buf)
 	}
 	return readFrame(c.conn)
 }

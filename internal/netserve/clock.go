@@ -17,10 +17,13 @@ type Clock interface {
 	Now() time.Duration
 }
 
-// wallClock sleeps real time, optionally sped up.
+// wallClock sleeps real time, optionally sped up. The pacer calls Pace
+// once per cycle forever, so the timer is allocated once and re-armed
+// with Reset rather than rebuilt per cycle.
 type wallClock struct {
 	speedup float64
 	elapsed time.Duration
+	t       *time.Timer
 }
 
 // WallClock paces cycles in real time divided by speedup (1 = real
@@ -35,12 +38,24 @@ func WallClock(speedup float64) Clock {
 
 func (c *wallClock) Pace(d time.Duration, stop <-chan struct{}) bool {
 	c.elapsed += d
-	t := time.NewTimer(time.Duration(float64(d) / c.speedup))
-	defer t.Stop()
+	dur := time.Duration(float64(d) / c.speedup)
+	if c.t == nil {
+		c.t = time.NewTimer(dur)
+	} else {
+		// The timer's channel is always drained on the true path, so
+		// Reset without a Stop/drain dance is safe here.
+		c.t.Reset(dur)
+	}
 	select {
-	case <-t.C:
+	case <-c.t.C:
 		return true
 	case <-stop:
+		if !c.t.Stop() {
+			select {
+			case <-c.t.C:
+			default:
+			}
+		}
 		return false
 	}
 }

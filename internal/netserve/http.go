@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"ftmm/internal/server"
@@ -32,12 +33,22 @@ type status struct {
 //	     capacity, then immediately releases the slot. 204 on success,
 //	     503 + Retry-After when the farm is full, 404 for unknown
 //	     titles.
+//
+// With Options.EnablePprof the standard /debug/pprof/ profiling
+// endpoints are mounted too (opt-in; see the option's doc).
 func (ns *NetServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statusz", ns.handleStatus)
 	mux.HandleFunc("/metricsz", ns.handleMetrics)
 	mux.HandleFunc("/titlesz", ns.handleTitles)
 	mux.HandleFunc("/admitz", ns.handleAdmit)
+	if ns.opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -48,7 +59,7 @@ func (ns *NetServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Cycle:      ns.srv.Engine().Cycle(),
 		CycleNanos: ns.cycleTime.Nanoseconds(),
 		Burst:      ns.burst,
-		Sessions:   len(ns.sessions),
+		Sessions:   ns.sessions.len(),
 		Active:     ns.srv.Engine().Active(),
 		Draining:   ns.draining,
 		TrackSize:  ns.trackSize,

@@ -3,11 +3,15 @@ package netserve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ftmm/internal/buffer"
+	"ftmm/internal/sched"
 	"ftmm/internal/server"
 )
 
@@ -16,6 +20,15 @@ const (
 	defaultSendQueue    = 64
 	defaultWriteTimeout = 10 * time.Second
 	helloTimeout        = 30 * time.Second
+
+	// sessionShards sizes the session registry's lock striping.
+	sessionShards = 16
+
+	// Timer-wheel resolution for write-stall supervision. Stall
+	// detection only needs coarse accuracy (WriteTimeout is seconds),
+	// so a 25ms tick keeps the wheel goroutine nearly idle.
+	wheelTick  = 25 * time.Millisecond
+	wheelSlots = 256
 )
 
 // Options configures a NetServer.
@@ -30,17 +43,22 @@ type Options struct {
 	// Clock paces transmission cycles. nil selects manual mode: the
 	// owner drives cycles through StepCycle, nothing runs on a timer.
 	Clock Clock
-	// SendQueue bounds the per-session outbound frame queue. A session
-	// whose queue overflows is shed (its stream cancelled, connection
-	// closed) so one stalled client cannot delay the cycle loop or
-	// other streams.
+	// SendQueue bounds the per-session outbound queue, counted in
+	// per-cycle bursts. A session whose queue overflows is shed (its
+	// stream cancelled, connection closed) so one stalled client cannot
+	// delay the cycle loop or other streams.
 	SendQueue int
-	// WriteTimeout is the per-frame socket write deadline.
+	// WriteTimeout bounds one burst's socket write; a stalled write is
+	// detected by the shared timer wheel and the connection is cut.
 	WriteTimeout time.Duration
 	// WriteBufferBytes shrinks the kernel send buffer on accepted
 	// connections when > 0. Shedding tests use a small value so a
 	// non-reading client exerts backpressure quickly.
 	WriteBufferBytes int
+	// EnablePprof mounts net/http/pprof profiling handlers under
+	// /debug/pprof/ on Handler's mux. Opt-in: profile endpoints can
+	// stall a loaded server and should not be exposed by default.
+	EnablePprof bool
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -62,16 +80,119 @@ type NetServer struct {
 	burst     int
 	trackSize int
 
+	// sessions is sharded so admission, teardown from reader/writer
+	// goroutines, and the HTTP surface do not serialize on the engine
+	// lock at high session counts.
+	sessions sessionTable
+
+	// wheel supervises every session's in-flight write from a single
+	// goroutine, replacing a per-write SetWriteDeadline syscall pair.
+	wheel *TimerWheel
+
+	// burstPool recycles burst containers; hdrPool recycles TRACK frame
+	// headers. Together with refcounted track payloads they make the
+	// steady-state write path allocation-free.
+	burstPool sync.Pool
+	hdrPool   sync.Pool
+
+	// mu is the engine lock: it guards srv, schedule, and drain state.
 	mu       sync.Mutex
 	cond     *sync.Cond
-	sessions map[int]*session
 	schedule []scheduledEvent
 	draining bool
 	drained  chan struct{}
 	closed   bool
 
+	// touched and finishing are the cycle loop's scratch lists (guarded
+	// by mu): sessions with a pending burst this cycle, and sessions
+	// whose queue closes once that burst is flushed.
+	touched   []*session
+	finishing []*session
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// sessionTable is a lock-striped stream-ID → session map.
+type sessionTable struct {
+	count  atomic.Int64
+	shards [sessionShards]struct {
+		mu sync.RWMutex
+		m  map[int]*session
+	}
+}
+
+func (t *sessionTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[int]*session)
+	}
+}
+
+func (t *sessionTable) get(id int) *session {
+	sh := &t.shards[uint(id)%sessionShards]
+	sh.mu.RLock()
+	sess := sh.m[id]
+	sh.mu.RUnlock()
+	return sess
+}
+
+func (t *sessionTable) put(sess *session) {
+	sh := &t.shards[uint(sess.id)%sessionShards]
+	sh.mu.Lock()
+	sh.m[sess.id] = sess
+	sh.mu.Unlock()
+	t.count.Add(1)
+}
+
+// remove unregisters the session, reporting whether this call was the
+// one that removed it (teardown can race from reader, writer, and cycle
+// loop; exactly one caller wins and does the back-end cancel).
+func (t *sessionTable) remove(sess *session) bool {
+	sh := &t.shards[uint(sess.id)%sessionShards]
+	sh.mu.Lock()
+	cur, ok := sh.m[sess.id]
+	if ok && cur == sess {
+		delete(sh.m, sess.id)
+	}
+	sh.mu.Unlock()
+	if ok && cur == sess {
+		t.count.Add(-1)
+		return true
+	}
+	return false
+}
+
+func (t *sessionTable) len() int { return int(t.count.Load()) }
+
+// drainAll empties the table, invoking f on each removed session.
+func (t *sessionTable) drainAll(f func(*session)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for id, sess := range sh.m {
+			delete(sh.m, id)
+			t.count.Add(-1)
+			f(sess)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// outFrame is one frame staged into a burst: either a pre-encoded
+// control frame (ctrl) or a TRACK frame as pooled header + payload,
+// where ref (when non-nil) holds the payload's refcount.
+type outFrame struct {
+	ctrl    []byte
+	hdr     *[trackHeaderLen]byte
+	payload []byte
+	ref     *buffer.Ref
+}
+
+// burst is one cycle's worth of frames for one session, written with a
+// single vectored write.
+type burst struct {
+	frames []outFrame
+	bufs   net.Buffers
 }
 
 // session is one admitted client connection.
@@ -80,17 +201,26 @@ type session struct {
 	title string
 	conn  net.Conn
 
-	// sendq carries encoded frames from the cycle loop to the write
-	// loop. Only the cycle loop sends; it closes the queue on graceful
-	// finish so the writer flushes the tail and closes the connection.
-	sendq chan []byte
+	// sendq carries one burst per cycle from the cycle loop to the
+	// write loop. The cycle loop closes it on graceful finish so the
+	// writer flushes the tail and hangs up.
+	sendq chan *burst
 	// done is closed when the session is shed or the server shuts down;
-	// the writer exits without draining.
+	// the writer exits after releasing whatever is still queued.
 	done chan struct{}
 	once sync.Once
 
-	shed     bool
+	// sendMu orders enqueue against kill: once dead is observed no new
+	// burst can enter sendq, so the writer's final drain is complete.
+	sendMu   sync.Mutex
+	dead     bool
 	finished bool
+
+	// cur accumulates the current cycle's frames; cycle loop only.
+	cur *burst
+	// wt is the session's slot on the shared timer wheel, armed around
+	// each vectored write by the write loop.
+	wt *WheelTimer
 }
 
 // abort closes the connection and releases the writer immediately.
@@ -99,6 +229,46 @@ func (s *session) abort() {
 		close(s.done)
 		s.conn.Close()
 	})
+}
+
+// kill marks the session dead (no further enqueues) and aborts it.
+func (s *session) kill() {
+	s.sendMu.Lock()
+	s.dead = true
+	s.sendMu.Unlock()
+	s.abort()
+}
+
+// enqueue hands a burst to the writer without blocking. queued=false
+// with overflow=true means the queue is full (shed the session);
+// queued=false with overflow=false means the session is already dead or
+// finished and the caller should just release the burst.
+func (s *session) enqueue(b *burst) (queued, overflow bool) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.dead || s.finished {
+		return false, false
+	}
+	select {
+	case s.sendq <- b:
+		return true, false
+	default:
+		return false, true
+	}
+}
+
+// closeQueue ends the graceful-finish path: after the final burst is
+// enqueued the queue closes, the writer flushes and hangs up. Dead
+// sessions skip the close — their writer exits via done and drains.
+func (s *session) closeQueue() {
+	s.sendMu.Lock()
+	if !s.dead && !s.finished {
+		s.finished = true
+		close(s.sendq)
+	} else {
+		s.finished = true
+	}
+	s.sendMu.Unlock()
 }
 
 // New starts listening and, when a Clock is configured, begins pacing.
@@ -123,21 +293,24 @@ func New(opts Options) (*NetServer, error) {
 	srv := opts.Server
 	cycle := srv.CycleTime()
 	trackSize := int(srv.Farm().Params().TrackSize)
-	burst := int(math.Round(cycle.Seconds() * srv.Rate().BytesPerSecond() / float64(trackSize)))
-	if burst < 1 {
-		burst = 1
+	burstN := int(math.Round(cycle.Seconds() * srv.Rate().BytesPerSecond() / float64(trackSize)))
+	if burstN < 1 {
+		burstN = 1
 	}
 	ns := &NetServer{
 		opts:      opts,
 		srv:       srv,
 		ln:        ln,
 		cycleTime: cycle,
-		burst:     burst,
+		burst:     burstN,
 		trackSize: trackSize,
-		sessions:  make(map[int]*session),
+		wheel:     NewTimerWheel(wheelTick, wheelSlots),
 		drained:   make(chan struct{}),
 		stop:      make(chan struct{}),
 	}
+	ns.sessions.init()
+	ns.burstPool.New = func() any { return new(burst) }
+	ns.hdrPool.New = func() any { return new([trackHeaderLen]byte) }
 	ns.cond = sync.NewCond(&ns.mu)
 	ns.wg.Add(1)
 	go ns.acceptLoop()
@@ -159,11 +332,7 @@ func (ns *NetServer) CycleTime() time.Duration { return ns.cycleTime }
 func (ns *NetServer) Burst() int { return ns.burst }
 
 // Sessions returns the number of connected, admitted sessions.
-func (ns *NetServer) Sessions() int {
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	return len(ns.sessions)
-}
+func (ns *NetServer) Sessions() int { return ns.sessions.len() }
 
 // StreamProgress reports the back end's delivery progress for a stream.
 func (ns *NetServer) StreamProgress(id int) (next, total int, ok bool) {
@@ -229,10 +398,12 @@ func (ns *NetServer) Drain(timeout time.Duration) error {
 	ns.checkDrainedLocked()
 	ns.mu.Unlock()
 	ns.cond.Broadcast()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-ns.drained:
 		return nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return fmt.Errorf("netserve: drain timed out after %v with %d sessions live", timeout, ns.Sessions())
 	}
 }
@@ -251,7 +422,7 @@ func (ns *NetServer) checkDrainedLocked() {
 	if !ns.draining {
 		return
 	}
-	if len(ns.sessions) == 0 && ns.srv.Engine().Active() == 0 {
+	if ns.sessions.len() == 0 && ns.srv.Engine().Active() == 0 {
 		select {
 		case <-ns.drained:
 		default:
@@ -261,8 +432,8 @@ func (ns *NetServer) checkDrainedLocked() {
 }
 
 // Close tears everything down: the listener, the pacer, every live
-// connection. Pending frames are not flushed — call Drain first for a
-// graceful exit.
+// connection, the timer wheel. Pending frames are not flushed — call
+// Drain first for a graceful exit.
 func (ns *NetServer) Close() error {
 	ns.mu.Lock()
 	if ns.closed {
@@ -272,20 +443,114 @@ func (ns *NetServer) Close() error {
 	ns.closed = true
 	close(ns.stop)
 	err := ns.ln.Close()
-	for id, sess := range ns.sessions {
-		delete(ns.sessions, id)
-		sess.abort()
-	}
-	ns.gaugeSessions()
 	ns.mu.Unlock()
+	ns.sessions.drainAll(func(sess *session) { sess.kill() })
+	ns.gaugeSessions()
 	ns.cond.Broadcast()
 	ns.wg.Wait()
+	ns.wheel.Close()
 	return err
 }
 
 func (ns *NetServer) logf(format string, args ...any) {
 	if ns.opts.Logf != nil {
 		ns.opts.Logf(format, args...)
+	}
+}
+
+// ---- burst staging and recycling ----
+
+func (ns *NetServer) newBurst() *burst { return ns.burstPool.Get().(*burst) }
+
+// releaseBurst releases every retained track buffer, returns frame
+// headers to their pool, and recycles the container. Safe on nil.
+func (ns *NetServer) releaseBurst(b *burst) {
+	if b == nil {
+		return
+	}
+	for i := range b.frames {
+		f := &b.frames[i]
+		if f.ref != nil {
+			f.ref.Release()
+		}
+		if f.hdr != nil {
+			ns.hdrPool.Put(f.hdr)
+		}
+		b.frames[i] = outFrame{}
+	}
+	b.frames = b.frames[:0]
+	for i := range b.bufs {
+		b.bufs[i] = nil
+	}
+	b.bufs = b.bufs[:0]
+	ns.burstPool.Put(b)
+}
+
+// burstFor returns the session's in-progress burst for this cycle,
+// opening one (and remembering the session for the flush pass) on first
+// use. Cycle loop only.
+func (ns *NetServer) burstFor(sess *session) *burst {
+	if sess.cur == nil {
+		sess.cur = ns.newBurst()
+		ns.touched = append(ns.touched, sess)
+	}
+	return sess.cur
+}
+
+// stageTrack adds one delivered track to the session's cycle burst,
+// retaining the engine's refcounted buffer instead of copying it. The
+// reference is released after the vectored write completes (or when the
+// burst is discarded on shed/teardown).
+func (ns *NetServer) stageTrack(sess *session, d *sched.Delivery) {
+	b := ns.burstFor(sess)
+	hdr := ns.hdrPool.Get().(*[trackHeaderLen]byte)
+	encodeTrackHeader(hdr, d.Track, len(d.Data))
+	f := outFrame{hdr: hdr, payload: d.Data}
+	if d.Buf != nil {
+		d.Buf.Retain()
+		f.ref = d.Buf
+	} else {
+		// No refcount available (an engine outside the arena path):
+		// fall back to copying at the socket boundary.
+		f.payload = append([]byte(nil), d.Data...)
+	}
+	b.frames = append(b.frames, f)
+}
+
+// stageCtrl adds a pre-encoded control frame to the session's burst.
+func (ns *NetServer) stageCtrl(sess *session, frame []byte) {
+	b := ns.burstFor(sess)
+	b.frames = append(b.frames, outFrame{ctrl: frame})
+}
+
+// flushLocked hands the session's staged burst to its writer. Overflow
+// sheds the session; a dead session's burst is simply released.
+func (ns *NetServer) flushLocked(sess *session) {
+	b := sess.cur
+	sess.cur = nil
+	if b == nil || len(b.frames) == 0 {
+		ns.releaseBurst(b)
+		return
+	}
+	// Tally before the hand-off: the writer may release b immediately.
+	tracks, nbytes := 0, 0
+	for i := range b.frames {
+		if b.frames[i].hdr != nil {
+			tracks++
+			nbytes += len(b.frames[i].payload)
+		}
+	}
+	queued, overflow := sess.enqueue(b)
+	switch {
+	case queued:
+		m := ns.srv.Metrics()
+		m.Counter("net_tracks_sent").Add(int64(tracks))
+		m.Counter("net_bytes_sent").Add(int64(nbytes))
+	case overflow:
+		ns.releaseBurst(b)
+		ns.shedLocked(sess)
+	default:
+		ns.releaseBurst(b)
 	}
 }
 
@@ -385,9 +650,16 @@ func (ns *NetServer) admit(conn net.Conn, title string) (*session, Reject) {
 		id:    id,
 		title: title,
 		conn:  conn,
-		sendq: make(chan []byte, ns.opts.SendQueue),
+		sendq: make(chan *burst, ns.opts.SendQueue),
 		done:  make(chan struct{}),
 	}
+	sess.wt = ns.wheel.NewTimer(func() {
+		// A vectored write outlived WriteTimeout: the socket is stalled.
+		// Cutting the connection fails the write and the writer sheds
+		// the session through the normal drop path.
+		ns.srv.Metrics().Counter("net_write_timeouts").Inc()
+		sess.abort()
+	})
 	ok, err := jsonFrame(frameAdmitOK, AdmitOK{
 		StreamID:   id,
 		Title:      title,
@@ -401,35 +673,104 @@ func (ns *NetServer) admit(conn net.Conn, title string) (*session, Reject) {
 		_ = ns.srv.Cancel(id)
 		return nil, Reject{Reason: "internal: " + err.Error()}
 	}
-	sess.sendq <- ok
-	ns.sessions[id] = sess
+	hello := ns.newBurst()
+	hello.frames = append(hello.frames, outFrame{ctrl: ok})
+	if queued, _ := sess.enqueue(hello); !queued {
+		ns.releaseBurst(hello) // unreachable on a fresh queue; be safe
+	}
+	ns.sessions.put(sess)
 	ns.srv.Metrics().Counter("net_admits").Inc()
 	ns.gaugeSessions()
 	ns.cond.Broadcast()
 	return sess, Reject{}
 }
 
-// writeLoop drains the session's queue onto the socket under per-frame
-// deadlines. It exits when the queue closes (graceful finish: flush
-// then close) or done closes (shed/shutdown: the connection is already
-// closed).
+// writeLoop ships queued bursts onto the socket, one vectored write
+// per burst. It exits when the queue closes (graceful finish: flush
+// then hang up) or done closes (shed/shutdown: release what remains).
 func (ns *NetServer) writeLoop(sess *session) {
 	defer ns.wg.Done()
 	for {
 		select {
 		case <-sess.done:
+			ns.drainSendq(sess)
 			return
-		case buf, ok := <-sess.sendq:
+		case b, ok := <-sess.sendq:
 			if !ok {
 				sess.abort() // tail flushed; hang up
 				return
 			}
-			sess.conn.SetWriteDeadline(time.Now().Add(ns.opts.WriteTimeout))
-			if _, err := sess.conn.Write(buf); err != nil {
+			if err := ns.writeBurst(sess, b); err != nil {
 				ns.srv.Metrics().Counter("net_write_errors").Inc()
 				ns.dropSession(sess, "write error")
+				ns.drainSendq(sess)
 				return
 			}
+		}
+	}
+}
+
+// writeBurst flattens the burst into an iovec list and writes it with
+// one vectored write, supervised by the session's wheel timer. The
+// burst (headers, refs, container) is recycled before returning.
+func (ns *NetServer) writeBurst(sess *session, b *burst) error {
+	bufs := b.bufs[:0]
+	for i := range b.frames {
+		f := &b.frames[i]
+		if f.ctrl != nil {
+			bufs = append(bufs, f.ctrl)
+		} else {
+			bufs = append(bufs, f.hdr[:], f.payload)
+		}
+	}
+	b.bufs = bufs
+	sess.wt.Reset(ns.opts.WriteTimeout)
+	err := writeVectored(sess.conn, b.bufs)
+	sess.wt.Stop()
+	ns.releaseBurst(b)
+	return err
+}
+
+// writeVectored writes every buffer fully. On *net.TCPConn the batch
+// goes through net.Buffers (one writev syscall for a typical burst);
+// any other conn (test stubs, pipes) takes a manual loop that tolerates
+// short writes returning n < len(buf) with a nil error — a contract
+// violation the stdlib's generic consume path would turn into silent
+// stream corruption.
+func writeVectored(conn net.Conn, bufs net.Buffers) error {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_, err := bufs.WriteTo(tc)
+		return err
+	}
+	for _, buf := range bufs {
+		for len(buf) > 0 {
+			n, err := conn.Write(buf)
+			buf = buf[n:]
+			if err != nil {
+				return err
+			}
+			if n == 0 && len(buf) > 0 {
+				return io.ErrShortWrite
+			}
+		}
+	}
+	return nil
+}
+
+// drainSendq releases every burst stranded in the queue after a shed,
+// drop, or shutdown so their retained track buffers return to the
+// arena. By the time it runs the session is dead (kill/dropSession
+// happen before), so no new burst can be enqueued behind the drain.
+func (ns *NetServer) drainSendq(sess *session) {
+	for {
+		select {
+		case b, ok := <-sess.sendq:
+			if !ok {
+				return
+			}
+			ns.releaseBurst(b)
+		default:
+			return
 		}
 	}
 }
@@ -437,20 +778,19 @@ func (ns *NetServer) writeLoop(sess *session) {
 // dropSession removes a session whose connection died and cancels its
 // back-end stream if it is still live.
 func (ns *NetServer) dropSession(sess *session, reason string) {
-	ns.mu.Lock()
-	if cur, ok := ns.sessions[sess.id]; ok && cur == sess {
-		delete(ns.sessions, sess.id)
+	if ns.sessions.remove(sess) {
+		ns.mu.Lock()
 		_ = ns.srv.Cancel(sess.id)
-		ns.gaugeSessions()
 		ns.checkDrainedLocked()
+		ns.mu.Unlock()
+		ns.gaugeSessions()
 	}
-	ns.mu.Unlock()
-	sess.abort()
+	sess.kill()
 	_ = reason
 }
 
 func (ns *NetServer) gaugeSessions() {
-	ns.srv.Metrics().Gauge("net_sessions_active").Set(int64(len(ns.sessions)))
+	ns.srv.Metrics().Gauge("net_sessions_active").Set(int64(ns.sessions.len()))
 }
 
 // ---- the cycle loop ----
@@ -484,7 +824,7 @@ func (ns *NetServer) paceLoop() {
 // counter scheduled fault events compare against — a failure scheduled
 // for cycle 40 lands forty cycles into service, not into an idle farm).
 func (ns *NetServer) idleLocked() bool {
-	return len(ns.sessions) == 0 && ns.srv.Engine().Active() == 0
+	return ns.sessions.len() == 0 && ns.srv.Engine().Active() == 0
 }
 
 // StepCycle runs one transmission cycle: apply due scheduled events,
@@ -516,89 +856,81 @@ func (ns *NetServer) stepLocked() error {
 		return err
 	}
 	m := ns.srv.Metrics()
+	// Stage the cycle's frames per session: all of a session's tracks
+	// (its whole k′ burst) plus any control frames coalesce into one
+	// vectored write, so pacing stays per-cycle, not per-frame.
 	for i := range rep.Delivered {
 		d := &rep.Delivered[i]
-		sess, ok := ns.sessions[d.StreamID]
-		if !ok {
-			continue
-		}
-		// trackFrame copies d.Data: the engine recycles these bytes on
-		// its next Step, so the socket boundary owns its own copy.
-		if ns.pushLocked(sess, trackFrame(d.Track, d.Data)) {
-			m.Counter("net_tracks_sent").Inc()
-			m.Counter("net_bytes_sent").Add(int64(len(d.Data)))
+		if sess := ns.sessions.get(d.StreamID); sess != nil {
+			ns.stageTrack(sess, d)
 		}
 	}
 	for _, h := range rep.Hiccups {
-		sess, ok := ns.sessions[h.StreamID]
-		if !ok {
+		sess := ns.sessions.get(h.StreamID)
+		if sess == nil {
 			continue
 		}
 		buf, err := jsonFrame(frameHiccup, HiccupNote{Track: h.Track, Reason: h.Reason})
 		if err != nil {
 			continue
 		}
-		if ns.pushLocked(sess, buf) {
-			m.Counter("net_hiccups_sent").Inc()
-		}
+		ns.stageCtrl(sess, buf)
+		m.Counter("net_hiccups_sent").Inc()
 	}
 	for _, id := range rep.Finished {
-		ns.finishLocked(id, "finished")
+		ns.stageFinish(id, "finished")
 	}
 	for _, id := range rep.Terminated {
-		ns.finishLocked(id, "terminated")
+		ns.stageFinish(id, "terminated")
 	}
+	for _, sess := range ns.touched {
+		ns.flushLocked(sess)
+	}
+	clearSessions(ns.touched)
+	ns.touched = ns.touched[:0]
+	for _, sess := range ns.finishing {
+		sess.closeQueue()
+	}
+	clearSessions(ns.finishing)
+	ns.finishing = ns.finishing[:0]
 	ns.checkDrainedLocked()
 	return nil
 }
 
-// pushLocked enqueues a frame without ever blocking the cycle loop; a
-// full queue sheds the session. Reports whether the frame was queued.
-func (ns *NetServer) pushLocked(sess *session, frame []byte) bool {
-	if sess.shed || sess.finished {
-		return false
+// clearSessions drops pointers from a scratch list before truncation.
+func clearSessions(list []*session) {
+	for i := range list {
+		list[i] = nil
 	}
-	select {
-	case sess.sendq <- frame:
-		return true
-	default:
-		ns.shedLocked(sess)
-		return false
+}
+
+// stageFinish ends a session gracefully: a BYE rides in the session's
+// final burst, the session is unregistered, and after the flush pass
+// its queue closes so the writer flushes everything and hangs up.
+func (ns *NetServer) stageFinish(id int, reason string) {
+	sess := ns.sessions.get(id)
+	if sess == nil {
+		return
 	}
+	if buf, err := jsonFrame(frameBye, Bye{Reason: reason}); err == nil {
+		ns.stageCtrl(sess, buf)
+	}
+	ns.sessions.remove(sess)
+	ns.gaugeSessions()
+	ns.finishing = append(ns.finishing, sess)
 }
 
 // shedLocked evicts a slow client: its queue overflowed, meaning the
-// socket stalled for at least SendQueue frames' worth of cycles. The
-// stream is cancelled so its disk bandwidth and buffers return to the
-// farm, and the connection is closed; other sessions never waited.
+// socket stalled for SendQueue cycles' worth of bursts. The stream is
+// cancelled so its disk bandwidth and buffers return to the farm, and
+// the connection is closed; other sessions never waited.
 func (ns *NetServer) shedLocked(sess *session) {
 	ns.logf("netserve: shedding stream %d (%s): send queue full", sess.id, sess.title)
-	sess.shed = true
-	delete(ns.sessions, sess.id)
-	_ = ns.srv.Cancel(sess.id)
-	ns.srv.Metrics().Counter("net_sessions_shed").Inc()
-	ns.gaugeSessions()
-	sess.abort()
+	if ns.sessions.remove(sess) {
+		_ = ns.srv.Cancel(sess.id)
+		ns.srv.Metrics().Counter("net_sessions_shed").Inc()
+		ns.gaugeSessions()
+	}
+	sess.kill()
 	ns.checkDrainedLocked()
-}
-
-// finishLocked ends a session gracefully: a BYE frame, then the queue
-// closes so the writer flushes everything and hangs up.
-func (ns *NetServer) finishLocked(id int, reason string) {
-	sess, ok := ns.sessions[id]
-	if !ok {
-		return
-	}
-	sess.finished = true
-	delete(ns.sessions, id)
-	ns.gaugeSessions()
-	if buf, err := jsonFrame(frameBye, Bye{Reason: reason}); err == nil {
-		select {
-		case sess.sendq <- buf:
-		default: // full queue: the flush below still delivers the tracks
-		}
-	}
-	// Only the cycle loop sends on sendq and the session is now
-	// unregistered, so closing here is safe.
-	close(sess.sendq)
 }

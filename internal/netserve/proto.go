@@ -50,6 +50,11 @@ const (
 
 const (
 	frameHeaderLen = 5
+	// trackHeaderLen covers a TRACK frame's fixed prefix: the frame
+	// header plus the 4-byte track index. The server pools headers of
+	// this size and ships the payload with a vectored write, so a TRACK
+	// frame never exists as one contiguous buffer on the send path.
+	trackHeaderLen = frameHeaderLen + 4
 	// maxFramePayload bounds a payload: a track plus its index fits with
 	// room to spare; anything larger is a protocol violation, not a read.
 	maxFramePayload = 16 << 20
@@ -130,16 +135,23 @@ func jsonFrame(typ byte, v any) ([]byte, error) {
 	return buf, nil
 }
 
-// trackFrame encodes a full TRACK wire frame in one buffer, copying
-// data: the arena ownership rules (DESIGN.md, "Zero-alloc data path")
-// require delivered bytes to be copied at the socket boundary before
-// the engine's next Step recycles them.
+// encodeTrackHeader fills a TRACK frame's fixed prefix for a payload of
+// dataLen content bytes. The server's hot path writes header and
+// payload as separate iovecs; see writeBurst.
+func encodeTrackHeader(hdr *[trackHeaderLen]byte, track, dataLen int) {
+	hdr[0] = frameTrack
+	binary.BigEndian.PutUint32(hdr[1:frameHeaderLen], uint32(4+dataLen))
+	binary.BigEndian.PutUint32(hdr[frameHeaderLen:], uint32(track))
+}
+
+// trackFrame encodes a full TRACK wire frame in one contiguous buffer,
+// copying data. The zero-copy server path no longer uses it (it stages
+// pooled headers plus refcounted payloads instead); it remains the
+// reference encoding, exercised against the vectored path in tests.
 func trackFrame(track int, data []byte) []byte {
-	buf := make([]byte, frameHeaderLen+4+len(data))
-	buf[0] = frameTrack
-	binary.BigEndian.PutUint32(buf[1:frameHeaderLen], uint32(4+len(data)))
-	binary.BigEndian.PutUint32(buf[frameHeaderLen:frameHeaderLen+4], uint32(track))
-	copy(buf[frameHeaderLen+4:], data)
+	buf := make([]byte, trackHeaderLen+len(data))
+	encodeTrackHeader((*[trackHeaderLen]byte)(buf[:trackHeaderLen]), track, len(data))
+	copy(buf[trackHeaderLen:], data)
 	return buf
 }
 
@@ -154,6 +166,14 @@ func parseTrack(payload []byte) (int, []byte, error) {
 
 // readFrame reads one frame, allocating the payload.
 func readFrame(r io.Reader) (byte, []byte, error) {
+	return readFrameBuf(r, nil)
+}
+
+// readFrameBuf reads one frame. With a non-nil scratch the payload is
+// read into (and aliases) *scratch, grown as needed and updated in
+// place — the caller owns the bytes only until its next call with the
+// same scratch. With nil scratch the payload is freshly allocated.
+func readFrameBuf(r io.Reader, scratch *[]byte) (byte, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -162,7 +182,15 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if n > maxFramePayload {
 		return 0, nil, fmt.Errorf("netserve: frame claims %d-byte payload, limit %d", n, maxFramePayload)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if scratch != nil {
+		if cap(*scratch) < int(n) {
+			*scratch = make([]byte, n)
+		}
+		payload = (*scratch)[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}

@@ -1,0 +1,164 @@
+package netserve
+
+import (
+	"sync"
+	"time"
+)
+
+// TimerWheel is a coarse hashed timing wheel: one goroutine and one
+// time.Ticker supervise any number of re-armable timers at tick
+// granularity. The write path arms a timer around every vectored write;
+// a per-write time.Timer (or SetWriteDeadline syscall pair) at that
+// frequency is exactly the overhead the wheel amortizes away. Firing is
+// late by up to one tick plus scheduling — fine for stall detection,
+// wrong for precise scheduling.
+type TimerWheel struct {
+	tick time.Duration
+
+	mu      sync.Mutex
+	slots   [][]wheelEntry
+	cur     int
+	stopped bool
+
+	// fired is the advance pass's scratch list, reused every tick.
+	fired []func()
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type wheelEntry struct {
+	t *WheelTimer
+	// gen snapshots the timer's generation at arm time; a Reset or Stop
+	// since then makes this entry stale and it is dropped unfired.
+	gen uint64
+}
+
+// WheelTimer is one re-armable timer on a wheel. Reset and Stop are
+// cheap (one mutex hop, no allocation in steady state) and safe to call
+// concurrently with the wheel firing. fn runs on the wheel goroutine
+// and must not block.
+type WheelTimer struct {
+	w      *TimerWheel
+	fn     func()
+	gen    uint64
+	rounds int
+	armed  bool
+}
+
+// NewTimerWheel starts a wheel with the given tick and slot count
+// (defaults applied for non-positive values). Close releases it.
+func NewTimerWheel(tick time.Duration, slots int) *TimerWheel {
+	if tick <= 0 {
+		tick = wheelTick
+	}
+	if slots < 2 {
+		slots = wheelSlots
+	}
+	w := &TimerWheel{
+		tick:  tick,
+		slots: make([][]wheelEntry, slots),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// NewTimer creates an unarmed timer that runs fn when it expires.
+func (w *TimerWheel) NewTimer(fn func()) *WheelTimer {
+	return &WheelTimer{w: w, fn: fn}
+}
+
+// Close stops the wheel goroutine. Armed timers never fire afterwards.
+func (w *TimerWheel) Close() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.done
+}
+
+func (w *TimerWheel) run() {
+	tk := time.NewTicker(w.tick)
+	defer tk.Stop()
+	for {
+		select {
+		case <-w.stop:
+			close(w.done)
+			return
+		case <-tk.C:
+			w.advance()
+		}
+	}
+}
+
+// advance moves the wheel one slot and fires that slot's due entries.
+// Callbacks run outside the lock so a firing timer may Reset itself.
+func (w *TimerWheel) advance() {
+	w.mu.Lock()
+	w.cur = (w.cur + 1) % len(w.slots)
+	slot := w.slots[w.cur]
+	keep := slot[:0]
+	fired := w.fired[:0]
+	for _, e := range slot {
+		if e.t.gen != e.gen || !e.t.armed {
+			continue // re-armed or stopped since scheduling: stale
+		}
+		if e.t.rounds > 0 {
+			e.t.rounds--
+			keep = append(keep, e)
+			continue
+		}
+		e.t.armed = false
+		fired = append(fired, e.t.fn)
+	}
+	for i := len(keep); i < len(slot); i++ {
+		slot[i] = wheelEntry{}
+	}
+	w.slots[w.cur] = keep
+	w.fired = fired
+	w.mu.Unlock()
+	for i, fn := range fired {
+		fn()
+		fired[i] = nil
+	}
+}
+
+// Reset arms (or re-arms) the timer to fire after d. Any earlier
+// scheduling is superseded.
+func (t *WheelTimer) Reset(d time.Duration) {
+	w := t.w
+	w.mu.Lock()
+	slots := len(w.slots)
+	ticks := int(d / w.tick)
+	if ticks < 1 {
+		ticks = 1
+	}
+	// The wheel reaches the target slot in k0 ticks (1..slots); the
+	// remaining delay is spent as full revolutions counted in rounds.
+	k0 := ticks % slots
+	if k0 == 0 {
+		k0 = slots
+	}
+	t.gen++
+	t.armed = true
+	t.rounds = (ticks - k0) / slots
+	idx := (w.cur + ticks) % slots
+	w.slots[idx] = append(w.slots[idx], wheelEntry{t: t, gen: t.gen})
+	w.mu.Unlock()
+}
+
+// Stop disarms the timer; a pending expiry will not fire. Unlike
+// time.Timer there is nothing to drain.
+func (t *WheelTimer) Stop() {
+	w := t.w
+	w.mu.Lock()
+	t.gen++
+	t.armed = false
+	w.mu.Unlock()
+}

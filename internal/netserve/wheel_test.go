@@ -1,0 +1,107 @@
+package netserve
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// wheelFixture is a fast wheel plus a fire counter, so the tests can
+// use millisecond ticks instead of the production 25ms.
+type wheelFixture struct {
+	w     *TimerWheel
+	t     *WheelTimer
+	fires atomic.Int64
+	fired chan struct{}
+}
+
+func newWheelFixture(t *testing.T, tick time.Duration, slots int) *wheelFixture {
+	t.Helper()
+	f := &wheelFixture{fired: make(chan struct{}, 16)}
+	f.w = NewTimerWheel(tick, slots)
+	t.Cleanup(f.w.Close)
+	f.t = f.w.NewTimer(func() {
+		f.fires.Add(1)
+		f.fired <- struct{}{}
+	})
+	return f
+}
+
+func (f *wheelFixture) waitFire(t *testing.T, within time.Duration) {
+	t.Helper()
+	select {
+	case <-f.fired:
+	case <-time.After(within):
+		t.Fatalf("timer did not fire within %v", within)
+	}
+}
+
+func TestWheelFires(t *testing.T) {
+	f := newWheelFixture(t, 2*time.Millisecond, 8)
+	start := time.Now()
+	f.t.Reset(10 * time.Millisecond)
+	f.waitFire(t, 2*time.Second)
+	if got := time.Since(start); got < 8*time.Millisecond {
+		t.Errorf("fired after %v, want >= 8ms (a tick early at worst)", got)
+	}
+	if got := f.fires.Load(); got != 1 {
+		t.Errorf("fires = %d, want 1", got)
+	}
+}
+
+func TestWheelStopPreventsFire(t *testing.T) {
+	f := newWheelFixture(t, 2*time.Millisecond, 8)
+	f.t.Reset(10 * time.Millisecond)
+	f.t.Stop()
+	time.Sleep(50 * time.Millisecond)
+	if got := f.fires.Load(); got != 0 {
+		t.Errorf("stopped timer fired %d times", got)
+	}
+	// Stop is idempotent and a stopped timer re-arms cleanly.
+	f.t.Stop()
+	f.t.Reset(4 * time.Millisecond)
+	f.waitFire(t, 2*time.Second)
+}
+
+func TestWheelResetSupersedes(t *testing.T) {
+	f := newWheelFixture(t, 2*time.Millisecond, 8)
+	// A distant arm followed by a near one: only the near one counts,
+	// and it fires exactly once (the stale slot entry is dropped).
+	f.t.Reset(10 * time.Second)
+	f.t.Reset(6 * time.Millisecond)
+	f.waitFire(t, 2*time.Second)
+	time.Sleep(50 * time.Millisecond)
+	if got := f.fires.Load(); got != 1 {
+		t.Errorf("fires = %d, want 1 after re-arm", got)
+	}
+	// Re-arming after a fire works too: the timer is reusable.
+	f.t.Reset(4 * time.Millisecond)
+	f.waitFire(t, 2*time.Second)
+	if got := f.fires.Load(); got != 2 {
+		t.Errorf("fires = %d, want 2", got)
+	}
+}
+
+func TestWheelLongDelayRounds(t *testing.T) {
+	// Horizon beyond one revolution: 4 slots x 2ms = 8ms wheel, 30ms
+	// delay needs rounds bookkeeping. It must neither fire early nor
+	// get lost.
+	f := newWheelFixture(t, 2*time.Millisecond, 4)
+	start := time.Now()
+	f.t.Reset(30 * time.Millisecond)
+	f.waitFire(t, 2*time.Second)
+	if got := time.Since(start); got < 20*time.Millisecond {
+		t.Errorf("long-delay timer fired after %v, want >= 20ms", got)
+	}
+}
+
+func TestWheelClose(t *testing.T) {
+	f := newWheelFixture(t, 2*time.Millisecond, 8)
+	f.t.Reset(10 * time.Millisecond)
+	f.w.Close()
+	f.w.Close() // idempotent
+	time.Sleep(50 * time.Millisecond)
+	if got := f.fires.Load(); got != 0 {
+		t.Errorf("timer fired %d times after Close", got)
+	}
+}

@@ -13,6 +13,7 @@ package sched
 import (
 	"fmt"
 
+	"ftmm/internal/buffer"
 	"ftmm/internal/layout"
 )
 
@@ -101,6 +102,12 @@ type Delivery struct {
 	Track int
 	// Data is the delivered track content.
 	Data []byte
+	// Buf, when non-nil, is the refcounted handle behind Data. The
+	// engine holds its own reference until its next Step (which is what
+	// bounds the report's validity); a consumer that needs Data to
+	// outlive the next Step calls Buf.Retain and later Release instead
+	// of copying.
+	Buf *buffer.Ref
 	// Reconstructed marks tracks rebuilt from parity rather than read.
 	Reconstructed bool
 }
@@ -162,6 +169,7 @@ func (r *CycleReport) Clone() *CycleReport {
 	out.Delivered = make([]Delivery, len(r.Delivered))
 	for i, d := range r.Delivered {
 		d.Data = append([]byte(nil), d.Data...)
+		d.Buf = nil // the clone owns a private copy, not a reference
 		out.Delivered[i] = d
 	}
 	out.Hiccups = append([]Hiccup(nil), r.Hiccups...)

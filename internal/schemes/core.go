@@ -29,6 +29,11 @@ type engineCore struct {
 	// returned by Step are only valid until the next Step.
 	ctx    *sched.CycleContext
 	shards []*sched.CycleContext
+	// delivered holds the engine's own reference on every track buffer
+	// shared into the last Step's report. Releasing them at the start of
+	// the next Step is what bounds report validity; consumers that need
+	// a track longer Retain its Delivery.Buf.
+	delivered []*buffer.Ref
 }
 
 // newEngineCore validates the config and builds the chassis for an
@@ -63,6 +68,18 @@ func (c *engineCore) BufferPeak() int { return c.pool.Peak() }
 // BufferInUse returns the current buffer occupancy in tracks.
 func (c *engineCore) BufferInUse() int { return c.pool.InUse() }
 
+// Arena implements Simulator, exposing the byte-buffer recycler for
+// refcount leak accounting.
+func (c *engineCore) Arena() *buffer.Arena { return c.arena }
+
+// shareDelivered wraps a delivered track buffer in a refcounted handle.
+// The engine keeps its own reference until the next Step's beginCycle.
+func (c *engineCore) shareDelivered(buf []byte) *buffer.Ref {
+	ref := c.arena.Share(buf)
+	c.delivered = append(c.delivered, ref)
+	return ref
+}
+
 // FailDisk implements Simulator for engines with no extra failure
 // bookkeeping (the Non-clustered engine overrides this).
 func (c *engineCore) FailDisk(id int) error {
@@ -85,6 +102,14 @@ func (c *engineCore) allocStreamID() int {
 // reset, not reallocated — so the report Step hands out is valid only
 // until the next Step.
 func (c *engineCore) beginCycle() (*sched.CycleContext, error) {
+	// Drop the engine's references on last cycle's delivered tracks;
+	// buffers with no other holders return to the arena here, before
+	// this cycle's reads can reuse them.
+	for i, ref := range c.delivered {
+		ref.Release()
+		c.delivered[i] = nil
+	}
+	c.delivered = c.delivered[:0]
 	if c.ctx == nil {
 		slots, err := sched.NewSlots(c.cfg.Farm.Size(), c.slotsPerDisk)
 		if err != nil {
@@ -342,10 +367,14 @@ func (c *engineCore) deliverDouble(ctx *sched.CycleContext, streams []*groupStre
 				})
 				continue
 			}
+			ref := c.shareDelivered(bg.data[off])
 			ctx.Rep.Delivered = append(ctx.Rep.Delivered, sched.Delivery{
 				StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-				Data: bg.data[off], Reconstructed: bg.reconstructed[off],
+				Data: bg.data[off], Buf: ref, Reconstructed: bg.reconstructed[off],
 			})
+			// Ownership moved to the Ref; clear the slot so recycleGroup
+			// below does not Put the buffer behind the report's back.
+			bg.data[off] = nil
 		}
 		if bg.pooled > 0 {
 			if err := c.pool.Release(bg.pooled); err != nil {
@@ -353,10 +382,8 @@ func (c *engineCore) deliverDouble(ctx *sched.CycleContext, streams []*groupStre
 			}
 			bg.pooled = 0
 		}
-		// Delivered buffers go back to the arena now; the report still
-		// references them, which is safe because nothing reuses them
-		// before the next Step's reads (the engine's read phase precedes
-		// delivery within every Step).
+		// Delivered slots were handed to refs above; recycle only the
+		// leftovers (failed reads, padding past ValidTracks).
 		c.recycleGroup(bg)
 		s.Advance(bg.group.ValidTracks)
 		if s.Done {

@@ -413,14 +413,12 @@ func (e *NonClustered) Step() (*sched.CycleReport, error) {
 		}
 		r := s.NextDeliver
 		if st, ok := s.staged[r]; ok {
+			ref := e.shareDelivered(st.data)
 			ctx.Rep.Delivered = append(ctx.Rep.Delivered, sched.Delivery{
 				StreamID: s.ID, ObjectID: s.Obj.ID, Track: r,
-				Data: st.data, Reconstructed: st.reconstructed,
+				Data: st.data, Buf: ref, Reconstructed: st.reconstructed,
 			})
 			delete(s.staged, r)
-			// Recycle at delivery: the report's reference stays intact
-			// until the next Step's reads reuse the buffer.
-			e.arena.Put(st.data)
 			if err := e.pool.Release(1); err != nil {
 				return nil, err
 			}

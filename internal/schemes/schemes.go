@@ -63,6 +63,9 @@ type Simulator interface {
 	Active() int
 	// BufferPeak returns the high-water buffer occupancy in tracks.
 	BufferPeak() int
+	// Arena exposes the engine's track-buffer recycler, mainly so leak
+	// tests can assert every shared buffer was Released.
+	Arena() *buffer.Arena
 }
 
 // Config carries what every scheme engine needs.

@@ -205,13 +205,13 @@ func (e *StaggeredGroup) deliverOne(s *sgStream, rep *sched.CycleReport) {
 			Reason: "parity group unrecoverable",
 		})
 	} else {
+		ref := e.shareDelivered(bg.data[off])
 		rep.Delivered = append(rep.Delivered, sched.Delivery{
 			StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-			Data: bg.data[off], Reconstructed: bg.reconstructed[off],
+			Data: bg.data[off], Buf: ref, Reconstructed: bg.reconstructed[off],
 		})
-		// The track is out the door: recycle its buffer (the report's
-		// reference stays intact until the next Step's reads).
-		e.arena.Put(bg.data[off])
+		// Ownership moved to the Ref (released at the next Step's
+		// beginCycle); clear the slot so group recycling skips it.
 		bg.data[off] = nil
 	}
 	s.Advance(1)
