@@ -7,13 +7,22 @@
 //
 //	ftmmsim -scheme nc -disks 20 -cluster 5 -titles 8 -streams 6 \
 //	        -fail-disk 2 -fail-cycle 40 -repair-cycle 120 -cycles 400
+//
+// With -chaos it instead runs a deterministic fault-injection campaign
+// (internal/chaos) and exits non-zero on any invariant violation:
+//
+//	ftmmsim -chaos -seed 1 -campaign 50 -chaos-out /tmp/traces
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"ftmm/internal/chaos"
 	"ftmm/internal/diskmodel"
 	"ftmm/internal/scenario"
 	"ftmm/internal/server"
@@ -23,6 +32,10 @@ import (
 
 var (
 	scenarioPath = flag.String("scenario", "", "run a JSON scenario file instead of flag-driven setup (see scenarios/)")
+	chaosMode    = flag.Bool("chaos", false, "run a deterministic chaos campaign instead of a single simulation")
+	campaignRuns = flag.Int("campaign", 20, "chaos: randomized runs in the campaign")
+	chaosSchemes = flag.String("chaos-schemes", "", "chaos: comma-separated scheme rotation (default: all)")
+	chaosOut     = flag.String("chaos-out", "", "chaos: directory to write shrunk violation traces as replayable scenario JSON")
 	schemeFlag   = flag.String("scheme", "sr", "fault-tolerance scheme: sr, sg, nc, nc-simple, ib")
 	disks        = flag.Int("disks", 20, "number of drives")
 	cluster      = flag.Int("cluster", 5, "cluster (parity group) size C")
@@ -50,6 +63,9 @@ func main() {
 }
 
 func run() error {
+	if *chaosMode {
+		return runChaos()
+	}
 	if *scenarioPath != "" {
 		return runScenario(*scenarioPath)
 	}
@@ -147,6 +163,52 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runChaos executes a deterministic fault-injection campaign. The exit
+// status is non-zero when any invariant was violated, and -chaos-out
+// saves each shrunk trace as a scenario file that -scenario replays.
+func runChaos() error {
+	cfg := chaos.CampaignConfig{
+		Seed: *seed, Runs: *campaignRuns, Workers: *workers,
+	}
+	if *chaosSchemes != "" {
+		cfg.Schemes = strings.Split(*chaosSchemes, ",")
+	}
+	fmt.Printf("chaos campaign: seed=%d runs=%d schemes=%v\n",
+		cfg.Seed, cfg.Runs, append([]string(nil), cfgSchemes(cfg)...))
+	res, err := chaos.Campaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %d schedules, %d violations\n", res.Runs, len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("\nrun %d (scheme %s, seed %d): %s violation at cycle %d\n  %s\n",
+			v.Run, v.Scheme, v.Seed, v.Violation.Checker, v.Violation.Cycle, v.Violation.Detail)
+		fmt.Printf("  shrunk to %d of %d events\n", len(v.Shrunk.Events), v.Events)
+		if *chaosOut != "" {
+			if err := os.MkdirAll(*chaosOut, 0o755); err != nil {
+				return err
+			}
+			data, err := json.MarshalIndent(v.Shrunk.ToSpec(), "", "  ")
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*chaosOut, fmt.Sprintf("chaos-run%03d-%s.json", v.Run, v.Violation.Checker))
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("  trace written to %s (replay: ftmmsim -scenario %s)\n", path, path)
+		}
+	}
+	return chaos.CheckResult(res)
+}
+
+func cfgSchemes(cfg chaos.CampaignConfig) []string {
+	if len(cfg.Schemes) > 0 {
+		return cfg.Schemes
+	}
+	return chaos.SchemeNames()
 }
 
 // runScenario executes a declarative JSON scenario file.

@@ -1,0 +1,88 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1Golden pins every derived quantity of the paper's Table 2/3
+// design point (ST31200N-class drive, b0 = 1.5 Mb/s, D = 100, C = 5,
+// K = 3) to exact expected values. Any drift in the analytic model —
+// a changed formula, a reordered floating-point reduction, a new
+// rounding rule — must show up here as a deliberate diff, because the
+// chaos harness's admission checker and the capacity planner both trust
+// these numbers.
+func TestTable1Golden(t *testing.T) {
+	cfg := Table1Config(5, 3)
+
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s = %.10g, want %.10g", name, got, want)
+		}
+	}
+
+	golden := []struct {
+		scheme              Scheme
+		storage, bandwidth  float64
+		mttfYears           float64
+		mttdsYears          float64
+		streams, bufTracks  int
+		maxStreams, bufReal float64
+	}{
+		{StreamingRAID, 0.2, 0.2, 25684.93151, 25684.93151, 1041, 10410, 1041.666667, 10416.66667},
+		{StaggeredGroup, 0.2, 0.2, 25684.93151, 25684.93151, 966, 3623, 966.6666667, 3625},
+		{NonClustered, 0.2, 0.2, 25684.93151, 3176862.277, 966, 2612, 966.6666667, 2613.020833},
+		{ImprovedBandwidth, 0.2, 0.03, 11415.52511, 3176862.277, 1263, 10104, 1263.020833, 10104.16667},
+	}
+	for _, g := range golden {
+		m, err := cfg.Metrics(g.scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", g.scheme, err)
+		}
+		approx(g.scheme.String()+" storage overhead", m.StorageOverheadFrac, g.storage)
+		approx(g.scheme.String()+" bandwidth overhead", m.BandwidthOverheadFrac, g.bandwidth)
+		approx(g.scheme.String()+" MTTF", float64(m.MTTF), g.mttfYears)
+		approx(g.scheme.String()+" MTTDS", float64(m.MTTDS), g.mttdsYears)
+		if m.Streams != g.streams {
+			t.Errorf("%s streams = %d, want %d", g.scheme, m.Streams, g.streams)
+		}
+		if m.BufferTracks != g.bufTracks {
+			t.Errorf("%s buffer tracks = %d, want %d", g.scheme, m.BufferTracks, g.bufTracks)
+		}
+		n, err := cfg.MaxStreams(g.scheme)
+		if err != nil {
+			t.Fatalf("%s MaxStreams: %v", g.scheme, err)
+		}
+		approx(g.scheme.String()+" N", n, g.maxStreams)
+		bf, err := cfg.BufferTracks(g.scheme)
+		if err != nil {
+			t.Fatalf("%s BufferTracks: %v", g.scheme, err)
+		}
+		approx(g.scheme.String()+" BF", bf, g.bufReal)
+	}
+
+	// The §2 motivating number: with D disks of MTTF(disk) hours, some
+	// disk fails every MTTF/D — the paper's "a failure every few weeks".
+	approx("cluster MTTF", float64(cfg.ClusterMTTFYears()), 0.3424657534)
+
+	// Relative ordering the paper's comparison rests on (Tables 2-3):
+	// IB admits the most streams, SR needs the most buffer, NC the
+	// least; IB trades bandwidth overhead for MTTF.
+	ms, err := cfg.AllMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[Scheme]Metrics{}
+	for _, m := range ms {
+		byScheme[m.Scheme] = m
+	}
+	if !(byScheme[ImprovedBandwidth].Streams > byScheme[StreamingRAID].Streams &&
+		byScheme[StreamingRAID].Streams > byScheme[StaggeredGroup].Streams) {
+		t.Errorf("stream capacity ordering IB > SR > SG broken: %+v", ms)
+	}
+	if !(byScheme[NonClustered].BufferTracks < byScheme[StaggeredGroup].BufferTracks &&
+		byScheme[StaggeredGroup].BufferTracks < byScheme[StreamingRAID].BufferTracks) {
+		t.Errorf("buffer ordering NC < SG < SR broken: %+v", ms)
+	}
+}

@@ -1,0 +1,193 @@
+// Package chaos is the repo's deterministic fault-injection harness: a
+// seed-reproducible campaign engine that drives every scheme engine
+// through randomized admission/failure/repair/rebuild/cancel schedules
+// while pluggable invariant checkers audit each cycle, in the spirit of
+// the paper's §3-§5 claims about behavior *under failure*:
+//
+//   - delivery continuity: SR/SG/IB mask single failures with zero
+//     hiccups; Non-clustered loses at most one parity group's worth of
+//     tracks per stream, inside a bounded transition window (Figures
+//     6-7), unless the cluster runs unprotected (degradation of
+//     service);
+//   - parity-group consistency after every repair and online rebuild;
+//   - buffer accounting: no leaked arena buffers or pool tracks once
+//     the server drains;
+//   - admission: live streams never exceed the analytic N_p bound
+//     (equations (8)-(11));
+//   - report retention: a Clone of a cycle report stays equal to the
+//     live report, delivered bytes match the stored content, and
+//     per-stream delivery advances one consecutive track at a time.
+//
+// Everything is reproducible from one int64 seed at any worker count.
+// On violation the campaign shrinks the schedule with delta debugging
+// to a 1-minimal reproducing trace and can export it as a scenario file
+// that cmd/ftmmsim replays (`-scenario`); regression traces live under
+// scenarios/.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"ftmm/internal/scenario"
+	"ftmm/internal/server"
+)
+
+// EventKind names a schedule event type.
+type EventKind string
+
+const (
+	// EventAdmit requests a stream for Title; admission rejections are
+	// tolerated (the analytic bound is the invariant, not acceptance).
+	EventAdmit EventKind = "admit"
+	// EventFail fails Drive at the cycle boundary.
+	EventFail EventKind = "fail"
+	// EventRepair replaces Drive and rebuilds it instantly from parity.
+	EventRepair EventKind = "repair"
+	// EventRebuild replaces Drive and starts the paper's online rebuild
+	// with Budget spare track reads per cycle.
+	EventRebuild EventKind = "rebuild"
+	// EventCancel hangs up the stream of the Stream-th successful
+	// admission (0-based).
+	EventCancel EventKind = "cancel"
+)
+
+// Event is one scheduled action. Events are applied best-effort so that
+// every subset of a schedule remains runnable — the shrinker removes
+// events freely and a repair whose failure was removed simply becomes a
+// no-op.
+type Event struct {
+	Cycle  int       `json:"cycle"`
+	Kind   EventKind `json:"kind"`
+	Title  string    `json:"title,omitempty"`
+	Drive  int       `json:"drive,omitempty"`
+	Budget int       `json:"budget,omitempty"`
+	Stream int       `json:"stream,omitempty"`
+}
+
+// Schedule is one complete chaos run description: a farm shape, a
+// catalog, and an event timeline. It is the unit the generator emits,
+// the runner executes, and the shrinker minimizes.
+type Schedule struct {
+	// Scheme is a server.ParseScheme name: sr, sg, nc, nc-simple, ib.
+	Scheme      string  `json:"scheme"`
+	Disks       int     `json:"disks"`
+	ClusterSize int     `json:"cluster_size"`
+	K           int     `json:"k"`
+	Titles      int     `json:"titles"`
+	TitleGroups int     `json:"title_groups"`
+	MaxCycles   int     `json:"max_cycles"`
+	Events      []Event `json:"events"`
+}
+
+// Validate checks the schedule's shape.
+func (s *Schedule) Validate() error {
+	if _, _, err := server.ParseScheme(s.Scheme); err != nil {
+		return err
+	}
+	switch {
+	case s.Disks < s.ClusterSize || s.ClusterSize < 2 || s.Disks%s.ClusterSize != 0:
+		return fmt.Errorf("chaos: bad farm %dx%d", s.Disks, s.ClusterSize)
+	case s.Titles < 1 || s.TitleGroups < 1:
+		return errors.New("chaos: need at least one title with one group")
+	case s.MaxCycles < 1:
+		return errors.New("chaos: MaxCycles must be positive")
+	case s.K < 0:
+		return errors.New("chaos: negative K")
+	}
+	for _, ev := range s.Events {
+		if ev.Cycle < 0 {
+			return fmt.Errorf("chaos: event %+v before cycle 0", ev)
+		}
+		switch ev.Kind {
+		case EventAdmit:
+			if ev.Title == "" {
+				return fmt.Errorf("chaos: admit without title at cycle %d", ev.Cycle)
+			}
+		case EventFail, EventRepair:
+			if ev.Drive < 0 || ev.Drive >= s.Disks {
+				return fmt.Errorf("chaos: event %+v on drive outside [0,%d)", ev, s.Disks)
+			}
+		case EventRebuild:
+			if ev.Drive < 0 || ev.Drive >= s.Disks {
+				return fmt.Errorf("chaos: event %+v on drive outside [0,%d)", ev, s.Disks)
+			}
+			if ev.Budget < s.ClusterSize-1 {
+				return fmt.Errorf("chaos: rebuild budget %d below C-1=%d", ev.Budget, s.ClusterSize-1)
+			}
+		case EventCancel:
+			if ev.Stream < 0 {
+				return fmt.Errorf("chaos: cancel of negative stream ordinal %d", ev.Stream)
+			}
+		default:
+			return fmt.Errorf("chaos: unknown event kind %q", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// ToSpec converts the schedule into a replayable scenario.Spec: the
+// exact form `ftmmsim -scenario` consumes and the regression corpus
+// under scenarios/ is stored in. Fail events pair with the next repair
+// or rebuild of the same drive; repairs whose failure is absent from
+// the schedule are dropped (the runner treats them as no-ops anyway).
+func (s *Schedule) ToSpec() *scenario.Spec {
+	spec := &scenario.Spec{
+		Scheme: s.Scheme, Disks: s.Disks, ClusterSize: s.ClusterSize,
+		K: s.K, Titles: s.Titles, TitleGroups: s.TitleGroups,
+		MaxCycles: s.MaxCycles,
+	}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case EventAdmit:
+			spec.Requests = append(spec.Requests, scenario.Request{Cycle: ev.Cycle, Title: ev.Title})
+		case EventCancel:
+			spec.Cancels = append(spec.Cancels, scenario.Cancel{Cycle: ev.Cycle, Stream: ev.Stream})
+		case EventFail:
+			spec.Failures = append(spec.Failures, scenario.Failure{Cycle: ev.Cycle, Drive: ev.Drive})
+		case EventRepair, EventRebuild:
+			for i := len(spec.Failures) - 1; i >= 0; i-- {
+				f := &spec.Failures[i]
+				if f.Drive == ev.Drive && f.RepairCycle == 0 && f.Cycle < ev.Cycle {
+					f.RepairCycle = ev.Cycle
+					if ev.Kind == EventRebuild {
+						f.RebuildBudget = ev.Budget
+					}
+					break
+				}
+			}
+		}
+	}
+	return spec
+}
+
+// FromSpec converts a scenario back into a chaos schedule, so shipped
+// regression traces can be re-audited by the full checker set (the
+// chaos tests walk scenarios/chaos-*.json through this).
+func FromSpec(spec *scenario.Spec) *Schedule {
+	s := &Schedule{
+		Scheme: spec.Scheme, Disks: spec.Disks, ClusterSize: spec.ClusterSize,
+		K: spec.K, Titles: spec.Titles, TitleGroups: spec.TitleGroups,
+		MaxCycles: spec.MaxCycles,
+	}
+	if s.MaxCycles == 0 {
+		s.MaxCycles = 10_000
+	}
+	for _, r := range spec.Requests {
+		s.Events = append(s.Events, Event{Cycle: r.Cycle, Kind: EventAdmit, Title: r.Title})
+	}
+	for _, f := range spec.Failures {
+		s.Events = append(s.Events, Event{Cycle: f.Cycle, Kind: EventFail, Drive: f.Drive})
+		if f.RepairCycle > 0 && !f.Tertiary {
+			kind, budget := EventRepair, 0
+			if f.RebuildBudget > 0 {
+				kind, budget = EventRebuild, f.RebuildBudget
+			}
+			s.Events = append(s.Events, Event{Cycle: f.RepairCycle, Kind: kind, Drive: f.Drive, Budget: budget})
+		}
+	}
+	for _, c := range spec.Cancels {
+		s.Events = append(s.Events, Event{Cycle: c.Cycle, Kind: EventCancel, Stream: c.Stream})
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generate draws one randomized schedule for the scheme from the rng.
+// Schedules are interesting but never catastrophic by construction —
+// the invariants under test are the paper's single-failure guarantees,
+// and a two-disks-in-one-parity-group catastrophe would legitimately
+// lose data:
+//
+//   - dedicated-parity schemes (sr, sg, nc*) draw each failure from a
+//     distinct cluster, so no parity group ever misses two members;
+//   - ib failures are serialized: a second failure is scheduled only
+//     after the first was instantly repaired, because intermixed parity
+//     makes a drive a member of groups on two adjacent clusters and any
+//     two of 2-3 clusters are cyclically adjacent;
+//   - at most one online rebuild per schedule (the server runs one at a
+//     time).
+//
+// Non-clustered schedules may exceed K concurrent data-disk failures on
+// purpose: running out of buffer servers is the paper's degradation of
+// service, and the continuity checker exempts unprotected clusters.
+func Generate(rng *rand.Rand, scheme string) Schedule {
+	const c = 4
+	s := Schedule{
+		Scheme:      scheme,
+		ClusterSize: c,
+		Disks:       []int{8, 12}[rng.Intn(2)],
+		K:           1 + rng.Intn(2),
+		Titles:      3 + rng.Intn(3),
+		TitleGroups: 3 + rng.Intn(4),
+	}
+	isIB := scheme == "ib"
+
+	nAdmits := 2 + rng.Intn(5)
+	for i := 0; i < nAdmits; i++ {
+		s.Events = append(s.Events, Event{
+			Cycle: rng.Intn(11),
+			Kind:  EventAdmit,
+			Title: fmt.Sprintf("title%d", rng.Intn(s.Titles)),
+		})
+	}
+
+	clusters := s.Disks / c
+	nFails := rng.Intn(3)
+	usedClusters := make(map[int]bool)
+	haveRebuild := false
+	nextFailAfter := 0 // ib: earliest cycle the next failure may occur
+	for i := 0; i < nFails; i++ {
+		cl := rng.Intn(clusters)
+		if usedClusters[cl] {
+			continue // keep failures in distinct clusters; skip, don't redraw
+		}
+		usedClusters[cl] = true
+		failCycle := 2 + rng.Intn(10)
+		if isIB {
+			if i > 0 && nextFailAfter == 0 {
+				break // first failure wasn't instantly repaired: no second
+			}
+			if failCycle <= nextFailAfter {
+				failCycle = nextFailAfter + 1 + rng.Intn(4)
+			}
+		}
+		drive := cl*c + rng.Intn(c)
+		s.Events = append(s.Events, Event{Cycle: failCycle, Kind: EventFail, Drive: drive})
+
+		repairCycle := failCycle + 1 + rng.Intn(c+2)
+		switch p := rng.Float64(); {
+		case p < 0.60:
+			s.Events = append(s.Events, Event{Cycle: repairCycle, Kind: EventRepair, Drive: drive})
+			if isIB {
+				nextFailAfter = repairCycle + 1
+			}
+		case p < 0.85 && !haveRebuild:
+			budget := (c - 1) * (1 + rng.Intn(3))
+			s.Events = append(s.Events, Event{Cycle: repairCycle, Kind: EventRebuild, Drive: drive, Budget: budget})
+			haveRebuild = true
+			if isIB {
+				nextFailAfter = 0
+			}
+		default:
+			// Never repaired: the scheme carries the failure to the end.
+			if isIB {
+				nextFailAfter = 0
+			}
+		}
+	}
+
+	nCancels := rng.Intn(3)
+	for i := 0; i < nCancels; i++ {
+		s.Events = append(s.Events, Event{
+			Cycle:  3 + rng.Intn(15),
+			Kind:   EventCancel,
+			Stream: rng.Intn(nAdmits),
+		})
+	}
+
+	lastEvent := 0
+	for _, ev := range s.Events {
+		if ev.Cycle > lastEvent {
+			lastEvent = ev.Cycle
+		}
+	}
+	// Longest play-out: a title's tracks at one per cycle, plus the whole
+	// catalog's tracks as rebuild slack, plus margin.
+	titleTracks := s.TitleGroups * (c - 1)
+	s.MaxCycles = lastEvent + titleTracks + s.Titles*s.TitleGroups + 40
+	return s
+}
+
+// SchemeNames lists every scheme name campaigns rotate through by
+// default: all four paper schemes, with both Non-clustered transition
+// policies.
+func SchemeNames() []string {
+	return []string{"sr", "sg", "nc", "nc-simple", "ib"}
+}

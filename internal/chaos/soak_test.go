@@ -1,0 +1,29 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCampaignSoak is the long-haul variant of the clean-campaign test:
+// many seeds, many runs, shrinking disabled for speed. It costs minutes
+// under the race detector, so it only runs when CHAOS_SOAK is set — the
+// nightly CI job exports it; regular `go test ./...` skips.
+func TestCampaignSoak(t *testing.T) {
+	if os.Getenv("CHAOS_SOAK") == "" {
+		t.Skip("set CHAOS_SOAK=1 to run the soak campaign")
+	}
+	if testing.Short() {
+		t.Skip("soak campaign skipped in -short mode")
+	}
+	for seed := *seedFlag; seed < *seedFlag+10; seed++ {
+		res, err := Campaign(CampaignConfig{Seed: seed, Runs: 40, NoShrink: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d run %d (%s): %s violation at cycle %d: %s",
+				seed, v.Run, v.Scheme, v.Violation.Checker, v.Violation.Cycle, v.Violation.Detail)
+		}
+	}
+}

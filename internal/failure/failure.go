@@ -169,13 +169,15 @@ func (m Model) timeToKOverlapping(rng *rand.Rand) float64 {
 	}
 }
 
-// trialSeed derives the RNG seed of trial i from the caller's seed with
+// TrialSeed derives the RNG seed of trial i from the caller's seed with
 // a splitmix64 finalizer. Each trial owns an independent source, so
 // sample i depends only on (seed, i) — never on which worker ran it or
 // how many trials precede it — and nearby caller seeds do not produce
 // overlapping trial streams (a naive seed+i would share all but one
-// stream between seeds 42 and 43).
-func trialSeed(seed int64, i int) int64 {
+// stream between seeds 42 and 43). It is exported as the repo-wide
+// convention for deriving per-trial seeds (the chaos campaign engine
+// uses it for per-run schedule seeds).
+func TrialSeed(seed int64, i int) int64 {
 	z := uint64(seed) + (uint64(i)+1)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
@@ -188,7 +190,7 @@ func trialSeed(seed int64, i int) int64 {
 func sample(trials int, seed int64, workers int, fn func(*rand.Rand) float64) []float64 {
 	samples := make([]float64, trials)
 	run := func(i int) {
-		samples[i] = fn(rand.New(rand.NewSource(trialSeed(seed, i))))
+		samples[i] = fn(rand.New(rand.NewSource(TrialSeed(seed, i))))
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -27,6 +27,7 @@ package layout
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"ftmm/internal/disk"
 	"ftmm/internal/parity"
@@ -374,12 +375,16 @@ func ReadDataTrack(f *disk.Farm, obj *Object, i int) ([]byte, error) {
 	return drv.ReadTrack(loc.Track)
 }
 
-// AllObjects returns every placed object (iteration order unspecified).
+// AllObjects returns every placed object, sorted by ID. The order is
+// deterministic on purpose: consumers like the incremental rebuilder
+// derive track-restore order from it, and the chaos harness requires
+// bit-identical runs for a given seed.
 func (l *Layout) AllObjects() []*Object {
 	out := make([]*Object, 0, len(l.objects))
 	for _, o := range l.objects {
 		out = append(out, o)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -169,30 +169,64 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	return readFrameBuf(r, nil)
 }
 
+// frameReadChunk is the step size for payload reads: the decoder grows
+// its buffer as bytes actually arrive, never by more than one chunk
+// past what the peer has sent.
+const frameReadChunk = 64 << 10
+
 // readFrameBuf reads one frame. With a non-nil scratch the payload is
 // read into (and aliases) *scratch, grown as needed and updated in
 // place — the caller owns the bytes only until its next call with the
 // same scratch. With nil scratch the payload is freshly allocated.
+//
+// The length header is untrusted input: a peer claiming a huge payload
+// must actually deliver the bytes before the decoder commits memory to
+// them. Allocation is bounded by roughly twice the bytes received plus
+// one chunk, not by the claimed length.
 func readFrameBuf(r io.Reader, scratch *[]byte) (byte, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[1:])
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
 	if n > maxFramePayload {
 		return 0, nil, fmt.Errorf("netserve: frame claims %d-byte payload, limit %d", n, maxFramePayload)
 	}
 	var payload []byte
 	if scratch != nil {
-		if cap(*scratch) < int(n) {
-			*scratch = make([]byte, n)
-		}
-		payload = (*scratch)[:n]
-	} else {
-		payload = make([]byte, n)
+		payload = (*scratch)[:0]
 	}
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	for len(payload) < n {
+		step := n - len(payload)
+		if step > frameReadChunk {
+			step = frameReadChunk
+		}
+		if cap(payload)-len(payload) < step {
+			grown := 2 * cap(payload)
+			if grown < len(payload)+step {
+				grown = len(payload) + step
+			}
+			if grown > n {
+				grown = n
+			}
+			next := make([]byte, len(payload), grown)
+			copy(next, payload)
+			payload = next
+		}
+		start := len(payload)
+		payload = payload[:start+step]
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			if scratch != nil {
+				*scratch = payload[:0] // keep the grown capacity for reuse
+			}
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+	}
+	if scratch != nil {
+		*scratch = payload
 	}
 	return hdr[0], payload, nil
 }

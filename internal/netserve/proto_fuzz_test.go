@@ -1,0 +1,129 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// seedFrames builds one well-formed wire frame of every protocol type,
+// the fuzz corpus's starting points.
+func seedFrames(t testing.TB) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	add := func(typ byte, v any) {
+		buf, err := jsonFrame(typ, v)
+		if err != nil {
+			t.Fatalf("encoding seed frame %#x: %v", typ, err)
+		}
+		frames = append(frames, buf)
+	}
+	var hello bytes.Buffer
+	if err := writeFrame(&hello, frameHello, []byte(protocolMagic)); err != nil {
+		t.Fatal(err)
+	}
+	frames = append(frames, hello.Bytes())
+	var admit bytes.Buffer
+	if err := writeFrame(&admit, frameAdmit, []byte("title0")); err != nil {
+		t.Fatal(err)
+	}
+	frames = append(frames, admit.Bytes())
+	add(frameAdmitOK, AdmitOK{StreamID: 1, Title: "title0", TrackSize: 512, Tracks: 12, Size: 6144, CycleNanos: 1e9, Burst: 4})
+	add(frameReject, Reject{Reason: "farm at capacity", RetryAfterMillis: 250})
+	add(frameHiccup, HiccupNote{Track: 7, Reason: "track lost in degraded-mode transition"})
+	add(frameBye, Bye{Reason: "finished"})
+	frames = append(frames, trackFrame(3, bytes.Repeat([]byte{0xAB}, 64)))
+	return frames
+}
+
+// FuzzReadFrame feeds adversarial bytes to the frame decoder: it must
+// never panic, never hand back a payload longer than the wire limit,
+// and must agree with itself between the allocating and scratch-reusing
+// paths.
+func FuzzReadFrame(f *testing.F) {
+	for _, frame := range seedFrames(f) {
+		f.Add(frame)
+	}
+	// A frame claiming the full 16 MiB with no payload behind it.
+	huge := make([]byte, frameHeaderLen)
+	huge[0] = frameTrack
+	binary.BigEndian.PutUint32(huge[1:], maxFramePayload)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bytes.NewReader(data))
+		scratch := make([]byte, 0, 16)
+		typ2, payload2, err2 := readFrameBuf(bytes.NewReader(data), &scratch)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("alloc path err=%v, scratch path err=%v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if typ != typ2 || !bytes.Equal(payload, payload2) {
+			t.Fatalf("alloc and scratch paths decoded different frames")
+		}
+		if len(payload) > maxFramePayload {
+			t.Fatalf("decoder handed back %d bytes, over the %d limit", len(payload), maxFramePayload)
+		}
+		if len(data) >= frameHeaderLen {
+			if want := int(binary.BigEndian.Uint32(data[1:frameHeaderLen])); len(payload) != want {
+				t.Fatalf("payload is %d bytes, header claimed %d", len(payload), want)
+			}
+		}
+		if typ == frameTrack {
+			// parseTrack must tolerate whatever the decoder accepts.
+			_, _, _ = parseTrack(payload)
+		}
+	})
+}
+
+// TestReadFrameBoundedAllocation pins the hardening: a header claiming
+// the maximum payload backed by only a few real bytes must not make the
+// decoder allocate anywhere near the claimed size.
+func TestReadFrameBoundedAllocation(t *testing.T) {
+	wire := make([]byte, frameHeaderLen, frameHeaderLen+100)
+	wire[0] = frameAdmit
+	binary.BigEndian.PutUint32(wire[1:], maxFramePayload)
+	wire = append(wire, bytes.Repeat([]byte{'x'}, 100)...)
+
+	var scratch []byte
+	_, _, err := readFrameBuf(bytes.NewReader(wire), &scratch)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: got err %v, want io.ErrUnexpectedEOF", err)
+	}
+	// The scratch buffer keeps its grown capacity for reuse; that
+	// capacity is the decoder's allocation footprint for the frame.
+	if cap(scratch) > 2*frameReadChunk {
+		t.Fatalf("decoder grew scratch to %d bytes for a frame that delivered 100; want <= %d",
+			cap(scratch), 2*frameReadChunk)
+	}
+}
+
+// TestReadFrameScratchReuse pins the scratch contract across frames of
+// shrinking and growing sizes: each decode returns exactly its frame's
+// payload and reuses the buffer when capacity allows.
+func TestReadFrameScratchReuse(t *testing.T) {
+	var wire bytes.Buffer
+	payloads := [][]byte{
+		bytes.Repeat([]byte{1}, 300),
+		bytes.Repeat([]byte{2}, 10),
+		bytes.Repeat([]byte{3}, 70000), // spans multiple read chunks
+		{},
+	}
+	for _, p := range payloads {
+		if err := writeFrame(&wire, frameAdmit, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		_, got, err := readFrameBuf(&wire, &scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch (%d bytes, want %d)", i, len(got), len(want))
+		}
+	}
+}

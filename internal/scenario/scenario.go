@@ -35,6 +35,10 @@ type Spec struct {
 	Requests []Request `json:"requests"`
 	// Failures schedules drive failures and repairs.
 	Failures []Failure `json:"failures"`
+	// Cancels schedules client hang-ups, applied best-effort: a cancel
+	// whose stream is unknown or already finished is silently skipped,
+	// so shrunk chaos traces stay runnable after events are removed.
+	Cancels []Cancel `json:"cancels,omitempty"`
 	// MaxCycles bounds the run (default 10000).
 	MaxCycles int `json:"max_cycles"`
 }
@@ -47,12 +51,23 @@ type Request struct {
 
 // Failure fails a drive at a cycle, optionally repairing it later.
 // RepairCycle <= 0 means never; Tertiary selects tape reload instead of
-// parity rebuild.
+// parity rebuild. RebuildBudget > 0 selects the paper's online rebuild
+// mode instead of an instant repair: at RepairCycle the drive is
+// replaced and its contents restored incrementally, at most
+// RebuildBudget spare track reads per cycle (must be >= C-1).
 type Failure struct {
-	Cycle       int  `json:"cycle"`
-	Drive       int  `json:"drive"`
-	RepairCycle int  `json:"repair_cycle"`
-	Tertiary    bool `json:"tertiary"`
+	Cycle         int  `json:"cycle"`
+	Drive         int  `json:"drive"`
+	RepairCycle   int  `json:"repair_cycle"`
+	Tertiary      bool `json:"tertiary"`
+	RebuildBudget int  `json:"rebuild_budget,omitempty"`
+}
+
+// Cancel hangs up the stream admitted by the Stream-th successful
+// request (0-based, in schedule order) at the given cycle.
+type Cancel struct {
+	Cycle  int `json:"cycle"`
+	Stream int `json:"stream"`
 }
 
 // Result summarizes a run.
@@ -108,6 +123,17 @@ func (s *Spec) Validate() error {
 		if f.RepairCycle > 0 && f.RepairCycle <= f.Cycle {
 			return fmt.Errorf("scenario: repair at %d not after failure at %d", f.RepairCycle, f.Cycle)
 		}
+		if f.RebuildBudget < 0 {
+			return fmt.Errorf("scenario: negative rebuild budget %d", f.RebuildBudget)
+		}
+		if f.RebuildBudget > 0 && f.Tertiary {
+			return fmt.Errorf("scenario: failure %+v mixes tertiary reload with online rebuild", f)
+		}
+	}
+	for _, c := range s.Cancels {
+		if c.Cycle < 0 || c.Stream < 0 {
+			return fmt.Errorf("scenario: bad cancel %+v", c)
+		}
 	}
 	return nil
 }
@@ -124,7 +150,7 @@ func (s *Spec) Run() (*Result, error) {
 	srv, err := server.New(server.Options{
 		Disks: s.Disks, ClusterSize: s.ClusterSize,
 		Scheme: scheme, NCPolicy: policy, K: s.K,
-		DiskParams: s.diskParams(),
+		DiskParams: s.DiskParams(),
 	})
 	if err != nil {
 		return nil, err
@@ -163,15 +189,22 @@ func (s *Spec) Run() (*Result, error) {
 			lastEvent = f.RepairCycle
 		}
 	}
+	for _, c := range s.Cancels {
+		if c.Cycle > lastEvent {
+			lastEvent = c.Cycle
+		}
+	}
+	var admittedIDs []int
 	for cycle := 0; cycle < maxCycles; cycle++ {
 		for _, r := range s.Requests {
 			if r.Cycle != cycle {
 				continue
 			}
-			if _, _, err := srv.Request(r.Title); err != nil {
+			if id, _, err := srv.Request(r.Title); err != nil {
 				res.Rejected++
 			} else {
 				res.Admitted++
+				admittedIDs = append(admittedIDs, id)
 			}
 		}
 		for _, f := range s.Failures {
@@ -181,13 +214,27 @@ func (s *Spec) Run() (*Result, error) {
 				}
 			}
 			if f.RepairCycle == cycle && f.RepairCycle > 0 {
-				if f.Tertiary {
+				switch {
+				case f.Tertiary:
 					if _, err := srv.RebuildFromTertiary(f.Drive); err != nil {
 						return nil, err
 					}
-				} else if err := srv.RepairDisk(f.Drive); err != nil {
-					return nil, err
+				case f.RebuildBudget > 0:
+					if err := srv.StartOnlineRebuild(f.Drive, f.RebuildBudget); err != nil {
+						return nil, err
+					}
+				default:
+					if err := srv.RepairDisk(f.Drive); err != nil {
+						return nil, err
+					}
 				}
+			}
+		}
+		for _, c := range s.Cancels {
+			// Best-effort: skip cancels whose admission never happened or
+			// whose stream already finished.
+			if c.Cycle == cycle && c.Stream < len(admittedIDs) {
+				_ = srv.Cancel(admittedIDs[c.Stream])
 			}
 		}
 		rep, err := srv.Step()
@@ -195,7 +242,7 @@ func (s *Spec) Run() (*Result, error) {
 			return nil, err
 		}
 		rec.Observe(rep)
-		if cycle >= lastEvent && srv.Engine().Active() == 0 {
+		if cycle >= lastEvent && srv.Engine().Active() == 0 && srv.RebuildRemaining() == 0 {
 			break
 		}
 	}
@@ -207,8 +254,11 @@ func (s *Spec) Run() (*Result, error) {
 	return res, nil
 }
 
-// diskParams sizes drives to hold the catalog comfortably.
-func (s *Spec) diskParams() diskmodel.Params {
+// DiskParams sizes drives to hold the catalog comfortably. It is
+// exported so the chaos harness builds its servers with exactly the
+// geometry a scenario replay will use — a shrunk trace must reproduce
+// its violation byte for byte when re-run through ftmmsim -scenario.
+func (s *Spec) DiskParams() diskmodel.Params {
 	p := diskmodel.Table1()
 	tracksPerTitle := s.TitleGroups * s.ClusterSize
 	p.Capacity = units.ByteSize((s.Titles*tracksPerTitle)/s.Disks+tracksPerTitle+50) * p.TrackSize

@@ -161,6 +161,19 @@ func (e *NonClustered) ClusterDegraded(cl int) bool {
 	return e.clusters[cl].mode == ncDegraded || e.clusters[cl].mode == ncUnprotected
 }
 
+// ClusterUnprotected reports whether the cluster is in the paper's
+// degradation-of-service mode: a data drive failed with every buffer
+// server busy, so the failed drive's track is lost on every pass. The
+// chaos harness's continuity checker exempts streams on unprotected
+// clusters from the bounded-loss-window invariant, which only holds
+// when a buffer server carries the cluster.
+func (e *NonClustered) ClusterUnprotected(cl int) bool {
+	if cl < 0 || cl >= len(e.clusters) {
+		return false
+	}
+	return e.clusters[cl].mode == ncUnprotected
+}
+
 // width returns C-1.
 func (e *NonClustered) width() int { return e.cfg.Layout.GroupWidth() }
 

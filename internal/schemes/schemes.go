@@ -63,6 +63,10 @@ type Simulator interface {
 	Active() int
 	// BufferPeak returns the high-water buffer occupancy in tracks.
 	BufferPeak() int
+	// BufferInUse returns the current buffer occupancy in tracks; with
+	// no streams active and deliveries drained it must return to zero
+	// (the chaos harness's leak checker asserts exactly that).
+	BufferInUse() int
 	// Arena exposes the engine's track-buffer recycler, mainly so leak
 	// tests can assert every shared buffer was Released.
 	Arena() *buffer.Arena
