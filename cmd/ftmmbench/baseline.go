@@ -20,10 +20,12 @@ import (
 	"testing"
 	"time"
 
+	"ftmm/internal/cluster"
 	"ftmm/internal/disk"
 	"ftmm/internal/diskmodel"
 	"ftmm/internal/layout"
 	"ftmm/internal/netserve"
+	"ftmm/internal/node"
 	"ftmm/internal/parity"
 	"ftmm/internal/schemes"
 	"ftmm/internal/server"
@@ -262,6 +264,43 @@ func baselineSpecs() []baselineSpec {
 				}
 			}
 		}},
+		{"ClusterFanout24", 24, func(b *testing.B) {
+			// Sharded fan-out: 24 concurrent sessions admitted through the
+			// coordinator across a 3-node cluster (each node holds its
+			// rendezvous placement slice, cold titles on 2 replicas). One
+			// op is a full wave — every client redirected to a holder and
+			// streaming its whole title — so the number is the admission
+			// plane's routing overhead plus three nodes' delivery paths
+			// running concurrently.
+			const fanout = 24
+			nodes, coord, names, titleSize := clusterBenchRig(b, 3, 8, 8)
+			defer coord.Close()
+			defer func() {
+				for _, n := range nodes {
+					n.Close()
+				}
+			}()
+			b.SetBytes(int64(fanout) * int64(titleSize))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, fanout)
+				for s := 0; s < fanout; s++ {
+					wg.Add(1)
+					go func(title string) {
+						defer wg.Done()
+						if err := streamViaOnce(coord.Addr().String(), title); err != nil {
+							errs <- err
+						}
+					}(names[s%len(names)])
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"ParityEncode", 0, func(b *testing.B) {
 			blocks := parityBlocks(4)
 			b.SetBytes(4 * baselineTrack)
@@ -343,6 +382,77 @@ func netserveBenchRig(tb testing.TB, titles, groups int) (*netserve.NetServer, [
 		tb.Fatal(err)
 	}
 	return ns, names, trackSize, titleSize
+}
+
+// clusterBenchRig builds nNodes loopback shards behind a coordinator,
+// all on virtual clocks: each node serves its rendezvous placement
+// slice of the catalog (8 drives in clusters of 4 per node, 2 replicas
+// per title), and one heartbeat tick disseminates the initial view.
+func clusterBenchRig(tb testing.TB, nNodes, titles, groups int) ([]*node.Node, *netserve.Coordinator, []string, int) {
+	names := workload.ObjectNames("bench", titles)
+	ids := make([]string, nNodes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node%d", i)
+	}
+	plCfg := cluster.PlacementConfig{Seed: 1, Replicas: 2}
+	pl := cluster.Assign(names, ids, plCfg)
+	var nodes []*node.Node
+	var members []cluster.Member
+	for _, id := range ids {
+		n, err := node.Start(node.Config{
+			ID: id, Scheme: "sr",
+			Disks: 8, Cluster: 4, K: 2,
+			Titles: pl.Titles(id), Groups: groups,
+			Clock: netserve.VirtualClock(), SendQueue: groups + 8,
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		members = append(members, cluster.Member{ID: id, Addr: n.Addr()})
+	}
+	coord, err := netserve.NewCoordinator(netserve.CoordinatorOptions{
+		Nodes: members, Titles: names, Placement: plCfg,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	coord.Tick()
+	return nodes, coord, names, nodes[0].TitleSize()
+}
+
+// streamViaOnce admits through the coordinator (following its REDIRECT
+// to the serving node, retrying transient capacity rejections) and
+// consumes one full title with reused buffers.
+func streamViaOnce(addr, title string) error {
+	var cl *netserve.Client
+	for attempt := 0; ; attempt++ {
+		c, _, err := netserve.AdmitVia(addr, title, 30*time.Second)
+		if err != nil {
+			var rej *netserve.RejectedError
+			if errors.As(err, &rej) && rej.Reject.RetryAfterMillis >= 0 && attempt < 10000 {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			return err
+		}
+		c.ReuseBuffers(true)
+		cl = c
+		break
+	}
+	defer cl.Close()
+	for {
+		ev, err := cl.Next()
+		if err != nil {
+			return err
+		}
+		if ev.Bye != nil {
+			if ev.Bye.Reason != "finished" {
+				return fmt.Errorf("stream %s ended with bye %q", title, ev.Bye.Reason)
+			}
+			return nil
+		}
+	}
 }
 
 // streamOnce dials, admits (retrying transient capacity rejections —

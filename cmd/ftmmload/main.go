@@ -5,9 +5,16 @@
 // content, and report hiccups, rejections, throughput, and inter-track
 // gap percentiles.
 //
-// Example (against a running ftmmserve):
+// It is cluster-aware: -addr takes a comma-separated endpoint list
+// (coordinator and/or nodes), REDIRECTs are followed to the serving
+// node, and a connection that dies mid-stream is resumed on a replica
+// holder via the coordinator (the session failover path). The summary
+// breaks sessions down per node and counts failovers.
+//
+// Example (against a running ftmmserve or cluster):
 //
 //	ftmmload -addr 127.0.0.1:5500 -http 127.0.0.1:5580 -clients 4 -requests 3
+//	ftmmload -addr coord:5500,node1:5501 -http coord:5580 -clients 8
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,14 +35,14 @@ import (
 )
 
 var (
-	addr        = flag.String("addr", "127.0.0.1:5500", "session protocol address of the server")
-	httpAddr    = flag.String("http", "127.0.0.1:5580", "server HTTP address, used to fetch /titlesz")
+	addr        = flag.String("addr", "127.0.0.1:5500", "comma-separated session-protocol endpoints (coordinator and/or nodes)")
+	httpAddr    = flag.String("http", "127.0.0.1:5580", "comma-separated HTTP addresses, used to fetch /titlesz")
 	clients     = flag.Int("clients", 4, "concurrent closed-loop clients")
 	requests    = flag.Int("requests", 2, "streams each client plays to completion")
 	seed        = flag.Int64("seed", 1, "workload seed")
 	zipf        = flag.Float64("zipf", 1.0, "title popularity skew")
 	readTimeout = flag.Duration("read-timeout", 2*time.Minute, "per-frame read deadline")
-	retries     = flag.Int("retries", 200, "admission retries before a request counts as failed")
+	retries     = flag.Int("retries", 200, "admission/resume retries before a request counts as failed")
 )
 
 // tally aggregates everything the clients saw.
@@ -43,12 +51,16 @@ type tally struct {
 	streams     int
 	failures    int
 	rejects     int
+	resumes     int
 	tracks      int
 	bytes       int64
 	hiccups     int
 	corrupt     int
 	gaps        []time.Duration
 	elapsedBusy time.Duration
+	// sessionsByNode counts admissions per serving node, resumed
+	// segments included — the cluster's observed load split.
+	sessionsByNode map[string]int
 }
 
 func main() {
@@ -60,17 +72,21 @@ func main() {
 }
 
 func run() error {
-	titles, err := fetchTitles(*httpAddr)
+	endpoints := splitList(*addr)
+	if len(endpoints) == 0 {
+		return errors.New("no endpoints in -addr")
+	}
+	titles, err := fetchTitles(splitList(*httpAddr))
 	if err != nil {
-		return fmt.Errorf("fetching /titlesz from %s: %w", *httpAddr, err)
+		return fmt.Errorf("fetching /titlesz: %w", err)
 	}
 	if len(titles) == 0 {
 		return errors.New("server has no titles")
 	}
 	fmt.Printf("load   %s  clients=%d requests=%d titles=%d zipf=%.2f\n",
-		*addr, *clients, *requests, len(titles), *zipf)
+		strings.Join(endpoints, ","), *clients, *requests, len(titles), *zipf)
 
-	var tl tally
+	tl := tally{sessionsByNode: make(map[string]int)}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -85,7 +101,7 @@ func run() error {
 				return
 			}
 			for rq := 0; rq < *requests; rq++ {
-				playOne(&tl, gen.Pick())
+				playOne(&tl, endpoints, gen.Pick())
 			}
 		}(c)
 	}
@@ -97,91 +113,147 @@ func run() error {
 	return nil
 }
 
-// playOne streams one title to completion, retrying transient admission
-// rejections with the server's hint.
-func playOne(tl *tally, title string) {
-	for attempt := 0; ; attempt++ {
-		c, err := netserve.Dial(*addr, *readTimeout)
-		if err != nil {
-			tl.fail("dial %s: %v", title, err)
-			return
+// playState carries one logical session across admissions: the original
+// admission plus any failover resumes all fill the same coverage map.
+type playState struct {
+	content                  []byte
+	covered                  map[int]bool
+	total                    int
+	tracks, hiccups, corrupt int
+	nbytes                   int64
+	gaps                     []time.Duration
+	begin, last              time.Time
+	skipGap                  bool // first gap after a failover is the outage, not pacing
+}
+
+// nextNeeded returns the lowest track the viewer is still owed.
+func (st *playState) nextNeeded() int {
+	for i := 0; i < st.total; i++ {
+		if !st.covered[i] {
+			return i
 		}
-		// Each track is verified before the next Next() call, so the
-		// client can recycle its payload buffer between frames.
-		c.ReuseBuffers(true)
-		ok, err := c.Admit(title)
+	}
+	return st.total
+}
+
+// playOne streams one title to completion: admit (following redirects,
+// backing off on transient rejections), play, and on a mid-stream
+// connection loss resume the session on a surviving replica via any
+// remaining endpoint, avoiding the node that died.
+func playOne(tl *tally, endpoints []string, title string) {
+	var st *playState
+	var avoid []string
+	currentNode := ""
+	for attempt := 0; attempt <= *retries; attempt++ {
+		ep := endpoints[attempt%len(endpoints)]
+		var c *netserve.Client
+		var ok netserve.AdmitOK
+		var err error
+		if st == nil {
+			c, ok, err = netserve.AdmitVia(ep, title, *readTimeout)
+		} else {
+			c, ok, err = netserve.ResumeVia(ep, title, st.nextNeeded(), avoid, *readTimeout)
+		}
 		var rej *netserve.RejectedError
-		if errors.As(err, &rej) && rej.Reject.RetryAfterMillis > 0 && attempt < *retries {
-			c.Close()
+		if errors.As(err, &rej) && rej.Reject.RetryAfterMillis > 0 {
 			tl.mu.Lock()
 			tl.rejects++
 			tl.mu.Unlock()
 			time.Sleep(time.Duration(rej.Reject.RetryAfterMillis) * time.Millisecond)
 			continue
 		}
-		if err != nil {
-			c.Close()
-			tl.fail("admit %s: %v", title, err)
+		if errors.As(err, &rej) {
+			// Rejection without a retry hint is permanent (unknown title,
+			// no live holder).
+			tl.fail("admit %s via %s: %v", title, ep, err)
 			return
 		}
-		consumeStream(tl, c, ok)
-		c.Close()
-		return
-	}
-}
-
-// consumeStream plays the admitted session out, verifying every track
-// with the same predicate the engine's integrity checker uses.
-func consumeStream(tl *tally, c *netserve.Client, ok netserve.AdmitOK) {
-	content := workload.SyntheticContent(ok.Title, ok.Size)
-	covered := make(map[int]bool, ok.Tracks)
-	begin := time.Now()
-	last := begin
-	tracks, hiccups, corrupt := 0, 0, 0
-	var gaps []time.Duration
-	var nbytes int64
-	for {
-		ev, err := c.Next()
 		if err != nil {
-			tl.fail("%s: read: %v", ok.Title, err)
-			return
+			// Transient plumbing failure: a redirect pointed at a node
+			// that died before the coordinator absorbed the death, or the
+			// endpoint is briefly unreachable. Give the view a moment and
+			// try again — for resumes this is the failover race itself.
+			time.Sleep(50 * time.Millisecond)
+			continue
 		}
-		switch {
-		case ev.Bye != nil:
-			missing := 0
-			for i := 0; i < ok.Tracks; i++ {
-				if !covered[i] {
-					missing++
-				}
+		// Each track is verified before the next Next() call, so the
+		// client can recycle its payload buffer between frames.
+		c.ReuseBuffers(true)
+		if st == nil {
+			st = &playState{
+				content: workload.SyntheticContent(ok.Title, ok.Size),
+				covered: make(map[int]bool, ok.Tracks),
+				total:   ok.Tracks,
+				begin:   time.Now(),
 			}
+		} else {
+			tl.mu.Lock()
+			tl.resumes++
+			tl.mu.Unlock()
+			st.skipGap = true
+		}
+		currentNode = ok.NodeID
+		tl.mu.Lock()
+		tl.sessionsByNode[nodeKey(ok.NodeID)]++
+		tl.mu.Unlock()
+
+		finished, rerr := consumeStream(tl, c, ok, st)
+		c.Close()
+		if finished {
+			missing := st.total - len(st.covered)
 			if missing > 0 {
-				tl.fail("%s: %d tracks neither delivered nor hiccuped", ok.Title, missing)
+				tl.fail("%s: %d tracks neither delivered nor hiccuped", title, missing)
 				return
 			}
 			tl.mu.Lock()
 			tl.streams++
-			tl.tracks += tracks
-			tl.bytes += nbytes
-			tl.hiccups += hiccups
-			tl.corrupt += corrupt
-			tl.gaps = append(tl.gaps, gaps...)
-			tl.elapsedBusy += time.Since(begin)
+			tl.tracks += st.tracks
+			tl.bytes += st.nbytes
+			tl.hiccups += st.hiccups
+			tl.corrupt += st.corrupt
+			tl.gaps = append(tl.gaps, st.gaps...)
+			tl.elapsedBusy += time.Since(st.begin)
 			tl.mu.Unlock()
 			return
+		}
+		// Mid-stream loss: fail the session over, avoiding the dead node.
+		fmt.Fprintf(os.Stderr, "ftmmload: %s: connection to %s lost (%v); resuming at track %d\n",
+			title, nodeKey(currentNode), rerr, st.nextNeeded())
+		if currentNode != "" {
+			avoid = append(avoid, currentNode)
+		}
+	}
+	tl.fail("%s: retries exhausted", title)
+}
+
+// consumeStream plays an admitted (or resumed) segment out, verifying
+// every track with the same predicate the engine's integrity checker
+// uses. It reports whether the stream reached its goodbye; a read error
+// means the serving node died mid-stream.
+func consumeStream(tl *tally, c *netserve.Client, ok netserve.AdmitOK, st *playState) (bool, error) {
+	for {
+		ev, err := c.Next()
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case ev.Bye != nil:
+			return true, nil
 		case ev.Hiccup != nil:
-			hiccups++
-			covered[ev.Hiccup.Track] = true
+			st.hiccups++
+			st.covered[ev.Hiccup.Track] = true
 		default:
 			now := time.Now()
-			if tracks > 0 {
-				gaps = append(gaps, now.Sub(last))
+			if st.tracks > 0 && !st.skipGap {
+				st.gaps = append(st.gaps, now.Sub(st.last))
 			}
-			last = now
-			tracks++
-			nbytes += int64(len(ev.Data))
-			covered[ev.Track] = true
-			if err := trace.CheckTrack(content, ok.TrackSize, ev.Track, ev.Data); err != nil {
-				corrupt++
+			st.skipGap = false
+			st.last = now
+			st.tracks++
+			st.nbytes += int64(len(ev.Data))
+			st.covered[ev.Track] = true
+			if err := trace.CheckTrack(st.content, ok.TrackSize, ev.Track, ev.Data); err != nil {
+				st.corrupt++
 				fmt.Fprintf(os.Stderr, "ftmmload: %v\n", err)
 			}
 		}
@@ -195,13 +267,33 @@ func (tl *tally) fail(format string, args ...any) {
 	tl.mu.Unlock()
 }
 
+func nodeKey(id string) string {
+	if id == "" {
+		return "(standalone)"
+	}
+	return id
+}
+
 func report(tl *tally, wall time.Duration) {
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
-	fmt.Printf("\nstreams   %d ok, %d failed, %d transient rejects\n", tl.streams, tl.failures, tl.rejects)
+	fmt.Printf("\nstreams   %d ok, %d failed, %d transient rejects, %d failovers\n",
+		tl.streams, tl.failures, tl.rejects, tl.resumes)
 	fmt.Printf("tracks    %d delivered, %d hiccups, %d corrupt\n", tl.tracks, tl.hiccups, tl.corrupt)
 	mb := float64(tl.bytes) / 1e6
 	fmt.Printf("volume    %.1f MB in %v (%.1f MB/s)\n", mb, wall.Round(time.Millisecond), mb/wall.Seconds())
+	if len(tl.sessionsByNode) > 0 {
+		nodes := make([]string, 0, len(tl.sessionsByNode))
+		for n := range tl.sessionsByNode {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		fmt.Printf("nodes    ")
+		for _, n := range nodes {
+			fmt.Printf(" %s=%d", n, tl.sessionsByNode[n])
+		}
+		fmt.Println(" (sessions served, resumed segments included)")
+	}
 	if len(tl.gaps) > 0 {
 		sort.Slice(tl.gaps, func(i, j int) bool { return tl.gaps[i] < tl.gaps[j] })
 		q := func(p float64) time.Duration {
@@ -213,14 +305,41 @@ func report(tl *tally, wall time.Duration) {
 	}
 }
 
-func fetchTitles(httpAddr string) ([]string, error) {
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// fetchTitles asks each HTTP endpoint for the catalog until one
+// answers — against a cluster, the coordinator serves the full library.
+func fetchTitles(addrs []string) ([]string, error) {
+	var lastErr error
+	for _, a := range addrs {
+		titles, err := fetchTitlesFrom(a)
+		if err == nil {
+			return titles, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no HTTP endpoints in -http")
+	}
+	return nil, lastErr
+}
+
+func fetchTitlesFrom(httpAddr string) ([]string, error) {
 	resp, err := http.Get("http://" + httpAddr + "/titlesz")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("/titlesz: %s", resp.Status)
+		return nil, fmt.Errorf("%s/titlesz: %s", httpAddr, resp.Status)
 	}
 	var titles []string
 	if err := json.NewDecoder(resp.Body).Decode(&titles); err != nil {

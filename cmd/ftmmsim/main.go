@@ -34,6 +34,7 @@ var (
 	scenarioPath = flag.String("scenario", "", "run a JSON scenario file instead of flag-driven setup (see scenarios/)")
 	chaosMode    = flag.Bool("chaos", false, "run a deterministic chaos campaign instead of a single simulation")
 	campaignRuns = flag.Int("campaign", 20, "chaos: randomized runs in the campaign")
+	chaosNodes   = flag.Int("chaos-nodes", 0, "chaos: fan each run across this many cluster nodes with node kill/drain events (0: single node)")
 	chaosSchemes = flag.String("chaos-schemes", "", "chaos: comma-separated scheme rotation (default: all)")
 	chaosOut     = flag.String("chaos-out", "", "chaos: directory to write shrunk violation traces as replayable scenario JSON")
 	schemeFlag   = flag.String("scheme", "sr", "fault-tolerance scheme: sr, sg, nc, nc-simple, ib")
@@ -170,13 +171,13 @@ func run() error {
 // saves each shrunk trace as a scenario file that -scenario replays.
 func runChaos() error {
 	cfg := chaos.CampaignConfig{
-		Seed: *seed, Runs: *campaignRuns, Workers: *workers,
+		Seed: *seed, Runs: *campaignRuns, Workers: *workers, Nodes: *chaosNodes,
 	}
 	if *chaosSchemes != "" {
 		cfg.Schemes = strings.Split(*chaosSchemes, ",")
 	}
-	fmt.Printf("chaos campaign: seed=%d runs=%d schemes=%v\n",
-		cfg.Seed, cfg.Runs, append([]string(nil), cfgSchemes(cfg)...))
+	fmt.Printf("chaos campaign: seed=%d runs=%d nodes=%d schemes=%v\n",
+		cfg.Seed, cfg.Runs, cfg.Nodes, append([]string(nil), cfgSchemes(cfg)...))
 	res, err := chaos.Campaign(cfg)
 	if err != nil {
 		return err
@@ -211,7 +212,9 @@ func cfgSchemes(cfg chaos.CampaignConfig) []string {
 	return chaos.SchemeNames()
 }
 
-// runScenario executes a declarative JSON scenario file.
+// runScenario executes a declarative JSON scenario file. Cluster specs
+// (nodes > 1) replay through the chaos cluster runner under the full
+// checker set; single-node specs run the classic simulation.
 func runScenario(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -220,6 +223,9 @@ func runScenario(path string) error {
 	spec, err := scenario.Parse(data)
 	if err != nil {
 		return err
+	}
+	if spec.Nodes > 1 {
+		return runClusterScenario(path, spec)
 	}
 	res, err := spec.Run()
 	if err != nil {
@@ -240,5 +246,45 @@ func runScenario(path string) error {
 		return fmt.Errorf("INTEGRITY VIOLATION: %w", res.IntegrityErr)
 	}
 	fmt.Println("integrity:                  every delivered byte matched the stored content")
+	return nil
+}
+
+// runClusterScenario replays a cluster spec through the deterministic
+// multi-node chaos runner, exiting non-zero on any invariant breach.
+func runClusterScenario(path string, spec *scenario.Spec) error {
+	sch := chaos.FromSpec(spec)
+	res, err := chaos.RunCluster(chaos.ClusterRunConfig{Schedule: *sch})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster scenario %s: scheme=%s nodes=%d replicas=%d farm=%dx%d per node\n",
+		path, spec.Scheme, spec.Nodes, spec.Replicas, spec.Disks, spec.ClusterSize)
+	finished, resumed, lost, cancelled, terminated := 0, 0, 0, 0, 0
+	for _, s := range res.Sessions {
+		if s.Finished {
+			finished++
+		}
+		if s.Resumes > 0 {
+			resumed++
+		}
+		if s.Lost {
+			lost++
+			fmt.Printf("  session %d (%s) lost: %s\n", s.Ordinal, s.Title, s.LostReason)
+		}
+		if s.Cancelled {
+			cancelled++
+		}
+		if s.Terminated {
+			terminated++
+		}
+	}
+	fmt.Printf("sessions:  %d admitted, %d finished, %d failed over, %d lost, %d cancelled, %d terminated\n",
+		len(res.Sessions), finished, resumed, lost, cancelled, terminated)
+	fmt.Printf("cycles:    %d, drained=%v\n", res.Cycles, res.Drained)
+	if res.Violation != nil {
+		return fmt.Errorf("%s violation at cycle %d: %s",
+			res.Violation.Checker, res.Violation.Cycle, res.Violation.Detail)
+	}
+	fmt.Println("invariants: per-node checkers and cross-node continuity all held")
 	return nil
 }

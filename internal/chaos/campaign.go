@@ -25,6 +25,14 @@ type CampaignConfig struct {
 	// NewCheckers builds a fresh checker set per run (and per shrink
 	// attempt); default DefaultCheckers.
 	NewCheckers func() []Checker
+	// Nodes > 1 runs a cluster campaign: schedules come from
+	// GenerateCluster and execute under RunCluster, with the
+	// NewClusterCheckers set layered across nodes. 0 or 1 is the
+	// classic single-node campaign.
+	Nodes int
+	// NewClusterCheckers builds the cluster-level checker set per run;
+	// default DefaultClusterCheckers. Only used when Nodes > 1.
+	NewClusterCheckers func() []ClusterChecker
 	// Hooks are threaded into every run, letting tests inject engine
 	// bugs the campaign must catch.
 	Hooks Hooks
@@ -66,6 +74,9 @@ func Campaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.NewCheckers == nil {
 		cfg.NewCheckers = DefaultCheckers
 	}
+	if cfg.NewClusterCheckers == nil {
+		cfg.NewClusterCheckers = DefaultClusterCheckers
+	}
 
 	records := make([]*RunRecord, cfg.Runs)
 	// sched.RunClusters is the repo's deterministic worker pool: work
@@ -74,22 +85,41 @@ func Campaign(cfg CampaignConfig) (*CampaignResult, error) {
 		seed := failure.TrialSeed(cfg.Seed, i)
 		rng := rand.New(rand.NewSource(seed))
 		scheme := cfg.Schemes[i%len(cfg.Schemes)]
-		schedule := Generate(rng, scheme)
-		res, err := Run(RunConfig{Schedule: schedule, Checkers: cfg.NewCheckers(), Hooks: cfg.Hooks})
-		if err != nil {
-			return err
+		var schedule Schedule
+		var violation *Violation
+		if cfg.Nodes > 1 {
+			schedule = GenerateCluster(rng, scheme, cfg.Nodes)
+			res, err := RunCluster(ClusterRunConfig{
+				Schedule: schedule, NewCheckers: cfg.NewCheckers,
+				ClusterCheckers: cfg.NewClusterCheckers(), Hooks: cfg.Hooks,
+			})
+			if err != nil {
+				return err
+			}
+			violation = res.Violation
+		} else {
+			schedule = Generate(rng, scheme)
+			res, err := Run(RunConfig{Schedule: schedule, Checkers: cfg.NewCheckers(), Hooks: cfg.Hooks})
+			if err != nil {
+				return err
+			}
+			violation = res.Violation
 		}
-		if res.Violation == nil {
+		if violation == nil {
 			return nil
 		}
 		shrunk := schedule
 		if !cfg.NoShrink {
-			shrunk = Shrink(schedule, *res.Violation, cfg.NewCheckers, cfg.Hooks)
+			if cfg.Nodes > 1 {
+				shrunk = ShrinkCluster(schedule, *violation, cfg.NewCheckers, cfg.NewClusterCheckers, cfg.Hooks)
+			} else {
+				shrunk = Shrink(schedule, *violation, cfg.NewCheckers, cfg.Hooks)
+			}
 		}
 		records[i] = &RunRecord{
 			Run: i, Seed: seed, Scheme: scheme,
 			Events:    len(schedule.Events),
-			Violation: *res.Violation,
+			Violation: *violation,
 			Shrunk:    shrunk,
 		}
 		return nil

@@ -50,6 +50,14 @@ const (
 	// EventCancel hangs up the stream of the Stream-th successful
 	// admission (0-based).
 	EventCancel EventKind = "cancel"
+	// EventNodeKill (cluster runs only) kills node Node at the cycle
+	// boundary: it stops stepping forever and its live sessions fail
+	// over to surviving replica holders at the next group boundary.
+	EventNodeKill EventKind = "node-kill"
+	// EventNodeDrain (cluster runs only) drains node Node: it stops
+	// taking admissions and failovers while its streams play out, and
+	// must end empty (the leak checker still audits it).
+	EventNodeDrain EventKind = "node-drain"
 )
 
 // Event is one scheduled action. Events are applied best-effort so that
@@ -63,6 +71,10 @@ type Event struct {
 	Drive  int       `json:"drive,omitempty"`
 	Budget int       `json:"budget,omitempty"`
 	Stream int       `json:"stream,omitempty"`
+	// Node is the target node of cluster runs: the killed/drained node
+	// for node events, the shard whose drive a fail/repair/rebuild
+	// hits. Single-node schedules leave it 0.
+	Node int `json:"node,omitempty"`
 }
 
 // Schedule is one complete chaos run description: a farm shape, a
@@ -78,6 +90,13 @@ type Schedule struct {
 	TitleGroups int     `json:"title_groups"`
 	MaxCycles   int     `json:"max_cycles"`
 	Events      []Event `json:"events"`
+	// Nodes > 1 spreads the run across a farm-per-node cluster
+	// (RunCluster); 0 or 1 is the classic single-node run. Replicas and
+	// PlacementSeed feed the rendezvous placement that decides which
+	// nodes hold which titles.
+	Nodes         int   `json:"nodes,omitempty"`
+	Replicas      int   `json:"replicas,omitempty"`
+	PlacementSeed int64 `json:"placement_seed,omitempty"`
 }
 
 // Validate checks the schedule's shape.
@@ -94,10 +113,21 @@ func (s *Schedule) Validate() error {
 		return errors.New("chaos: MaxCycles must be positive")
 	case s.K < 0:
 		return errors.New("chaos: negative K")
+	case s.Nodes < 0:
+		return errors.New("chaos: negative node count")
+	case s.Replicas < 0 || (s.Nodes > 1 && s.Replicas > s.Nodes):
+		return fmt.Errorf("chaos: %d replicas do not fit %d nodes", s.Replicas, s.Nodes)
+	}
+	nodes := s.Nodes
+	if nodes < 1 {
+		nodes = 1
 	}
 	for _, ev := range s.Events {
 		if ev.Cycle < 0 {
 			return fmt.Errorf("chaos: event %+v before cycle 0", ev)
+		}
+		if ev.Node < 0 || ev.Node >= nodes {
+			return fmt.Errorf("chaos: event %+v on node outside [0,%d)", ev, nodes)
 		}
 		switch ev.Kind {
 		case EventAdmit:
@@ -119,6 +149,10 @@ func (s *Schedule) Validate() error {
 			if ev.Stream < 0 {
 				return fmt.Errorf("chaos: cancel of negative stream ordinal %d", ev.Stream)
 			}
+		case EventNodeKill, EventNodeDrain:
+			if s.Nodes < 2 {
+				return fmt.Errorf("chaos: %s event in a single-node schedule", ev.Kind)
+			}
 		default:
 			return fmt.Errorf("chaos: unknown event kind %q", ev.Kind)
 		}
@@ -136,6 +170,7 @@ func (s *Schedule) ToSpec() *scenario.Spec {
 		Scheme: s.Scheme, Disks: s.Disks, ClusterSize: s.ClusterSize,
 		K: s.K, Titles: s.Titles, TitleGroups: s.TitleGroups,
 		MaxCycles: s.MaxCycles,
+		Nodes:     s.Nodes, Replicas: s.Replicas, PlacementSeed: s.PlacementSeed,
 	}
 	for _, ev := range s.Events {
 		switch ev.Kind {
@@ -144,11 +179,15 @@ func (s *Schedule) ToSpec() *scenario.Spec {
 		case EventCancel:
 			spec.Cancels = append(spec.Cancels, scenario.Cancel{Cycle: ev.Cycle, Stream: ev.Stream})
 		case EventFail:
-			spec.Failures = append(spec.Failures, scenario.Failure{Cycle: ev.Cycle, Drive: ev.Drive})
+			spec.Failures = append(spec.Failures, scenario.Failure{Cycle: ev.Cycle, Drive: ev.Drive, Node: ev.Node})
+		case EventNodeKill:
+			spec.NodeEvents = append(spec.NodeEvents, scenario.NodeEvent{Cycle: ev.Cycle, Kind: "kill", Node: ev.Node})
+		case EventNodeDrain:
+			spec.NodeEvents = append(spec.NodeEvents, scenario.NodeEvent{Cycle: ev.Cycle, Kind: "drain", Node: ev.Node})
 		case EventRepair, EventRebuild:
 			for i := len(spec.Failures) - 1; i >= 0; i-- {
 				f := &spec.Failures[i]
-				if f.Drive == ev.Drive && f.RepairCycle == 0 && f.Cycle < ev.Cycle {
+				if f.Drive == ev.Drive && f.Node == ev.Node && f.RepairCycle == 0 && f.Cycle < ev.Cycle {
 					f.RepairCycle = ev.Cycle
 					if ev.Kind == EventRebuild {
 						f.RebuildBudget = ev.Budget
@@ -169,6 +208,7 @@ func FromSpec(spec *scenario.Spec) *Schedule {
 		Scheme: spec.Scheme, Disks: spec.Disks, ClusterSize: spec.ClusterSize,
 		K: spec.K, Titles: spec.Titles, TitleGroups: spec.TitleGroups,
 		MaxCycles: spec.MaxCycles,
+		Nodes:     spec.Nodes, Replicas: spec.Replicas, PlacementSeed: spec.PlacementSeed,
 	}
 	if s.MaxCycles == 0 {
 		s.MaxCycles = 10_000
@@ -177,14 +217,21 @@ func FromSpec(spec *scenario.Spec) *Schedule {
 		s.Events = append(s.Events, Event{Cycle: r.Cycle, Kind: EventAdmit, Title: r.Title})
 	}
 	for _, f := range spec.Failures {
-		s.Events = append(s.Events, Event{Cycle: f.Cycle, Kind: EventFail, Drive: f.Drive})
+		s.Events = append(s.Events, Event{Cycle: f.Cycle, Kind: EventFail, Drive: f.Drive, Node: f.Node})
 		if f.RepairCycle > 0 && !f.Tertiary {
 			kind, budget := EventRepair, 0
 			if f.RebuildBudget > 0 {
 				kind, budget = EventRebuild, f.RebuildBudget
 			}
-			s.Events = append(s.Events, Event{Cycle: f.RepairCycle, Kind: kind, Drive: f.Drive, Budget: budget})
+			s.Events = append(s.Events, Event{Cycle: f.RepairCycle, Kind: kind, Drive: f.Drive, Budget: budget, Node: f.Node})
 		}
+	}
+	for _, ne := range spec.NodeEvents {
+		kind := EventNodeKill
+		if ne.Kind == "drain" {
+			kind = EventNodeDrain
+		}
+		s.Events = append(s.Events, Event{Cycle: ne.Cycle, Kind: kind, Node: ne.Node})
 	}
 	for _, c := range spec.Cancels {
 		s.Events = append(s.Events, Event{Cycle: c.Cycle, Kind: EventCancel, Stream: c.Stream})

@@ -222,13 +222,23 @@ func TestChaosCorpus(t *testing.T) {
 				t.Fatal(err)
 			}
 			sch := FromSpec(spec)
-			res, err := Run(RunConfig{Schedule: *sch, Checkers: DefaultCheckers()})
-			if err != nil {
-				t.Fatalf("run: %v", err)
+			var violation *Violation
+			if sch.Nodes > 1 {
+				res, err := RunCluster(ClusterRunConfig{Schedule: *sch})
+				if err != nil {
+					t.Fatalf("cluster run: %v", err)
+				}
+				violation = res.Violation
+			} else {
+				res, err := Run(RunConfig{Schedule: *sch, Checkers: DefaultCheckers()})
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				violation = res.Violation
 			}
-			if res.Violation != nil {
+			if violation != nil {
 				t.Errorf("%s violation at cycle %d: %s",
-					res.Violation.Checker, res.Violation.Cycle, res.Violation.Detail)
+					violation.Checker, violation.Cycle, violation.Detail)
 			}
 		})
 	}

@@ -383,7 +383,10 @@ func (r *RetentionChecker) AfterStep(rc *RunContext, rep *sched.CycleReport) err
 	for _, id := range ids {
 		tracks := r.perStream[id]
 		sort.Ints(tracks)
-		expect := r.nextTrack[id]
+		expect, seen := r.nextTrack[id]
+		if !seen && rc.ResumeStart != nil {
+			expect = rc.ResumeStart[id] // failed-over stream: starts at its resume boundary
+		}
 		for i, t := range tracks {
 			if t != expect+i {
 				return fmt.Errorf("cycle %d: stream %d advanced to track %d, expected %d (skipped or duplicated delivery)",

@@ -1,0 +1,775 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ftmm/internal/cluster"
+	"ftmm/internal/sched"
+	"ftmm/internal/server"
+	"ftmm/internal/trace"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+// NodeState is a cluster node's lifecycle state during a run.
+type NodeState int
+
+const (
+	// NodeActive nodes take admissions and failovers.
+	NodeActive NodeState = iota
+	// NodeDraining nodes play out their streams but take no placements;
+	// they must end empty and still face the End checkers.
+	NodeDraining
+	// NodeDead nodes never step again and skip the End checkers — the
+	// disposable-node principle: their loss is paid in sessions, never
+	// in cluster invariants.
+	NodeDead
+)
+
+// NodeRun is one node of a cluster run: a complete single-node server
+// holding its placement slice of the catalog, with its own checker set
+// and run context (per-node invariants are per-node facts).
+type NodeRun struct {
+	Index    int
+	ID       string
+	State    NodeState
+	Srv      *server.Server
+	RC       *RunContext
+	Checkers []Checker
+}
+
+// Session is one logical viewer across the cluster: admitted on one
+// node, possibly resumed on others as nodes die. The ordinal space that
+// cancel events address is cluster-wide admission order.
+type Session struct {
+	Ordinal int
+	Title   string
+	// Node and SID locate the live engine stream; Node is -1 once the
+	// session left the system (finished, cancelled, lost, terminated).
+	Node int
+	SID  int
+	// Next is the next new track the viewer is owed. Tracks in
+	// [ResumeFloor, Next) may legitimately arrive a second time after a
+	// failover — the bounded rewind to the group boundary.
+	Next        int
+	ResumeFloor int
+	// Chain lists the node indexes that served the session, in
+	// ownership order.
+	Chain                           []int
+	Resumes                         int
+	Finished, Cancelled, Terminated bool
+	// Lost marks a failover that found no surviving holder with
+	// capacity: the admitted loss of an unreplicated (or overloaded)
+	// title. LostReason records the justification.
+	Lost       bool
+	LostReason string
+}
+
+// ClusterRunContext is what cluster-level checkers see: every node,
+// the session ledger, and the shared catalog.
+type ClusterRunContext struct {
+	Schedule  *Schedule
+	Placement *cluster.Placement
+	Nodes     []*NodeRun
+	Sessions  []*Session
+	Content   map[string][]byte
+	TrackSize int
+	// Width is tracks per parity group (C-1); Total is tracks per title.
+	Width, Total int
+	Cycle        int
+	// Drained reports whether the run reached the all-idle exit (false
+	// until then, and forever if MaxCycles truncated the run).
+	Drained bool
+	// byStream locates a session from its live (node index, engine
+	// stream ID) pair.
+	byStream map[[2]int]*Session
+}
+
+// SessionOf returns the session currently served by the given node's
+// engine stream, or nil.
+func (crc *ClusterRunContext) SessionOf(node, sid int) *Session {
+	return crc.byStream[[2]int{node, sid}]
+}
+
+// ClusterChecker audits a cluster-wide invariant. AfterStep sees every
+// node's report for the cycle, indexed by node (nil for dead nodes,
+// which no longer step).
+type ClusterChecker interface {
+	Name() string
+	Begin(crc *ClusterRunContext) error
+	AfterStep(crc *ClusterRunContext, reps []*sched.CycleReport) error
+	End(crc *ClusterRunContext) error
+}
+
+// DefaultClusterCheckers returns a fresh instance of every standard
+// cluster-level checker (layered on top of the per-node set).
+func DefaultClusterCheckers() []ClusterChecker {
+	return []ClusterChecker{NewCrossNodeContinuityChecker()}
+}
+
+// ClusterRunConfig configures one cluster schedule execution.
+type ClusterRunConfig struct {
+	Schedule Schedule
+	// NewCheckers builds the per-node checker set (one per node);
+	// default DefaultCheckers.
+	NewCheckers func() []Checker
+	// ClusterCheckers audit cross-node invariants; default
+	// DefaultClusterCheckers().
+	ClusterCheckers []ClusterChecker
+	Hooks           Hooks
+}
+
+// ClusterRunResult summarizes one executed cluster schedule.
+type ClusterRunResult struct {
+	RunResult
+	// Sessions is the final ledger: every admission's full history.
+	Sessions []*Session
+	// Drained reports whether every surviving node went idle before
+	// MaxCycles.
+	Drained bool
+}
+
+// clusterRun carries the runner's working state.
+type clusterRun struct {
+	sch   *Schedule
+	cfg   *ClusterRunConfig
+	crc   *ClusterRunContext
+	hooks Hooks
+}
+
+// RunCluster executes one cluster schedule: Nodes farm-per-node shards
+// sharing a rendezvous-placed catalog, stepped in lockstep, with
+// node-kill failover (sessions resume on replica holders at the next
+// group boundary) and node-drain reconfiguration, under the per-node
+// checker set on every node plus the cluster checkers across them.
+// Everything is deterministic: node order, routing, and failover depend
+// only on the schedule.
+func RunCluster(cfg ClusterRunConfig) (*ClusterRunResult, error) {
+	sch := &cfg.Schedule
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	if sch.Nodes < 2 {
+		return nil, errors.New("chaos: cluster run needs nodes >= 2")
+	}
+	if cfg.NewCheckers == nil {
+		cfg.NewCheckers = DefaultCheckers
+	}
+	if cfg.ClusterCheckers == nil {
+		cfg.ClusterCheckers = DefaultClusterCheckers()
+	}
+	scheme, policy, err := server.ParseScheme(sch.Scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	params := sch.ToSpec().DiskParams()
+	trackSize := int(params.TrackSize)
+	width := sch.ClusterSize - 1
+	titles := make([]string, sch.Titles)
+	content := make(map[string][]byte, sch.Titles)
+	for i := range titles {
+		id := fmt.Sprintf("title%d", i)
+		titles[i] = id
+		content[id] = workload.SyntheticContent(id, sch.TitleGroups*width*trackSize)
+	}
+	replicas := sch.Replicas
+	if replicas < 1 {
+		replicas = 2
+	}
+	if replicas > sch.Nodes {
+		replicas = sch.Nodes
+	}
+	nodeIDs := make([]string, sch.Nodes)
+	for i := range nodeIDs {
+		nodeIDs[i] = fmt.Sprintf("node%d", i)
+	}
+	pl := cluster.Assign(titles, nodeIDs, cluster.PlacementConfig{
+		Seed: sch.PlacementSeed, Replicas: replicas,
+	})
+
+	crc := &ClusterRunContext{
+		Schedule: sch, Placement: pl,
+		Content: content, TrackSize: trackSize,
+		Width: width, Total: sch.TitleGroups * width,
+		byStream: make(map[[2]int]*Session),
+	}
+	for i, nodeID := range nodeIDs {
+		srv, err := server.New(server.Options{
+			Disks: sch.Disks, ClusterSize: sch.ClusterSize,
+			Scheme: scheme, NCPolicy: policy, K: sch.K,
+			DiskParams: params,
+			Workers:    1, // determinism within the lockstep loop
+		})
+		if err != nil {
+			return nil, err
+		}
+		for rank, title := range titles {
+			if !holds(pl, title, nodeID) {
+				continue
+			}
+			c := content[title]
+			if err := srv.AddTitle(title, units.ByteSize(len(c)), rank/4, c); err != nil {
+				return nil, err
+			}
+		}
+		crc.Nodes = append(crc.Nodes, &NodeRun{
+			Index: i, ID: nodeID, Srv: srv,
+			RC: &RunContext{
+				Srv: srv, Schedule: sch, Content: content, TrackSize: trackSize,
+				TitleOf: make(map[int]string), ResumeStart: make(map[int]int),
+			},
+			Checkers: cfg.NewCheckers(),
+		})
+	}
+
+	r := &clusterRun{sch: sch, cfg: &cfg, crc: crc, hooks: cfg.Hooks}
+	res := &ClusterRunResult{}
+	res.Sessions = crc.Sessions // replaced as the ledger grows
+	violate := func(name, prefix string, err error) *ClusterRunResult {
+		detail := err.Error()
+		if prefix != "" {
+			detail = prefix + ": " + detail
+		}
+		res.Violation = &Violation{Checker: name, Cycle: crc.Cycle, Detail: detail}
+		res.Sessions = crc.Sessions
+		return res
+	}
+
+	for _, nd := range crc.Nodes {
+		for _, c := range nd.Checkers {
+			if err := c.Begin(nd.RC); err != nil {
+				return violate(c.Name(), nd.ID, err), nil
+			}
+		}
+	}
+	for _, c := range cfg.ClusterCheckers {
+		if err := c.Begin(crc); err != nil {
+			return violate(c.Name(), "", err), nil
+		}
+	}
+
+	events := append([]Event(nil), sch.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Cycle < events[j].Cycle })
+	lastEvent := 0
+	for _, ev := range events {
+		if ev.Cycle > lastEvent {
+			lastEvent = ev.Cycle
+		}
+	}
+
+	next := 0
+	reps := make([]*sched.CycleReport, len(crc.Nodes))
+	for cycle := 0; cycle < sch.MaxCycles; cycle++ {
+		crc.Cycle = cycle
+		for _, nd := range crc.Nodes {
+			nd.RC.Cycle = cycle
+		}
+		for next < len(events) && events[next].Cycle == cycle {
+			applied, target, err := r.apply(events[next])
+			if err != nil {
+				return violate("run-error", "", err), nil
+			}
+			if applied && target != nil {
+				for _, c := range target.Checkers {
+					if obs, ok := c.(EventObserver); ok {
+						if err := obs.OnEvent(target.RC, events[next]); err != nil {
+							return violate(c.Name(), target.ID, err), nil
+						}
+					}
+				}
+			}
+			next++
+		}
+		for i, nd := range crc.Nodes {
+			reps[i] = nil
+			if nd.State == NodeDead {
+				continue
+			}
+			rep, err := nd.Srv.Step()
+			if err != nil {
+				return violate("run-error", nd.ID, err), nil
+			}
+			reps[i] = rep
+		}
+		res.Cycles++
+		for i, nd := range crc.Nodes {
+			if reps[i] == nil {
+				continue
+			}
+			for _, c := range nd.Checkers {
+				if err := c.AfterStep(nd.RC, reps[i]); err != nil {
+					return violate(c.Name(), nd.ID, err), nil
+				}
+			}
+		}
+		for _, c := range cfg.ClusterCheckers {
+			if err := c.AfterStep(crc, reps); err != nil {
+				return violate(c.Name(), "", err), nil
+			}
+		}
+		r.advanceLedger(reps)
+
+		if cycle >= lastEvent && r.allIdle() {
+			// One drain step per surviving node: engines release their
+			// last report's buffers at the start of the next Step, and
+			// the leak checkers need that to have happened.
+			crc.Cycle = cycle + 1
+			for _, nd := range crc.Nodes {
+				if nd.State == NodeDead {
+					continue
+				}
+				nd.RC.Cycle = cycle + 1
+				if _, err := nd.Srv.Step(); err != nil {
+					return violate("run-error", nd.ID, err), nil
+				}
+			}
+			res.Cycles++
+			crc.Drained = true
+			break
+		}
+	}
+	res.Drained = crc.Drained
+
+	for _, nd := range crc.Nodes {
+		if nd.State == NodeDead {
+			continue // disposable: a killed node's carcass owes nothing
+		}
+		for _, c := range nd.Checkers {
+			if err := c.End(nd.RC); err != nil {
+				return violate(c.Name(), nd.ID, err), nil
+			}
+		}
+	}
+	for _, c := range cfg.ClusterCheckers {
+		if err := c.End(crc); err != nil {
+			return violate(c.Name(), "", err), nil
+		}
+	}
+	res.Sessions = crc.Sessions
+	return res, nil
+}
+
+func holds(pl *cluster.Placement, title, node string) bool {
+	for _, h := range pl.Holders(title) {
+		if h == node {
+			return true
+		}
+	}
+	return false
+}
+
+// allIdle reports whether every surviving node finished its work.
+func (r *clusterRun) allIdle() bool {
+	for _, nd := range r.crc.Nodes {
+		if nd.State == NodeDead {
+			continue
+		}
+		if nd.Srv.Engine().Active() != 0 || nd.Srv.RebuildRemaining() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// load counts the sessions a node currently serves.
+func (r *clusterRun) load(idx int) int {
+	n := 0
+	for _, s := range r.crc.Sessions {
+		if s.Node == idx {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates returns the nodes that may take a placement for title, in
+// failover preference order refined by load: fewest live sessions
+// first, placement rank breaking ties. Only active nodes qualify —
+// draining nodes are leaving and dead ones are gone.
+func (r *clusterRun) candidates(title string) []*NodeRun {
+	var out []*NodeRun
+	for _, holder := range r.crc.Placement.Holders(title) {
+		for _, nd := range r.crc.Nodes {
+			if nd.ID == holder && nd.State == NodeActive {
+				out = append(out, nd)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return r.load(out[i].Index) < r.load(out[j].Index)
+	})
+	return out
+}
+
+// apply performs one event best-effort, mirroring the single-node
+// runner's contract: every subset of a schedule stays runnable. It
+// returns the node whose per-node observers should see the event (nil
+// for cluster-level events).
+func (r *clusterRun) apply(ev Event) (bool, *NodeRun, error) {
+	crc := r.crc
+	switch ev.Kind {
+	case EventAdmit:
+		for _, nd := range r.candidates(ev.Title) {
+			sid, _, err := nd.Srv.Request(ev.Title)
+			if err != nil {
+				continue // rejection is legitimate; try the next holder
+			}
+			ses := &Session{
+				Ordinal: len(crc.Sessions), Title: ev.Title,
+				Node: nd.Index, SID: sid, Chain: []int{nd.Index},
+			}
+			crc.Sessions = append(crc.Sessions, ses)
+			crc.byStream[[2]int{nd.Index, sid}] = ses
+			nd.RC.Admitted = append(nd.RC.Admitted, sid)
+			nd.RC.TitleOf[sid] = ev.Title
+			return true, nd, nil
+		}
+		return false, nil, nil // no live holder, or all full: tolerated
+	case EventCancel:
+		if ev.Stream >= len(crc.Sessions) {
+			return false, nil, nil
+		}
+		ses := crc.Sessions[ev.Stream]
+		if ses.Node < 0 {
+			return false, nil, nil
+		}
+		nd := crc.Nodes[ses.Node]
+		if err := nd.Srv.Cancel(ses.SID); err != nil {
+			return false, nil, nil // already finished: tolerated
+		}
+		delete(crc.byStream, [2]int{ses.Node, ses.SID})
+		ses.Cancelled = true
+		ses.Node = -1
+		return true, nd, nil
+	case EventFail, EventRepair, EventRebuild:
+		nd := crc.Nodes[ev.Node]
+		if nd.State == NodeDead {
+			return false, nil, nil // shard is gone; its drives with it
+		}
+		applied, err := apply(nd.RC, ev, r.hooks)
+		return applied, nd, err
+	case EventNodeKill:
+		nd := crc.Nodes[ev.Node]
+		if nd.State == NodeDead {
+			return false, nil, nil
+		}
+		nd.State = NodeDead
+		r.failover(nd)
+		return true, nil, nil
+	case EventNodeDrain:
+		nd := crc.Nodes[ev.Node]
+		if nd.State != NodeActive {
+			return false, nil, nil
+		}
+		nd.State = NodeDraining
+		return true, nil, nil
+	}
+	return false, nil, fmt.Errorf("chaos: unknown event kind %q", ev.Kind)
+}
+
+// failover moves every session the dead node served onto a surviving
+// replica holder, resuming at the group boundary at or before the next
+// owed track — the same handoff the network layer's RESUME performs,
+// run deterministically in-process.
+func (r *clusterRun) failover(dead *NodeRun) {
+	crc := r.crc
+	for _, ses := range crc.Sessions {
+		if ses.Node != dead.Index {
+			continue
+		}
+		delete(crc.byStream, [2]int{ses.Node, ses.SID})
+		if ses.Next >= crc.Total {
+			// Everything was delivered; only the finish notice died with
+			// the node.
+			ses.Finished = true
+			ses.Node = -1
+			continue
+		}
+		startGroup := ses.Next/crc.Width + r.hooks.ResumeGroupOffset
+		moved := false
+		for _, nd := range r.candidates(ses.Title) {
+			sid, _, err := nd.Srv.RequestAt(ses.Title, startGroup)
+			if err != nil {
+				continue
+			}
+			ses.Node, ses.SID = nd.Index, sid
+			ses.ResumeFloor = startGroup * crc.Width
+			ses.Chain = append(ses.Chain, nd.Index)
+			ses.Resumes++
+			crc.byStream[[2]int{nd.Index, sid}] = ses
+			nd.RC.Admitted = append(nd.RC.Admitted, sid)
+			nd.RC.TitleOf[sid] = ses.Title
+			nd.RC.ResumeStart[sid] = ses.ResumeFloor
+			moved = true
+			break
+		}
+		if !moved {
+			ses.Lost = true
+			ses.LostReason = fmt.Sprintf("no surviving holder with capacity for %s after %s died", ses.Title, dead.ID)
+			ses.Node = -1
+		}
+	}
+}
+
+// advanceLedger folds one cycle's reports into the session ledger:
+// delivered and hiccuped tracks advance Next, finish and termination
+// notices retire sessions.
+func (r *clusterRun) advanceLedger(reps []*sched.CycleReport) {
+	crc := r.crc
+	tracks := make(map[*Session][]int)
+	for i, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		for _, d := range rep.Delivered {
+			if ses := crc.byStream[[2]int{i, d.StreamID}]; ses != nil {
+				tracks[ses] = append(tracks[ses], d.Track)
+			}
+		}
+		for _, h := range rep.Hiccups {
+			if ses := crc.byStream[[2]int{i, h.StreamID}]; ses != nil {
+				tracks[ses] = append(tracks[ses], h.Track)
+			}
+		}
+	}
+	for ses, ts := range tracks {
+		sort.Ints(ts)
+		for _, t := range ts {
+			if t == ses.Next {
+				ses.Next++
+			}
+		}
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		for _, sid := range rep.Finished {
+			if ses := crc.byStream[[2]int{i, sid}]; ses != nil {
+				ses.Finished = true
+				ses.Node = -1
+				delete(crc.byStream, [2]int{i, sid})
+			}
+		}
+		for _, sid := range rep.Terminated {
+			if ses := crc.byStream[[2]int{i, sid}]; ses != nil {
+				ses.Terminated = true
+				ses.Node = -1
+				delete(crc.byStream, [2]int{i, sid})
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------------
+// Cross-node continuity.
+
+// CrossNodeContinuityChecker audits the cluster's central promise: a
+// session followed across its whole ownership chain receives the
+// title's bytes contiguously and bit-exactly. A failover may rewind to
+// the group boundary at or before the next owed track (re-delivering
+// at most one group's worth) but may never skip forward; every
+// delivered track's bytes must match the archived content; and when
+// the cluster drains, every session has either finished the full
+// title, was cancelled or terminated, or was lost with a recorded
+// justification. The checker keeps its own per-session ledger — it
+// audits the runner's failover arithmetic rather than trusting it.
+type CrossNodeContinuityChecker struct {
+	next, floor map[int]int
+	seenResumes map[int]int
+}
+
+// NewCrossNodeContinuityChecker builds the checker.
+func NewCrossNodeContinuityChecker() *CrossNodeContinuityChecker {
+	return &CrossNodeContinuityChecker{}
+}
+
+// Name implements ClusterChecker.
+func (c *CrossNodeContinuityChecker) Name() string { return "cluster-continuity" }
+
+// Begin implements ClusterChecker.
+func (c *CrossNodeContinuityChecker) Begin(*ClusterRunContext) error {
+	c.next = make(map[int]int)
+	c.floor = make(map[int]int)
+	c.seenResumes = make(map[int]int)
+	return nil
+}
+
+// AfterStep implements ClusterChecker.
+func (c *CrossNodeContinuityChecker) AfterStep(crc *ClusterRunContext, reps []*sched.CycleReport) error {
+	type tr struct {
+		track  int
+		data   []byte
+		hiccup bool
+	}
+	per := make(map[int][]tr)
+	for i, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		for _, d := range rep.Delivered {
+			ses := crc.SessionOf(i, d.StreamID)
+			if ses == nil {
+				return fmt.Errorf("node%d delivered track %d of %s for a stream (%d) no session owns", i, d.Track, d.ObjectID, d.StreamID)
+			}
+			per[ses.Ordinal] = append(per[ses.Ordinal], tr{d.Track, d.Data, false})
+		}
+		for _, h := range rep.Hiccups {
+			ses := crc.SessionOf(i, h.StreamID)
+			if ses == nil {
+				return fmt.Errorf("node%d hiccuped track %d for a stream (%d) no session owns", i, h.Track, h.StreamID)
+			}
+			per[ses.Ordinal] = append(per[ses.Ordinal], tr{h.Track, nil, true})
+		}
+	}
+	ordinals := make([]int, 0, len(per))
+	for o := range per {
+		ordinals = append(ordinals, o)
+	}
+	sort.Ints(ordinals)
+	for _, o := range ordinals {
+		ses := crc.Sessions[o]
+		if c.seenResumes[o] < ses.Resumes {
+			// A failover happened since we last saw this session: from
+			// our own ledger, the only legitimate restart is the group
+			// boundary at or before the next owed track.
+			c.floor[o] = (c.next[o] / crc.Width) * crc.Width
+			c.seenResumes[o] = ses.Resumes
+		}
+		ts := per[o]
+		sort.Slice(ts, func(i, j int) bool { return ts[i].track < ts[j].track })
+		for _, t := range ts {
+			if !t.hiccup {
+				if err := trace.CheckTrack(crc.Content[ses.Title], crc.TrackSize, t.track, t.data); err != nil {
+					return fmt.Errorf("session %d (%s) on node chain %v: %w", o, ses.Title, ses.Chain, err)
+				}
+			}
+			switch {
+			case t.track == c.next[o]:
+				c.next[o]++
+			case t.track < c.next[o] && t.track >= c.floor[o]:
+				// Bounded re-delivery: the failover rewind to the group
+				// boundary. Nothing to advance.
+			default:
+				return fmt.Errorf("session %d (%s) received track %d, expected %d (failover floor %d): gap or unbounded rewind across node chain %v",
+					o, ses.Title, t.track, c.next[o], c.floor[o], ses.Chain)
+			}
+		}
+	}
+	return nil
+}
+
+// End implements ClusterChecker.
+func (c *CrossNodeContinuityChecker) End(crc *ClusterRunContext) error {
+	for o, ses := range crc.Sessions {
+		switch {
+		case ses.Cancelled, ses.Terminated:
+			// Hung up, or the paper's degradation of service.
+		case ses.Lost:
+			if ses.LostReason == "" {
+				return fmt.Errorf("session %d (%s) lost without justification", o, ses.Title)
+			}
+		case ses.Finished:
+			if c.next[o] != crc.Total {
+				return fmt.Errorf("session %d (%s) finished after %d of %d tracks across node chain %v",
+					o, ses.Title, c.next[o], crc.Total, ses.Chain)
+			}
+		default:
+			if crc.Drained {
+				return fmt.Errorf("session %d (%s) stranded at track %d after the cluster drained", o, ses.Title, c.next[o])
+			}
+			// MaxCycles truncated the run mid-stream: legitimate.
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------------
+// Generation and shrinking.
+
+// GenerateCluster draws one randomized cluster schedule: a base
+// single-node schedule fanned across nodes, drive faults pinned to
+// shards, and node-level kill/drain events layered on top.
+func GenerateCluster(rng *rand.Rand, scheme string, nodes int) Schedule {
+	if nodes < 2 {
+		nodes = 3
+	}
+	s := Generate(rng, scheme)
+	s.Nodes = nodes
+	s.Replicas = 2
+	if s.Replicas > nodes {
+		s.Replicas = nodes
+	}
+	s.PlacementSeed = rng.Int63()
+	// Pin each drive-fault chain (fail → repair/rebuild) to one shard,
+	// so pairs stay pairs.
+	driveNode := make(map[int]int)
+	for i := range s.Events {
+		ev := &s.Events[i]
+		switch ev.Kind {
+		case EventFail, EventRepair, EventRebuild:
+			n, ok := driveNode[ev.Drive]
+			if !ok {
+				n = rng.Intn(nodes)
+				driveNode[ev.Drive] = n
+			}
+			ev.Node = n
+		}
+	}
+	// Usually one kill; sometimes a drain elsewhere. Killing and
+	// draining down to one node is interesting, not catastrophic:
+	// unplaceable sessions are the admitted loss the checker exempts.
+	victim := -1
+	if rng.Float64() < 0.75 {
+		victim = rng.Intn(nodes)
+		s.Events = append(s.Events, Event{Cycle: 3 + rng.Intn(8), Kind: EventNodeKill, Node: victim})
+	}
+	if rng.Float64() < 0.40 {
+		d := rng.Intn(nodes)
+		if d == victim {
+			d = (d + 1) % nodes
+		}
+		s.Events = append(s.Events, Event{Cycle: 4 + rng.Intn(10), Kind: EventNodeDrain, Node: d})
+	}
+	// Failovers rewind up to a group per resume; pad the tail so
+	// resumed sessions can still play out.
+	s.MaxCycles += s.TitleGroups * (s.ClusterSize - 1)
+	return s
+}
+
+// ShrinkCluster is Shrink for cluster schedules: ddmin over the event
+// list with RunCluster as the reproduction predicate, then a MaxCycles
+// trim.
+func ShrinkCluster(sch Schedule, orig Violation, newCheckers func() []Checker, newCluster func() []ClusterChecker, hooks Hooks) Schedule {
+	run := func(s Schedule) *Violation {
+		res, err := RunCluster(ClusterRunConfig{
+			Schedule: s, NewCheckers: newCheckers, ClusterCheckers: newCluster(), Hooks: hooks,
+		})
+		if err != nil || res.Violation == nil {
+			return nil
+		}
+		return res.Violation
+	}
+	reproduces := func(s Schedule) bool {
+		v := run(s)
+		return v != nil && v.Checker == orig.Checker
+	}
+	out := sch
+	out.Events = ddmin(sch.Events, func(sub []Event) bool {
+		s := sch
+		s.Events = sub
+		return reproduces(s)
+	})
+	if v := run(out); v != nil && v.Checker == orig.Checker {
+		trimmed := out
+		trimmed.MaxCycles = v.Cycle + 2
+		if trimmed.MaxCycles < out.MaxCycles && reproduces(trimmed) {
+			out = trimmed
+		}
+	}
+	return out
+}

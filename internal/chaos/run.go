@@ -45,6 +45,11 @@ type RunContext struct {
 	Admitted []int
 	// TitleOf maps an engine stream ID to the title it plays.
 	TitleOf map[int]string
+	// ResumeStart maps engine stream IDs admitted mid-title (cluster
+	// session failover lands on a replica at a group boundary) to their
+	// first owed track. Checkers consult it instead of assuming every
+	// stream starts at track 0; nil in single-node runs.
+	ResumeStart map[int]int
 }
 
 // Checker audits one invariant over a run. Begin is called once before
@@ -74,6 +79,10 @@ type Hooks struct {
 	// AfterRepair runs right after an instant repair of the drive
 	// succeeds, before checkers observe the event.
 	AfterRepair func(srv *server.Server, drive int) error
+	// ResumeGroupOffset shifts every cluster failover's restart group
+	// by this many groups — a deliberately broken handoff the
+	// cross-node continuity checker must catch. Zero in real runs.
+	ResumeGroupOffset int
 }
 
 // RunConfig configures one schedule execution.

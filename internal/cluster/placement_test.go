@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func catalog(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("movie%d", i)
+	}
+	return out
+}
+
+func nodeSet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node%d", i)
+	}
+	return out
+}
+
+// TestAssignDeterministic pins the satellite requirement: the same seed
+// and catalog produce the same placement no matter how the node list is
+// permuted (worker order must not matter).
+func TestAssignDeterministic(t *testing.T) {
+	titles := catalog(40)
+	cfg := PlacementConfig{Seed: 7, Replicas: 1, HotReplicas: 2, HotTitles: 8}
+	base := Assign(titles, nodeSet(3), cfg)
+	perms := [][]string{
+		{"node2", "node0", "node1"},
+		{"node1", "node2", "node0"},
+		{"node2", "node1", "node0"},
+	}
+	for _, perm := range perms {
+		got := Assign(titles, perm, cfg)
+		for _, title := range titles {
+			if !reflect.DeepEqual(got.Holders(title), base.Holders(title)) {
+				t.Fatalf("placement of %s depends on node order: %v vs %v",
+					title, got.Holders(title), base.Holders(title))
+			}
+		}
+	}
+	// And a literal recomputation is bit-identical.
+	again := Assign(titles, nodeSet(3), cfg)
+	if !reflect.DeepEqual(again.titles, base.titles) {
+		t.Fatal("recomputed placement differs from the original")
+	}
+}
+
+// TestAssignSeedMatters guards against a constant hash: different seeds
+// should shuffle at least one title's home.
+func TestAssignSeedMatters(t *testing.T) {
+	titles := catalog(64)
+	nodes := nodeSet(4)
+	a := Assign(titles, nodes, PlacementConfig{Seed: 1})
+	b := Assign(titles, nodes, PlacementConfig{Seed: 2})
+	for _, title := range titles {
+		if a.Holders(title)[0] != b.Holders(title)[0] {
+			return
+		}
+	}
+	t.Fatal("64 titles landed identically under two seeds")
+}
+
+// TestRebalanceMinimalOnAdd pins the other satellite requirement:
+// adding a node only moves titles onto the new node — no title shuffles
+// between survivors.
+func TestRebalanceMinimalOnAdd(t *testing.T) {
+	titles := catalog(100)
+	cfg := PlacementConfig{Seed: 3, Replicas: 2, HotReplicas: 3, HotTitles: 10}
+	before := Assign(titles, nodeSet(3), cfg)
+	after := Assign(titles, nodeSet(4), cfg) // node3 joins
+	moved := 0
+	for _, title := range titles {
+		b, a := before.Holders(title), after.Holders(title)
+		if reflect.DeepEqual(b, a) {
+			continue
+		}
+		moved++
+		// Every change must involve node3: stripping it from the new
+		// list must restore the relative order of the old survivors.
+		var rest []string
+		for _, n := range a {
+			if n != "node3" {
+				rest = append(rest, n)
+			}
+		}
+		if !isPrefixOfOrder(rest, b) {
+			t.Fatalf("title %s reshuffled among survivors: %v -> %v", title, b, a)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new node attracted no titles — hash is degenerate")
+	}
+	if moved == len(titles) {
+		t.Fatal("every title moved on a single node add — rebalance is not minimal")
+	}
+}
+
+// TestRebalanceMinimalOnDrain checks node removal: only titles the
+// removed node held change holders, and survivors keep their relative
+// preference order.
+func TestRebalanceMinimalOnDrain(t *testing.T) {
+	titles := catalog(100)
+	cfg := PlacementConfig{Seed: 9, Replicas: 2, HotReplicas: 3, HotTitles: 10}
+	before := Assign(titles, nodeSet(4), cfg)
+	after := Assign(titles, []string{"node0", "node1", "node2"}, cfg) // node3 leaves
+	for _, title := range titles {
+		b, a := before.Holders(title), after.Holders(title)
+		held := false
+		for _, n := range b {
+			if n == "node3" {
+				held = true
+			}
+		}
+		if !held {
+			if !reflect.DeepEqual(b, a) {
+				t.Fatalf("title %s moved though node3 never held it: %v -> %v", title, b, a)
+			}
+			continue
+		}
+		// node3's titles: survivors must keep their order, with the
+		// replacement appended from below.
+		var kept []string
+		for _, n := range b {
+			if n != "node3" {
+				kept = append(kept, n)
+			}
+		}
+		if !isPrefixOfOrder(kept, a) {
+			t.Fatalf("title %s survivors reordered on drain: %v -> %v", title, b, a)
+		}
+	}
+}
+
+// TestHotReplication checks the Zipf head gets the extra copies and the
+// tail does not.
+func TestHotReplication(t *testing.T) {
+	titles := catalog(30)
+	cfg := PlacementConfig{Seed: 5, Replicas: 1, HotReplicas: 3, HotTitles: 5}
+	p := Assign(titles, nodeSet(4), cfg)
+	for i, title := range titles {
+		want := 1
+		if i < 5 {
+			want = 3
+		}
+		if got := len(p.Holders(title)); got != want {
+			t.Errorf("title %s (rank %d) has %d holders, want %d", title, i, got, want)
+		}
+	}
+	// Replica lists never repeat a node.
+	for _, title := range titles {
+		seen := map[string]bool{}
+		for _, n := range p.Holders(title) {
+			if seen[n] {
+				t.Fatalf("title %s lists %s twice", title, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestReplicasClampedToNodes: a 2-node cluster can't hold 3 replicas.
+func TestReplicasClampedToNodes(t *testing.T) {
+	p := Assign(catalog(4), nodeSet(2), PlacementConfig{Replicas: 3, HotReplicas: 5, HotTitles: 2})
+	for _, title := range catalog(4) {
+		if got := len(p.Holders(title)); got != 2 {
+			t.Fatalf("title %s has %d holders on a 2-node cluster", title, got)
+		}
+	}
+}
+
+// TestCountsAndTitles sanity-checks the reverse indexes.
+func TestCountsAndTitles(t *testing.T) {
+	titles := catalog(20)
+	p := Assign(titles, nodeSet(3), PlacementConfig{Seed: 11, Replicas: 2})
+	counts := p.Counts()
+	total := 0
+	for _, node := range nodeSet(3) {
+		if counts[node] != len(p.Titles(node)) {
+			t.Fatalf("counts[%s]=%d but Titles lists %d", node, counts[node], len(p.Titles(node)))
+		}
+		total += counts[node]
+	}
+	if total != 2*len(titles) {
+		t.Fatalf("total holder slots = %d, want %d", total, 2*len(titles))
+	}
+	if p.Holders("nosuch") != nil {
+		t.Fatal("unknown title has holders")
+	}
+}
+
+// isPrefixOfOrder reports whether want's elements appear in got in the
+// same relative order starting at the front (got may have extras
+// appended).
+func isPrefixOfOrder(want, got []string) bool {
+	if len(want) > len(got) {
+		return false
+	}
+	for i, n := range want {
+		if got[i] != n {
+			return false
+		}
+	}
+	return true
+}

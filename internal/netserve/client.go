@@ -2,6 +2,7 @@ package netserve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -37,6 +38,17 @@ func (e *RejectedError) Error() string {
 	return "netserve: rejected: " + e.Reject.Reason
 }
 
+// RedirectedError reports that the peer (a coordinator, or a node that
+// no longer holds the title) wants the session on another node. The
+// caller should dial Redirect.Addr and repeat its handshake there.
+type RedirectedError struct {
+	Redirect Redirect
+}
+
+func (e *RedirectedError) Error() string {
+	return fmt.Sprintf("netserve: redirected to %s (%s)", e.Redirect.Addr, e.Redirect.NodeID)
+}
+
 // Dial connects and completes the HELLO exchange. readTimeout bounds
 // every subsequent frame read (0 means no deadline).
 func Dial(addr string, readTimeout time.Duration) (*Client, error) {
@@ -62,11 +74,29 @@ func Dial(addr string, readTimeout time.Duration) (*Client, error) {
 }
 
 // Admit requests a stream for the title. A refusal returns
-// *RejectedError.
+// *RejectedError; a cluster hand-off returns *RedirectedError.
 func (c *Client) Admit(title string) (AdmitOK, error) {
 	if err := writeFrame(c.conn, frameAdmit, []byte(title)); err != nil {
 		return AdmitOK{}, err
 	}
+	return c.admitReply("ADMIT")
+}
+
+// Resume requests a stream from the middle of a title — the failover
+// half of a session hand-off. nextTrack is the first track the client
+// still needs; the serving node starts at the enclosing parity-group
+// boundary (check AdmitOK.StartTrack — it may be ≤ nextTrack, and the
+// client should skip the overlap). Against a coordinator, avoid lists
+// nodes the client just lost so the answer (a *RedirectedError) points
+// at a surviving replica.
+func (c *Client) Resume(title string, nextTrack int, avoid []string) (AdmitOK, error) {
+	if err := writeJSONFrame(c.conn, frameResume, ResumeReq{Title: title, NextTrack: nextTrack, Avoid: avoid}); err != nil {
+		return AdmitOK{}, err
+	}
+	return c.admitReply("RESUME")
+}
+
+func (c *Client) admitReply(verb string) (AdmitOK, error) {
 	typ, payload, err := c.read()
 	if err != nil {
 		return AdmitOK{}, err
@@ -83,9 +113,50 @@ func (c *Client) Admit(title string) (AdmitOK, error) {
 			return AdmitOK{}, fmt.Errorf("netserve: bad REJECT payload: %w", err)
 		}
 		return AdmitOK{}, &RejectedError{Reject: rej}
+	case frameRedirect:
+		var rd Redirect
+		if err := json.Unmarshal(payload, &rd); err != nil {
+			return AdmitOK{}, fmt.Errorf("netserve: bad REDIRECT payload: %w", err)
+		}
+		return AdmitOK{}, &RedirectedError{Redirect: rd}
 	default:
-		return AdmitOK{}, fmt.Errorf("netserve: unexpected frame 0x%02x to ADMIT", typ)
+		return AdmitOK{}, fmt.Errorf("netserve: unexpected frame 0x%02x to %s", typ, verb)
 	}
+}
+
+// AdmitRetry is the reconnect path: dial, admit, and on a transient
+// rejection (Retry-After present) back off as hinted and try again on a
+// fresh connection — the server hangs up after a REJECT, so each retry
+// reconnects. Up to attempts tries; sleep is injectable so tests need
+// no wall clock (nil means time.Sleep). Permanent rejections,
+// redirects, and transport errors return immediately. On success the
+// caller owns the returned connected Client.
+func AdmitRetry(addr, title string, readTimeout time.Duration, attempts int, sleep func(time.Duration)) (*Client, AdmitOK, error) {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for try := 0; try < attempts; try++ {
+		var c *Client
+		c, err = Dial(addr, readTimeout)
+		if err != nil {
+			return nil, AdmitOK{}, err
+		}
+		var ok AdmitOK
+		ok, err = c.Admit(title)
+		if err == nil {
+			return c, ok, nil
+		}
+		c.Close()
+		var rej *RejectedError
+		if !errors.As(err, &rej) || rej.Reject.RetryAfterMillis <= 0 {
+			return nil, AdmitOK{}, err
+		}
+		if try < attempts-1 {
+			sleep(time.Duration(rej.Reject.RetryAfterMillis) * time.Millisecond)
+		}
+	}
+	return nil, AdmitOK{}, err
 }
 
 // Event is one post-admission frame, decoded.

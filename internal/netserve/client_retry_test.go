@@ -1,0 +1,99 @@
+package netserve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdmitRetryBackoff is the reconnect-path regression test: a full
+// farm rejects with a Retry-After hint, the client backs off exactly as
+// hinted (through an injected sleep — no wall-clock dependence), and
+// once capacity frees the re-admit succeeds on the same connection.
+func TestAdmitRetryBackoff(t *testing.T) {
+	cfg := defaultRig()
+	cfg.titles = 1
+	cfg.slotsPerDisk = 1 // one stream per cluster position: capacity 1 for the title's start cluster
+	r := newLoopRig(t, "sr", cfg)
+	title := r.titles[0]
+
+	// Occupy the title's start cluster.
+	blocker, _ := r.connect(t, title)
+	defer blocker.Close()
+
+	// Pin the rejection shape first: transient, with the cycle-scale
+	// retry hint. The server hangs up after a REJECT, so this probe
+	// needs its own connection.
+	wantHint := r.ns.CycleTime().Milliseconds()
+	if wantHint < 1 {
+		wantHint = 1
+	}
+	probe, err := Dial(r.ns.Addr().String(), 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = probe.Admit(title)
+	probe.Close()
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("admit on a full farm returned %v, want *RejectedError", err)
+	}
+	if rej.Reject.RetryAfterMillis != wantHint {
+		t.Fatalf("retry hint = %d ms, want %d", rej.Reject.RetryAfterMillis, wantHint)
+	}
+
+	// Now the full loop: rejection → backoff → re-admit. The injected
+	// sleep frees capacity on its first call (the blocker hangs up), so
+	// a later attempt must land.
+	var sleeps []time.Duration
+	sleep := func(d time.Duration) {
+		sleeps = append(sleeps, d)
+		if len(sleeps) == 1 {
+			blocker.Close()
+		}
+		// Teardown is asynchronous (the server's reader notices the
+		// hang-up); wait for the slot to actually free.
+		for i := 0; i < 5000 && r.ns.Sessions() > 0; i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	c2, ok, err := AdmitRetry(r.ns.Addr().String(), title, 20*time.Second, 20, sleep)
+	if err != nil {
+		t.Fatalf("AdmitRetry never succeeded after %d backoffs: %v", len(sleeps), err)
+	}
+	defer c2.Close()
+	if ok.Title != title {
+		t.Fatalf("admitted %q, want %q", ok.Title, title)
+	}
+	if len(sleeps) == 0 {
+		t.Fatal("AdmitRetry succeeded without ever backing off — the farm was never full")
+	}
+	for i, d := range sleeps {
+		if d != time.Duration(wantHint)*time.Millisecond {
+			t.Fatalf("backoff %d slept %v, want the server's %d ms hint", i, d, wantHint)
+		}
+	}
+
+	// The admitted session must actually play: drive cycles to the end.
+	done := make(chan *clientResult, 1)
+	go func() { done <- consume(c2) }()
+	r.stepUntilIdle(t, 4000)
+	res := <-done
+	verifyBitExact(t, r, title, res)
+	if res.bye != "finished" {
+		t.Fatalf("bye = %q, want finished", res.bye)
+	}
+}
+
+// TestAdmitRetryPermanentRejection: no Retry-After means no retry.
+func TestAdmitRetryPermanentRejection(t *testing.T) {
+	r := newLoopRig(t, "sr", defaultRig())
+	calls := 0
+	_, _, err := AdmitRetry(r.ns.Addr().String(), "no-such-title", 20*time.Second, 5, func(time.Duration) { calls++ })
+	if err == nil {
+		t.Fatal("unknown title admitted")
+	}
+	if calls != 0 {
+		t.Fatalf("backed off %d times on a permanent rejection", calls)
+	}
+}

@@ -22,13 +22,20 @@ type status struct {
 	Draining   bool   `json:"draining"`
 	TrackSize  int    `json:"track_size"`
 	Titles     int    `json:"titles"`
+	// Cluster identity; zero values standalone.
+	NodeID     string         `json:"node_id,omitempty"`
+	ViewNumber int64          `json:"view_number,omitempty"`
+	Placement  map[string]int `json:"placement,omitempty"`
 }
 
 // Handler returns the HTTP control surface:
 //
-//	GET  /statusz  — scheme, cycle, sessions, drain state (JSON)
+//	GET  /statusz  — scheme, cycle, sessions, drain state, and (in a
+//	     cluster) node identity, view number, placement summary (JSON)
 //	GET  /metricsz — the full metrics registry (JSON, stable key order)
 //	GET  /titlesz  — the catalog of admittable titles (JSON array)
+//	GET  /viewz    — the membership view this node holds (JSON; 404
+//	     standalone)
 //	POST /admitz?title=T — admission probe: stages the title and checks
 //	     capacity, then immediately releases the slot. 204 on success,
 //	     503 + Retry-After when the farm is full, 404 for unknown
@@ -42,6 +49,7 @@ func (ns *NetServer) Handler() http.Handler {
 	mux.HandleFunc("/metricsz", ns.handleMetrics)
 	mux.HandleFunc("/titlesz", ns.handleTitles)
 	mux.HandleFunc("/admitz", ns.handleAdmit)
+	mux.HandleFunc("/viewz", ns.handleView)
 	if ns.opts.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -64,9 +72,24 @@ func (ns *NetServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Draining:   ns.draining,
 		TrackSize:  ns.trackSize,
 		Titles:     ns.srv.Library().Objects(),
+		NodeID:     ns.opts.NodeID,
+	}
+	if ns.view != nil {
+		st.ViewNumber = ns.view.Number
+		st.Placement = ns.view.Placement
 	}
 	ns.mu.Unlock()
 	writeHTTPJSON(w, st)
+}
+
+// handleView serves the membership view this node currently holds.
+func (ns *NetServer) handleView(w http.ResponseWriter, r *http.Request) {
+	v := ns.View()
+	if v == nil {
+		http.Error(w, "no view installed (standalone)", http.StatusNotFound)
+		return
+	}
+	writeHTTPJSON(w, v)
 }
 
 func (ns *NetServer) handleMetrics(w http.ResponseWriter, r *http.Request) {

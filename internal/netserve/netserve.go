@@ -1,6 +1,7 @@
 package netserve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"ftmm/internal/buffer"
+	"ftmm/internal/cluster"
 	"ftmm/internal/sched"
 	"ftmm/internal/server"
 )
@@ -37,6 +39,9 @@ type Options struct {
 	// access to it behind one mutex — server.Server itself is not
 	// concurrency-safe.
 	Server *server.Server
+	// NodeID names this node in a cluster. It rides in ADMIT-OK and on
+	// the HTTP status surface; empty for a standalone server.
+	NodeID string
 	// Addr is the TCP listen address; empty means loopback with an
 	// OS-assigned port (the usual test setting).
 	Addr string
@@ -73,12 +78,13 @@ type scheduledEvent struct {
 // NetServer accepts framed TCP sessions and paces admitted streams'
 // tracks out at playback rate, one burst per transmission cycle.
 type NetServer struct {
-	opts      Options
-	srv       *server.Server
-	ln        net.Listener
-	cycleTime time.Duration
-	burst     int
-	trackSize int
+	opts       Options
+	srv        *server.Server
+	ln         net.Listener
+	cycleTime  time.Duration
+	burst      int
+	trackSize  int
+	groupWidth int
 
 	// sessions is sharded so admission, teardown from reader/writer
 	// goroutines, and the HTTP surface do not serialize on the engine
@@ -95,10 +101,15 @@ type NetServer struct {
 	burstPool sync.Pool
 	hdrPool   sync.Pool
 
-	// mu is the engine lock: it guards srv, schedule, and drain state.
+	// mu is the engine lock: it guards srv, schedule, view, and drain
+	// state.
 	mu       sync.Mutex
 	cond     *sync.Cond
 	schedule []scheduledEvent
+	view     *cluster.View
+	// hbConns tracks live coordinator heartbeat channels so Close can
+	// cut them (their goroutines otherwise sit in a long read).
+	hbConns  map[net.Conn]struct{}
 	draining bool
 	drained  chan struct{}
 	closed   bool
@@ -298,15 +309,17 @@ func New(opts Options) (*NetServer, error) {
 		burstN = 1
 	}
 	ns := &NetServer{
-		opts:      opts,
-		srv:       srv,
-		ln:        ln,
-		cycleTime: cycle,
-		burst:     burstN,
-		trackSize: trackSize,
-		wheel:     NewTimerWheel(wheelTick, wheelSlots),
-		drained:   make(chan struct{}),
-		stop:      make(chan struct{}),
+		opts:       opts,
+		srv:        srv,
+		ln:         ln,
+		cycleTime:  cycle,
+		burst:      burstN,
+		trackSize:  trackSize,
+		groupWidth: srv.GroupWidth(),
+		wheel:      NewTimerWheel(wheelTick, wheelSlots),
+		hbConns:    make(map[net.Conn]struct{}),
+		drained:    make(chan struct{}),
+		stop:       make(chan struct{}),
 	}
 	ns.sessions.init()
 	ns.burstPool.New = func() any { return new(burst) }
@@ -333,6 +346,45 @@ func (ns *NetServer) Burst() int { return ns.burst }
 
 // Sessions returns the number of connected, admitted sessions.
 func (ns *NetServer) Sessions() int { return ns.sessions.len() }
+
+// NodeID returns this node's cluster identity (empty standalone).
+func (ns *NetServer) NodeID() string { return ns.opts.NodeID }
+
+// SetView installs a membership view. Stale views (number at or below
+// the held one) are ignored, so out-of-order heartbeats cannot roll the
+// node backward; the freshest view wins regardless of arrival order. If
+// the new view marks this node draining, the node stops admitting.
+func (ns *NetServer) SetView(v *cluster.View) {
+	if v == nil {
+		return
+	}
+	ns.mu.Lock()
+	if ns.view != nil && v.Number <= ns.view.Number {
+		ns.mu.Unlock()
+		return
+	}
+	ns.view = v.Clone()
+	m, ok := ns.view.Member(ns.opts.NodeID)
+	startDrain := ok && m.State == cluster.StateDraining && !ns.draining
+	if startDrain {
+		ns.beginDrainLocked()
+	}
+	ns.mu.Unlock()
+	if startDrain {
+		ns.cond.Broadcast()
+	}
+}
+
+// View returns a copy of the node's current membership view, or nil if
+// none has been installed (standalone operation).
+func (ns *NetServer) View() *cluster.View {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.view == nil {
+		return nil
+	}
+	return ns.view.Clone()
+}
 
 // StreamProgress reports the back end's delivery progress for a stream.
 func (ns *NetServer) StreamProgress(id int) (next, total int, ok bool) {
@@ -387,17 +439,34 @@ func (ns *NetServer) scheduleEvent(cycle int, desc string, apply func() error) {
 	ns.cond.Broadcast()
 }
 
+// BeginDrain stops admitting new sessions without waiting: in-flight
+// streams keep running to completion (watch Drained, or use Drain to
+// block). A live reconfiguration drains a node this way — the
+// coordinator flips the node to draining in a view, the node stops
+// taking placements, and once its last stream finishes it leaves the
+// cluster with nothing dropped.
+func (ns *NetServer) BeginDrain() {
+	ns.mu.Lock()
+	ns.beginDrainLocked()
+	ns.mu.Unlock()
+	ns.cond.Broadcast()
+}
+
+func (ns *NetServer) beginDrainLocked() {
+	if ns.draining {
+		return
+	}
+	ns.draining = true
+	ns.srv.BeginDrain()
+	ns.checkDrainedLocked()
+}
+
 // Drain stops admitting new sessions and waits until every in-flight
 // stream finishes (the graceful half of shutdown; Close is the hard
 // half). In manual mode the caller must keep stepping cycles for the
 // drain to make progress.
 func (ns *NetServer) Drain(timeout time.Duration) error {
-	ns.mu.Lock()
-	ns.draining = true
-	ns.srv.BeginDrain()
-	ns.checkDrainedLocked()
-	ns.mu.Unlock()
-	ns.cond.Broadcast()
+	ns.BeginDrain()
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
@@ -406,6 +475,14 @@ func (ns *NetServer) Drain(timeout time.Duration) error {
 	case <-t.C:
 		return fmt.Errorf("netserve: drain timed out after %v with %d sessions live", timeout, ns.Sessions())
 	}
+}
+
+// Draining reports whether admissions have stopped (Drain/BeginDrain,
+// or a view push that marked this node draining).
+func (ns *NetServer) Draining() bool {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.draining
 }
 
 // Drained reports whether a drain has completed.
@@ -443,6 +520,10 @@ func (ns *NetServer) Close() error {
 	ns.closed = true
 	close(ns.stop)
 	err := ns.ln.Close()
+	for conn := range ns.hbConns {
+		conn.Close()
+		delete(ns.hbConns, conn)
+	}
 	ns.mu.Unlock()
 	ns.sessions.drainAll(func(sess *session) { sess.kill() })
 	ns.gaugeSessions()
@@ -594,13 +675,53 @@ func (ns *NetServer) handleConn(conn net.Conn) {
 		return
 	}
 	typ, payload, err = readFrame(conn)
-	if err != nil || typ != frameAdmit {
+	if err != nil {
+		conn.Close()
+		return
+	}
+	var title string
+	var startGroup int
+	switch typ {
+	case frameAdmit:
+		title = string(payload)
+	case frameResume:
+		var req ResumeReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			conn.Close()
+			return
+		}
+		title = req.Title
+		if w := ns.groupWidth; w > 0 && req.NextTrack > 0 {
+			// Resume at the enclosing parity-group boundary: a stream
+			// admitted at group g is indistinguishable from one that
+			// aged there, so every per-cluster invariant holds.
+			startGroup = req.NextTrack / w
+		}
+	case frameView:
+		// This connection is a coordinator heartbeat channel, not a
+		// session: consume views until the coordinator hangs up (or
+		// Close cuts the channel).
+		ns.mu.Lock()
+		closed := ns.closed
+		if !closed {
+			ns.hbConns[conn] = struct{}{}
+		}
+		ns.mu.Unlock()
+		if !closed {
+			ns.heartbeatConn(conn, payload)
+			ns.mu.Lock()
+			delete(ns.hbConns, conn)
+			ns.mu.Unlock()
+		}
+		conn.Close()
+		return
+	default:
 		conn.Close()
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 
-	sess, reject := ns.admit(conn, string(payload))
+	sess, reject := ns.admit(conn, title, startGroup)
 	if sess == nil {
 		_ = writeJSONFrame(conn, frameReject, reject)
 		conn.Close()
@@ -621,15 +742,45 @@ func (ns *NetServer) handleConn(conn net.Conn) {
 	}
 }
 
+// heartbeatConn serves a coordinator's persistent VIEW channel: install
+// each pushed view, answer with this node's load. The first frame's
+// payload arrives already read by handleConn.
+func (ns *NetServer) heartbeatConn(conn net.Conn, payload []byte) {
+	for {
+		var v cluster.View
+		if err := json.Unmarshal(payload, &v); err != nil {
+			return
+		}
+		ns.SetView(&v)
+		ack := ViewAck{NodeID: ns.opts.NodeID, Sessions: ns.Sessions()}
+		ns.mu.Lock()
+		ack.Active = ns.srv.Engine().Active()
+		if ns.view != nil {
+			ack.View = ns.view.Number
+		}
+		ns.mu.Unlock()
+		if err := writeJSONFrame(conn, frameView, ack); err != nil {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(helloTimeout))
+		typ, p, err := readFrame(conn)
+		if err != nil || typ != frameView {
+			return
+		}
+		payload = p
+	}
+}
+
 // admit asks the back end for a stream and registers the session. A nil
-// session means rejection, with the Reject to send.
-func (ns *NetServer) admit(conn net.Conn, title string) (*session, Reject) {
+// session means rejection, with the Reject to send. startGroup > 0 is a
+// RESUME admission: the stream starts at that parity-group boundary.
+func (ns *NetServer) admit(conn net.Conn, title string, startGroup int) (*session, Reject) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	if ns.closed || ns.draining {
 		return nil, Reject{Reason: "draining"}
 	}
-	id, _, err := ns.srv.Request(title)
+	id, _, err := ns.srv.RequestAt(title, startGroup)
 	if err != nil {
 		ns.srv.Metrics().Counter("net_rejects").Inc()
 		rej := Reject{Reason: err.Error()}
@@ -668,6 +819,8 @@ func (ns *NetServer) admit(conn net.Conn, title string) (*session, Reject) {
 		Size:       int(size),
 		CycleNanos: ns.cycleTime.Nanoseconds(),
 		Burst:      ns.burst,
+		StartTrack: startGroup * ns.groupWidth,
+		NodeID:     ns.opts.NodeID,
 	})
 	if err != nil {
 		_ = ns.srv.Cancel(id)

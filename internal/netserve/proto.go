@@ -46,6 +46,14 @@ const (
 	frameTrack   byte = 0x05
 	frameHiccup  byte = 0x06
 	frameBye     byte = 0x07
+	// Cluster verbs. REDIRECT answers ADMIT/RESUME at a coordinator
+	// (go ask this node); RESUME is ADMIT from the middle of a title
+	// (session failover after a node death); VIEW carries membership —
+	// coordinator → node it pushes the current cluster view, node →
+	// coordinator it acknowledges with the node's load (the heartbeat).
+	frameRedirect byte = 0x08
+	frameResume   byte = 0x09
+	frameView     byte = 0x0A
 )
 
 const (
@@ -75,6 +83,42 @@ type AdmitOK struct {
 	// per cycle (k′-aware pacing: C-1 for SR/IB, 1 for SG/NC).
 	CycleNanos int64 `json:"cycle_ns"`
 	Burst      int   `json:"burst"`
+	// StartTrack is the first track this session will carry — 0 for a
+	// fresh admission, the resume boundary for a RESUME admission (the
+	// parity-group floor of the requested track, so it may be at or
+	// before the track the client asked for).
+	StartTrack int `json:"start_track,omitempty"`
+	// NodeID names the serving node in a cluster; empty standalone.
+	NodeID string `json:"node_id,omitempty"`
+}
+
+// Redirect is a coordinator's answer to ADMIT or RESUME: the session
+// belongs on another node. The client re-runs its handshake there.
+type Redirect struct {
+	NodeID string `json:"node_id"`
+	Addr   string `json:"addr"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ResumeReq asks for a session from the middle of a title: NextTrack is
+// the first track the client still needs. A node admits the stream at
+// the enclosing parity-group boundary; a coordinator picks a live
+// holder of the title — excluding Avoid, the node(s) the client just
+// lost — and answers with a REDIRECT.
+type ResumeReq struct {
+	Title     string   `json:"title"`
+	NextTrack int      `json:"next_track"`
+	Avoid     []string `json:"avoid,omitempty"`
+}
+
+// ViewAck is a node's heartbeat reply to a pushed VIEW: the view number
+// it now holds plus its live load, which the coordinator uses for
+// least-loaded replica choice and drain-completion detection.
+type ViewAck struct {
+	NodeID   string `json:"node_id"`
+	View     int64  `json:"view"`
+	Sessions int    `json:"sessions"`
+	Active   int    `json:"active"`
 }
 
 // Reject is the server's answer to a refused ADMIT. RetryAfterMillis is

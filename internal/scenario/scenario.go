@@ -41,6 +41,15 @@ type Spec struct {
 	Cancels []Cancel `json:"cancels,omitempty"`
 	// MaxCycles bounds the run (default 10000).
 	MaxCycles int `json:"max_cycles"`
+	// Cluster topology: Nodes > 1 runs the spec across a farm-per-node
+	// cluster (the chaos cluster runner; ftmmsim -scenario routes
+	// there automatically). Replicas and PlacementSeed feed the
+	// rendezvous placement; NodeEvents kill or drain whole nodes. Zero
+	// values mean the classic single-node run.
+	Nodes         int         `json:"nodes,omitempty"`
+	Replicas      int         `json:"replicas,omitempty"`
+	PlacementSeed int64       `json:"placement_seed,omitempty"`
+	NodeEvents    []NodeEvent `json:"node_events,omitempty"`
 }
 
 // Request admits a stream for a title at a cycle.
@@ -61,6 +70,17 @@ type Failure struct {
 	RepairCycle   int  `json:"repair_cycle"`
 	Tertiary      bool `json:"tertiary"`
 	RebuildBudget int  `json:"rebuild_budget,omitempty"`
+	// Node is the shard whose drive fails, for cluster specs.
+	Node int `json:"node,omitempty"`
+}
+
+// NodeEvent kills or drains one cluster node at a cycle. "kill" stops
+// the node dead (its sessions fail over to replica holders); "drain"
+// stops it taking placements while its streams play out.
+type NodeEvent struct {
+	Cycle int    `json:"cycle"`
+	Kind  string `json:"kind"`
+	Node  int    `json:"node"`
 }
 
 // Cancel hangs up the stream admitted by the Stream-th successful
@@ -135,13 +155,44 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: bad cancel %+v", c)
 		}
 	}
+	if s.Nodes < 0 {
+		return errors.New("scenario: negative node count")
+	}
+	if s.Replicas < 0 || (s.Nodes > 1 && s.Replicas > s.Nodes) {
+		return fmt.Errorf("scenario: %d replicas do not fit %d nodes", s.Replicas, s.Nodes)
+	}
+	nodes := s.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	for _, f := range s.Failures {
+		if f.Node < 0 || f.Node >= nodes {
+			return fmt.Errorf("scenario: failure %+v on node outside [0,%d)", f, nodes)
+		}
+	}
+	for _, ne := range s.NodeEvents {
+		if s.Nodes < 2 {
+			return errors.New("scenario: node events need nodes > 1")
+		}
+		if ne.Kind != "kill" && ne.Kind != "drain" {
+			return fmt.Errorf("scenario: unknown node event kind %q", ne.Kind)
+		}
+		if ne.Cycle < 0 || ne.Node < 0 || ne.Node >= s.Nodes {
+			return fmt.Errorf("scenario: bad node event %+v", ne)
+		}
+	}
 	return nil
 }
 
-// Run executes the scenario.
+// Run executes the scenario. Cluster specs (Nodes > 1) are not
+// runnable here — they need the farm-per-node chaos runner, which
+// would invert the package dependency; ftmmsim routes them there.
 func (s *Spec) Run() (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if s.Nodes > 1 {
+		return nil, errors.New("scenario: cluster spec needs the chaos cluster runner (ftmmsim -scenario routes automatically)")
 	}
 	scheme, policy, err := server.ParseScheme(s.Scheme)
 	if err != nil {

@@ -213,6 +213,15 @@ func streamProgress[S engineStream](streams []S, id int) (next, total int, ok bo
 	return 0, 0, false
 }
 
+// checkStartGroup validates an AddStreamAt origin: it must index an
+// existing parity group of the object.
+func checkStartGroup(obj *layout.Object, startGroup int) error {
+	if startGroup < 0 || startGroup >= len(obj.Groups) {
+		return fmt.Errorf("schemes: start group %d outside [0,%d) of %s", startGroup, len(obj.Groups), obj.ID)
+	}
+	return nil
+}
+
 // activeCount counts streams still being served.
 func activeCount[S engineStream](streams []S) int {
 	n := 0

@@ -103,13 +103,26 @@ func (e *ImprovedBandwidth) Terminations() int { return e.terminations }
 // per-drive budget minus the reserve, leaving the headroom the shift
 // needs under failure.
 func (e *ImprovedBandwidth) AddStream(obj *layout.Object) (int, error) {
-	start := obj.Groups[0].Cluster
+	return e.AddStreamAt(obj, 0)
+}
+
+// AddStreamAt admits a stream beginning at the given parity group — the
+// session-resume seam. The reserve-capped per-cluster check moves to the
+// start group's cluster; everything else matches an aged stream.
+func (e *ImprovedBandwidth) AddStreamAt(obj *layout.Object, startGroup int) (int, error) {
+	if err := checkStartGroup(obj, startGroup); err != nil {
+		return 0, err
+	}
+	start := obj.Groups[startGroup].Cluster
 	cap := e.slotsPerDisk - e.reserve
 	if e.groupClusterLoad(e.streams)[start] >= cap {
 		return 0, fmt.Errorf("schemes: cluster %d is at its %d-stream capacity (reserve %d)", start, cap, e.reserve)
 	}
 	id := e.allocStreamID()
-	e.streams = append(e.streams, &groupStream{Stream: sched.Stream{ID: id, Obj: obj}})
+	e.streams = append(e.streams, &groupStream{
+		Stream:    sched.Stream{ID: id, Obj: obj, NextDeliver: startGroup * e.cfg.Layout.GroupWidth()},
+		nextGroup: startGroup,
+	})
 	return id, nil
 }
 

@@ -188,7 +188,19 @@ func (e *NonClustered) position(r int) (g, o int) {
 // they advance in lockstep, so admission checks the occupancy of the new
 // stream's starting position.
 func (e *NonClustered) AddStream(obj *layout.Object) (int, error) {
-	start := obj.Groups[0].Cluster
+	return e.AddStreamAt(obj, 0)
+}
+
+// AddStreamAt admits a stream beginning at the given parity group — the
+// session-resume seam. The stream's first read lands at the start
+// group's offset 0, so the occupancy check moves with it; after that it
+// advances in lockstep like any stream that reached the position
+// naturally.
+func (e *NonClustered) AddStreamAt(obj *layout.Object, startGroup int) (int, error) {
+	if err := checkStartGroup(obj, startGroup); err != nil {
+		return 0, err
+	}
+	start := obj.Groups[startGroup].Cluster
 	load := 0
 	for _, s := range e.streams {
 		if s.Done || s.Terminated || s.read >= s.Obj.Tracks {
@@ -202,9 +214,11 @@ func (e *NonClustered) AddStream(obj *layout.Object) (int, error) {
 	if load >= e.slotsPerDisk {
 		return 0, fmt.Errorf("schemes: position (cluster %d, offset 0) is at its %d-stream capacity", start, e.slotsPerDisk)
 	}
+	startTrack := startGroup * e.width()
 	id := e.allocStreamID()
 	e.streams = append(e.streams, &ncStream{
-		Stream: sched.Stream{ID: id, Obj: obj},
+		Stream: sched.Stream{ID: id, Obj: obj, NextDeliver: startTrack},
+		read:   startTrack,
 		staged: make(map[int]ncStaged), lost: make(map[int]bool),
 		legacyGroup: -1, xorGroup: -1, startCycle: -1,
 	})
@@ -469,7 +483,10 @@ func (e *NonClustered) readable(s *ncStream) bool {
 	if s.Done || s.Terminated || s.read >= s.Obj.Tracks {
 		return false
 	}
-	target := 0
+	// Before the first read the target is the delivery origin (track 0
+	// for normal admissions, the resume point for AddStreamAt streams);
+	// afterwards the stream reads one track ahead of delivery.
+	target := s.NextDeliver
 	if s.startCycle >= 0 {
 		target = s.NextDeliver + 1
 	}

@@ -70,9 +70,19 @@ func (e *StaggeredGroup) StreamProgress(id int) (next, total int, ok bool) {
 // admission checks the count of same-phase streams currently on the new
 // stream's start cluster.
 func (e *StaggeredGroup) AddStream(obj *layout.Object) (int, error) {
+	return e.AddStreamAt(obj, 0)
+}
+
+// AddStreamAt admits a stream beginning at the given parity group — the
+// session-resume seam. The stream joins the phase of its admission cycle
+// like any newcomer; only its start cluster and delivery origin move.
+func (e *StaggeredGroup) AddStreamAt(obj *layout.Object, startGroup int) (int, error) {
+	if err := checkStartGroup(obj, startGroup); err != nil {
+		return 0, err
+	}
 	width := e.cfg.Layout.GroupWidth()
 	phase := e.cycle % width
-	start := obj.Groups[0].Cluster
+	start := obj.Groups[startGroup].Cluster
 	load := 0
 	for _, s := range e.streams {
 		if s.Done || s.Terminated || s.phase != phase || s.nextGroup >= len(s.Obj.Groups) {
@@ -86,7 +96,11 @@ func (e *StaggeredGroup) AddStream(obj *layout.Object) (int, error) {
 		return 0, fmt.Errorf("schemes: phase %d of cluster %d is at its %d-stream capacity", phase, start, e.slotsPerDisk)
 	}
 	id := e.allocStreamID()
-	e.streams = append(e.streams, &sgStream{Stream: sched.Stream{ID: id, Obj: obj}, phase: phase})
+	e.streams = append(e.streams, &sgStream{
+		Stream:    sched.Stream{ID: id, Obj: obj, NextDeliver: startGroup * width},
+		phase:     phase,
+		nextGroup: startGroup,
+	})
 	return id, nil
 }
 

@@ -55,12 +55,27 @@ func (e *StreamingRAID) StreamProgress(id int) (next, total int, ok bool) {
 // invariant over time: admission only needs the start cluster's current
 // count to be under the per-disk budget.
 func (e *StreamingRAID) AddStream(obj *layout.Object) (int, error) {
-	start := obj.Groups[0].Cluster
+	return e.AddStreamAt(obj, 0)
+}
+
+// AddStreamAt admits a stream whose delivery begins at the given parity
+// group instead of the title's start — the session-resume seam cluster
+// failover rides on. A stream started at group g is indistinguishable
+// from one admitted earlier that has advanced to g, so the per-cluster
+// admission invariant is unchanged; only the start cluster moves.
+func (e *StreamingRAID) AddStreamAt(obj *layout.Object, startGroup int) (int, error) {
+	if err := checkStartGroup(obj, startGroup); err != nil {
+		return 0, err
+	}
+	start := obj.Groups[startGroup].Cluster
 	if e.groupClusterLoad(e.streams)[start] >= e.slotsPerDisk {
 		return 0, fmt.Errorf("schemes: cluster %d is at its %d-stream capacity", start, e.slotsPerDisk)
 	}
 	id := e.allocStreamID()
-	e.streams = append(e.streams, &groupStream{Stream: sched.Stream{ID: id, Obj: obj}})
+	e.streams = append(e.streams, &groupStream{
+		Stream:    sched.Stream{ID: id, Obj: obj, NextDeliver: startGroup * e.cfg.Layout.GroupWidth()},
+		nextGroup: startGroup,
+	})
 	return id, nil
 }
 

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"testing"
+
+	"ftmm/internal/trace"
+	"ftmm/internal/workload"
+)
+
+// schemeNames lists every ParseScheme name RequestAt must serve.
+var schemeNames = []string{"sr", "sg", "nc", "nc-simple", "ib"}
+
+// TestRequestAtDeliversTail admits a stream mid-title under every scheme
+// and checks that exactly the tracks from the resume boundary onward are
+// delivered, in order, bit-exact.
+func TestRequestAtDeliversTail(t *testing.T) {
+	for _, name := range schemeNames {
+		t.Run(name, func(t *testing.T) {
+			scheme, policy, err := ParseScheme(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := testOptions(scheme)
+			opts.NCPolicy = policy
+			s, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const groups = 4
+			width := s.GroupWidth()
+			tracks := groups * width
+			loadTitles(t, s, 1, tracks)
+			content := workload.SyntheticContent("movie0", tracks*int(s.Farm().Params().TrackSize))
+
+			const startGroup = 2
+			id, _, err := s.RequestAt("movie0", startGroup)
+			if err != nil {
+				t.Fatalf("RequestAt: %v", err)
+			}
+			next, total, ok := s.StreamProgress(id)
+			if !ok || total != tracks || next != startGroup*width {
+				t.Fatalf("progress = (%d,%d,%v), want (%d,%d,true)", next, total, ok, startGroup*width, tracks)
+			}
+
+			var got []int
+			for cycle := 0; cycle < 4*tracks && s.Engine().Active() > 0; cycle++ {
+				rep, err := s.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range rep.Delivered {
+					if d.StreamID != id {
+						continue
+					}
+					if err := trace.CheckTrack(content, int(s.Farm().Params().TrackSize), d.Track, d.Data); err != nil {
+						t.Fatalf("track %d: %v", d.Track, err)
+					}
+					got = append(got, d.Track)
+				}
+				if len(rep.Hiccups) != 0 {
+					t.Fatalf("unexpected hiccups on a healthy farm: %+v", rep.Hiccups)
+				}
+			}
+			want := tracks - startGroup*width
+			if len(got) != want {
+				t.Fatalf("delivered %d tracks %v, want the %d-track tail", len(got), got, want)
+			}
+			for i, tr := range got {
+				if tr != startGroup*width+i {
+					t.Fatalf("delivery %d was track %d, want %d (out-of-order resume tail)", i, tr, startGroup*width+i)
+				}
+			}
+		})
+	}
+}
+
+// TestRequestAtValidatesStart pins the error (not rejection) contract
+// for out-of-range resume points.
+func TestRequestAtValidatesStart(t *testing.T) {
+	scheme, policy, _ := ParseScheme("sr")
+	opts := testOptions(scheme)
+	opts.NCPolicy = policy
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTitles(t, s, 1, 4*s.GroupWidth())
+	for _, start := range []int{-1, 4, 99} {
+		if _, _, err := s.RequestAt("movie0", start); err == nil {
+			t.Errorf("start group %d accepted", start)
+		}
+	}
+	if _, _, err := s.RequestAt("movie0", 3); err != nil {
+		t.Errorf("last group refused: %v", err)
+	}
+}
+
+// TestRequestAtCapacityMovesWithStart checks the admission occupancy
+// check follows the start cluster: filling cluster 0 must not block a
+// resume that starts on another cluster.
+func TestRequestAtCapacityMovesWithStart(t *testing.T) {
+	scheme, _, _ := ParseScheme("sr")
+	opts := testOptions(scheme)
+	opts.SlotsPerDisk = 1 // one stream per cluster position
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTitles(t, s, 1, 4*s.GroupWidth())
+	if _, _, err := s.Request("movie0"); err != nil {
+		t.Fatal(err)
+	}
+	// The title's start cluster is now full: a second stream from the
+	// top is rejected, but a resume starting at group 1 (which lives on
+	// the next cluster) fits.
+	if _, _, err := s.Request("movie0"); err == nil {
+		t.Fatal("second stream at group 0 admitted past a full cluster")
+	}
+	if _, _, err := s.RequestAt("movie0", 1); err != nil {
+		t.Fatalf("resume on a free cluster rejected: %v", err)
+	}
+}

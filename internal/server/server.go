@@ -232,6 +232,23 @@ func (s *Server) AddTitle(id string, size units.ByteSize, tape int, content []by
 // storage if it is not disk-resident. It returns the stream ID and the
 // simulated staging latency (zero for resident titles).
 func (s *Server) Request(id string) (int, time.Duration, error) {
+	return s.RequestAt(id, 0)
+}
+
+// resumer is implemented by engines that can admit a stream beginning
+// at a parity-group boundary instead of the title's start (all four
+// paper engines). The cluster layer's session failover rides on it: a
+// client that lost its node resumes on a replica from the group
+// boundary at or before its next owed track.
+type resumer interface {
+	AddStreamAt(obj *layout.Object, startGroup int) (int, error)
+}
+
+// RequestAt admits a new stream whose delivery begins at the given
+// parity group (group 0 is a plain Request). Staging and pinning match
+// Request; a start group outside the title's extent is an error, not a
+// rejection.
+func (s *Server) RequestAt(id string, startGroup int) (int, time.Duration, error) {
 	if s.draining {
 		return 0, 0, ErrDraining
 	}
@@ -239,7 +256,19 @@ func (s *Server) Request(id string) (int, time.Duration, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	streamID, err := s.engine.AddStream(obj)
+	var streamID int
+	if startGroup == 0 {
+		streamID, err = s.engine.AddStream(obj)
+	} else {
+		r, ok := s.engine.(resumer)
+		if !ok {
+			return 0, cost, errors.New("server: engine cannot admit mid-title")
+		}
+		if startGroup < 0 || startGroup >= len(obj.Groups) {
+			return 0, cost, fmt.Errorf("server: start group %d outside [0,%d) of %s", startGroup, len(obj.Groups), id)
+		}
+		streamID, err = r.AddStreamAt(obj, startGroup)
+	}
 	if err != nil {
 		return 0, cost, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
@@ -465,6 +494,10 @@ func (s *Server) BufferPeakBytes() units.ByteSize {
 
 // CycleTime returns the engine's cycle duration.
 func (s *Server) CycleTime() time.Duration { return s.engine.CycleTime() }
+
+// GroupWidth returns C-1, the data tracks per parity group — the
+// granularity RequestAt admits at and session resume rounds down to.
+func (s *Server) GroupWidth() int { return s.farm.ClusterSize() - 1 }
 
 // Rate returns the uniform object bandwidth b0 streams play at.
 func (s *Server) Rate() units.Rate { return s.opts.Rate }
