@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ftmm/internal/experiments"
 )
@@ -44,6 +46,15 @@ var (
 		"diff two -bench-baseline files (args: old.json new.json); exit non-zero on >20% ns/op or any allocs/op regression beyond pool-refill noise")
 	compareWarnNS = flag.Bool("compare-warn-ns", false,
 		"with -bench-compare, demote ns/op regressions to warnings (allocs/op still hard-fails) — for CI runners whose speed differs from the committed baseline's machine")
+	benchFanout10k = flag.Bool("bench-fanout10k", false,
+		"with -bench-baseline, also run the opt-in NetserveFanout10k row (~20k sockets; raises RLIMIT_NOFILE and takes minutes; not part of the compare gate)")
+
+	cpuProfile = flag.String("cpuprofile", "",
+		"write a CPU profile to this file (see DESIGN.md for the fan-out profiling recipe)")
+	mutexProfile = flag.String("mutexprofile", "",
+		"write a mutex-contention profile to this file (samples 1 in 5 contended lock events)")
+	blockProfile = flag.String("blockprofile", "",
+		"write a goroutine-blocking profile to this file (10 µs sampling granularity)")
 )
 
 // jsonResult is the -json wire shape for one experiment.
@@ -59,31 +70,44 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 
+	stopProfiles, err := startProfiles(*cpuProfile, *mutexProfile, *blockProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
+		os.Exit(1)
+	}
+	code := run()
+	stopProfiles()
+	os.Exit(code)
+}
+
+// run is the real main body. It returns an exit code instead of calling
+// os.Exit so the deferred profile writers in main always flush.
+func run() int {
 	if *benchBaseline != "" {
-		if err := runBaseline(*benchBaseline); err != nil {
+		if err := runBaseline(*benchBaseline, *benchFanout10k); err != nil {
 			fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *benchCompare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "ftmmbench: -bench-compare needs exactly two arguments: old.json new.json")
-			os.Exit(2)
+			return 2
 		}
 		if err := runCompare(flag.Arg(0), flag.Arg(1), *compareWarnNS); err != nil {
 			fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %s\n", e.Name, e.Description)
 		}
-		return
+		return 0
 	}
 
 	opts := experiments.Options{Trials: *trials, RequiredStreams: *streams}
@@ -100,27 +124,76 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftmmbench: %v\n\n", err)
 			usage()
-			os.Exit(2)
+			return 2
 		}
 		results = []experiments.Result{experiments.Run(e, opts)}
 	}
 
 	if *jsonOut {
-		emitJSON(results)
-		return
+		return emitJSON(results)
 	}
 	for _, r := range results {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "ftmmbench: %s: %v\n", r.Name, r.Err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("== %s — %s\n\n%s\n", r.Name, r.Description, r.Output.Text)
+	}
+	return 0
+}
+
+// startProfiles turns on the requested runtime profiles and returns the
+// function that flushes them; every exit path must route through it (via
+// run's return code) rather than calling os.Exit deeper down, or the
+// files come out empty.
+func startProfiles(cpu, mutex, block string) (func(), error) {
+	var flush []func() error
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		flush = append(flush, func() error { pprof.StopCPUProfile(); return f.Close() })
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(5)
+		flush = append(flush, writeProfile("mutex", mutex))
+	}
+	if block != "" {
+		runtime.SetBlockProfileRate(10_000)
+		flush = append(flush, writeProfile("block", block))
+	}
+	return func() {
+		for _, fn := range flush {
+			if err := fn(); err != nil {
+				fmt.Fprintf(os.Stderr, "ftmmbench: profile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// writeProfile defers a named runtime profile's snapshot to exit time.
+func writeProfile(name, path string) func() error {
+	return func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 }
 
 // emitJSON prints one JSON array with every result; experiment failures
 // are reported in-band and reflected in the exit status.
-func emitJSON(results []experiments.Result) {
+func emitJSON(results []experiments.Result) int {
 	out := make([]jsonResult, 0, len(results))
 	failed := false
 	for _, r := range results {
@@ -140,11 +213,12 @@ func emitJSON(results []experiments.Result) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {

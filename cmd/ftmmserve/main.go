@@ -59,6 +59,7 @@ var (
 	titles     = flag.Int("titles", 8, "titles in the tape library (full catalog, popularity order)")
 	groups     = flag.Int("groups", 20, "parity groups per title")
 	workers    = flag.Int("workers", 0, "engine per-cluster worker goroutines (0 = GOMAXPROCS)")
+	noMerge    = flag.Bool("no-merged-reads", false, "disable same-title read merging (benchmarking knob; reports are identical either way)")
 	speed      = flag.Float64("speed", 1, "wall-clock speedup for the pacer (0: virtual clock, cycles back to back)")
 	queue      = flag.Int("queue", 64, "per-session send queue depth in bursts (overflow sheds the client)")
 	writeTO    = flag.Duration("write-timeout", 10*time.Second, "per-burst socket write stall limit (timer-wheel supervised)")
@@ -130,15 +131,16 @@ func runNode() error {
 		ID:     *nodeID,
 		Scheme: *schemeFlag,
 		Disks:  *disks, Cluster: *clusterSz, K: *k,
-		Workers:      *workers,
-		GenTitles:    *titles,
-		Groups:       *groups,
-		Addr:         *addr,
-		HTTPAddr:     *httpAddr,
-		Clock:        clock,
-		SendQueue:    *queue,
-		WriteTimeout: *writeTO,
-		EnablePprof:  *pprofFlag,
+		Workers:            *workers,
+		DisableMergedReads: *noMerge,
+		GenTitles:          *titles,
+		Groups:             *groups,
+		Addr:               *addr,
+		HTTPAddr:           *httpAddr,
+		Clock:              clock,
+		SendQueue:          *queue,
+		WriteTimeout:       *writeTO,
+		EnablePprof:        *pprofFlag,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

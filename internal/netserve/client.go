@@ -1,18 +1,34 @@
 package netserve
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"time"
 )
 
+// clientReadBufBytes sizes the client's buffered reader: large enough
+// that a whole per-cycle burst (k' tracks plus headers — three 50,000-
+// byte tracks for the default Table 1 Streaming-RAID geometry is about
+// 150 KB) drains in about one read syscall, and that any single track
+// frame fits — which is what lets the ReuseBuffers path hand out
+// payload slices straight from this buffer without a copy. Kept close
+// to one burst rather than rounder-but-larger: every Dial zeroes a
+// fresh buffer of this size, which is pure overhead in fan-out runs
+// that open many short-lived sessions.
+const clientReadBufBytes = 160 << 10
+
 // Client is the consumer half of the session protocol, used by ftmmload
 // and the loopback tests. It is not concurrency-safe: one goroutine per
-// client.
+// client. Frame reads go through a buffered reader; writes (handshake,
+// BYE) hit the socket directly.
 type Client struct {
 	conn        net.Conn
+	br          *bufio.Reader
 	readTimeout time.Duration
 	admit       AdmitOK
 	reuse       bool
@@ -56,7 +72,7 @@ func Dial(addr string, readTimeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, readTimeout: readTimeout}
+	c := &Client{conn: conn, br: bufio.NewReaderSize(conn, clientReadBufBytes), readTimeout: readTimeout}
 	if err := writeFrame(conn, frameHello, []byte(protocolMagic)); err != nil {
 		conn.Close()
 		return nil, err
@@ -221,7 +237,43 @@ func (c *Client) read() (byte, []byte, error) {
 		c.conn.SetReadDeadline(time.Now().Add(c.readTimeout))
 	}
 	if c.reuse {
-		return readFrameBuf(c.conn, &c.buf)
+		return readFrameZeroCopy(c.br, &c.buf)
 	}
-	return readFrame(c.conn)
+	return readFrame(c.br)
+}
+
+// readFrameZeroCopy reads one frame, returning the payload as a slice
+// of the buffered reader's own buffer — no copy. The slice is valid
+// only until the next read (a later fill may compact the buffer), which
+// is exactly the ReuseBuffers contract. Frames too large for the buffer
+// fall back to the copying scratch path; the header is still unread
+// then, so the fallback decodes the whole frame itself.
+func readFrameZeroCopy(br *bufio.Reader, scratch *[]byte) (byte, []byte, error) {
+	hdr, err := br.Peek(frameHeaderLen)
+	if err != nil {
+		if len(hdr) > 0 && err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	typ := hdr[0]
+	n := int(binary.BigEndian.Uint32(hdr[1:frameHeaderLen]))
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("netserve: frame claims %d-byte payload, limit %d", n, maxFramePayload)
+	}
+	if frameHeaderLen+n > br.Size() {
+		return readFrameBuf(br, scratch)
+	}
+	full, err := br.Peek(frameHeaderLen + n)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	payload := full[frameHeaderLen:]
+	if _, err := br.Discard(frameHeaderLen + n); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
 }

@@ -1,0 +1,105 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/server"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+// BenchmarkFanout64Wave mirrors the ftmmbench NetserveFanout64 baseline
+// row (64 concurrent sessions, 8 per title, one op = every client dials
+// and streams its whole title) so the fan-out path can be profiled and
+// iterated on with `go test -bench` instead of a full baseline run.
+func BenchmarkFanout64Wave(b *testing.B) {
+	scheme, policy, err := server.ParseScheme("sr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const d, c, titles, groups, fanout = 8, 4, 8, 8, 64
+	p := diskmodel.Table1()
+	tracksPerTitle := groups * c
+	p.Capacity = units.ByteSize(titles*c*tracksPerTitle/d+tracksPerTitle+50) * p.TrackSize
+	srv, err := server.New(server.Options{
+		Disks: d, ClusterSize: c,
+		DiskParams: p, Scheme: scheme, K: 2, NCPolicy: policy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trackSize := int(p.TrackSize)
+	titleSize := groups * (c - 1) * trackSize
+	names := workload.ObjectNames("bench", titles)
+	for i, id := range names {
+		if err := srv.AddTitle(id, units.ByteSize(titleSize), i, workload.SyntheticContent(id, titleSize)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ns, err := New(Options{Server: srv, Clock: VirtualClock(), SendQueue: groups + 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ns.Close()
+
+	stream := func(title string) error {
+		var cl *Client
+		for attempt := 0; ; attempt++ {
+			c, err := Dial(ns.Addr().String(), 30*time.Second)
+			if err != nil {
+				return err
+			}
+			c.ReuseBuffers(true)
+			if _, err := c.Admit(title); err != nil {
+				c.Close()
+				var rej *RejectedError
+				if errors.As(err, &rej) && rej.Reject.RetryAfterMillis >= 0 && attempt < 10000 {
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				return err
+			}
+			cl = c
+			break
+		}
+		defer cl.Close()
+		for {
+			ev, err := cl.Next()
+			if err != nil {
+				return err
+			}
+			if ev.Bye != nil {
+				if ev.Bye.Reason != "finished" {
+					return fmt.Errorf("bye %q", ev.Bye.Reason)
+				}
+				return nil
+			}
+		}
+	}
+
+	b.SetBytes(int64(fanout) * int64(titleSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, fanout)
+		for s := 0; s < fanout; s++ {
+			wg.Add(1)
+			go func(title string) {
+				defer wg.Done()
+				if err := stream(title); err != nil {
+					errs <- err
+				}
+			}(names[s%len(names)])
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+}

@@ -96,10 +96,18 @@ type NetServer struct {
 	wheel *TimerWheel
 
 	// burstPool recycles burst containers; hdrPool recycles TRACK frame
-	// headers. Together with refcounted track payloads they make the
-	// steady-state write path allocation-free.
-	burstPool sync.Pool
-	hdrPool   sync.Pool
+	// headers; sharedPool recycles shared-run containers. Together with
+	// refcounted track payloads they make the steady-state write path
+	// allocation-free.
+	burstPool  sync.Pool
+	hdrPool    sync.Pool
+	sharedPool sync.Pool
+
+	// cycleShared maps a run's first payload ref to its staged shared
+	// frames within one cycle's staging pass (cycle loop only, cleared
+	// after each pass). Sessions whose delivered run is pointer-identical
+	// attach the same sharedFrames instead of re-staging it.
+	cycleShared map[*buffer.Ref]*sharedFrames
 
 	// mu is the engine lock: it guards srv, schedule, view, and drain
 	// state.
@@ -199,9 +207,23 @@ type outFrame struct {
 	ref     *buffer.Ref
 }
 
+// sharedFrames is one title+cycle's TRACK frames, staged once and
+// written by every session whose delivery this cycle is the same merged
+// run (same refcounted buffers, in order — the engine's same-title read
+// merging makes these pointer-identical across sessions). holders counts
+// the bursts that still owe a release; the last one to let go releases
+// the refs and headers and recycles the container.
+type sharedFrames struct {
+	frames  []outFrame
+	holders atomic.Int32
+}
+
 // burst is one cycle's worth of frames for one session, written with a
-// single vectored write.
+// single vectored write: an optional shared TRACK-frame run (written
+// first, preserving track-before-control order) plus the session's
+// private frames (control frames, or unshared tracks).
 type burst struct {
+	shared *sharedFrames
 	frames []outFrame
 	bufs   net.Buffers
 }
@@ -324,6 +346,8 @@ func New(opts Options) (*NetServer, error) {
 	ns.sessions.init()
 	ns.burstPool.New = func() any { return new(burst) }
 	ns.hdrPool.New = func() any { return new([trackHeaderLen]byte) }
+	ns.sharedPool.New = func() any { return new(sharedFrames) }
+	ns.cycleShared = make(map[*buffer.Ref]*sharedFrames)
 	ns.cond = sync.NewCond(&ns.mu)
 	ns.wg.Add(1)
 	go ns.acceptLoop()
@@ -543,11 +567,16 @@ func (ns *NetServer) logf(format string, args ...any) {
 
 func (ns *NetServer) newBurst() *burst { return ns.burstPool.Get().(*burst) }
 
-// releaseBurst releases every retained track buffer, returns frame
-// headers to their pool, and recycles the container. Safe on nil.
+// releaseBurst drops the burst's hold on its shared run (if any),
+// releases every private retained track buffer, returns frame headers to
+// their pool, and recycles the container. Safe on nil.
 func (ns *NetServer) releaseBurst(b *burst) {
 	if b == nil {
 		return
+	}
+	if b.shared != nil {
+		ns.releaseShared(b.shared)
+		b.shared = nil
 	}
 	for i := range b.frames {
 		f := &b.frames[i]
@@ -565,6 +594,82 @@ func (ns *NetServer) releaseBurst(b *burst) {
 	}
 	b.bufs = b.bufs[:0]
 	ns.burstPool.Put(b)
+}
+
+// releaseShared drops one holder of a shared run. Every holder was
+// counted under the engine lock before any burst referencing the run was
+// enqueued, so the decrement that reaches zero is genuinely the last
+// one; it releases the run's refs and headers and recycles the
+// container. Called from writer goroutines, hence the atomic.
+func (ns *NetServer) releaseShared(sf *sharedFrames) {
+	if sf.holders.Add(-1) != 0 {
+		return
+	}
+	for i := range sf.frames {
+		f := &sf.frames[i]
+		if f.ref != nil {
+			f.ref.Release()
+		}
+		if f.hdr != nil {
+			ns.hdrPool.Put(f.hdr)
+		}
+		sf.frames[i] = outFrame{}
+	}
+	sf.frames = sf.frames[:0]
+	ns.sharedPool.Put(sf)
+}
+
+// runMatches verifies a delivered run is frame-for-frame the same
+// physical payloads as an already-staged shared run. Pointer equality on
+// the refs is exact: the engine's read merging hands sharers the same
+// buffers in the same order, and distinct reads never alias a live ref.
+func runMatches(sf *sharedFrames, run []sched.Delivery) bool {
+	if len(sf.frames) != len(run) {
+		return false
+	}
+	for i := range run {
+		if sf.frames[i].ref != run[i].Buf {
+			return false
+		}
+	}
+	return true
+}
+
+// stageRun stages one stream's contiguous delivered run for this cycle.
+// Runs whose payloads carry refcounts are staged once per distinct run
+// and shared by every session delivering the same buffers — one set of
+// headers, retains, and frame bookkeeping for the whole title group
+// instead of O(sessions) copies of it. Cycle loop only.
+func (ns *NetServer) stageRun(sess *session, run []sched.Delivery) {
+	if len(run) == 0 {
+		return
+	}
+	b := ns.burstFor(sess)
+	if run[0].Buf == nil || b.shared != nil {
+		// No refcount to share (copy-path engine), or the session already
+		// carries a shared run this cycle (engines deliver one contiguous
+		// run per stream per cycle; tolerate more): stage privately.
+		for i := range run {
+			ns.stageTrack(sess, &run[i])
+		}
+		return
+	}
+	sf := ns.cycleShared[run[0].Buf]
+	if sf != nil && runMatches(sf, run) {
+		ns.srv.Metrics().Counter("net_merged_tracks").Add(int64(len(run)))
+	} else {
+		sf = ns.sharedPool.Get().(*sharedFrames)
+		for i := range run {
+			d := &run[i]
+			hdr := ns.hdrPool.Get().(*[trackHeaderLen]byte)
+			encodeTrackHeader(hdr, d.Track, len(d.Data))
+			d.Buf.Retain()
+			sf.frames = append(sf.frames, outFrame{hdr: hdr, payload: d.Data, ref: d.Buf})
+		}
+		ns.cycleShared[run[0].Buf] = sf
+	}
+	sf.holders.Add(1)
+	b.shared = sf
 }
 
 // burstFor returns the session's in-progress burst for this cycle,
@@ -609,12 +714,20 @@ func (ns *NetServer) stageCtrl(sess *session, frame []byte) {
 func (ns *NetServer) flushLocked(sess *session) {
 	b := sess.cur
 	sess.cur = nil
-	if b == nil || len(b.frames) == 0 {
+	if b == nil || (len(b.frames) == 0 && b.shared == nil) {
 		ns.releaseBurst(b)
 		return
 	}
 	// Tally before the hand-off: the writer may release b immediately.
+	// Shared-run tracks count once per holder — each session really does
+	// send them on its own socket.
 	tracks, nbytes := 0, 0
+	if b.shared != nil {
+		for i := range b.shared.frames {
+			tracks++
+			nbytes += len(b.shared.frames[i].payload)
+		}
+	}
 	for i := range b.frames {
 		if b.frames[i].hdr != nil {
 			tracks++
@@ -868,6 +981,15 @@ func (ns *NetServer) writeLoop(sess *session) {
 // burst (headers, refs, container) is recycled before returning.
 func (ns *NetServer) writeBurst(sess *session, b *burst) error {
 	bufs := b.bufs[:0]
+	if b.shared != nil {
+		// The shared run goes first: tracks were staged before control
+		// frames, and every holder reads sf.frames concurrently but only
+		// mutates its own bufs.
+		for i := range b.shared.frames {
+			f := &b.shared.frames[i]
+			bufs = append(bufs, f.hdr[:], f.payload)
+		}
+	}
 	for i := range b.frames {
 		f := &b.frames[i]
 		if f.ctrl != nil {
@@ -1011,13 +1133,21 @@ func (ns *NetServer) stepLocked() error {
 	m := ns.srv.Metrics()
 	// Stage the cycle's frames per session: all of a session's tracks
 	// (its whole k′ burst) plus any control frames coalesce into one
-	// vectored write, so pacing stays per-cycle, not per-frame.
-	for i := range rep.Delivered {
-		d := &rep.Delivered[i]
-		if sess := ns.sessions.get(d.StreamID); sess != nil {
-			ns.stageTrack(sess, d)
+	// vectored write, so pacing stays per-cycle, not per-frame. Delivered
+	// is in stream order, so one stream's tracks form one contiguous run;
+	// runs that are pointer-identical across streams (the engine merged
+	// their reads) stage once and ship to every session in the group.
+	for i := 0; i < len(rep.Delivered); {
+		j := i + 1
+		for j < len(rep.Delivered) && rep.Delivered[j].StreamID == rep.Delivered[i].StreamID {
+			j++
 		}
+		if sess := ns.sessions.get(rep.Delivered[i].StreamID); sess != nil {
+			ns.stageRun(sess, rep.Delivered[i:j])
+		}
+		i = j
 	}
+	clear(ns.cycleShared)
 	for _, h := range rep.Hiccups {
 		sess := ns.sessions.get(h.StreamID)
 		if sess == nil {

@@ -19,6 +19,7 @@ type rigConfig struct {
 	disks, cluster, k int
 	titles, groups    int
 	slotsPerDisk      int
+	noMergedReads     bool
 	ns                Options // Clock/SendQueue/WriteTimeout/WriteBufferBytes knobs
 }
 
@@ -49,7 +50,8 @@ func newLoopRig(t *testing.T, schemeName string, cfg rigConfig) *loopRig {
 	srv, err := server.New(server.Options{
 		Disks: cfg.disks, ClusterSize: cfg.cluster,
 		DiskParams: p, Scheme: scheme, K: cfg.k, NCPolicy: policy,
-		SlotsPerDisk: cfg.slotsPerDisk,
+		SlotsPerDisk:       cfg.slotsPerDisk,
+		DisableMergedReads: cfg.noMergedReads,
 	})
 	if err != nil {
 		t.Fatal(err)

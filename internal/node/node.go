@@ -39,6 +39,10 @@ type Config struct {
 	// GOMAXPROCS); SlotsPerDisk caps streams per drive (0 = analytic
 	// bound).
 	Workers, SlotsPerDisk int
+	// DisableMergedReads turns off same-title read merging in the
+	// Streaming RAID engine (benchmarking/bisection knob; reports are
+	// identical either way).
+	DisableMergedReads bool
 	// Titles is the catalog this node serves. In a cluster this is the
 	// node's placement slice, not the full library. Nil loads
 	// GenTitles synthetic names.
@@ -107,6 +111,7 @@ func Start(cfg Config) (*Node, error) {
 		Disks: cfg.Disks, ClusterSize: cfg.Cluster,
 		DiskParams: p, Scheme: scheme, K: cfg.K, NCPolicy: policy,
 		Workers: cfg.Workers, SlotsPerDisk: cfg.SlotsPerDisk,
+		DisableMergedReads: cfg.DisableMergedReads,
 	})
 	if err != nil {
 		return nil, err

@@ -6,27 +6,42 @@ import (
 	"testing"
 )
 
-// TestXORKernelMatchesReference checks the word-wise kernel against the
-// byte-wise reference across sizes that exercise every tail path: empty,
-// sub-word, word-aligned, unrolled-block-aligned, and ragged lengths
-// just around both boundaries.
+// xorKernels is the oracle chain: every implementation of the XOR fold,
+// slowest first. Differential tests run each against the byte-wise
+// reference so the production path's speed never rests on unverified
+// code.
+var xorKernels = []struct {
+	name string
+	fn   func(dst, src []byte) error
+}{
+	{"word", XORIntoWord},
+	{"blocked", XORIntoBlocked},
+	{"subtle", XORInto},
+}
+
+// TestXORKernelMatchesReference checks every kernel in the oracle chain
+// against the byte-wise reference across sizes that exercise every tail
+// path: empty, sub-word, word-aligned, unrolled-block-aligned, and
+// ragged lengths just around both boundaries.
 func TestXORKernelMatchesReference(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
-	sizes := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 127, 128, 129, 1000, 4096, 50_000, 50_001}
-	for _, n := range sizes {
-		dst := make([]byte, n)
-		src := make([]byte, n)
-		r.Read(dst)
-		r.Read(src)
-		want := append([]byte(nil), dst...)
-		if err := XORIntoRef(want, src); err != nil {
-			t.Fatal(err)
-		}
-		if err := XORInto(dst, src); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(dst, want) {
-			t.Fatalf("size %d: kernel differs from reference", n)
+	sizes := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 1000, 4096, 50_000, 50_001}
+	for _, k := range xorKernels {
+		for _, n := range sizes {
+			dst := make([]byte, n)
+			src := make([]byte, n)
+			r.Read(dst)
+			r.Read(src)
+			want := append([]byte(nil), dst...)
+			if err := XORIntoRef(want, src); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.fn(dst, src); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("%s kernel, size %d: differs from reference", k.name, n)
+			}
 		}
 	}
 }
@@ -38,22 +53,24 @@ func TestXORKernelUnalignedOffsets(t *testing.T) {
 	r := rand.New(rand.NewSource(43))
 	backingD := make([]byte, 256)
 	backingS := make([]byte, 256)
-	for do := 0; do < 9; do++ {
-		for so := 0; so < 9; so++ {
-			for _, n := range []int{1, 8, 17, 64, 100} {
-				r.Read(backingD)
-				r.Read(backingS)
-				dst := backingD[do : do+n]
-				src := backingS[so : so+n]
-				want := append([]byte(nil), dst...)
-				if err := XORIntoRef(want, src); err != nil {
-					t.Fatal(err)
-				}
-				if err := XORInto(dst, src); err != nil {
-					t.Fatal(err)
-				}
-				if !bytes.Equal(dst, want) {
-					t.Fatalf("offsets (%d,%d) size %d: kernel differs", do, so, n)
+	for _, k := range xorKernels {
+		for do := 0; do < 9; do++ {
+			for so := 0; so < 9; so++ {
+				for _, n := range []int{1, 8, 17, 64, 100} {
+					r.Read(backingD)
+					r.Read(backingS)
+					dst := backingD[do : do+n]
+					src := backingS[so : so+n]
+					want := append([]byte(nil), dst...)
+					if err := XORIntoRef(want, src); err != nil {
+						t.Fatal(err)
+					}
+					if err := k.fn(dst, src); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(dst, want) {
+						t.Fatalf("%s kernel, offsets (%d,%d) size %d: differs", k.name, do, so, n)
+					}
 				}
 			}
 		}
@@ -160,6 +177,32 @@ func BenchmarkXORIntoWord(b *testing.B) {
 	b.SetBytes(50_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if err := XORIntoWord(dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXORIntoBlocked measures the 4-way register-blocked kernel.
+func BenchmarkXORIntoBlocked(b *testing.B) {
+	dst := make([]byte, 50_000)
+	src := make([]byte, 50_000)
+	b.SetBytes(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := XORIntoBlocked(dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXORInto measures the production dispatch (subtle.XORBytes).
+func BenchmarkXORInto(b *testing.B) {
+	dst := make([]byte, 50_000)
+	src := make([]byte, 50_000)
+	b.SetBytes(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if err := XORInto(dst, src); err != nil {
 			b.Fatal(err)
 		}
@@ -223,5 +266,91 @@ func TestKernelSpeedup(t *testing.T) {
 	if speedup < 4 {
 		t.Errorf("kernel speedup %.1fx, want >= 4x (word %d ns/op, ref %d ns/op)",
 			speedup, word.NsPerOp(), ref.NsPerOp())
+	}
+}
+
+// TestReconstructDataInto checks the allocation-free group
+// reconstruction against ReconstructData for every missing-block index,
+// including a single-data-block group (whose reconstruction is the
+// parity itself).
+func TestReconstructDataInto(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	for _, width := range []int{1, 2, 4, 5} {
+		data := randBlocks(r, width, 501)
+		g, err := NewGroup(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for miss := range data {
+			want, err := g.ReconstructData(miss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, data[miss]) {
+				t.Fatalf("width %d: ReconstructData(%d) differs from original", width, miss)
+			}
+			dst := make([]byte, 501)
+			if err := g.ReconstructDataInto(dst, miss); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("width %d: ReconstructDataInto(%d) differs from ReconstructData", width, miss)
+			}
+		}
+	}
+}
+
+// TestReconstructDataIntoZeroAllocs pins the no-allocation contract the
+// reconstruct bench row relies on.
+func TestReconstructDataIntoZeroAllocs(t *testing.T) {
+	g, err := NewGroup(randBlocks(rand.New(rand.NewSource(47)), 4, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 50_000)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := g.ReconstructDataInto(dst, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ReconstructDataInto allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestReconstructThroughput asserts the reconstruct path dispatches to
+// the fast kernel: rebuilding one block of a C=5 group must run at no
+// less than half the encode throughput over the same four-block fold
+// (both are the identical fused XOR; the factor-of-two headroom absorbs
+// scheduling noise). This is the regression the bench suite once hid —
+// a reconstruct that quietly falls back to byte-wise speed fails here.
+func TestReconstructThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts kernel timing ratios")
+	}
+	const size = 50_000
+	data := randBlocks(rand.New(rand.NewSource(48)), 4, size)
+	g, err := NewGroup(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, size)
+	enc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = EncodeInto(dst, data)
+		}
+	})
+	rec := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.ReconstructDataInto(dst, 2)
+		}
+	})
+	ratio := float64(enc.NsPerOp()) / float64(rec.NsPerOp())
+	t.Logf("encode %d ns/op, reconstruct %d ns/op, reconstruct/encode throughput %.2fx",
+		enc.NsPerOp(), rec.NsPerOp(), ratio)
+	if ratio < 0.5 {
+		t.Errorf("reconstruct runs at %.2fx encode throughput, want >= 0.5x", ratio)
 	}
 }

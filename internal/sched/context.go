@@ -3,7 +3,6 @@ package sched
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"ftmm/internal/buffer"
 	"ftmm/internal/metrics"
@@ -154,10 +153,23 @@ func Workers(n int) int {
 	return n
 }
 
-// RunClusters runs fn(0..n-1) on at most workers goroutines (workers <=
-// 0 means GOMAXPROCS; 1 runs inline). Any worker count yields the same
-// outcome for independent per-cluster work: when several clusters fail,
-// the error of the lowest cluster index is returned.
+// ShardOf is the deterministic engine-shard assignment: cluster cl runs
+// on shard cl mod shards. RunClusters partitions work this way, so
+// which goroutine executes a given cluster is a pure function of the
+// cluster index and the shard count — never of scheduling order — and a
+// chaos replay or report diff at any shard count sees clusters grouped
+// identically run to run.
+func ShardOf(cl, shards int) int { return cl % shards }
+
+// RunClusters runs fn(0..n-1) across at most workers engine shards
+// (workers <= 0 means GOMAXPROCS; 1 runs inline). Clusters are
+// statically partitioned by ShardOf — shard w runs clusters w, w+W,
+// w+2W, … in increasing order — rather than pulled from a shared
+// counter, so there is no cross-shard contention point on the dispatch
+// path and the cluster→goroutine mapping is deterministic. Any worker
+// count yields the same outcome for independent per-cluster work: when
+// several clusters fail, the error of the lowest cluster index is
+// returned.
 func RunClusters(n, workers int, fn func(cl int) error) error {
 	if n <= 0 {
 		return nil
@@ -175,20 +187,15 @@ func RunClusters(n, workers int, fn func(cl int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				cl := int(next.Add(1)) - 1
-				if cl >= n {
-					return
-				}
+			for cl := w; cl < n; cl += workers {
 				errs[cl] = fn(cl)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

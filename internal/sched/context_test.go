@@ -1,7 +1,11 @@
 package sched
 
 import (
+	"bytes"
 	"errors"
+	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -104,5 +108,60 @@ func TestRunClustersCoversAllAndPropagatesLowestError(t *testing.T) {
 	}
 	if err := RunClusters(0, 4, func(int) error { return errors.New("boom") }); err != nil {
 		t.Fatal("n=0 ran work")
+	}
+}
+
+// goid extracts the current goroutine's ID from its stack header — a
+// test-only trick to observe which goroutine ran which cluster.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// TestRunClustersStaticSharding pins the deterministic shard
+// assignment: cluster cl always executes on shard ShardOf(cl, W), and
+// within one shard clusters run in increasing order. The assignment is
+// observable because all of one shard's clusters run on one goroutine.
+func TestRunClustersStaticSharding(t *testing.T) {
+	const n, workers = 11, 3
+	var mu sync.Mutex
+	perG := map[int64][]int{}
+	if err := RunClusters(n, workers, func(cl int) error {
+		id := goid()
+		mu.Lock()
+		defer mu.Unlock()
+		perG[id] = append(perG[id], cl)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(perG) != workers {
+		t.Fatalf("ran on %d goroutines, want %d", len(perG), workers)
+	}
+	for _, cls := range perG {
+		if len(cls) == 0 {
+			continue
+		}
+		shard := ShardOf(cls[0], workers)
+		for i, cl := range cls {
+			if ShardOf(cl, workers) != shard {
+				t.Fatalf("goroutine mixes shards: clusters %v", cls)
+			}
+			if i > 0 && cl != cls[i-1]+workers {
+				t.Fatalf("shard %d ran clusters out of stride order: %v", shard, cls)
+			}
+		}
+	}
+	// Every cluster of shard s is ≡ s mod workers.
+	for cl := 0; cl < n; cl++ {
+		if ShardOf(cl, workers) != cl%workers {
+			t.Fatalf("ShardOf(%d,%d) = %d", cl, workers, ShardOf(cl, workers))
+		}
 	}
 }

@@ -34,6 +34,11 @@ type engineCore struct {
 	// the next Step is what bounds report validity; consumers that need
 	// a track longer Retain its Delivery.Buf.
 	delivered []*buffer.Ref
+	// stageCaches[cl] maps group → staged bufferedGroup for same-title
+	// read merging within one cycle's read phase. One map per cluster:
+	// a group lives on exactly one cluster, and the read phase shards by
+	// cluster, so each map is touched by a single goroutine.
+	stageCaches []map[*layout.Group]*bufferedGroup
 }
 
 // newEngineCore validates the config and builds the chassis for an
@@ -160,8 +165,31 @@ func (c *engineCore) runClusters(ctx *sched.CycleContext, fn func(shard *sched.C
 	return nil
 }
 
-// releaseGroups returns the pooled tracks held by the given buffered
-// groups (nils are fine) and recycles their byte buffers to the arena.
+// ensureStageCaches sizes the per-cluster stage-cache table. Called
+// before the parallel read phase so workers only ever write their own
+// cluster's slot.
+func (c *engineCore) ensureStageCaches() {
+	if c.stageCaches == nil {
+		c.stageCaches = make([]map[*layout.Group]*bufferedGroup, c.cfg.Layout.Clusters())
+	}
+}
+
+// stageCacheFor returns cluster cl's same-title stage cache, emptied for
+// this cycle. Callers must have run ensureStageCaches first and must be
+// the (single) goroutine working cluster cl.
+func (c *engineCore) stageCacheFor(cl int) map[*layout.Group]*bufferedGroup {
+	m := c.stageCaches[cl]
+	if m == nil {
+		m = make(map[*layout.Group]*bufferedGroup, 4)
+		c.stageCaches[cl] = m
+	}
+	clear(m)
+	return m
+}
+
+// releaseGroups drops one sharer's hold on the given buffered groups
+// (nils are fine): the sharer's pooled tracks return to the pool, and
+// when the last sharer lets go the byte buffers recycle to the arena.
 func (c *engineCore) releaseGroups(bgs ...*bufferedGroup) error {
 	for _, bg := range bgs {
 		if bg == nil {
@@ -171,8 +199,13 @@ func (c *engineCore) releaseGroups(bgs ...*bufferedGroup) error {
 			if err := c.pool.Release(bg.pooled); err != nil {
 				return err
 			}
-			bg.pooled = 0
 		}
+		if bg.shares > 1 {
+			bg.shares--
+			continue
+		}
+		bg.shares = 0
+		bg.pooled = 0
 		c.recycleGroup(bg)
 	}
 	return nil
@@ -316,12 +349,16 @@ func (c *engineCore) cancelGroupStream(streams []*groupStream, id int) error {
 // rebuilt from parity, and the group's buffers are acquired. When the
 // slot budget is exceeded (over-admission under a manual SlotsPerDisk
 // override) the group stays empty and hiccups at delivery.
-func (c *engineCore) stageGroup(ctx *sched.CycleContext, g *layout.Group) (*bufferedGroup, error) {
-	staged := &bufferedGroup{
-		group:         g,
-		data:          make([][]byte, len(g.Data)),
-		reconstructed: make([]bool, len(g.Data)),
-	}
+//
+// cache, when non-nil, merges same-title reads: a group already staged
+// this cycle on this cluster is shared instead of re-read. Sharing is
+// physical only — every sharer still takes its slots first, Acquires the
+// same pooled track count, and adds the recorded read/reconstruction
+// counters to its shard report — so a merged run's CycleReports are
+// bit-identical to an unmerged run's. Slot exhaustion is monotone within
+// a cycle, so a sharer that would have failed admission unmerged fails
+// here too, before the cache is consulted.
+func (c *engineCore) stageGroup(ctx *sched.CycleContext, g *layout.Group, cache map[*layout.Group]*bufferedGroup) (*bufferedGroup, error) {
 	ok := true
 	for _, loc := range g.Data {
 		if !ctx.Slots.Take(loc.Disk) {
@@ -332,13 +369,38 @@ func (c *engineCore) stageGroup(ctx *sched.CycleContext, g *layout.Group) (*buff
 		ok = false
 	}
 	if !ok {
-		return staged, nil
+		return &bufferedGroup{
+			group:         g,
+			data:          make([][]byte, len(g.Data)),
+			reconstructed: make([]bool, len(g.Data)),
+			shares:        1,
+		}, nil
+	}
+	if bg := cache[g]; bg != nil {
+		bg.shares++
+		ctx.Rep.DataReads += bg.dataReads
+		ctx.Rep.ParityReads += bg.parityReads
+		if bg.recovered {
+			ctx.Rep.Reconstructions++
+		}
+		if err := c.pool.Acquire(bg.pooled); err != nil {
+			return nil, err
+		}
+		return bg, nil
+	}
+	staged := &bufferedGroup{
+		group:         g,
+		reconstructed: make([]bool, len(g.Data)),
+		shares:        1,
 	}
 	gr := readGroup(c.cfg.Farm, g, true, c.arena)
+	staged.dataReads = gr.dataReads
+	staged.parityReads = gr.parityReads
 	ctx.Rep.DataReads += gr.dataReads
 	ctx.Rep.ParityReads += gr.parityReads
 	if rec, recErr := gr.recoverGroup(); recErr == nil && rec >= 0 {
 		staged.reconstructed[rec] = true
+		staged.recovered = true
 		ctx.Rep.Reconstructions++
 	}
 	// The parity buffer's only post-read use is the recovery above (which
@@ -349,6 +411,9 @@ func (c *engineCore) stageGroup(ctx *sched.CycleContext, g *layout.Group) (*buff
 	staged.pooled = len(g.Data) + 1
 	if err := c.pool.Acquire(staged.pooled); err != nil {
 		return nil, err
+	}
+	if cache != nil {
+		cache[g] = staged
 	}
 	return staged, nil
 }
@@ -369,31 +434,59 @@ func (c *engineCore) deliverDouble(ctx *sched.CycleContext, streams []*groupStre
 		width := len(bg.group.Data)
 		base := bg.group.Index * width
 		for off := 0; off < bg.group.ValidTracks; off++ {
-			if bg.data[off] == nil {
+			var ref *buffer.Ref
+			var data []byte
+			switch {
+			case bg.refs != nil && bg.refs[off] != nil:
+				// An earlier sharer already minted the ref for this track;
+				// retain the SAME ref (a second Share would double-free).
+				ref = bg.refs[off]
+				ref.Retain()
+				c.delivered = append(c.delivered, ref)
+				data = ref.Bytes()
+			case bg.data[off] != nil:
+				data = bg.data[off]
+				ref = c.shareDelivered(data)
+				if bg.shares > 1 {
+					if bg.refs == nil {
+						bg.refs = make([]*buffer.Ref, len(bg.data))
+					}
+					bg.refs[off] = ref
+				}
+				// Ownership moved to the Ref; clear the slot so recycleGroup
+				// below does not Put the buffer behind the report's back.
+				bg.data[off] = nil
+			default:
 				ctx.Rep.Hiccups = append(ctx.Rep.Hiccups, sched.Hiccup{
 					StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
 					Reason: hiccupReason,
 				})
 				continue
 			}
-			ref := c.shareDelivered(bg.data[off])
 			ctx.Rep.Delivered = append(ctx.Rep.Delivered, sched.Delivery{
 				StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-				Data: bg.data[off], Buf: ref, Reconstructed: bg.reconstructed[off],
+				Data: data, Buf: ref, Reconstructed: bg.reconstructed[off],
 			})
-			// Ownership moved to the Ref; clear the slot so recycleGroup
-			// below does not Put the buffer behind the report's back.
-			bg.data[off] = nil
 		}
 		if bg.pooled > 0 {
 			if err := c.pool.Release(bg.pooled); err != nil {
 				return err
 			}
-			bg.pooled = 0
 		}
-		// Delivered slots were handed to refs above; recycle only the
-		// leftovers (failed reads, padding past ValidTracks).
-		c.recycleGroup(bg)
+		if bg.shares > 1 {
+			bg.shares--
+		} else {
+			bg.shares = 0
+			bg.pooled = 0
+			// Delivered slots were handed to refs above; recycle only the
+			// leftovers (failed reads, padding past ValidTracks).
+			c.recycleGroup(bg)
+			if bg.refs != nil {
+				for i := range bg.refs {
+					bg.refs[i] = nil
+				}
+			}
+		}
 		s.Advance(bg.group.ValidTracks)
 		if s.Done {
 			ctx.Rep.Finished = append(ctx.Rep.Finished, s.ID)

@@ -72,7 +72,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var baseline []*sched.CycleReport
 			var basePeak int
-			for _, workers := range []int{1, 8} {
+			for _, workers := range []int{1, 2, 8} {
 				// A fresh rig per run: FailDisk mutates the farm.
 				r := newRig(t, 10, 5, nStreams, 6, tc.placement)
 				cfg := r.config()

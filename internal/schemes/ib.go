@@ -188,6 +188,7 @@ func (e *ImprovedBandwidth) Step() (*sched.CycleReport, error) {
 				group:         g,
 				data:          make([][]byte, len(g.Data)),
 				reconstructed: make([]bool, len(g.Data)),
+				shares:        1,
 			},
 			unmaskable: map[int]bool{},
 		})

@@ -86,6 +86,13 @@ type Config struct {
 	// GOMAXPROCS, 1 runs fully serial. Any value produces bit-identical
 	// cycle reports for the same inputs.
 	Workers int
+	// DisableMergedReads turns off same-title read merging in the
+	// Streaming RAID engine (streams staging the same parity group in
+	// the same cycle share one physical read). Merging never changes
+	// reports — every sharer still pays slots, pool tracks, and read
+	// counters — so this knob exists for benchmarking the unmerged path
+	// and bisecting, not for correctness.
+	DisableMergedReads bool
 	// Metrics, when non-nil, receives the engine's counters, gauges and
 	// histograms (see sched.NewRecorder for the instrument set).
 	Metrics *metrics.Registry
@@ -208,17 +215,37 @@ func (gr *groupRead) recoverGroup() (int, error) {
 }
 
 // bufferedGroup is a fully (or partially) read parity group staged for
-// delivery.
+// delivery. Under same-title read merging several streams may stage the
+// same group in one cycle and share this struct; the physical buffers
+// are read once, but every sharer carries its own logical accounting
+// (slots, pooled tracks, report counters), so merged and unmerged runs
+// produce bit-identical reports.
 type bufferedGroup struct {
 	group *layout.Group
-	// data[i] holds track i of the group, nil where lost.
+	// data[i] holds track i of the group, nil where lost (or after its
+	// ownership moved to refs[i] at delivery).
 	data [][]byte
 	// reconstructed[i] marks tracks rebuilt from parity.
 	reconstructed []bool
 	// next is the next in-group offset to deliver.
 	next int
-	// pooled is how many buffer-pool tracks this group holds.
+	// pooled is how many buffer-pool tracks ONE sharer of this group
+	// holds; each sharer Acquires and Releases this amount.
 	pooled int
+	// shares counts the streams currently sharing this staged group.
+	// Delivery and cancellation each drop one share; the buffers recycle
+	// only when the last sharer lets go.
+	shares int
+	// refs[i] is the delivery ref for track i, filled by the first
+	// sharer to deliver it; later sharers Retain the same ref instead of
+	// minting a second one (two independent refs on one buffer would
+	// double-free it back to the arena).
+	refs []*buffer.Ref
+	// dataReads/parityReads/recovered snapshot the physical read outcome
+	// so sharers staging after the read replay identical report counters.
+	dataReads   int
+	parityReads int
+	recovered   bool
 }
 
 // newPool builds the unbounded accounting pool every engine uses.

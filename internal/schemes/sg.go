@@ -144,7 +144,9 @@ func (e *StaggeredGroup) Step() (*sched.CycleReport, error) {
 		for _, s := range readers[cl] {
 			g := &s.Obj.Groups[s.nextGroup]
 			s.nextGroup++
-			staged, err := e.stageGroup(shard, g)
+			// No stage cache: SG streams drain a group over C-1 cycles via a
+			// private cursor, so sharing the struct would tangle cursors.
+			staged, err := e.stageGroup(shard, g, nil)
 			if err != nil {
 				return err
 			}

@@ -96,12 +96,24 @@ func (e *StreamingRAID) Step() (*sched.CycleReport, error) {
 	// A stream's reads stay on one cluster this cycle, so clusters are
 	// independent and run on the worker pool; the buffer pool only grows
 	// during this phase, keeping its peak worker-count-independent.
+	// Streams staging the same group this cycle (the Zipf head: many
+	// viewers of one hot title in lockstep) share one physical read via
+	// the per-cluster stage cache; see stageGroup for why reports stay
+	// bit-identical to the unmerged path.
+	merge := !e.cfg.DisableMergedReads
+	if merge {
+		e.ensureStageCaches()
+	}
 	readers := e.groupReadersByCluster(e.streams, nil)
 	if err := e.runClusters(ctx, func(shard *sched.CycleContext, cl int) error {
+		var cache map[*layout.Group]*bufferedGroup
+		if merge && len(readers[cl]) > 1 {
+			cache = e.stageCacheFor(cl)
+		}
 		for _, s := range readers[cl] {
 			g := &s.Obj.Groups[s.nextGroup]
 			s.nextGroup++
-			staged, err := e.stageGroup(shard, g)
+			staged, err := e.stageGroup(shard, g, cache)
 			if err != nil {
 				return err
 			}
