@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"ftmm/internal/chaos"
 	"ftmm/internal/cluster"
 	"ftmm/internal/disk"
 	"ftmm/internal/diskmodel"
@@ -56,6 +57,10 @@ type baselineFile struct {
 	GOOS       string       `json:"goos"`
 	GOARCH     string       `json:"goarch"`
 	Benchmarks []benchEntry `json:"benchmarks"`
+	// Capacity holds the scheme-comparison section: degraded-mode
+	// stream capacity and measured rebuild window per scheme (see
+	// capacity.go). Deterministic counts, unlike the timing rows.
+	Capacity []capacityEntry `json:"capacity,omitempty"`
 	// PreChange holds the numbers from before the change under test,
 	// carried forward from the file's previous contents.
 	PreChange []benchEntry `json:"pre_change,omitempty"`
@@ -72,6 +77,37 @@ func baselineRig(tb testing.TB, placement layout.Placement) (schemes.Config, []*
 		tb.Fatal(err)
 	}
 	lay, err := layout.ForFarm(farm, placement)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	trackSize := int(p.TrackSize)
+	var objs []*layout.Object
+	for i := 0; i < nObj; i++ {
+		id := fmt.Sprintf("obj%d", i)
+		obj, err := lay.AddObject(id, groups*(c-1), i%lay.Clusters(), units.MPEG1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := layout.WriteObject(farm, obj, workload.SyntheticContent(id, groups*(c-1)*trackSize)); err != nil {
+			tb.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	return schemes.Config{Farm: farm, Layout: lay, Rate: units.MPEG1}, objs
+}
+
+// declusteredBaselineRig mirrors baselineRig for the fifth scheme: the
+// same catalog shape (8 objects of 200 parity groups of C=5) but placed
+// on two 9-drive declustering groups via the complete (9,5) design.
+func declusteredBaselineRig(tb testing.TB) (schemes.Config, []*layout.Object) {
+	p := diskmodel.Table1()
+	const d, g, c, nObj, groups = 18, 9, 5, 8, 200
+	p.Capacity = units.ByteSize(nObj*groups*c/d+groups*c+10) * p.TrackSize
+	farm, err := disk.NewFarm(d, g, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lay, err := layout.ForFarmDeclustered(farm, c)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -195,6 +231,17 @@ func baselineSpecs() []baselineSpec {
 				admitAll(tb, e, objs, false)
 				return e
 			}, nObj*4*baselineTrack)
+		}},
+		{"CycleDeclustered", nObj, func(b *testing.B) {
+			cfg, objs := declusteredBaselineRig(b)
+			benchEngineCycles(b, func(tb testing.TB) schemes.Simulator {
+				e, err := schemes.NewDeclustered(cfg)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				admitAll(tb, e, objs, false)
+				return e
+			}, nObj*5*baselineTrack)
 		}},
 		{"NetserveLoopbackStream", 1, func(b *testing.B) {
 			// End-to-end network delivery, steady state: one client streams
@@ -706,16 +753,46 @@ func parityBlocks(n int) [][]byte {
 	return blocks
 }
 
+// specScheme maps scheme-specific benchmark rows to the -schemes flag
+// name that selects them; rows not listed here always run.
+var specScheme = map[string]string{
+	"CycleStreamingRAID":        "sr",
+	"CycleStaggeredGroup":       "sg",
+	"CycleNonClustered":         "nc",
+	"CycleNonClusteredDegraded": "nc",
+	"CycleImprovedBandwidth":    "ib",
+	"CycleDeclustered":          "dc",
+}
+
 // runBaseline executes the suite and writes the baseline file,
 // preserving prior numbers as pre_change. It prints a per-benchmark
 // summary, including the allocs/op delta against pre_change when one is
-// available.
-func runBaseline(path string, fanout10k bool) error {
+// available. A non-empty `only` (the -schemes flag) restricts the
+// scheme-specific rows and the capacity section to the named schemes;
+// substrate and netserve rows always run.
+func runBaseline(path string, fanout10k bool, only []string) error {
 	prev, err := readBaseline(path)
 	if err != nil {
 		return err
 	}
-	specs := baselineSpecs()
+	keep := func(name string) bool {
+		s, schemeRow := specScheme[name]
+		if !schemeRow || len(only) == 0 {
+			return true
+		}
+		for _, o := range only {
+			if o == s || (s == "nc" && o == "nc-simple") {
+				return true
+			}
+		}
+		return false
+	}
+	var specs []baselineSpec
+	for _, spec := range baselineSpecs() {
+		if keep(spec.name) {
+			specs = append(specs, spec)
+		}
+	}
 	if fanout10k {
 		specs = append(specs, fanout10kSpec())
 	}
@@ -767,6 +844,17 @@ func runBaseline(path string, fanout10k bool) error {
 	}
 
 	if err := checkParityTiers(out.Benchmarks); err != nil {
+		return err
+	}
+
+	capSchemes := only
+	if len(capSchemes) == 0 {
+		capSchemes = chaos.SchemeNames()
+	}
+	if out.Capacity, err = capacityRows(capSchemes); err != nil {
+		return err
+	}
+	if err := checkRebuildWindows(out.Capacity); err != nil {
 		return err
 	}
 

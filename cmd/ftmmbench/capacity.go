@@ -1,0 +1,226 @@
+// Capacity section of the baseline file: the paper-facing payoff
+// metrics for the fifth scheme — degraded-mode stream capacity and the
+// measured rebuild window — computed for all five schemes on one
+// 18-drive farm so the rows are directly comparable. Unlike the timing
+// rows these are deterministic counts, so the compare gate can hold
+// them exactly.
+package main
+
+import (
+	"fmt"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/disk"
+	"ftmm/internal/diskmodel"
+	"ftmm/internal/layout"
+	"ftmm/internal/rebuild"
+	"ftmm/internal/schemes"
+	"ftmm/internal/server"
+	"ftmm/internal/units"
+	"ftmm/internal/workload"
+)
+
+// capacityEntry is one scheme's row in the baseline file's capacity
+// section.
+type capacityEntry struct {
+	Scheme string `json:"scheme"`
+	// DegradedCapacityStreams is how many streams the engine admits
+	// with one drive failed (admit-until-reject on the shared rig).
+	DegradedCapacityStreams int `json:"degraded_capacity_streams"`
+	// RebuildWindowCycles is the measured cycles to rebuild the failed
+	// drive under a per-drive spare budget of capRebuildBudget track
+	// reads per cycle — the real bottleneck is the busiest survivor, so
+	// declustered parity's spread shrinks this by ~(C-1)/(G-1).
+	RebuildWindowCycles int `json:"rebuild_window_cycles"`
+	// RebuildWindowFrac is the analytic window relative to Streaming
+	// RAID at equal farm size: 1 for the clustered schemes, (C-1)/(G-1)
+	// for declustered parity.
+	RebuildWindowFrac float64 `json:"rebuild_window_frac"`
+}
+
+// The shared capacity rig: 18 drives, parity groups of C=3, and for dc
+// two G=9 declustering groups on the (9,3) Steiner design.
+const (
+	capDisks         = 18
+	capCluster       = 3
+	capGroup         = 9
+	capObjects       = 6
+	capGroupsEach    = 12
+	capRebuildBudget = 2
+	capAdmitCeiling  = 10_000
+)
+
+// capacityFarm builds the rig farm with the scheme's placement and a
+// written object set.
+func capacityFarm(scheme string) (*disk.Farm, *layout.Layout, []*layout.Object, error) {
+	p := diskmodel.Table1()
+	p.Capacity = units.ByteSize(capObjects*capGroupsEach*8) * p.TrackSize
+	clusterSize := capCluster
+	if scheme == "dc" {
+		clusterSize = capGroup
+	}
+	farm, err := disk.NewFarm(capDisks, clusterSize, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var lay *layout.Layout
+	switch scheme {
+	case "dc":
+		lay, err = layout.ForFarmDeclustered(farm, capCluster)
+	case "ib":
+		lay, err = layout.ForFarm(farm, layout.IntermixedParity)
+	default:
+		lay, err = layout.ForFarm(farm, layout.DedicatedParity)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trackSize := int(p.TrackSize)
+	var objs []*layout.Object
+	for i := 0; i < capObjects; i++ {
+		id := fmt.Sprintf("obj%d", i)
+		tracks := capGroupsEach * lay.GroupWidth()
+		obj, err := lay.AddObject(id, tracks, i%lay.Clusters(), units.MPEG1)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := layout.WriteObject(farm, obj, workload.SyntheticContent(id, tracks*trackSize)); err != nil {
+			return nil, nil, nil, err
+		}
+		objs = append(objs, obj)
+	}
+	return farm, lay, objs, nil
+}
+
+// capacityEngine builds the scheme's engine over the rig.
+func capacityEngine(scheme string, cfg schemes.Config) (schemes.Simulator, error) {
+	switch scheme {
+	case "sr":
+		return schemes.NewStreamingRAID(cfg)
+	case "sg":
+		return schemes.NewStaggeredGroup(cfg)
+	case "nc":
+		return schemes.NewNonClustered(cfg, schemes.AlternateSwitchover, 1)
+	case "nc-simple":
+		return schemes.NewNonClustered(cfg, schemes.SimpleSwitchover, 1)
+	case "ib":
+		return schemes.NewImprovedBandwidth(cfg, 1)
+	case "dc":
+		return schemes.NewDeclustered(cfg)
+	default:
+		return nil, fmt.Errorf("capacity: unknown scheme %q", scheme)
+	}
+}
+
+// degradedCapacity measures admit-until-reject with one drive down: the
+// failure is injected and latched with one cycle, then streams are
+// admitted round-robin over the rig's objects until the engine refuses.
+func degradedCapacity(scheme string) (int, error) {
+	farm, lay, objs, err := capacityFarm(scheme)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := capacityEngine(scheme, schemes.Config{Farm: farm, Layout: lay, Rate: units.MPEG1})
+	if err != nil {
+		return 0, err
+	}
+	if err := eng.FailDisk(0); err != nil {
+		return 0, err
+	}
+	if _, err := eng.Step(); err != nil {
+		return 0, err
+	}
+	admitted := 0
+	for ; admitted < capAdmitCeiling; admitted++ {
+		if _, err := eng.AddStream(objs[admitted%len(objs)]); err != nil {
+			break
+		}
+	}
+	return admitted, nil
+}
+
+// rebuildWindow measures the cycles to rebuild drive 0 under the
+// per-drive spare budget, verifying parity consistency afterwards.
+func rebuildWindow(scheme string) (int, error) {
+	farm, lay, _, err := capacityFarm(scheme)
+	if err != nil {
+		return 0, err
+	}
+	drv, err := farm.Drive(0)
+	if err != nil {
+		return 0, err
+	}
+	if err := drv.Fail(); err != nil {
+		return 0, err
+	}
+	if err := drv.Replace(); err != nil {
+		return 0, err
+	}
+	r, err := rebuild.New(farm, lay, 0)
+	if err != nil {
+		return 0, err
+	}
+	cycles, err := r.RunPerDrive(capRebuildBudget, 100_000)
+	if err != nil {
+		return 0, err
+	}
+	if err := rebuild.CheckAll(farm, lay); err != nil {
+		return 0, fmt.Errorf("capacity: parity inconsistent after %s rebuild: %w", scheme, err)
+	}
+	return cycles, nil
+}
+
+// capacityRows computes the capacity section for the given schemes.
+func capacityRows(schemeNames []string) ([]capacityEntry, error) {
+	var rows []capacityEntry
+	for _, name := range schemeNames {
+		s, _, err := server.ParseScheme(name)
+		if err != nil {
+			return nil, err
+		}
+		cap, err := degradedCapacity(name)
+		if err != nil {
+			return nil, fmt.Errorf("capacity: %s degraded capacity: %w", name, err)
+		}
+		cycles, err := rebuildWindow(name)
+		if err != nil {
+			return nil, err
+		}
+		acfg := analytic.Config{
+			Disk: diskmodel.Table1(), ObjectRate: units.MPEG1,
+			D: capDisks, C: capCluster, G: capGroup, K: 1,
+		}
+		rows = append(rows, capacityEntry{
+			Scheme:                  name,
+			DegradedCapacityStreams: cap,
+			RebuildWindowCycles:     cycles,
+			RebuildWindowFrac:       acfg.RebuildWindowFrac(s),
+		})
+		fmt.Printf("%-28s degraded capacity %4d streams   rebuild window %5d cycles (analytic frac %.3f)\n",
+			"Capacity/"+name, cap, cycles, acfg.RebuildWindowFrac(s))
+	}
+	return rows, nil
+}
+
+// checkRebuildWindows asserts the fifth scheme's payoff on the measured
+// numbers: declustered parity's rebuild window is at most half of
+// Streaming RAID's at equal farm size.
+func checkRebuildWindows(rows []capacityEntry) error {
+	var sr, dc int
+	for _, r := range rows {
+		switch r.Scheme {
+		case "sr":
+			sr = r.RebuildWindowCycles
+		case "dc":
+			dc = r.RebuildWindowCycles
+		}
+	}
+	if sr == 0 || dc == 0 {
+		return nil // filtered run without both rows
+	}
+	if 2*dc > sr {
+		return fmt.Errorf("declustered rebuild window %d cycles exceeds 0.5 x Streaming RAID's %d", dc, sr)
+	}
+	fmt.Printf("rebuild window check: dc %d cycles vs sr %d cycles (<= 0.5x ok)\n", dc, sr)
+	return nil
+}

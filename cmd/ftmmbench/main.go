@@ -29,7 +29,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"ftmm/internal/chaos"
 	"ftmm/internal/experiments"
 )
 
@@ -42,6 +44,8 @@ var (
 
 	benchBaseline = flag.String("bench-baseline", "",
 		"run the data-path benchmark suite and write ns/op, allocs/op, and stream counts to this JSON file (existing numbers are kept as pre_change)")
+	benchSchemes = flag.String("schemes", "",
+		"with -bench-baseline, comma-separated scheme filter for the scheme-cycle rows and capacity section (default: all)")
 	benchCompare = flag.Bool("bench-compare", false,
 		"diff two -bench-baseline files (args: old.json new.json); exit non-zero on >20% ns/op or any allocs/op regression beyond pool-refill noise")
 	compareWarnNS = flag.Bool("compare-warn-ns", false,
@@ -56,6 +60,26 @@ var (
 	blockProfile = flag.String("blockprofile", "",
 		"write a goroutine-blocking profile to this file (10 µs sampling granularity)")
 )
+
+// parseSchemesFlag splits and validates the -schemes filter against the
+// canonical scheme-name list; unknown names are a usage error.
+func parseSchemesFlag(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	valid := make(map[string]bool)
+	for _, n := range chaos.SchemeNames() {
+		valid[n] = true
+	}
+	names := strings.Split(s, ",")
+	for _, n := range names {
+		if !valid[n] {
+			return nil, fmt.Errorf("unknown scheme %q in -schemes (valid: %s)",
+				n, strings.Join(chaos.SchemeNames(), ", "))
+		}
+	}
+	return names, nil
+}
 
 // jsonResult is the -json wire shape for one experiment.
 type jsonResult struct {
@@ -83,8 +107,14 @@ func main() {
 // run is the real main body. It returns an exit code instead of calling
 // os.Exit so the deferred profile writers in main always flush.
 func run() int {
+	only, err := parseSchemesFlag(*benchSchemes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
+		return 2
+	}
+
 	if *benchBaseline != "" {
-		if err := runBaseline(*benchBaseline, *benchFanout10k); err != nil {
+		if err := runBaseline(*benchBaseline, *benchFanout10k, only); err != nil {
 			fmt.Fprintf(os.Stderr, "ftmmbench: %v\n", err)
 			return 1
 		}

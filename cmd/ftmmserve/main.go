@@ -52,9 +52,10 @@ import (
 var (
 	addr       = flag.String("addr", "127.0.0.1:5500", "TCP listen address for the session protocol")
 	httpAddr   = flag.String("http", "127.0.0.1:5580", "HTTP listen address for /statusz /metricsz /titlesz /admitz /viewz (empty: disabled)")
-	schemeFlag = flag.String("scheme", "sr", "fault-tolerance scheme: sr, sg, nc, nc-simple, ib")
+	schemeFlag = flag.String("scheme", "sr", "fault-tolerance scheme: sr, sg, nc, nc-simple, ib, dc")
 	disks      = flag.Int("disks", 20, "number of drives")
 	clusterSz  = flag.Int("cluster", 5, "cluster (parity group) size C")
+	decluster  = flag.Int("decluster", 0, "declustering group size G for -scheme dc (0 = 2C-1)")
 	k          = flag.Int("k", 2, "reserve depth (buffer servers / reserved bandwidth)")
 	titles     = flag.Int("titles", 8, "titles in the tape library (full catalog, popularity order)")
 	groups     = flag.Int("groups", 20, "parity groups per title")
@@ -131,6 +132,7 @@ func runNode() error {
 		ID:     *nodeID,
 		Scheme: *schemeFlag,
 		Disks:  *disks, Cluster: *clusterSz, K: *k,
+		Decluster:          *decluster,
 		Workers:            *workers,
 		DisableMergedReads: *noMerge,
 		GenTitles:          *titles,

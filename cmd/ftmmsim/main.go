@@ -37,9 +37,10 @@ var (
 	chaosNodes   = flag.Int("chaos-nodes", 0, "chaos: fan each run across this many cluster nodes with node kill/drain events (0: single node)")
 	chaosSchemes = flag.String("chaos-schemes", "", "chaos: comma-separated scheme rotation (default: all)")
 	chaosOut     = flag.String("chaos-out", "", "chaos: directory to write shrunk violation traces as replayable scenario JSON")
-	schemeFlag   = flag.String("scheme", "sr", "fault-tolerance scheme: sr, sg, nc, nc-simple, ib")
+	schemeFlag   = flag.String("scheme", "sr", "fault-tolerance scheme: sr, sg, nc, nc-simple, ib, dc")
 	disks        = flag.Int("disks", 20, "number of drives")
 	cluster      = flag.Int("cluster", 5, "cluster (parity group) size C")
+	decluster    = flag.Int("decluster", 0, "declustering group size G for -scheme dc (0 = 2C-1)")
 	titles       = flag.Int("titles", 8, "titles in the tape library")
 	titleGroups  = flag.Int("groups", 20, "parity groups per title")
 	streams      = flag.Int("streams", 6, "streams to admit (staggered)")
@@ -81,7 +82,8 @@ func run() error {
 
 	srv, err := server.New(server.Options{
 		Disks: *disks, ClusterSize: *cluster,
-		DiskParams: p, Scheme: scheme, K: *k, NCPolicy: policy,
+		DeclusterGroup: *decluster,
+		DiskParams:     p, Scheme: scheme, K: *k, NCPolicy: policy,
 		Workers: *workers,
 	})
 	if err != nil {
@@ -175,6 +177,16 @@ func runChaos() error {
 	}
 	if *chaosSchemes != "" {
 		cfg.Schemes = strings.Split(*chaosSchemes, ",")
+		valid := make(map[string]bool)
+		for _, n := range chaos.SchemeNames() {
+			valid[n] = true
+		}
+		for _, n := range cfg.Schemes {
+			if !valid[n] {
+				return fmt.Errorf("unknown scheme %q in -chaos-schemes (valid: %s)",
+					n, strings.Join(chaos.SchemeNames(), ", "))
+			}
+		}
 	}
 	fmt.Printf("chaos campaign: seed=%d runs=%d nodes=%d schemes=%v\n",
 		cfg.Seed, cfg.Runs, cfg.Nodes, append([]string(nil), cfgSchemes(cfg)...))

@@ -50,11 +50,26 @@ const (
 	// mode; failures are masked by a chained "shift to the right" into K
 	// reserved disks' worth of bandwidth (k = k' = C-1).
 	ImprovedBandwidth
+	// DeclusteredParity (DC): parity groups keep size C but are mapped
+	// onto block-design subsets of a larger G-drive declustering group,
+	// so rebuilding a failed drive reads every survivor at rate
+	// (C-1)/(G-1) instead of saturating C-1 cluster mates. Normal-mode
+	// behaviour matches SR (k = k' = C-1); the win is the rebuild
+	// window and degraded-mode load spreading.
+	DeclusteredParity
 )
 
-// Schemes lists all four schemes in the paper's presentation order.
+// Schemes lists the paper's four schemes in its presentation order.
+// The golden tables and the paper-reproduction experiments iterate this
+// set; extensions beyond the paper live in AllSchemes.
 func Schemes() []Scheme {
 	return []Scheme{StreamingRAID, StaggeredGroup, NonClustered, ImprovedBandwidth}
+}
+
+// AllSchemes lists every implemented scheme: the paper's four plus
+// declustered parity.
+func AllSchemes() []Scheme {
+	return append(Schemes(), DeclusteredParity)
 }
 
 // String returns the paper's name for the scheme.
@@ -68,6 +83,8 @@ func (s Scheme) String() string {
 		return "Non-clustered"
 	case ImprovedBandwidth:
 		return "Improved-bandwidth"
+	case DeclusteredParity:
+		return "Declustered-parity"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -84,6 +101,8 @@ func (s Scheme) Abbrev() string {
 		return "NC"
 	case ImprovedBandwidth:
 		return "IB"
+	case DeclusteredParity:
+		return "DC"
 	default:
 		return "??"
 	}
@@ -105,6 +124,20 @@ type Config struct {
 	// K_IB, for the Improved-bandwidth scheme. The paper's Tables 2-3 use
 	// K = 3 and its Figure 9 / §5 sizing example use K = 5.
 	K int
+	// G is the declustering group size for the DeclusteredParity scheme
+	// (the number of drives each size-C parity group is declustered
+	// over). Zero defaults to 2C-1, the smallest group that halves the
+	// rebuild window. Ignored by the four clustered schemes.
+	G int
+}
+
+// DeclusterGroup returns the effective G: the configured value, or the
+// 2C-1 default.
+func (c Config) DeclusterGroup() int {
+	if c.G > 0 {
+		return c.G
+	}
+	return 2*c.C - 1
 }
 
 // Table1Config returns the paper's Table 1 design point for a given
@@ -136,6 +169,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("analytic: reserve depth K=%d must be >= 0", c.K)
 	case c.K > c.D:
 		return fmt.Errorf("analytic: reserve depth K=%d exceeds D=%d", c.K, c.D)
+	case c.G != 0 && c.G < c.C:
+		return fmt.Errorf("analytic: declustering group G=%d must be >= C=%d", c.G, c.C)
+	case c.G != 0 && c.G > c.D:
+		return fmt.Errorf("analytic: declustering group G=%d exceeds D=%d", c.G, c.D)
 	}
 	return nil
 }
@@ -144,7 +181,7 @@ func (c Config) Validate() error {
 // per read cycle and transmitted per stream per cycle.
 func (c Config) ReadGroup(s Scheme) (k, kPrime int) {
 	switch s {
-	case StreamingRAID, ImprovedBandwidth:
+	case StreamingRAID, ImprovedBandwidth, DeclusteredParity:
 		return c.C - 1, c.C - 1
 	case StaggeredGroup:
 		return c.C - 1, 1
@@ -209,11 +246,34 @@ func (c Config) MTTFCatastrophic(s Scheme) units.Years {
 		return units.Years(math.Inf(1))
 	}
 	exposure := float64(c.C - 1)
-	if s == ImprovedBandwidth {
+	switch s {
+	case ImprovedBandwidth:
 		exposure = float64(2*c.C - 1)
+	case DeclusteredParity:
+		// Declustering widens the exposure: a second failure anywhere in
+		// the G-drive declustering group is catastrophic (λ ≥ 1 — every
+		// drive pair shares at least one block). But the repair window
+		// shrinks by the same factor the exposure grew: the rebuild reads
+		// every survivor at (C-1)/(G-1) of the clustered rate, so
+		// (G-1) · MTTR·(C-1)/(G-1) = (C-1)·MTTR and the catastrophic
+		// MTTF lands exactly on Streaming RAID's.
+		g := float64(c.DeclusterGroup())
+		exposure = (g - 1) * (float64(c.C-1) / (g - 1))
 	}
 	hours := mttf * mttf / (float64(c.D) * exposure * mttr)
 	return units.YearsFromHours(hours)
+}
+
+// RebuildWindowFrac returns the rebuild window of the scheme relative
+// to Streaming RAID's at equal farm size: the bottleneck survivor's
+// read load per lost track. The clustered schemes concentrate the whole
+// rebuild on C-1 drives (ratio 1); declustered parity spreads it over
+// G-1 survivors at rate (C-1)/(G-1).
+func (c Config) RebuildWindowFrac(s Scheme) float64 {
+	if s != DeclusteredParity {
+		return 1
+	}
+	return float64(c.C-1) / float64(c.DeclusterGroup()-1)
 }
 
 // MTTDS returns the mean time to degradation of service. For SR and SG it
@@ -224,7 +284,9 @@ func (c Config) MTTFCatastrophic(s Scheme) units.Years {
 //
 //	MTTF(disk)^K / (D·(D-1)·…·(D-K+1)·MTTR^(K-1))
 func (c Config) MTTDS(s Scheme) units.Years {
-	if s == StreamingRAID || s == StaggeredGroup {
+	if s == StreamingRAID || s == StaggeredGroup || s == DeclusteredParity {
+		// Like SR/SG, declustered parity holds no reserve: losing data
+		// is the only way it degrades.
 		return c.MTTFCatastrophic(s)
 	}
 	mttf, mttr := c.Disk.MTTFHours, c.Disk.MTTRHours
@@ -277,9 +339,10 @@ func (c Config) MaxStreamsInt(s Scheme) (int, error) {
 func (c Config) bufferTracksFromN(s Scheme, n float64) float64 {
 	C := float64(c.C)
 	switch s {
-	case StreamingRAID:
+	case StreamingRAID, DeclusteredParity:
 		// A parity group (C tracks) is read while the previous one (C
-		// more) drains: 2C buffers per stream.
+		// more) drains: 2C buffers per stream. Declustering changes
+		// which drives hold the group, not how much of it is staged.
 		return 2 * C * n
 	case StaggeredGroup:
 		// Per group of C-1 staggered streams the peak occupancies are
@@ -346,6 +409,7 @@ type Metrics struct {
 	MTTDS                 units.Years // degradation of service
 	Streams               int         // ⌊N_p⌋
 	BufferTracks          int         // ⌈BF_p⌉, in tracks
+	RebuildWindow         float64     // rebuild window relative to SR's
 }
 
 // Metrics evaluates every Table 2/3 row for one scheme.
@@ -366,6 +430,7 @@ func (c Config) Metrics(s Scheme) (Metrics, error) {
 		MTTDS:                 c.MTTDS(s),
 		Streams:               streams,
 		BufferTracks:          buffers,
+		RebuildWindow:         c.RebuildWindowFrac(s),
 	}, nil
 }
 

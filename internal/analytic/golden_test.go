@@ -34,6 +34,10 @@ func TestTable1Golden(t *testing.T) {
 		{StaggeredGroup, 0.2, 0.2, 25684.93151, 25684.93151, 966, 3623, 966.6666667, 3625},
 		{NonClustered, 0.2, 0.2, 25684.93151, 3176862.277, 966, 2612, 966.6666667, 2613.020833},
 		{ImprovedBandwidth, 0.2, 0.03, 11415.52511, 3176862.277, 1263, 10104, 1263.020833, 10104.16667},
+		// Declustered parity matches SR on every normal-mode column —
+		// the widened G-1 exposure and the (C-1)/(G-1) rebuild window
+		// cancel in the MTTF — and differs only in RebuildWindow below.
+		{DeclusteredParity, 0.2, 0.2, 25684.93151, 25684.93151, 1041, 10410, 1041.666667, 10416.66667},
 	}
 	for _, g := range golden {
 		m, err := cfg.Metrics(g.scheme)
@@ -65,6 +69,22 @@ func TestTable1Golden(t *testing.T) {
 	// The §2 motivating number: with D disks of MTTF(disk) hours, some
 	// disk fails every MTTF/D — the paper's "a failure every few weeks".
 	approx("cluster MTTF", float64(cfg.ClusterMTTFYears()), 0.3424657534)
+
+	// Rebuild-window column: the clustered schemes rebuild at ratio 1;
+	// declustered parity at (C-1)/(G-1), which at the default G = 2C-1
+	// is exactly one half.
+	for _, s := range Schemes() {
+		approx(s.String()+" rebuild window", cfg.RebuildWindowFrac(s), 1)
+	}
+	approx("DC rebuild window (default G=9)", cfg.RebuildWindowFrac(DeclusteredParity), 0.5)
+	cfg13 := cfg
+	cfg13.C, cfg13.G = 4, 13
+	approx("DC rebuild window (G=13,C=4)", cfg13.RebuildWindowFrac(DeclusteredParity), 0.25)
+	dcm, err := cfg.Metrics(DeclusteredParity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx("DC Metrics.RebuildWindow", dcm.RebuildWindow, 0.5)
 
 	// Relative ordering the paper's comparison rests on (Tables 2-3):
 	// IB admits the most streams, SR needs the most buffer, NC the

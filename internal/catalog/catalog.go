@@ -61,6 +61,20 @@ func New(lib *tertiary.Library, farm *disk.Farm, placement layout.Placement) (*C
 	return &Catalog{lib: lib, farm: farm, lay: lay, resident: make(map[string]*entry)}, nil
 }
 
+// NewDeclustered creates a catalog using declustered parity placement:
+// parity groups of groupC drives mapped onto block-design subsets of the
+// farm's clusters, which serve as G-drive declustering groups.
+func NewDeclustered(lib *tertiary.Library, farm *disk.Farm, groupC int) (*Catalog, error) {
+	if lib == nil || farm == nil {
+		return nil, errors.New("catalog: nil library or farm")
+	}
+	lay, err := layout.ForFarmDeclustered(farm, groupC)
+	if err != nil {
+		return nil, err
+	}
+	return &Catalog{lib: lib, farm: farm, lay: lay, resident: make(map[string]*entry)}, nil
+}
+
 // Layout exposes the underlying layout (read-mostly, for schedulers).
 func (c *Catalog) Layout() *layout.Layout { return c.lay }
 

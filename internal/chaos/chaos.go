@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ftmm/internal/analytic"
 	"ftmm/internal/scenario"
 	"ftmm/internal/server"
 )
@@ -81,15 +82,19 @@ type Event struct {
 // catalog, and an event timeline. It is the unit the generator emits,
 // the runner executes, and the shrinker minimizes.
 type Schedule struct {
-	// Scheme is a server.ParseScheme name: sr, sg, nc, nc-simple, ib.
-	Scheme      string  `json:"scheme"`
-	Disks       int     `json:"disks"`
-	ClusterSize int     `json:"cluster_size"`
-	K           int     `json:"k"`
-	Titles      int     `json:"titles"`
-	TitleGroups int     `json:"title_groups"`
-	MaxCycles   int     `json:"max_cycles"`
-	Events      []Event `json:"events"`
+	// Scheme is a server.ParseScheme name: sr, sg, nc, nc-simple, ib,
+	// dc.
+	Scheme      string `json:"scheme"`
+	Disks       int    `json:"disks"`
+	ClusterSize int    `json:"cluster_size"`
+	// DeclusterGroup is G, the declustering group size, for the dc
+	// scheme (0 = 2·ClusterSize-1); ignored otherwise.
+	DeclusterGroup int     `json:"decluster_group,omitempty"`
+	K              int     `json:"k"`
+	Titles         int     `json:"titles"`
+	TitleGroups    int     `json:"title_groups"`
+	MaxCycles      int     `json:"max_cycles"`
+	Events         []Event `json:"events"`
 	// Nodes > 1 spreads the run across a farm-per-node cluster
 	// (RunCluster); 0 or 1 is the classic single-node run. Replicas and
 	// PlacementSeed feed the rendezvous placement that decides which
@@ -99,14 +104,28 @@ type Schedule struct {
 	PlacementSeed int64 `json:"placement_seed,omitempty"`
 }
 
+// FarmUnit returns the drive-group size the farm is built from: the
+// declustering group G for the dc scheme (defaulting to 2C-1), the
+// cluster C otherwise. Disks must be a whole number of these units.
+func (s *Schedule) FarmUnit() int {
+	if scheme, _, err := server.ParseScheme(s.Scheme); err == nil && scheme == analytic.DeclusteredParity {
+		if s.DeclusterGroup > 0 {
+			return s.DeclusterGroup
+		}
+		return 2*s.ClusterSize - 1
+	}
+	return s.ClusterSize
+}
+
 // Validate checks the schedule's shape.
 func (s *Schedule) Validate() error {
 	if _, _, err := server.ParseScheme(s.Scheme); err != nil {
 		return err
 	}
+	unit := s.FarmUnit()
 	switch {
-	case s.Disks < s.ClusterSize || s.ClusterSize < 2 || s.Disks%s.ClusterSize != 0:
-		return fmt.Errorf("chaos: bad farm %dx%d", s.Disks, s.ClusterSize)
+	case s.ClusterSize < 2 || unit < s.ClusterSize || s.Disks < unit || s.Disks%unit != 0:
+		return fmt.Errorf("chaos: bad farm %dx%d (unit %d)", s.Disks, s.ClusterSize, unit)
 	case s.Titles < 1 || s.TitleGroups < 1:
 		return errors.New("chaos: need at least one title with one group")
 	case s.MaxCycles < 1:
@@ -168,7 +187,8 @@ func (s *Schedule) Validate() error {
 func (s *Schedule) ToSpec() *scenario.Spec {
 	spec := &scenario.Spec{
 		Scheme: s.Scheme, Disks: s.Disks, ClusterSize: s.ClusterSize,
-		K: s.K, Titles: s.Titles, TitleGroups: s.TitleGroups,
+		DeclusterGroup: s.DeclusterGroup,
+		K:              s.K, Titles: s.Titles, TitleGroups: s.TitleGroups,
 		MaxCycles: s.MaxCycles,
 		Nodes:     s.Nodes, Replicas: s.Replicas, PlacementSeed: s.PlacementSeed,
 	}
@@ -206,7 +226,8 @@ func (s *Schedule) ToSpec() *scenario.Spec {
 func FromSpec(spec *scenario.Spec) *Schedule {
 	s := &Schedule{
 		Scheme: spec.Scheme, Disks: spec.Disks, ClusterSize: spec.ClusterSize,
-		K: spec.K, Titles: spec.Titles, TitleGroups: spec.TitleGroups,
+		DeclusterGroup: spec.DeclusterGroup,
+		K:              spec.K, Titles: spec.Titles, TitleGroups: spec.TitleGroups,
 		MaxCycles: spec.MaxCycles,
 		Nodes:     spec.Nodes, Replicas: spec.Replicas, PlacementSeed: spec.PlacementSeed,
 	}

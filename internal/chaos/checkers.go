@@ -282,6 +282,7 @@ func (a *AdmissionChecker) Begin(rc *RunContext) error {
 		ObjectRate: rc.Srv.Rate(),
 		D:          rc.Schedule.Disks,
 		C:          rc.Schedule.ClusterSize,
+		G:          rc.Schedule.DeclusterGroup,
 		K:          rc.Schedule.K,
 	}
 	bound, err := cfg.MaxStreamsInt(scheme)

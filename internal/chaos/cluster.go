@@ -200,7 +200,8 @@ func RunCluster(cfg ClusterRunConfig) (*ClusterRunResult, error) {
 	for i, nodeID := range nodeIDs {
 		srv, err := server.New(server.Options{
 			Disks: sch.Disks, ClusterSize: sch.ClusterSize,
-			Scheme: scheme, NCPolicy: policy, K: sch.K,
+			DeclusterGroup: sch.DeclusterGroup,
+			Scheme:         scheme, NCPolicy: policy, K: sch.K,
 			DiskParams: params,
 			Workers:    1, // determinism within the lockstep loop
 		})

@@ -10,9 +10,16 @@ import (
 // killSchedule is the canonical cluster drill: streams on three nodes,
 // one node killed mid-stream, one drained later.
 func killSchedule(scheme string) Schedule {
+	// For dc the whole 8-drive farm is one declustering group (the
+	// complete (8,4) design); the other schemes split it into clusters.
+	decluster := 0
+	if scheme == "dc" {
+		decluster = 8
+	}
 	return Schedule{
 		Scheme: scheme, Disks: 8, ClusterSize: 4, K: 1,
-		Titles: 4, TitleGroups: 6, MaxCycles: 200,
+		DeclusterGroup: decluster,
+		Titles:         4, TitleGroups: 6, MaxCycles: 200,
 		Nodes: 3, Replicas: 2, PlacementSeed: 7,
 		Events: []Event{
 			{Cycle: 0, Kind: EventAdmit, Title: "title0"},

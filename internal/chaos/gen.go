@@ -17,6 +17,9 @@ import (
 //     after the first was instantly repaired, because intermixed parity
 //     makes a drive a member of groups on two adjacent clusters and any
 //     two of 2-3 clusters are cyclically adjacent;
+//   - dc failures are drawn from distinct G-drive declustering groups:
+//     within one group a second failure could land in the first's
+//     block (λ >= 1 guarantees the pair shares one), losing data;
 //   - at most one online rebuild per schedule (the server runs one at a
 //     time).
 //
@@ -34,6 +37,12 @@ func Generate(rng *rand.Rand, scheme string) Schedule {
 		TitleGroups: 3 + rng.Intn(4),
 	}
 	isIB := scheme == "ib"
+	if scheme == "dc" {
+		// Parity groups of C=4 on the (13,4) difference-set design;
+		// failures below are drawn from distinct 13-drive groups.
+		s.DeclusterGroup = 13
+		s.Disks = []int{13, 26}[rng.Intn(2)]
+	}
 
 	nAdmits := 2 + rng.Intn(5)
 	for i := 0; i < nAdmits; i++ {
@@ -44,7 +53,8 @@ func Generate(rng *rand.Rand, scheme string) Schedule {
 		})
 	}
 
-	clusters := s.Disks / c
+	unit := s.FarmUnit() // cluster, or declustering group under dc
+	clusters := s.Disks / unit
 	nFails := rng.Intn(3)
 	usedClusters := make(map[int]bool)
 	haveRebuild := false
@@ -64,7 +74,7 @@ func Generate(rng *rand.Rand, scheme string) Schedule {
 				failCycle = nextFailAfter + 1 + rng.Intn(4)
 			}
 		}
-		drive := cl*c + rng.Intn(c)
+		drive := cl*unit + rng.Intn(unit)
 		s.Events = append(s.Events, Event{Cycle: failCycle, Kind: EventFail, Drive: drive})
 
 		repairCycle := failCycle + 1 + rng.Intn(c+2)
@@ -112,8 +122,8 @@ func Generate(rng *rand.Rand, scheme string) Schedule {
 }
 
 // SchemeNames lists every scheme name campaigns rotate through by
-// default: all four paper schemes, with both Non-clustered transition
-// policies.
+// default: the four paper schemes (with both Non-clustered transition
+// policies) plus declustered parity.
 func SchemeNames() []string {
-	return []string{"sr", "sg", "nc", "nc-simple", "ib"}
+	return []string{"sr", "sg", "nc", "nc-simple", "ib", "dc"}
 }

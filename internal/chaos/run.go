@@ -108,7 +108,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	srv, err := server.New(server.Options{
 		Disks: sch.Disks, ClusterSize: sch.ClusterSize,
-		Scheme: scheme, NCPolicy: policy, K: sch.K,
+		DeclusterGroup: sch.DeclusterGroup,
+		Scheme:         scheme, NCPolicy: policy, K: sch.K,
 		DiskParams: sch.ToSpec().DiskParams(),
 		Workers:    1, // determinism holds at any count; campaigns parallelize across runs
 	})

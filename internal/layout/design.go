@@ -1,0 +1,174 @@
+// Block designs for parity declustering.
+//
+// A balanced incomplete block design BIBD(G, C, λ) is a family of
+// C-element subsets ("blocks") of a G-element point set such that every
+// point appears in the same number of blocks r and every pair of points
+// co-occurs in exactly λ blocks. Mapping points to the drives of a
+// G-drive declustering group and parity groups to blocks spreads
+// reconstruction load uniformly: rebuilding one drive reads each
+// survivor at rate (C−1)/(G−1) of the per-drive clustered rate, so the
+// rebuild window shrinks by the same factor (Holland & Gibson's parity
+// declustering, and the t-design construction of Dau et al.).
+//
+// A small table of classic designs covers the (G, C) pairs the paper's
+// geometries produce; every other admissible pair falls back to the
+// complete design (all C-subsets of G drives), which is always a BIBD
+// with λ = binom(G−2, C−2).
+package layout
+
+import "fmt"
+
+// DesignError reports an invalid (G, C) declustering request. It is a
+// typed error so callers can distinguish bad geometry from allocation
+// failures.
+type DesignError struct {
+	G, C   int
+	Reason string
+}
+
+func (e *DesignError) Error() string {
+	return fmt.Sprintf("layout: no block design for G=%d C=%d: %s", e.G, e.C, e.Reason)
+}
+
+// Design is a balanced incomplete block design over G points (drives of
+// one declustering group) with blocks of size C.
+type Design struct {
+	// G is the number of points (drives per declustering group); C is
+	// the block (parity group) size.
+	G, C int
+	// Replication r is the number of blocks containing each point;
+	// Lambda λ is the number of blocks containing each pair of points.
+	Replication, Lambda int
+	// Blocks lists the b blocks; each is a sorted C-subset of [0, G).
+	Blocks [][]int
+}
+
+// maxCompleteBlocks bounds the complete-design fallback: binom(G, C)
+// blocks are materialized, so refuse geometries where that explodes.
+const maxCompleteBlocks = 1 << 14
+
+// knownDesigns holds hand-written tables for (G, C) pairs with compact
+// classic designs; everything else uses the complete design. Each table
+// is verified by TestKnownDesignTables against the BIBD axioms.
+var knownDesigns = map[[2]int][][]int{
+	// Fano plane PG(2,2): b=7, r=3, λ=1.
+	{7, 3}: {
+		{0, 1, 3}, {1, 2, 4}, {2, 3, 5}, {3, 4, 6},
+		{0, 4, 5}, {1, 5, 6}, {0, 2, 6},
+	},
+	// Affine plane AG(2,3) (the 9-point Steiner triple system):
+	// b=12, r=4, λ=1.
+	{9, 3}: {
+		{0, 1, 2}, {3, 4, 5}, {6, 7, 8},
+		{0, 3, 6}, {1, 4, 7}, {2, 5, 8},
+		{0, 4, 8}, {1, 5, 6}, {2, 3, 7},
+		{0, 5, 7}, {1, 3, 8}, {2, 4, 6},
+	},
+	// Projective plane PG(2,3): b=13, r=4, λ=1. Difference set
+	// {0,1,3,9} mod 13.
+	{13, 4}: designFromDifferenceSet(13, []int{0, 1, 3, 9}),
+	// Projective plane PG(2,4): b=21, r=5, λ=1. Difference set
+	// {0,1,6,8,18} mod 21.
+	{21, 5}: designFromDifferenceSet(21, []int{0, 1, 6, 8, 18}),
+}
+
+// designFromDifferenceSet develops a perfect difference set modulo g
+// into the g blocks of a cyclic design.
+func designFromDifferenceSet(g int, base []int) [][]int {
+	blocks := make([][]int, g)
+	for s := 0; s < g; s++ {
+		blk := make([]int, len(base))
+		for i, v := range base {
+			blk[i] = (v + s) % g
+		}
+		sortInts(blk)
+		blocks[s] = blk
+	}
+	return blocks
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// NewDesign builds the block design used to decluster parity groups of
+// size c over declustering groups of g drives: a classic table when one
+// is known for (g, c), the complete design otherwise. Invalid
+// geometries return a *DesignError.
+func NewDesign(g, c int) (*Design, error) {
+	if c < 2 {
+		return nil, &DesignError{G: g, C: c, Reason: "parity group size must be >= 2"}
+	}
+	if g < c {
+		return nil, &DesignError{G: g, C: c, Reason: "declustering group must be at least the parity group size"}
+	}
+	var blocks [][]int
+	if tbl, ok := knownDesigns[[2]int{g, c}]; ok {
+		blocks = tbl
+	} else {
+		n := binomial(g, c)
+		if n > maxCompleteBlocks {
+			return nil, &DesignError{G: g, C: c,
+				Reason: fmt.Sprintf("no table and complete design has %d blocks (max %d)", n, maxCompleteBlocks)}
+		}
+		blocks = completeDesign(g, c)
+	}
+	b := len(blocks)
+	d := &Design{
+		G: g, C: c,
+		Replication: b * c / g,
+		Blocks:      blocks,
+	}
+	if g > 1 {
+		d.Lambda = d.Replication * (c - 1) / (g - 1)
+	}
+	return d, nil
+}
+
+// completeDesign enumerates every C-subset of [0, G) in lexicographic
+// order: the always-valid BIBD fallback.
+func completeDesign(g, c int) [][]int {
+	var out [][]int
+	comb := make([]int, c)
+	for i := range comb {
+		comb[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), comb...))
+		// Advance to the next combination.
+		i := c - 1
+		for i >= 0 && comb[i] == g-c+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		comb[i]++
+		for j := i + 1; j < c; j++ {
+			comb[j] = comb[j-1] + 1
+		}
+	}
+}
+
+// binomial returns binom(n, k), saturating at maxCompleteBlocks+1 to
+// avoid overflow on absurd geometries.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+		if r > maxCompleteBlocks {
+			return maxCompleteBlocks + 1
+		}
+	}
+	return r
+}

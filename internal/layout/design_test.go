@@ -1,0 +1,189 @@
+package layout
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftmm/internal/units"
+)
+
+// checkBIBD verifies the block design axioms: every block has exactly C
+// distinct in-range drives, every drive appears in the same number of
+// blocks (r), and every drive pair co-occurs in exactly λ blocks with
+// λ = r(C−1)/(G−1).
+func checkBIBD(t *testing.T, d *Design) {
+	t.Helper()
+	perDrive := make([]int, d.G)
+	pair := make(map[[2]int]int)
+	for bi, blk := range d.Blocks {
+		if len(blk) != d.C {
+			t.Fatalf("block %d has %d drives, want C=%d", bi, len(blk), d.C)
+		}
+		seen := map[int]bool{}
+		for _, m := range blk {
+			if m < 0 || m >= d.G {
+				t.Fatalf("block %d member %d out of range [0,%d)", bi, m, d.G)
+			}
+			if seen[m] {
+				t.Fatalf("block %d repeats drive %d", bi, m)
+			}
+			seen[m] = true
+			perDrive[m]++
+		}
+		for i := 0; i < len(blk); i++ {
+			for j := i + 1; j < len(blk); j++ {
+				a, b := blk[i], blk[j]
+				if a > b {
+					a, b = b, a
+				}
+				pair[[2]int{a, b}]++
+			}
+		}
+	}
+	for drv, n := range perDrive {
+		if n != d.Replication {
+			t.Errorf("drive %d appears in %d blocks, want r=%d", drv, n, d.Replication)
+		}
+	}
+	wantLambda := d.Replication * (d.C - 1) / (d.G - 1)
+	if d.Lambda != wantLambda {
+		t.Errorf("Lambda=%d, want r(C-1)/(G-1)=%d", d.Lambda, wantLambda)
+	}
+	for a := 0; a < d.G; a++ {
+		for b := a + 1; b < d.G; b++ {
+			if got := pair[[2]int{a, b}]; got != d.Lambda {
+				t.Errorf("pair (%d,%d) co-occurs in %d blocks, want λ=%d", a, b, got, d.Lambda)
+			}
+		}
+	}
+}
+
+func TestKnownDesignTables(t *testing.T) {
+	for _, gc := range [][2]int{{7, 3}, {9, 3}, {13, 4}, {21, 5}} {
+		d, err := NewDesign(gc[0], gc[1])
+		if err != nil {
+			t.Fatalf("NewDesign(%d,%d): %v", gc[0], gc[1], err)
+		}
+		checkBIBD(t, d)
+	}
+}
+
+func TestCompleteDesignFallback(t *testing.T) {
+	// None of these pairs has a table; all must satisfy the BIBD axioms
+	// via the complete design, with λ = binom(G−2, C−2).
+	for _, gc := range [][2]int{{5, 2}, {5, 3}, {6, 3}, {8, 4}, {9, 4}, {4, 4}} {
+		d, err := NewDesign(gc[0], gc[1])
+		if err != nil {
+			t.Fatalf("NewDesign(%d,%d): %v", gc[0], gc[1], err)
+		}
+		if want := binomial(gc[0], gc[1]); len(d.Blocks) != want {
+			t.Errorf("(%d,%d): %d blocks, want binom=%d", gc[0], gc[1], len(d.Blocks), want)
+		}
+		checkBIBD(t, d)
+	}
+}
+
+func TestNewDesignRejectsInvalidGeometry(t *testing.T) {
+	cases := []struct{ g, c int }{
+		{7, 1},   // parity group too small
+		{3, 4},   // declustering group smaller than parity group
+		{40, 15}, // complete design would explode
+	}
+	for _, tc := range cases {
+		_, err := NewDesign(tc.g, tc.c)
+		if err == nil {
+			t.Fatalf("NewDesign(%d,%d): want error, got nil", tc.g, tc.c)
+		}
+		var de *DesignError
+		if !errors.As(err, &de) {
+			t.Errorf("NewDesign(%d,%d): error %v is not a *DesignError", tc.g, tc.c, err)
+		} else if de.G != tc.g || de.C != tc.c {
+			t.Errorf("DesignError carries (%d,%d), want (%d,%d)", de.G, de.C, tc.g, tc.c)
+		}
+	}
+}
+
+func TestNewRejectsDeclusteredPlacement(t *testing.T) {
+	if _, err := New(18, 9, 40, DeclusteredParity); err == nil {
+		t.Fatal("New with DeclusteredParity must error (needs NewDeclustered)")
+	}
+}
+
+// The churn invariants of property_test.go hold for declustered layouts
+// too: no shared locations, distinct drives per group, data and parity
+// inside the declustering group, round-robin group placement.
+func TestDeclusteredLayoutInvariantsUnderChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, err := NewDeclustered(18, 9, 3, 40)
+		if err != nil {
+			return false
+		}
+		if l.GroupWidth() != 2 || l.DeclusterGroup() != 9 || l.Clusters() != 2 {
+			return false
+		}
+		live := map[string]bool{}
+		next := 0
+		for op := 0; op < 60; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				for id := range live {
+					if err := l.RemoveObject(id); err != nil {
+						return false
+					}
+					delete(live, id)
+					break
+				}
+				continue
+			}
+			id := string(rune('a'+next%26)) + string(rune('0'+next/26))
+			next++
+			tracks := 1 + rng.Intn(20)
+			start := rng.Intn(l.Clusters())
+			if _, err := l.AddObject(id, tracks, start, units.MPEG1); err != nil {
+				continue
+			}
+			live[id] = true
+		}
+		return checkInvariants(t, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Consecutive groups of one object cycle through the design's blocks,
+// and parity duty rotates over each block's members.
+func TestDeclusteredGroupMapping(t *testing.T) {
+	l, err := NewDeclustered(9, 9, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := len(l.Design().Blocks)
+	obj, err := l.AddObject("x", 2*b*2, 0, units.MPEG1) // two full passes over the blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	parityDuty := make(map[int]int)
+	for gi := range obj.Groups {
+		g := &obj.Groups[gi]
+		want := l.Design().Blocks[gi%b]
+		members := map[int]bool{g.Parity.Disk: true}
+		for _, loc := range g.Data {
+			members[loc.Disk] = true
+		}
+		for _, m := range want {
+			if !members[m] {
+				t.Fatalf("group %d misses block member %d (block %v)", gi, m, want)
+			}
+		}
+		if len(members) != len(want) {
+			t.Fatalf("group %d spans %d drives, want %d", gi, len(members), len(want))
+		}
+		parityDuty[g.Parity.Disk]++
+	}
+	if len(parityDuty) < 2 {
+		t.Errorf("parity never rotates: duty map %v", parityDuty)
+	}
+}

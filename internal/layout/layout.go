@@ -18,6 +18,16 @@
 //     (Figure 8). A drive therefore belongs to two parity group families:
 //     data for its own cluster and parity for the cluster to its left.
 //
+//   - DeclusteredParity (parity declustering via block designs): the farm
+//     is divided into declustering groups of G drives, but parity groups
+//     keep size C < G. Each group is mapped onto a C-drive block of a
+//     balanced incomplete block design over the G drives (design.go),
+//     cycling through the design's blocks and rotating which block member
+//     holds parity. Rebuilding a failed drive then reads every survivor
+//     of its declustering group at rate (C−1)/(G−1) instead of
+//     saturating C−1 cluster mates. Built with NewDeclustered; the
+//     layout's "cluster" is the G-drive declustering group.
+//
 // Observation 1 of the paper — never mix blocks of different objects in
 // one parity group — is enforced structurally: groups are built from a
 // single object's consecutive tracks, padding the final short group with
@@ -42,6 +52,9 @@ const (
 	DedicatedParity Placement = iota
 	// IntermixedParity spreads parity of cluster i over cluster i+1.
 	IntermixedParity
+	// DeclusteredParity maps size-C parity groups onto block-design
+	// subsets of a G-drive declustering group (NewDeclustered).
+	DeclusteredParity
 )
 
 // String names the placement.
@@ -51,6 +64,8 @@ func (p Placement) String() string {
 		return "dedicated-parity"
 	case IntermixedParity:
 		return "intermixed-parity"
+	case DeclusteredParity:
+		return "declustered-parity"
 	default:
 		return fmt.Sprintf("Placement(%d)", int(p))
 	}
@@ -119,6 +134,12 @@ type Layout struct {
 	d, c          int
 	tracksPerDisk int
 	placement     Placement
+	// groupC is the parity group size: equal to c for the clustered
+	// placements, and the block size C < c (= G) under DeclusteredParity.
+	groupC int
+	// design is the block design mapping groups onto drive subsets;
+	// non-nil only under DeclusteredParity.
+	design *Design
 
 	objects map[string]*Object
 	// free[disk] is a stack of reusable track numbers; cursor[disk] is
@@ -139,11 +160,39 @@ func New(d, c, tracksPerDisk int, placement Placement) (*Layout, error) {
 	if placement == IntermixedParity && d/c < 2 {
 		return nil, errors.New("layout: intermixed parity needs at least 2 clusters")
 	}
+	if placement == DeclusteredParity {
+		return nil, errors.New("layout: declustered parity needs a parity group size; use NewDeclustered")
+	}
 	if tracksPerDisk < 1 {
 		return nil, fmt.Errorf("layout: tracksPerDisk %d must be >= 1", tracksPerDisk)
 	}
 	return &Layout{
 		d: d, c: c, tracksPerDisk: tracksPerDisk, placement: placement,
+		groupC:  c,
+		objects: make(map[string]*Object),
+		free:    make([][]int, d),
+		cursor:  make([]int, d),
+	}, nil
+}
+
+// NewDeclustered creates an empty declustered-parity layout for d drives
+// in declustering groups of g, placing parity groups of c tracks onto
+// block-design subsets of each group. Invalid (g, c) geometries surface
+// the design layer's *DesignError.
+func NewDeclustered(d, g, c, tracksPerDisk int) (*Layout, error) {
+	design, err := NewDesign(g, c)
+	if err != nil {
+		return nil, err
+	}
+	if d < g || d%g != 0 {
+		return nil, fmt.Errorf("layout: %d drives is not a whole number of declustering groups of %d", d, g)
+	}
+	if tracksPerDisk < 1 {
+		return nil, fmt.Errorf("layout: tracksPerDisk %d must be >= 1", tracksPerDisk)
+	}
+	return &Layout{
+		d: d, c: g, tracksPerDisk: tracksPerDisk, placement: DeclusteredParity,
+		groupC: c, design: design,
 		objects: make(map[string]*Object),
 		free:    make([][]int, d),
 		cursor:  make([]int, d),
@@ -155,6 +204,13 @@ func ForFarm(f *disk.Farm, placement Placement) (*Layout, error) {
 	return New(f.Size(), f.ClusterSize(), f.Params().TracksPerDisk(), placement)
 }
 
+// ForFarmDeclustered creates a declustered layout matching an existing
+// farm whose clusters are the G-drive declustering groups, with parity
+// groups of c tracks.
+func ForFarmDeclustered(f *disk.Farm, c int) (*Layout, error) {
+	return NewDeclustered(f.Size(), f.ClusterSize(), c, f.Params().TracksPerDisk())
+}
+
 // Clusters returns the cluster count.
 func (l *Layout) Clusters() int { return l.d / l.c }
 
@@ -164,8 +220,23 @@ func (l *Layout) ClusterSize() int { return l.c }
 // Placement returns the parity placement family.
 func (l *Layout) Placement() Placement { return l.placement }
 
-// GroupWidth returns C-1, the data tracks per parity group.
-func (l *Layout) GroupWidth() int { return l.c - 1 }
+// GroupWidth returns the data tracks per parity group: C-1, where C is
+// the parity group size (smaller than the declustering group under
+// DeclusteredParity).
+func (l *Layout) GroupWidth() int { return l.groupC - 1 }
+
+// DeclusterGroup returns G, the drives per declustering group, or 0 for
+// the clustered placements.
+func (l *Layout) DeclusterGroup() int {
+	if l.placement != DeclusteredParity {
+		return 0
+	}
+	return l.c
+}
+
+// Design returns the block design behind a declustered layout (nil for
+// the clustered placements).
+func (l *Layout) Design() *Design { return l.design }
 
 // Object returns a placed object by ID.
 func (l *Layout) Object(id string) (*Object, bool) {
@@ -224,6 +295,22 @@ func (l *Layout) groupDrives(cl, g int) (data []int, par int) {
 		}
 		nextBase := ((cl + 1) % l.Clusters()) * l.c
 		return data, nextBase + g%l.c
+	case DeclusteredParity:
+		// Map the group onto a block of the design, cycling through the
+		// blocks so consecutive groups hit different drive subsets, and
+		// rotate which block member holds parity so parity storage
+		// spreads over the whole declustering group.
+		b := len(l.design.Blocks)
+		block := l.design.Blocks[g%b]
+		pi := g % len(block)
+		data = make([]int, 0, len(block)-1)
+		for i, m := range block {
+			if i == pi {
+				continue
+			}
+			data = append(data, base+m)
+		}
+		return data, base + block[pi]
 	default:
 		return nil, -1
 	}

@@ -31,10 +31,14 @@ type Config struct {
 	// heartbeat acks). Empty is fine standalone.
 	ID string
 	// Scheme names the fault-tolerance scheme: sr, sg, nc, nc-simple,
-	// ib.
+	// ib, dc.
 	Scheme string
 	// Farm geometry. Zero values default to 20 drives, C=5, K=2.
 	Disks, Cluster, K int
+	// Decluster is G, the declustering group size, for the dc scheme
+	// (0 = 2·Cluster-1); ignored otherwise. Disks must be a whole
+	// number of declustering groups.
+	Decluster int
 	// Workers is the engine's per-cluster read parallelism (0 =
 	// GOMAXPROCS); SlotsPerDisk caps streams per drive (0 = analytic
 	// bound).
@@ -109,7 +113,8 @@ func Start(cfg Config) (*Node, error) {
 	p.Capacity = units.ByteSize((nTitles*cfg.Cluster*tracksPerTitle)/cfg.Disks+tracksPerTitle+50) * p.TrackSize
 	srv, err := server.New(server.Options{
 		Disks: cfg.Disks, ClusterSize: cfg.Cluster,
-		DiskParams: p, Scheme: scheme, K: cfg.K, NCPolicy: policy,
+		DeclusterGroup: cfg.Decluster,
+		DiskParams:     p, Scheme: scheme, K: cfg.K, NCPolicy: policy,
 		Workers: cfg.Workers, SlotsPerDisk: cfg.SlotsPerDisk,
 		DisableMergedReads: cfg.DisableMergedReads,
 	})

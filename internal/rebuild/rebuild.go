@@ -39,9 +39,15 @@ type Rebuilder struct {
 	lay   *layout.Layout
 	drive int
 
-	queue []item
-	done  int
-	reads int
+	queue    []item
+	done     int
+	restored int
+	reads    int
+	// readsBy[d] counts the track reads served by drive d so far — the
+	// per-drive rebuild-read histogram. Under the clustered placements
+	// the load lands on exactly C-1 drives; under declustered parity it
+	// spreads uniformly over the failed drive's G-1 group mates.
+	readsBy []int
 }
 
 // New plans the rebuild of the given drive, which must already be
@@ -58,7 +64,7 @@ func New(farm *disk.Farm, lay *layout.Layout, driveID int) (*Rebuilder, error) {
 	if drv.State() != disk.Operational {
 		return nil, fmt.Errorf("rebuild: drive %d must be replaced before rebuild (state %v)", driveID, drv.State())
 	}
-	r := &Rebuilder{farm: farm, lay: lay, drive: driveID}
+	r := &Rebuilder{farm: farm, lay: lay, drive: driveID, readsBy: make([]int, farm.Size())}
 	for _, obj := range lay.AllObjects() {
 		for gi := range obj.Groups {
 			g := &obj.Groups[gi]
@@ -79,17 +85,26 @@ func New(farm *disk.Farm, lay *layout.Layout, driveID int) (*Rebuilder, error) {
 func (r *Rebuilder) Remaining() int { return len(r.queue) - r.done }
 
 // Restored returns the tracks restored so far.
-func (r *Rebuilder) Restored() int { return r.done }
+func (r *Rebuilder) Restored() int { return r.restored }
 
 // Reads returns the surviving-drive track reads consumed so far.
 func (r *Rebuilder) Reads() int { return r.reads }
+
+// ReadsByDrive returns the per-drive rebuild-read histogram: entry d is
+// how many track reads drive d has served for this rebuild so far.
+func (r *Rebuilder) ReadsByDrive() []int {
+	return append([]int(nil), r.readsBy...)
+}
 
 // Done reports completion.
 func (r *Rebuilder) Done() bool { return r.Remaining() == 0 }
 
 // ReadsPerTrack returns the surviving reads needed per restored track:
-// C-1 (the group's other members).
-func (r *Rebuilder) ReadsPerTrack() int { return r.farm.ClusterSize() - 1 }
+// C-1, the restored track's parity-group mates. Note C is the parity
+// group size, not the declustering group size — under declustered
+// parity the farm's "cluster" is the G-drive declustering group, but a
+// track restore still only reads its C-1 block mates.
+func (r *Rebuilder) ReadsPerTrack() int { return r.lay.GroupWidth() }
 
 // CyclesNeeded estimates the remaining rebuild duration given a spare
 // read budget per cycle.
@@ -112,11 +127,96 @@ func (r *Rebuilder) Step(readBudget int) (int, error) {
 			return restored, err
 		}
 		readBudget -= r.ReadsPerTrack()
-		r.reads += r.ReadsPerTrack()
 		r.done++
+		r.restored++
 		restored++
 	}
 	return restored, nil
+}
+
+// sourceDrives appends the drives a restore of it would read from: the
+// group's other data drives plus parity for a data track, or every data
+// drive for a parity track.
+func (r *Rebuilder) sourceDrives(dst []int, it item) []int {
+	g := &it.obj.Groups[it.group]
+	for j, loc := range g.Data {
+		if j != it.dataOffset {
+			dst = append(dst, loc.Disk)
+		}
+	}
+	if it.dataOffset >= 0 {
+		dst = append(dst, g.Parity.Disk)
+	}
+	return dst
+}
+
+// StepPerDrive restores tracks for one cycle under a per-drive spare
+// read budget: every surviving drive serves at most budget track reads
+// this cycle. Unlike Step's aggregate budget, this models the real
+// rebuild bottleneck — the busiest survivor — and is what separates the
+// clustered schemes (whole rebuild through C-1 drives) from declustered
+// parity (load spread over G-1 drives, window shrunk by (C-1)/(G-1)).
+// Tracks whose sources are saturated are skipped this cycle and retried
+// the next, so declustered rebuilds fill every drive's budget.
+func (r *Rebuilder) StepPerDrive(budget int) (int, error) {
+	if budget < 1 {
+		return 0, nil
+	}
+	used := make(map[int]int)
+	var srcs []int
+	restored := 0
+	pending := r.queue[r.done:]
+	kept := 0
+	for i := 0; i < len(pending); i++ {
+		it := pending[i]
+		srcs = r.sourceDrives(srcs[:0], it)
+		feasible := true
+		for _, d := range srcs {
+			if used[d]+1 > budget {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			pending[kept] = it
+			kept++
+			continue
+		}
+		if err := r.restore(it); err != nil {
+			// Preserve the unprocessed tail before reporting.
+			kept += copy(pending[kept:], pending[i+1:])
+			r.queue = r.queue[:r.done+kept]
+			return restored, err
+		}
+		for _, d := range srcs {
+			used[d]++
+		}
+		r.restored++
+		restored++
+	}
+	r.queue = r.queue[:r.done+kept]
+	return restored, nil
+}
+
+// RunPerDrive drives StepPerDrive until done and returns the rebuild
+// window in cycles.
+func (r *Rebuilder) RunPerDrive(budget, maxCycles int) (int, error) {
+	for cycles := 0; cycles < maxCycles; cycles++ {
+		if r.Done() {
+			return cycles, nil
+		}
+		n, err := r.StepPerDrive(budget)
+		if err != nil {
+			return cycles, err
+		}
+		if n == 0 {
+			return cycles, fmt.Errorf("rebuild: no progress with per-drive budget %d", budget)
+		}
+	}
+	if !r.Done() {
+		return maxCycles, fmt.Errorf("rebuild: incomplete after %d cycles (%d tracks left)", maxCycles, r.Remaining())
+	}
+	return maxCycles, nil
 }
 
 // Run drives Step until done, returning the cycles consumed.
@@ -185,10 +285,18 @@ func (r *Rebuilder) restore(it item) error {
 	return drv.WriteTrack(g.Parity.Track, p)
 }
 
+// readTrack reads one surviving track, charging the read to the serving
+// drive's histogram entry.
 func (r *Rebuilder) readTrack(loc layout.Location) ([]byte, error) {
 	drv, err := r.farm.Drive(loc.Disk)
 	if err != nil {
 		return nil, err
 	}
-	return drv.ReadTrack(loc.Track)
+	blk, err := drv.ReadTrack(loc.Track)
+	if err != nil {
+		return nil, err
+	}
+	r.reads++
+	r.readsBy[loc.Disk]++
+	return blk, nil
 }

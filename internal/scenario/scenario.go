@@ -21,11 +21,15 @@ import (
 
 // Spec is the JSON scenario description.
 type Spec struct {
-	// Scheme is a server.ParseScheme name: sr, sg, nc, nc-simple, ib.
+	// Scheme is a server.ParseScheme name: sr, sg, nc, nc-simple, ib,
+	// dc.
 	Scheme string `json:"scheme"`
 	// Disks and ClusterSize shape the farm.
 	Disks       int `json:"disks"`
 	ClusterSize int `json:"cluster_size"`
+	// DeclusterGroup is G, the declustering group size, for the dc
+	// scheme (0 = 2·ClusterSize-1); ignored otherwise.
+	DeclusterGroup int `json:"decluster_group,omitempty"`
 	// K is the reserve depth (buffer servers / reserved bandwidth).
 	K int `json:"k"`
 	// Titles to archive, each TitleGroups parity groups long.
@@ -200,7 +204,8 @@ func (s *Spec) Run() (*Result, error) {
 	}
 	srv, err := server.New(server.Options{
 		Disks: s.Disks, ClusterSize: s.ClusterSize,
-		Scheme: scheme, NCPolicy: policy, K: s.K,
+		DeclusterGroup: s.DeclusterGroup,
+		Scheme:         scheme, NCPolicy: policy, K: s.K,
 		DiskParams: s.DiskParams(),
 	})
 	if err != nil {

@@ -13,6 +13,11 @@
 //     parity bandwidth spent in normal mode; failures masked by a chained
 //     "shift to the right" into reserved capacity.
 //
+// A fifth scheme extends the paper: Declustered (dc.go) keeps SR's
+// group-at-a-time cycle but maps parity groups onto block-design
+// subsets of G-drive declustering groups, spreading rebuild load over
+// every survivor instead of C-1 cluster mates.
+//
 // Every simulator moves real bytes: deliveries carry track content that
 // tests compare against the originally written object data, so masking a
 // failure means proving the reconstructed bytes are identical.

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"ftmm/internal/analytic"
+	"ftmm/internal/diskmodel"
+)
+
+// dcOptions builds a declustered server: one G=9 declustering group of
+// 9 drives carrying C=3 parity groups on the (9,3) Steiner design.
+func dcOptions() Options {
+	p := diskmodel.Table1()
+	p.Capacity = 60 * p.TrackSize
+	return Options{
+		Disks: 9, ClusterSize: 3, DeclusterGroup: 9,
+		DiskParams: p,
+		Scheme:     analytic.DeclusteredParity,
+	}
+}
+
+func TestDeclusteredServerEndToEnd(t *testing.T) {
+	s, err := New(dcOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Engine().Name(); got != analytic.DeclusteredParity.String() {
+		t.Errorf("engine %q for scheme %q", got, analytic.DeclusteredParity)
+	}
+	// The parity group stays C wide even though the farm's clusters are
+	// the G-drive declustering groups (regression: GroupWidth must come
+	// from the layout, not the farm).
+	if got := s.GroupWidth(); got != 2 {
+		t.Fatalf("GroupWidth = %d, want C-1 = 2", got)
+	}
+	loadTitles(t, s, 2, 16)
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Request(fmt.Sprintf("movie%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunUntilIdle(200); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Hiccups != 0 {
+		t.Errorf("%d hiccups in normal operation", st.Hiccups)
+	}
+	if st.Delivered != 2*16 {
+		t.Errorf("delivered %d tracks, want 32", st.Delivered)
+	}
+	if st.Finished != 2 {
+		t.Errorf("finished %d, want 2", st.Finished)
+	}
+}
+
+// G defaults to 2C-1 when DeclusterGroup is zero.
+func TestDeclusteredServerDefaultGroup(t *testing.T) {
+	opts := dcOptions()
+	opts.DeclusterGroup = 0
+	opts.Disks, opts.ClusterSize = 10, 3 // G defaults to 5; 10 = 2 groups
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Farm().ClusterSize(); got != 5 {
+		t.Fatalf("farm cluster (declustering group) = %d, want default 2C-1 = 5", got)
+	}
+	if got := s.GroupWidth(); got != 2 {
+		t.Fatalf("GroupWidth = %d, want C-1 = 2", got)
+	}
+}
+
+// A failure anywhere in the declustering group is masked, and RepairDisk
+// rebuilds the drive from parity so a replay is clean.
+func TestDeclusteredServerFailureAndRepair(t *testing.T) {
+	s, err := New(dcOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTitles(t, s, 1, 16)
+	if _, _, err := s.Request("movie0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(200); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Hiccups != 0 {
+		t.Fatalf("%d hiccups despite single failure", st.Hiccups)
+	}
+	if err := s.RepairDisk(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Request("movie0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(200); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Hiccups != 0 {
+		t.Errorf("%d hiccups after repair", st.Hiccups)
+	}
+	if st.Reconstructions == 0 {
+		t.Error("degraded playback should have reconstructed tracks")
+	}
+}
+
+// Online rebuild drains a few tracks per cycle while streams keep
+// playing, same as the clustered schemes.
+func TestDeclusteredServerOnlineRebuild(t *testing.T) {
+	s, err := New(dcOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTitles(t, s, 1, 24)
+	if _, _, err := s.Request("movie0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartOnlineRebuild(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	remaining := s.RebuildRemaining()
+	if remaining == 0 {
+		t.Fatal("rebuild has no work")
+	}
+	for i := 0; s.RebuildRemaining() > 0; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if i > remaining+10 {
+			t.Fatalf("rebuild not converging: %d left", s.RebuildRemaining())
+		}
+	}
+	if st := s.Stats(); st.Hiccups != 0 {
+		t.Errorf("%d hiccups during online rebuild", st.Hiccups)
+	}
+}

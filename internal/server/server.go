@@ -45,6 +45,12 @@ type Options struct {
 	// K is the reserve depth: buffer servers for Non-clustered, disks'
 	// worth of reserved bandwidth for Improved-bandwidth.
 	K int
+	// DeclusterGroup is G, the declustering group size, for the
+	// Declustered-parity scheme: parity groups of ClusterSize drives are
+	// mapped onto block-design subsets of G-drive groups. 0 defaults to
+	// 2·ClusterSize-1 (halving the rebuild window); ignored by the other
+	// schemes. Disks must be a whole number of declustering groups.
+	DeclusterGroup int
 	// NCPolicy selects the Non-clustered transition policy.
 	NCPolicy schemes.TransitionPolicy
 	// Tertiary configures the tape library (DefaultConfig if zero).
@@ -147,15 +153,29 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	farm, err := disk.NewFarm(opts.Disks, opts.ClusterSize, opts.DiskParams)
+	// Under declustered parity the farm's clusters are the G-drive
+	// declustering groups; ClusterSize stays the parity group size C.
+	farmCluster := opts.ClusterSize
+	if opts.Scheme == analytic.DeclusteredParity {
+		if opts.DeclusterGroup == 0 {
+			opts.DeclusterGroup = 2*opts.ClusterSize - 1
+		}
+		farmCluster = opts.DeclusterGroup
+	}
+	farm, err := disk.NewFarm(opts.Disks, farmCluster, opts.DiskParams)
 	if err != nil {
 		return nil, err
 	}
-	placement := layout.DedicatedParity
-	if opts.Scheme == analytic.ImprovedBandwidth {
-		placement = layout.IntermixedParity
+	var cat *catalog.Catalog
+	if opts.Scheme == analytic.DeclusteredParity {
+		cat, err = catalog.NewDeclustered(lib, farm, opts.ClusterSize)
+	} else {
+		placement := layout.DedicatedParity
+		if opts.Scheme == analytic.ImprovedBandwidth {
+			placement = layout.IntermixedParity
+		}
+		cat, err = catalog.New(lib, farm, placement)
 	}
-	cat, err := catalog.New(lib, farm, placement)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +196,8 @@ func New(opts Options) (*Server, error) {
 		engine, err = schemes.NewNonClustered(cfg, opts.NCPolicy, opts.K)
 	case analytic.ImprovedBandwidth:
 		engine, err = schemes.NewImprovedBandwidth(cfg, ibReserveSlots(opts))
+	case analytic.DeclusteredParity:
+		engine, err = schemes.NewDeclustered(cfg)
 	default:
 		return nil, fmt.Errorf("server: unknown scheme %v", opts.Scheme)
 	}
@@ -502,7 +524,10 @@ func (s *Server) CycleTime() time.Duration { return s.engine.CycleTime() }
 
 // GroupWidth returns C-1, the data tracks per parity group — the
 // granularity RequestAt admits at and session resume rounds down to.
-func (s *Server) GroupWidth() int { return s.farm.ClusterSize() - 1 }
+// Taken from the layout, not the farm: under declustered parity the
+// farm's clusters are G-drive declustering groups while parity groups
+// stay C wide.
+func (s *Server) GroupWidth() int { return s.cat.Layout().GroupWidth() }
 
 // Rate returns the uniform object bandwidth b0 streams play at.
 func (s *Server) Rate() units.Rate { return s.opts.Rate }
@@ -510,7 +535,7 @@ func (s *Server) Rate() units.Rate { return s.opts.Rate }
 // ParseScheme maps a command-line scheme name to its scheme and
 // Non-clustered transition policy. Accepted: "sr"/"raid"/
 // "streaming-raid", "sg"/"staggered", "nc"/"nc-alternate", "nc-simple",
-// "ib"/"improved".
+// "ib"/"improved", "dc"/"declustered".
 func ParseScheme(name string) (analytic.Scheme, schemes.TransitionPolicy, error) {
 	switch strings.ToLower(name) {
 	case "sr", "raid", "streaming-raid":
@@ -523,6 +548,8 @@ func ParseScheme(name string) (analytic.Scheme, schemes.TransitionPolicy, error)
 		return analytic.NonClustered, schemes.SimpleSwitchover, nil
 	case "ib", "improved":
 		return analytic.ImprovedBandwidth, 0, nil
+	case "dc", "declustered":
+		return analytic.DeclusteredParity, 0, nil
 	default:
 		return 0, 0, fmt.Errorf("server: unknown scheme %q", name)
 	}

@@ -328,6 +328,8 @@ func TestParseScheme(t *testing.T) {
 		{"nc-simple", analytic.NonClustered, schemes.SimpleSwitchover},
 		{"ib", analytic.ImprovedBandwidth, 0},
 		{"Improved", analytic.ImprovedBandwidth, 0},
+		{"dc", analytic.DeclusteredParity, 0},
+		{"declustered", analytic.DeclusteredParity, 0},
 	}
 	for _, c := range cases {
 		scheme, policy, err := ParseScheme(c.in)
