@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -28,6 +29,7 @@ import (
 	"ftmm/internal/disk"
 	"ftmm/internal/diskmodel"
 	"ftmm/internal/layout"
+	"ftmm/internal/metrics"
 	"ftmm/internal/netserve"
 	"ftmm/internal/node"
 	"ftmm/internal/parity"
@@ -48,6 +50,10 @@ type benchEntry struct {
 	// Streams is the number of active streams the engine serves during
 	// the measured cycles (0 for substrate microbenchmarks).
 	Streams int `json:"streams"`
+	// Extra carries b.ReportMetric columns — for the fan-out rows, the
+	// pipeline phase breakdown (mean read/stage µs per cycle and overlap
+	// percentage). Informational; the compare gate ignores it.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // baselineFile is the BENCH_*.json wire shape.
@@ -286,33 +292,14 @@ func baselineSpecs() []baselineSpec {
 		}},
 		{"NetserveFanout64", 64, func(b *testing.B) {
 			// Fan-out: 64 concurrent sessions over loopback, 8 per title.
-			// One op is a full wave — every client streams its whole title —
-			// proving the zero-copy path (refcounted tracks shared across
-			// sessions, one vectored write per session per cycle) holds up
-			// under concurrency, not just on a single stream.
-			const fanout = 64
-			ns, names, _, titleSize := netserveBenchRig(b, 8, 8)
-			defer ns.Close()
-			b.SetBytes(int64(fanout) * int64(titleSize))
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var wg sync.WaitGroup
-				errs := make(chan error, fanout)
-				for s := 0; s < fanout; s++ {
-					wg.Add(1)
-					go func(title string) {
-						defer wg.Done()
-						if err := streamOnce(ns.Addr().String(), title); err != nil {
-							errs <- err
-						}
-					}(names[s%len(names)])
-				}
-				wg.Wait()
-				close(errs)
-				for err := range errs {
-					b.Fatal(err)
-				}
-			}
+			// Like the wider fan-out rows, the cohort's dials and ADMIT
+			// handshakes run off the timer (64 TCP dials alone cost more
+			// allocations than a whole title's delivery) and the op is one
+			// delivered TRACK frame, so MB/s is the aggregate delivery rate
+			// and allocs/op isolates the steady-state zero-copy path —
+			// refcounted tracks shared across sessions, one vectored write
+			// per session per cycle — from connection setup.
+			benchFanoutTracks(b, 64, 8, 8)
 		}},
 		{"NetserveFanout1k", 1000, func(b *testing.B) {
 			// Wide fan-out on the Zipf head: 1000 concurrent sessions, 100
@@ -475,7 +462,7 @@ func netserveBenchRig(tb testing.TB, titles, groups int) (*netserve.NetServer, [
 // session), there is no pacing clock (the bench drives StepCycle), and
 // the send queue holds a whole title so no client can be shed however
 // fast cycles are pushed.
-func fanoutBenchRig(tb testing.TB, fanout, titles, groups int) (*netserve.NetServer, []string, int) {
+func fanoutBenchRig(tb testing.TB, fanout, titles, groups int) (*netserve.NetServer, *server.Server, []string, int) {
 	scheme, policy, err := server.ParseScheme("sr")
 	if err != nil {
 		tb.Fatal(err)
@@ -504,7 +491,7 @@ func fanoutBenchRig(tb testing.TB, fanout, titles, groups int) (*netserve.NetSer
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return ns, names, trackSize
+	return ns, srv, names, trackSize
 }
 
 // benchFanoutTracks drives the fan-out rows: admit the whole cohort off
@@ -517,7 +504,7 @@ func fanoutBenchRig(tb testing.TB, fanout, titles, groups int) (*netserve.NetSer
 func benchFanoutTracks(b *testing.B, fanout, titles, groups int) {
 	const clusterSize = 4 // fanoutBenchRig's farm shape
 	perCycle := fanout * (clusterSize - 1)
-	ns, names, trackSize := fanoutBenchRig(b, fanout, titles, groups)
+	ns, srv, names, trackSize := fanoutBenchRig(b, fanout, titles, groups)
 	defer ns.Close()
 	b.SetBytes(int64(trackSize))
 	b.ResetTimer()
@@ -599,6 +586,25 @@ func benchFanoutTracks(b *testing.B, fanout, titles, groups int) {
 		b.StartTimer()
 	}
 	b.StopTimer()
+	reportPhases(b, srv.Metrics())
+}
+
+// reportPhases turns the front end's pipeline histograms into extra
+// benchmark columns: mean engine-read and staging-pass time per cycle
+// (µs) and the mean share of each read that overlapped the previous
+// cycle's staging (the pipeline's payoff, in percent). The columns ride
+// into the baseline file's "extra" field; they are informational, not
+// gated.
+func reportPhases(b *testing.B, m *metrics.Registry) {
+	for _, p := range []struct{ hist, unit string }{
+		{"pipe_read_us", "read-us/cycle"},
+		{"pipe_stage_us", "stage-us/cycle"},
+		{"pipe_overlap_pct", "overlap-%"},
+	} {
+		if h := m.Histogram(p.hist); h.Count() > 0 {
+			b.ReportMetric(h.Mean(), p.unit)
+		}
+	}
 }
 
 // clusterBenchRig builds nNodes loopback shards behind a coordinator,
@@ -672,54 +678,21 @@ func streamViaOnce(addr, title string) error {
 	}
 }
 
-// streamOnce dials, admits (retrying transient capacity rejections —
-// the server closes rejected connections, so each retry redials), and
-// consumes one full title with reused buffers.
-func streamOnce(addr, title string) error {
-	var cl *netserve.Client
-	for attempt := 0; ; attempt++ {
-		c, err := netserve.Dial(addr, 30*time.Second)
-		if err != nil {
-			return err
-		}
-		c.ReuseBuffers(true)
-		if _, err := c.Admit(title); err != nil {
-			c.Close()
-			var rej *netserve.RejectedError
-			if errors.As(err, &rej) && rej.Reject.RetryAfterMillis >= 0 && attempt < 10000 {
-				time.Sleep(200 * time.Microsecond)
-				continue
-			}
-			return err
-		}
-		cl = c
-		break
-	}
-	defer cl.Close()
-	for {
-		ev, err := cl.Next()
-		if err != nil {
-			return err
-		}
-		if ev.Bye != nil {
-			if ev.Bye.Reason != "finished" {
-				return fmt.Errorf("stream %s ended with bye %q", title, ev.Bye.Reason)
-			}
-			return nil
-		}
-	}
-}
-
-// fanout10kSpec is the opt-in ten-thousand-session row
-// (-bench-fanout10k): ~20k sockets on one box, so it first raises
-// RLIMIT_NOFILE (needs privilege if the hard limit is below the ask)
-// and runs under a longer bench time so the iteration count climbs past
-// one cohort's first cycle. It is not part of the committed baseline or
-// the compare gate.
+// fanout10kSpec is the ten-thousand-session row: ~20k sockets on one
+// box, so it first raises RLIMIT_NOFILE (needs privilege if the hard
+// limit is below the ask) and runs under a longer bench time so the
+// iteration count climbs past one cohort's first cycle. Part of the
+// committed baseline since BENCH_6; -bench-fanout10k=false skips it on
+// fd-limited machines (the compare gate tolerates the missing row).
 func fanout10kSpec() baselineSpec {
 	return baselineSpec{"NetserveFanout10k", 10_000, func(b *testing.B) {
 		if err := raiseFDLimit(25_000); err != nil {
-			b.Fatal(err)
+			// Unprivileged containers often pin the hard limit below the
+			// ask; the row skips rather than failing the whole run, and
+			// runBaseline drops the empty result from the file.
+			// testing.Benchmark swallows skip logs, hence the direct print.
+			fmt.Fprintf(os.Stderr, "NetserveFanout10k: %v (skipping row)\n", err)
+			b.Skip(err)
 		}
 		benchFanoutTracks(b, 10_000, 10, 12)
 	}}
@@ -822,6 +795,13 @@ func runBaseline(path string, fanout10k bool, only []string) error {
 			spec.run(b)
 		})
 		restore()
+		if r.N == 0 {
+			// The benchmark failed or skipped (testing.Benchmark returns a
+			// zero result either way); keep it out of the file so the JSON
+			// stays finite and the compare gate just reports a missing row.
+			fmt.Printf("%-28s skipped (no iterations; see output above)\n", spec.name)
+			continue
+		}
 		e := benchEntry{
 			Name:        spec.name,
 			Iterations:  r.N,
@@ -833,6 +813,12 @@ func runBaseline(path string, fanout10k bool, only []string) error {
 		if r.Bytes > 0 && r.T > 0 {
 			e.MBPerSec = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
 		}
+		if len(r.Extra) > 0 {
+			e.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Extra[k] = v
+			}
+		}
 		out.Benchmarks = append(out.Benchmarks, e)
 		line := fmt.Sprintf("%-28s %12.0f ns/op %8d allocs/op %10d B/op",
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
@@ -841,6 +827,18 @@ func runBaseline(path string, fanout10k bool, only []string) error {
 				100*(float64(e.AllocsPerOp)-float64(p.AllocsPerOp))/float64(p.AllocsPerOp))
 		}
 		fmt.Println(line)
+		if len(e.Extra) > 0 {
+			keys := make([]string, 0, len(e.Extra))
+			for k := range e.Extra {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			phases := "    phases:"
+			for _, k := range keys {
+				phases += fmt.Sprintf(" %s=%.0f", k, e.Extra[k])
+			}
+			fmt.Println(phases)
+		}
 	}
 
 	if err := checkParityTiers(out.Benchmarks); err != nil {

@@ -50,8 +50,8 @@ var (
 		"diff two -bench-baseline files (args: old.json new.json); exit non-zero on >20% ns/op or any allocs/op regression beyond pool-refill noise")
 	compareWarnNS = flag.Bool("compare-warn-ns", false,
 		"with -bench-compare, demote ns/op regressions to warnings (allocs/op still hard-fails) — for CI runners whose speed differs from the committed baseline's machine")
-	benchFanout10k = flag.Bool("bench-fanout10k", false,
-		"with -bench-baseline, also run the opt-in NetserveFanout10k row (~20k sockets; raises RLIMIT_NOFILE and takes minutes; not part of the compare gate)")
+	benchFanout10k = flag.Bool("bench-fanout10k", true,
+		"with -bench-baseline, run the NetserveFanout10k row (~20k sockets; raises RLIMIT_NOFILE and takes minutes); =false skips it on fd-limited machines")
 
 	cpuProfile = flag.String("cpuprofile", "",
 		"write a CPU profile to this file (see DESIGN.md for the fan-out profiling recipe)")

@@ -61,6 +61,7 @@ var (
 	groups     = flag.Int("groups", 20, "parity groups per title")
 	workers    = flag.Int("workers", 0, "engine per-cluster worker goroutines (0 = GOMAXPROCS)")
 	noMerge    = flag.Bool("no-merged-reads", false, "disable same-title read merging (benchmarking knob; reports are identical either way)")
+	noPipe     = flag.Bool("no-pipeline", false, "disable the two-stage cycle pipeline (benchmarking/bisection knob; delivered bytes are identical either way)")
 	speed      = flag.Float64("speed", 1, "wall-clock speedup for the pacer (0: virtual clock, cycles back to back)")
 	queue      = flag.Int("queue", 64, "per-session send queue depth in bursts (overflow sheds the client)")
 	writeTO    = flag.Duration("write-timeout", 10*time.Second, "per-burst socket write stall limit (timer-wheel supervised)")
@@ -135,6 +136,7 @@ func runNode() error {
 		Decluster:          *decluster,
 		Workers:            *workers,
 		DisableMergedReads: *noMerge,
+		NoPipeline:         *noPipe,
 		GenTitles:          *titles,
 		Groups:             *groups,
 		Addr:               *addr,

@@ -315,20 +315,22 @@ func RunCluster(cfg ClusterRunConfig) (*ClusterRunResult, error) {
 		r.advanceLedger(reps)
 
 		if cycle >= lastEvent && r.allIdle() {
-			// One drain step per surviving node: engines release their
-			// last report's buffers at the start of the next Step, and
-			// the leak checkers need that to have happened.
-			crc.Cycle = cycle + 1
-			for _, nd := range crc.Nodes {
-				if nd.State == NodeDead {
-					continue
+			// Two drain steps per surviving node: engines hold a report's
+			// buffers for two Steps (the double-buffered report window),
+			// and the leak checkers need both generations released.
+			for extra := 1; extra <= 2; extra++ {
+				crc.Cycle = cycle + extra
+				for _, nd := range crc.Nodes {
+					if nd.State == NodeDead {
+						continue
+					}
+					nd.RC.Cycle = cycle + extra
+					if _, err := nd.Srv.Step(); err != nil {
+						return violate("run-error", nd.ID, err), nil
+					}
 				}
-				nd.RC.Cycle = cycle + 1
-				if _, err := nd.Srv.Step(); err != nil {
-					return violate("run-error", nd.ID, err), nil
-				}
+				res.Cycles++
 			}
-			res.Cycles++
 			crc.Drained = true
 			break
 		}

@@ -181,14 +181,17 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			}
 		}
 		if cycle >= lastEvent && srv.Engine().Active() == 0 && srv.RebuildRemaining() == 0 {
-			// One drain step: the engine releases its references on the
-			// final report's buffers at the start of the next Step, and
-			// the leak checker needs that to have happened.
-			rc.Cycle = cycle + 1
-			if _, err := srv.Step(); err != nil {
-				return violate("run-error", err), nil
+			// Two drain steps: the engine holds its references on a
+			// report's buffers for two Steps (the double-buffered report
+			// window the pipelined front end stages from), and the leak
+			// checker needs both generations released.
+			for extra := 1; extra <= 2; extra++ {
+				rc.Cycle = cycle + extra
+				if _, err := srv.Step(); err != nil {
+					return violate("run-error", err), nil
+				}
+				res.Cycles++
 			}
-			res.Cycles++
 			break
 		}
 	}

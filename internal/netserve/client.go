@@ -189,6 +189,23 @@ type Event struct {
 	Bye *Bye
 }
 
+// internedByes maps the exact payloads of the server's prebuilt BYE
+// frames to shared decoded values, so the common session endings skip
+// json.Unmarshal (the map index on a byte slice does not allocate).
+// The values are shared across sessions — callers must treat Event.Bye
+// as read-only, which they already must for Data under ReuseBuffers.
+var internedByes = func() map[string]*Bye {
+	m := make(map[string]*Bye)
+	for _, reason := range []string{"finished", "terminated"} {
+		p, err := json.Marshal(Bye{Reason: reason})
+		if err != nil {
+			panic(err)
+		}
+		m[string(p)] = &Bye{Reason: reason}
+	}
+	return m
+}()
+
 // Next returns the next event. After a Bye event (or an error) the
 // session is over.
 func (c *Client) Next() (Event, error) {
@@ -211,6 +228,9 @@ func (c *Client) Next() (Event, error) {
 			}
 			return Event{Hiccup: &h}, nil
 		case frameBye:
+			if b := internedByes[string(payload)]; b != nil {
+				return Event{Bye: b}, nil
+			}
 			var b Bye
 			if err := json.Unmarshal(payload, &b); err != nil {
 				return Event{}, fmt.Errorf("netserve: bad BYE payload: %w", err)

@@ -1,18 +1,22 @@
 package netserve
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ftmm/internal/buffer"
 	"ftmm/internal/cluster"
+	"ftmm/internal/metrics"
 	"ftmm/internal/sched"
 	"ftmm/internal/server"
 )
@@ -64,6 +68,12 @@ type Options struct {
 	// /debug/pprof/ on Handler's mux. Opt-in: profile endpoints can
 	// stall a loaded server and should not be exposed by default.
 	EnablePprof bool
+	// NoPipeline disables the two-stage cycle pipeline: StepCycle stages,
+	// flushes, and closes out the cycle's deliveries before returning,
+	// exactly as the pre-pipeline loop did, instead of overlapping them
+	// with the next cycle's engine reads. Bisection/debug knob — the
+	// bytes every client sees are bit-identical either way.
+	NoPipeline bool
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -95,22 +105,19 @@ type NetServer struct {
 	// goroutine, replacing a per-write SetWriteDeadline syscall pair.
 	wheel *TimerWheel
 
-	// burstPool recycles burst containers; hdrPool recycles TRACK frame
-	// headers; sharedPool recycles shared-run containers. Together with
-	// refcounted track payloads they make the steady-state write path
-	// allocation-free.
+	// burstPool recycles burst containers; sharedPool recycles shared-run
+	// containers (each carries its own reusable TRACK-header slab).
+	// Together with refcounted track payloads they make the steady-state
+	// write path allocation-free.
 	burstPool  sync.Pool
-	hdrPool    sync.Pool
 	sharedPool sync.Pool
+	// ctrlPool recycles small per-session control-frame buffers (hiccup
+	// notes) whose contents vary; fixed control frames (BYE) are static.
+	ctrlPool sync.Pool
 
-	// cycleShared maps a run's first payload ref to its staged shared
-	// frames within one cycle's staging pass (cycle loop only, cleared
-	// after each pass). Sessions whose delivered run is pointer-identical
-	// attach the same sharedFrames instead of re-staging it.
-	cycleShared map[*buffer.Ref]*sharedFrames
-
-	// mu is the engine lock: it guards srv, schedule, view, and drain
-	// state.
+	// mu is the engine lock, shrunk to control-plane work: it guards
+	// srv (admit/cancel/step), schedule, view, and drain state. Delivery
+	// staging runs outside it, on the shard workers.
 	mu       sync.Mutex
 	cond     *sync.Cond
 	schedule []scheduledEvent
@@ -122,14 +129,76 @@ type NetServer struct {
 	drained  chan struct{}
 	closed   bool
 
-	// touched and finishing are the cycle loop's scratch lists (guarded
-	// by mu): sessions with a pending burst this cycle, and sessions
-	// whose queue closes once that burst is flushed.
-	touched   []*session
-	finishing []*session
+	// stepMu serializes cycle drivers (the pacer, tests, the chaos
+	// harness) and guards the pipeline's pass pointers. It is never held
+	// while waiting on mu's owner, and staging holds neither lock, so
+	// HELLO/ADMIT only ever queue behind the engine's read phase.
+	stepMu  sync.Mutex
+	curPass *stagePass // the last stepped cycle's pass; may still be staging
+	prvPass *stagePass // the pass before it; must finish before the next Step
+
+	// stagers feed the per-shard staging workers (one per session-table
+	// shard); scratch[w] is worker w's private touched/finishing lists.
+	stagers  [sessionShards]chan *stagePass
+	scratch  [sessionShards]stageScratch
+	passPool sync.Pool
+
+	// Cached hot-path instruments (a registry lookup per track would
+	// contend across 16 workers).
+	tracksSent, bytesSent, hiccupsSent, mergedTracks *metrics.Counter
+	// Pipeline phase histograms: engine read time, pass staging time,
+	// per-burst socket write time (all µs), and the share of each Step
+	// that overlapped the previous cycle's staging (percent).
+	phaseRead, phaseStage, phaseFlush, phaseOverlap *metrics.Histogram
+
+	// reportHook, when non-nil, receives a Clone of every stepped
+	// cycle's report before its pass is dispatched. Tests use it to
+	// compare pipelined and NoPipeline runs report-for-report; set it
+	// before the first StepCycle and leave it alone after.
+	reportHook func(*sched.CycleReport)
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// stageScratch is one shard worker's private per-pass scratch: sessions
+// with a burst staged this pass, and sessions whose queue closes once
+// that burst is flushed. Only worker w touches scratch[w].
+type stageScratch struct {
+	touched   []*session
+	finishing []*session
+}
+
+// stagePass is one cycle's delivery staging, fanned across the shard
+// workers while the engine may already be computing the next cycle.
+// The pass owns nothing of the report's buffers directly — each staged
+// frame retains its track's ref — but it does hold one reference on
+// every sharedFrames it creates (see sharedFor) until the pass
+// completes, so concurrent workers can attach to a shared run without
+// racing its teardown.
+type stagePass struct {
+	rep *sched.CycleReport
+	// pending counts shard workers still staging; the last one out
+	// releases the pass holds, observes the stage histogram, re-checks
+	// drain, and closes done.
+	pending atomic.Int32
+	done    chan struct{}
+	start   time.Time
+	// idle marks a pass whose report touched no shard (nothing staged,
+	// finished inline). Idle passes skip the stage/overlap histograms so
+	// drain-spin cycles don't dilute the phase means with zeros.
+	idle bool
+	// doneAt is the pass-completion wall time in UnixNanos (0 while
+	// running) — the next Step reads it to compute the overlap ratio.
+	doneAt atomic.Int64
+
+	// shared maps a run's first payload ref to its staged shared frames
+	// within this pass. Sessions whose delivered run is pointer-identical
+	// (the engine merged their reads) attach the same sharedFrames
+	// instead of re-staging it. Guarded by sharedMu: runs merge across
+	// stream IDs, so workers on different shards reach the same entry.
+	sharedMu sync.Mutex
+	shared   map[*buffer.Ref]*sharedFrames
 }
 
 // sessionTable is a lock-striped stream-ID → session map.
@@ -198,11 +267,14 @@ func (t *sessionTable) drainAll(f func(*session)) {
 }
 
 // outFrame is one frame staged into a burst: either a pre-encoded
-// control frame (ctrl) or a TRACK frame as pooled header + payload,
-// where ref (when non-nil) holds the payload's refcount.
+// control frame (ctrl, with ctrlp set when its buffer came from the
+// control-frame pool) or a TRACK frame as a header slice into its
+// container's slab plus the payload, where ref (when non-nil) holds the
+// payload's refcount.
 type outFrame struct {
 	ctrl    []byte
-	hdr     *[trackHeaderLen]byte
+	ctrlp   *[]byte
+	hdr     []byte
 	payload []byte
 	ref     *buffer.Ref
 }
@@ -211,10 +283,12 @@ type outFrame struct {
 // written by every session whose delivery this cycle is the same merged
 // run (same refcounted buffers, in order — the engine's same-title read
 // merging makes these pointer-identical across sessions). holders counts
-// the bursts that still owe a release; the last one to let go releases
-// the refs and headers and recycles the container.
+// the staging pass (which holds one reference from creation until the
+// pass completes) plus the bursts that still owe a release; the last one
+// to let go releases the refs and recycles the container, slab and all.
 type sharedFrames struct {
 	frames  []outFrame
+	hdrs    []byte // TRACK-header slab, reused across cycles
 	holders atomic.Int32
 }
 
@@ -225,7 +299,24 @@ type sharedFrames struct {
 type burst struct {
 	shared *sharedFrames
 	frames []outFrame
+	hdrs   []byte // TRACK-header slab, reused across cycles
 	bufs   net.Buffers
+}
+
+// appendTrackHeader carves the next TRACK header out of slab, returning
+// the grown slab and the header slice. When append moves the slab to a
+// bigger backing array, headers carved earlier stay valid — their
+// frames keep the old array alive — so only the final backing is kept
+// for reuse and steady-state cycles never allocate here.
+func appendTrackHeader(slab []byte, track, dataLen int) ([]byte, []byte) {
+	var zero [trackHeaderLen]byte
+	n := len(slab)
+	slab = append(slab, zero[:]...)
+	h := slab[n : n+trackHeaderLen : n+trackHeaderLen]
+	h[0] = frameTrack
+	binary.BigEndian.PutUint32(h[1:frameHeaderLen], uint32(4+dataLen))
+	binary.BigEndian.PutUint32(h[frameHeaderLen:], uint32(track))
+	return slab, h
 }
 
 // session is one admitted client connection.
@@ -345,10 +436,24 @@ func New(opts Options) (*NetServer, error) {
 	}
 	ns.sessions.init()
 	ns.burstPool.New = func() any { return new(burst) }
-	ns.hdrPool.New = func() any { return new([trackHeaderLen]byte) }
 	ns.sharedPool.New = func() any { return new(sharedFrames) }
-	ns.cycleShared = make(map[*buffer.Ref]*sharedFrames)
+	ns.ctrlPool.New = func() any { b := make([]byte, 0, 64); return &b }
 	ns.cond = sync.NewCond(&ns.mu)
+	m := srv.Metrics()
+	ns.tracksSent = m.Counter("net_tracks_sent")
+	ns.bytesSent = m.Counter("net_bytes_sent")
+	ns.hiccupsSent = m.Counter("net_hiccups_sent")
+	ns.mergedTracks = m.Counter("net_merged_tracks")
+	usBounds := []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000}
+	ns.phaseRead = m.Histogram("pipe_read_us", usBounds...)
+	ns.phaseStage = m.Histogram("pipe_stage_us", usBounds...)
+	ns.phaseFlush = m.Histogram("pipe_flush_us", usBounds...)
+	ns.phaseOverlap = m.Histogram("pipe_overlap_pct", 0, 10, 25, 50, 75, 90)
+	for w := range ns.stagers {
+		ns.stagers[w] = make(chan *stagePass, 2) // ≥ the pipeline depth: dispatch never blocks
+		ns.wg.Add(1)
+		go ns.stageWorker(w)
+	}
 	ns.wg.Add(1)
 	go ns.acceptLoop()
 	if opts.Clock != nil {
@@ -568,8 +673,8 @@ func (ns *NetServer) logf(format string, args ...any) {
 func (ns *NetServer) newBurst() *burst { return ns.burstPool.Get().(*burst) }
 
 // releaseBurst drops the burst's hold on its shared run (if any),
-// releases every private retained track buffer, returns frame headers to
-// their pool, and recycles the container. Safe on nil.
+// releases every private retained track buffer, returns pooled control
+// buffers, and recycles the container with its header slab. Safe on nil.
 func (ns *NetServer) releaseBurst(b *burst) {
 	if b == nil {
 		return
@@ -583,12 +688,14 @@ func (ns *NetServer) releaseBurst(b *burst) {
 		if f.ref != nil {
 			f.ref.Release()
 		}
-		if f.hdr != nil {
-			ns.hdrPool.Put(f.hdr)
+		if f.ctrlp != nil {
+			*f.ctrlp = f.ctrl[:0]
+			ns.ctrlPool.Put(f.ctrlp)
 		}
 		b.frames[i] = outFrame{}
 	}
 	b.frames = b.frames[:0]
+	b.hdrs = b.hdrs[:0]
 	for i := range b.bufs {
 		b.bufs[i] = nil
 	}
@@ -596,11 +703,12 @@ func (ns *NetServer) releaseBurst(b *burst) {
 	ns.burstPool.Put(b)
 }
 
-// releaseShared drops one holder of a shared run. Every holder was
-// counted under the engine lock before any burst referencing the run was
-// enqueued, so the decrement that reaches zero is genuinely the last
-// one; it releases the run's refs and headers and recycles the
-// container. Called from writer goroutines, hence the atomic.
+// releaseShared drops one holder of a shared run. The staging pass holds
+// a reference from the moment the run is created until the pass
+// completes, and every burst's hold is counted before that release, so
+// the decrement that reaches zero is genuinely the last one; it releases
+// the run's refs and recycles the container with its header slab. Called
+// from writer goroutines and shard workers, hence the atomic.
 func (ns *NetServer) releaseShared(sf *sharedFrames) {
 	if sf.holders.Add(-1) != 0 {
 		return
@@ -610,12 +718,10 @@ func (ns *NetServer) releaseShared(sf *sharedFrames) {
 		if f.ref != nil {
 			f.ref.Release()
 		}
-		if f.hdr != nil {
-			ns.hdrPool.Put(f.hdr)
-		}
 		sf.frames[i] = outFrame{}
 	}
 	sf.frames = sf.frames[:0]
+	sf.hdrs = sf.hdrs[:0]
 	ns.sharedPool.Put(sf)
 }
 
@@ -635,63 +741,87 @@ func runMatches(sf *sharedFrames, run []sched.Delivery) bool {
 	return true
 }
 
+// sharedFor finds or stages the pass's shared frames for a merged run.
+// The pass table is shared across shard workers (merged runs span
+// stream IDs, hence shards), so lookup-or-create runs under sharedMu;
+// a newly created run starts with one holder — the pass's own, released
+// when the pass completes — so a concurrent writer finishing early can
+// never tear the run down while another shard is still attaching.
+func (p *stagePass) sharedFor(ns *NetServer, run []sched.Delivery) (sf *sharedFrames, merged bool) {
+	key := run[0].Buf
+	p.sharedMu.Lock()
+	defer p.sharedMu.Unlock()
+	if sf := p.shared[key]; sf != nil {
+		if runMatches(sf, run) {
+			return sf, true
+		}
+		// A different run under the same first buffer cannot happen with
+		// the engine's merging; if it ever does, drop the pass's hold on
+		// the superseded entry rather than leak it.
+		ns.releaseShared(sf)
+	}
+	sf = ns.sharedPool.Get().(*sharedFrames)
+	for i := range run {
+		d := &run[i]
+		var h []byte
+		sf.hdrs, h = appendTrackHeader(sf.hdrs, d.Track, len(d.Data))
+		d.Buf.Retain()
+		sf.frames = append(sf.frames, outFrame{hdr: h, payload: d.Data, ref: d.Buf})
+	}
+	sf.holders.Store(1)
+	p.shared[key] = sf
+	return sf, false
+}
+
 // stageRun stages one stream's contiguous delivered run for this cycle.
 // Runs whose payloads carry refcounts are staged once per distinct run
 // and shared by every session delivering the same buffers — one set of
 // headers, retains, and frame bookkeeping for the whole title group
-// instead of O(sessions) copies of it. Cycle loop only.
-func (ns *NetServer) stageRun(sess *session, run []sched.Delivery) {
+// instead of O(sessions) copies of it. Shard worker only.
+func (ns *NetServer) stageRun(p *stagePass, sc *stageScratch, sess *session, run []sched.Delivery) {
 	if len(run) == 0 {
 		return
 	}
-	b := ns.burstFor(sess)
+	b := ns.burstFor(sc, sess)
 	if run[0].Buf == nil || b.shared != nil {
 		// No refcount to share (copy-path engine), or the session already
 		// carries a shared run this cycle (engines deliver one contiguous
 		// run per stream per cycle; tolerate more): stage privately.
 		for i := range run {
-			ns.stageTrack(sess, &run[i])
+			ns.stageTrack(sc, sess, &run[i])
 		}
 		return
 	}
-	sf := ns.cycleShared[run[0].Buf]
-	if sf != nil && runMatches(sf, run) {
-		ns.srv.Metrics().Counter("net_merged_tracks").Add(int64(len(run)))
-	} else {
-		sf = ns.sharedPool.Get().(*sharedFrames)
-		for i := range run {
-			d := &run[i]
-			hdr := ns.hdrPool.Get().(*[trackHeaderLen]byte)
-			encodeTrackHeader(hdr, d.Track, len(d.Data))
-			d.Buf.Retain()
-			sf.frames = append(sf.frames, outFrame{hdr: hdr, payload: d.Data, ref: d.Buf})
-		}
-		ns.cycleShared[run[0].Buf] = sf
+	sf, merged := p.sharedFor(ns, run)
+	if merged {
+		ns.mergedTracks.Add(int64(len(run)))
 	}
 	sf.holders.Add(1)
 	b.shared = sf
 }
 
-// burstFor returns the session's in-progress burst for this cycle,
-// opening one (and remembering the session for the flush pass) on first
-// use. Cycle loop only.
-func (ns *NetServer) burstFor(sess *session) *burst {
+// burstFor returns the session's in-progress burst for this pass,
+// opening one (and remembering the session for the flush sweep) on
+// first use. Shard worker only: a session belongs to exactly one shard,
+// and each worker consumes passes in dispatch order, so sess.cur is
+// single-threaded even with two passes in flight.
+func (ns *NetServer) burstFor(sc *stageScratch, sess *session) *burst {
 	if sess.cur == nil {
 		sess.cur = ns.newBurst()
-		ns.touched = append(ns.touched, sess)
+		sc.touched = append(sc.touched, sess)
 	}
 	return sess.cur
 }
 
-// stageTrack adds one delivered track to the session's cycle burst,
+// stageTrack adds one delivered track to the session's pass burst,
 // retaining the engine's refcounted buffer instead of copying it. The
 // reference is released after the vectored write completes (or when the
 // burst is discarded on shed/teardown).
-func (ns *NetServer) stageTrack(sess *session, d *sched.Delivery) {
-	b := ns.burstFor(sess)
-	hdr := ns.hdrPool.Get().(*[trackHeaderLen]byte)
-	encodeTrackHeader(hdr, d.Track, len(d.Data))
-	f := outFrame{hdr: hdr, payload: d.Data}
+func (ns *NetServer) stageTrack(sc *stageScratch, sess *session, d *sched.Delivery) {
+	b := ns.burstFor(sc, sess)
+	var h []byte
+	b.hdrs, h = appendTrackHeader(b.hdrs, d.Track, len(d.Data))
+	f := outFrame{hdr: h, payload: d.Data}
 	if d.Buf != nil {
 		d.Buf.Retain()
 		f.ref = d.Buf
@@ -703,15 +833,16 @@ func (ns *NetServer) stageTrack(sess *session, d *sched.Delivery) {
 	b.frames = append(b.frames, f)
 }
 
-// stageCtrl adds a pre-encoded control frame to the session's burst.
-func (ns *NetServer) stageCtrl(sess *session, frame []byte) {
-	b := ns.burstFor(sess)
-	b.frames = append(b.frames, outFrame{ctrl: frame})
+// stageCtrl adds a control frame to the session's pass burst.
+func (ns *NetServer) stageCtrl(sc *stageScratch, sess *session, f outFrame) {
+	b := ns.burstFor(sc, sess)
+	b.frames = append(b.frames, f)
 }
 
-// flushLocked hands the session's staged burst to its writer. Overflow
-// sheds the session; a dead session's burst is simply released.
-func (ns *NetServer) flushLocked(sess *session) {
+// flushStaged hands the session's staged burst to its writer. Overflow
+// sheds the session; a dead session's burst is simply released. Runs on
+// shard workers, outside the engine lock — only the shed path takes it.
+func (ns *NetServer) flushStaged(sess *session) {
 	b := sess.cur
 	sess.cur = nil
 	if b == nil || (len(b.frames) == 0 && b.shared == nil) {
@@ -737,12 +868,13 @@ func (ns *NetServer) flushLocked(sess *session) {
 	queued, overflow := sess.enqueue(b)
 	switch {
 	case queued:
-		m := ns.srv.Metrics()
-		m.Counter("net_tracks_sent").Add(int64(tracks))
-		m.Counter("net_bytes_sent").Add(int64(nbytes))
+		ns.tracksSent.Add(int64(tracks))
+		ns.bytesSent.Add(int64(nbytes))
 	case overflow:
 		ns.releaseBurst(b)
+		ns.mu.Lock()
 		ns.shedLocked(sess)
+		ns.mu.Unlock()
 	default:
 		ns.releaseBurst(b)
 	}
@@ -987,7 +1119,7 @@ func (ns *NetServer) writeBurst(sess *session, b *burst) error {
 		// mutates its own bufs.
 		for i := range b.shared.frames {
 			f := &b.shared.frames[i]
-			bufs = append(bufs, f.hdr[:], f.payload)
+			bufs = append(bufs, f.hdr, f.payload)
 		}
 	}
 	for i := range b.frames {
@@ -995,12 +1127,14 @@ func (ns *NetServer) writeBurst(sess *session, b *burst) error {
 		if f.ctrl != nil {
 			bufs = append(bufs, f.ctrl)
 		} else {
-			bufs = append(bufs, f.hdr[:], f.payload)
+			bufs = append(bufs, f.hdr, f.payload)
 		}
 	}
 	b.bufs = bufs
 	sess.wt.Reset(ns.opts.WriteTimeout)
+	start := time.Now()
 	err := writeVectored(sess.conn, b.bufs)
+	ns.phaseFlush.Observe(time.Since(start).Microseconds())
 	sess.wt.Stop()
 	ns.releaseBurst(b)
 	return err
@@ -1102,17 +1236,39 @@ func (ns *NetServer) idleLocked() bool {
 	return ns.sessions.len() == 0 && ns.srv.Engine().Active() == 0
 }
 
-// StepCycle runs one transmission cycle: apply due scheduled events,
-// step the engine, and route the cycle's deliveries, hiccups, and
-// completions to their sessions. In manual mode (no Clock) this is the
-// only way cycles happen; with a Clock it also serves as a test hook.
+// StepCycle runs one transmission cycle. Under the engine lock it
+// applies due scheduled events and steps the engine (the read/XOR
+// phase); the cycle's deliveries, hiccups, and completions are then
+// staged and flushed by the shard workers as a pipelined pass, outside
+// the lock, while the next StepCycle is free to run the engine again.
+// The pipeline is two deep: before stepping cycle N, the driver waits
+// for pass N−2 — the engine's double-buffered report keeps cycle N−1's
+// buffers and report struct intact across exactly one further Step, so
+// "pass N−1 may still be staging while the engine computes N" is the
+// deepest overlap that never races a buffer release.
+//
+// In manual mode (no Clock) this is the only way cycles happen; with a
+// Clock it also serves as a test hook. With Options.NoPipeline (or once
+// draining, where callers poll completion state between steps) the call
+// waits for its own pass, restoring the strictly serial loop.
 func (ns *NetServer) StepCycle() error {
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	return ns.stepLocked()
-}
+	ns.stepMu.Lock()
+	defer ns.stepMu.Unlock()
+	if p := ns.prvPass; p != nil {
+		select {
+		case <-p.done:
+			ns.recyclePass(p)
+		case <-ns.stop:
+			return nil
+		}
+		ns.prvPass = nil
+	}
 
-func (ns *NetServer) stepLocked() error {
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return nil
+	}
 	cycle := ns.srv.Engine().Cycle()
 	kept := ns.schedule[:0]
 	for _, ev := range ns.schedule {
@@ -1126,58 +1282,224 @@ func (ns *NetServer) stepLocked() error {
 	}
 	ns.schedule = kept
 
+	start := time.Now()
 	rep, err := ns.srv.Step()
 	if err != nil {
+		ns.mu.Unlock()
 		return err
 	}
-	m := ns.srv.Metrics()
-	// Stage the cycle's frames per session: all of a session's tracks
-	// (its whole k′ burst) plus any control frames coalesce into one
-	// vectored write, so pacing stays per-cycle, not per-frame. Delivered
-	// is in stream order, so one stream's tracks form one contiguous run;
-	// runs that are pointer-identical across streams (the engine merged
-	// their reads) stage once and ship to every session in the group.
+	stepDur := time.Since(start)
+	draining := ns.draining
+	ns.mu.Unlock()
+
+	ns.phaseRead.Observe(stepDur.Microseconds())
+	ns.observeOverlap(start, stepDur)
+	if ns.reportHook != nil {
+		ns.reportHook(rep.Clone())
+	}
+
+	mask := passShardMask(rep)
+	p := ns.newPass(rep, mask)
+	ns.prvPass, ns.curPass = ns.curPass, p
+	if mask == 0 {
+		// Idle cycle (common while a cohort drains its queues): nothing
+		// to stage, so complete the pass inline rather than waking any
+		// workers.
+		ns.finishPass(p)
+	} else {
+		for w := range ns.stagers {
+			if mask&(1<<uint(w)) != 0 {
+				ns.stagers[w] <- p
+			}
+		}
+	}
+	if ns.opts.NoPipeline || draining {
+		select {
+		case <-p.done:
+		case <-ns.stop:
+		}
+	}
+	return nil
+}
+
+// observeOverlap records how much of the Step that just finished ran
+// while the previous cycle's staging pass was still working — the
+// pipeline's payoff, as a percentage of the Step. Called between the
+// Step and the pass swap, so curPass is still cycle N−1's pass.
+func (ns *NetServer) observeOverlap(start time.Time, stepDur time.Duration) {
+	prev := ns.curPass
+	if prev == nil {
+		return
+	}
+	if prev.idle {
+		// Nothing was staged last cycle, so there was nothing to overlap
+		// with; recording 0 here would just dilute the payoff metric with
+		// drain-spin cycles.
+		return
+	}
+	overlapped := stepDur
+	if doneAt := prev.doneAt.Load(); doneAt != 0 {
+		// The pass finished mid-Step (or before it): overlap is the
+		// leading slice of the Step, clamped to [0, stepDur].
+		d := time.Duration(doneAt - start.UnixNano())
+		if d < 0 {
+			d = 0
+		}
+		if d < overlapped {
+			overlapped = d
+		}
+	}
+	pct := int64(100)
+	if stepDur > 0 {
+		pct = int64(100 * overlapped / stepDur)
+	}
+	ns.phaseOverlap.Observe(pct)
+}
+
+// newPass opens a staging pass over one cycle's report; pending is
+// sized to the shard mask so only the dispatched workers are waited on.
+func (ns *NetServer) newPass(rep *sched.CycleReport, mask uint32) *stagePass {
+	p, _ := ns.passPool.Get().(*stagePass)
+	if p == nil {
+		p = &stagePass{shared: make(map[*buffer.Ref]*sharedFrames)}
+	}
+	p.rep = rep
+	p.start = time.Now()
+	p.doneAt.Store(0)
+	p.idle = mask == 0
+	p.pending.Store(int32(bits.OnesCount32(mask)))
+	p.done = make(chan struct{})
+	return p
+}
+
+// passShardMask returns the set of session shards a report touches.
+// Dispatch wakes only those workers: on small cycles — a single
+// stream, hiccup-only cycles, the idle steps while a cohort drains —
+// most shards have nothing to do, and sixteen channel sends plus
+// goroutine wakeups per cycle would dwarf the actual staging work.
+func passShardMask(rep *sched.CycleReport) uint32 {
+	var mask uint32
+	for i := range rep.Delivered {
+		mask |= 1 << (uint(rep.Delivered[i].StreamID) % sessionShards)
+	}
+	for i := range rep.Hiccups {
+		mask |= 1 << (uint(rep.Hiccups[i].StreamID) % sessionShards)
+	}
+	for _, id := range rep.Finished {
+		mask |= 1 << (uint(id) % sessionShards)
+	}
+	for _, id := range rep.Terminated {
+		mask |= 1 << (uint(id) % sessionShards)
+	}
+	return mask
+}
+
+func (ns *NetServer) recyclePass(p *stagePass) {
+	p.rep = nil
+	ns.passPool.Put(p)
+}
+
+// stageWorker is one shard's staging goroutine: it consumes passes in
+// dispatch order (preserving per-session burst order across cycles) and
+// stages the slice of each cycle owed to its shard's sessions. On stop
+// it finishes anything already dispatched so every pass completes.
+func (ns *NetServer) stageWorker(w int) {
+	defer ns.wg.Done()
+	work := func(p *stagePass) {
+		ns.stageShard(p, w)
+		if p.pending.Add(-1) == 0 {
+			ns.finishPass(p)
+		}
+	}
+	for {
+		select {
+		case p := <-ns.stagers[w]:
+			work(p)
+		case <-ns.stop:
+			for {
+				select {
+				case p := <-ns.stagers[w]:
+					work(p)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// stageShard stages one pass's deliveries, hiccups, and completions for
+// the sessions of shard w, then flushes its touched sessions and closes
+// finishing queues. Every worker scans the whole report — the per-entry
+// shard test is a mask against a slice walk, far cheaper than building
+// sixteen sub-lists under a lock — and Delivered is in stream order, so
+// one stream's tracks form one contiguous run.
+func (ns *NetServer) stageShard(p *stagePass, w int) {
+	sc := &ns.scratch[w]
+	rep := p.rep
 	for i := 0; i < len(rep.Delivered); {
+		id := rep.Delivered[i].StreamID
 		j := i + 1
-		for j < len(rep.Delivered) && rep.Delivered[j].StreamID == rep.Delivered[i].StreamID {
+		for j < len(rep.Delivered) && rep.Delivered[j].StreamID == id {
 			j++
 		}
-		if sess := ns.sessions.get(rep.Delivered[i].StreamID); sess != nil {
-			ns.stageRun(sess, rep.Delivered[i:j])
+		if uint(id)%sessionShards == uint(w) {
+			if sess := ns.sessions.get(id); sess != nil {
+				ns.stageRun(p, sc, sess, rep.Delivered[i:j])
+			}
 		}
 		i = j
 	}
-	clear(ns.cycleShared)
 	for _, h := range rep.Hiccups {
+		if uint(h.StreamID)%sessionShards != uint(w) {
+			continue
+		}
 		sess := ns.sessions.get(h.StreamID)
 		if sess == nil {
 			continue
 		}
-		buf, err := jsonFrame(frameHiccup, HiccupNote{Track: h.Track, Reason: h.Reason})
-		if err != nil {
-			continue
-		}
-		ns.stageCtrl(sess, buf)
-		m.Counter("net_hiccups_sent").Inc()
+		ns.stageCtrl(sc, sess, ns.hiccupFrame(h.Track, h.Reason))
+		ns.hiccupsSent.Inc()
 	}
 	for _, id := range rep.Finished {
-		ns.stageFinish(id, "finished")
+		if uint(id)%sessionShards == uint(w) {
+			ns.stageFinish(sc, id, byeFinished)
+		}
 	}
 	for _, id := range rep.Terminated {
-		ns.stageFinish(id, "terminated")
+		if uint(id)%sessionShards == uint(w) {
+			ns.stageFinish(sc, id, byeTerminated)
+		}
 	}
-	for _, sess := range ns.touched {
-		ns.flushLocked(sess)
+	for _, sess := range sc.touched {
+		ns.flushStaged(sess)
 	}
-	clearSessions(ns.touched)
-	ns.touched = ns.touched[:0]
-	for _, sess := range ns.finishing {
+	clearSessions(sc.touched)
+	sc.touched = sc.touched[:0]
+	for _, sess := range sc.finishing {
 		sess.closeQueue()
 	}
-	clearSessions(ns.finishing)
-	ns.finishing = ns.finishing[:0]
+	clearSessions(sc.finishing)
+	sc.finishing = sc.finishing[:0]
+}
+
+// finishPass runs on the last worker out of a pass: release the pass's
+// holds on its shared runs, stamp the stage histogram and completion
+// time, re-check drain completion (sessions may have finished or shed
+// this pass), and wake anyone waiting on the pass.
+func (ns *NetServer) finishPass(p *stagePass) {
+	for key, sf := range p.shared {
+		ns.releaseShared(sf)
+		delete(p.shared, key)
+	}
+	if !p.idle {
+		ns.phaseStage.Observe(time.Since(p.start).Microseconds())
+	}
+	p.doneAt.Store(time.Now().UnixNano())
+	ns.mu.Lock()
 	ns.checkDrainedLocked()
-	return nil
+	ns.mu.Unlock()
+	close(p.done)
 }
 
 // clearSessions drops pointers from a scratch list before truncation.
@@ -1187,20 +1509,50 @@ func clearSessions(list []*session) {
 	}
 }
 
+// Prebuilt BYE control frames for the graceful-finish paths: their
+// contents never vary, so the cycle loop ships the same bytes every
+// time instead of marshaling per session.
+var (
+	byeFinished   = mustCtrlFrame(frameBye, Bye{Reason: "finished"})
+	byeTerminated = mustCtrlFrame(frameBye, Bye{Reason: "terminated"})
+)
+
+func mustCtrlFrame(typ byte, v any) []byte {
+	buf, err := jsonFrame(typ, v)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// hiccupFrame encodes a HICCUP control frame into a pooled buffer
+// (returned to the pool when the burst releases), replacing a
+// json.Marshal allocation per lost track on the staging path.
+func (ns *NetServer) hiccupFrame(track int, reason string) outFrame {
+	bp := ns.ctrlPool.Get().(*[]byte)
+	buf := append((*bp)[:0], frameHiccup, 0, 0, 0, 0)
+	buf = append(buf, `{"track":`...)
+	buf = strconv.AppendInt(buf, int64(track), 10)
+	buf = append(buf, `,"reason":`...)
+	buf = strconv.AppendQuote(buf, reason)
+	buf = append(buf, '}')
+	binary.BigEndian.PutUint32(buf[1:frameHeaderLen], uint32(len(buf)-frameHeaderLen))
+	*bp = buf
+	return outFrame{ctrl: buf, ctrlp: bp}
+}
+
 // stageFinish ends a session gracefully: a BYE rides in the session's
-// final burst, the session is unregistered, and after the flush pass
+// final burst, the session is unregistered, and after the flush sweep
 // its queue closes so the writer flushes everything and hangs up.
-func (ns *NetServer) stageFinish(id int, reason string) {
+func (ns *NetServer) stageFinish(sc *stageScratch, id int, bye []byte) {
 	sess := ns.sessions.get(id)
 	if sess == nil {
 		return
 	}
-	if buf, err := jsonFrame(frameBye, Bye{Reason: reason}); err == nil {
-		ns.stageCtrl(sess, buf)
-	}
+	ns.stageCtrl(sc, sess, outFrame{ctrl: bye})
 	ns.sessions.remove(sess)
 	ns.gaugeSessions()
-	ns.finishing = append(ns.finishing, sess)
+	sc.finishing = append(sc.finishing, sess)
 }
 
 // shedLocked evicts a slow client: its queue overflowed, meaning the

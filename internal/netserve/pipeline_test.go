@@ -1,0 +1,166 @@
+package netserve
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ftmm/internal/sched"
+)
+
+// activeReport reports whether a cycle did any engine work. Trailing
+// idle cycles differ between pipelined and serial runs — the pipelined
+// front end removes finished sessions asynchronously, so its driver may
+// issue an extra empty step or two before seeing the farm quiesce — and
+// carry no delivery content, so the equality check trims them.
+func activeReport(r *sched.CycleReport) bool {
+	return len(r.Delivered) > 0 || len(r.Hiccups) > 0 ||
+		len(r.Finished) > 0 || len(r.Terminated) > 0 ||
+		r.DataReads > 0 || r.ParityReads > 0 || r.Reconstructions > 0
+}
+
+func trimIdle(reports []*sched.CycleReport) []*sched.CycleReport {
+	n := len(reports)
+	for n > 0 && !activeReport(reports[n-1]) {
+		n--
+	}
+	return reports[:n]
+}
+
+// runPipelineWorkload streams every title of a fresh rig to its own
+// client, fails a drive mid-stream, and runs the farm to completion,
+// capturing a Clone of every cycle report via the test hook.
+func runPipelineWorkload(t *testing.T, scheme string, noPipeline bool) (*loopRig, map[string]*clientResult, []*sched.CycleReport) {
+	t.Helper()
+	cfg := defaultRig()
+	cfg.ns = Options{NoPipeline: noPipeline, Logf: t.Logf}
+	r := newLoopRig(t, scheme, cfg)
+	var reports []*sched.CycleReport
+	r.ns.reportHook = func(rep *sched.CycleReport) { reports = append(reports, rep) }
+
+	chans := make(map[string]chan *clientResult, len(r.titles))
+	for _, title := range r.titles {
+		c, _ := r.connect(t, title)
+		t.Cleanup(func() { c.Close() })
+		ch := make(chan *clientResult, 1)
+		go func(c *Client) { ch <- consume(c) }(c)
+		chans[title] = ch
+	}
+	r.ns.ScheduleFailure(3, 0)
+	r.stepUntilIdle(t, 400)
+	res := make(map[string]*clientResult, len(chans))
+	for title, ch := range chans {
+		res[title] = <-ch
+	}
+	return r, res, reports
+}
+
+// TestPipelineBitExactVsNoPipeline is the pipeline's correctness
+// anchor: the same workload — every title streaming, a drive failing
+// mid-stream — run pipelined and with NoPipeline must deliver
+// bit-identical bytes to every client and produce Equal cycle reports,
+// cycle for cycle. Run at two GOMAXPROCS settings so the race detector
+// (in CI's -race pass) sees both a starved and a parallel schedule.
+func TestPipelineBitExactVsNoPipeline(t *testing.T) {
+	for _, procs := range []int{2, 8} {
+		t.Run(fmt.Sprintf("procs%d", procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			for _, scheme := range []string{"sr", "nc"} {
+				t.Run(scheme, func(t *testing.T) {
+					pipeRig, pipeRes, pipeReps := runPipelineWorkload(t, scheme, false)
+					serRig, serRes, serReps := runPipelineWorkload(t, scheme, true)
+
+					for _, title := range pipeRig.titles {
+						verifyBitExact(t, pipeRig, title, pipeRes[title])
+						verifyBitExact(t, serRig, title, serRes[title])
+						p, s := pipeRes[title], serRes[title]
+						if p.bye != s.bye {
+							t.Errorf("%s: bye %q pipelined vs %q serial", title, p.bye, s.bye)
+						}
+						if len(p.tracks) != len(s.tracks) {
+							t.Errorf("%s: %d tracks pipelined vs %d serial", title, len(p.tracks), len(s.tracks))
+						}
+						for track, data := range p.tracks {
+							if !bytes.Equal(data, s.tracks[track]) {
+								t.Errorf("%s: track %d bytes differ between pipelined and serial runs", title, track)
+							}
+						}
+						if len(p.hiccups) != len(s.hiccups) {
+							t.Errorf("%s: %d hiccups pipelined vs %d serial", title, len(p.hiccups), len(s.hiccups))
+						}
+					}
+
+					a, b := trimIdle(pipeReps), trimIdle(serReps)
+					if len(a) != len(b) {
+						t.Fatalf("%d active cycles pipelined vs %d serial", len(a), len(b))
+					}
+					for i := range a {
+						if !a[i].Equal(b[i]) {
+							t.Errorf("cycle %d: reports differ between pipelined and serial runs", a[i].Cycle)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestPipelinedDrainNoLeak checks the arena accounting across a
+// graceful drain in pipelined mode: admissions stop mid-stream, live
+// streams play out through the overlapped staging passes, and once the
+// farm idles every track buffer must be back in the arena. (The
+// shed and mid-stream disconnect legs of the same invariant run
+// pipelined too, in TestArenaNoLeakAfterShedAndDisconnect.)
+func TestPipelinedDrainNoLeak(t *testing.T) {
+	cfg := defaultRig()
+	cfg.groups = 10
+	cfg.ns = Options{Logf: t.Logf}
+	r := newLoopRig(t, "sr", cfg)
+	arena := r.srv.Engine().Arena()
+	if arena == nil {
+		t.Fatal("engine has no arena")
+	}
+
+	var chans []chan *clientResult
+	for _, title := range r.titles {
+		c, _ := r.connect(t, title)
+		t.Cleanup(func() { c.Close() })
+		ch := make(chan *clientResult, 1)
+		go func(c *Client) { ch <- consume(c) }(c)
+		chans = append(chans, ch)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.ns.StepCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.ns.BeginDrain()
+	for i := 0; i < 400 && !r.ns.Drained(); i++ {
+		if err := r.ns.StepCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.ns.Drained() {
+		t.Fatal("drain did not complete")
+	}
+	for i, ch := range chans {
+		res := <-ch
+		if res.err != nil || res.bye != "finished" {
+			t.Fatalf("client %d: err=%v bye=%q, want a finished playout", i, res.err, res.bye)
+		}
+	}
+	// The engine holds delivered refs for two further Steps; idle-step
+	// until every buffer is home.
+	deadline := time.Now().Add(10 * time.Second)
+	for arena.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("arena has %d buffers outstanding after drain", arena.Outstanding())
+		}
+		if err := r.ns.StepCycle(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -47,6 +47,11 @@ type Config struct {
 	// Streaming RAID engine (benchmarking/bisection knob; reports are
 	// identical either way).
 	DisableMergedReads bool
+	// NoPipeline turns off the front end's two-stage cycle pipeline, so
+	// each cycle stages and flushes before the next engine step
+	// (benchmarking/bisection knob; delivered bytes are identical either
+	// way).
+	NoPipeline bool
 	// Titles is the catalog this node serves. In a cluster this is the
 	// node's placement slice, not the full library. Nil loads
 	// GenTitles synthetic names.
@@ -148,6 +153,7 @@ func Start(cfg Config) (*Node, error) {
 		WriteTimeout:     cfg.WriteTimeout,
 		WriteBufferBytes: cfg.WriteBufferBytes,
 		EnablePprof:      cfg.EnablePprof,
+		NoPipeline:       cfg.NoPipeline,
 		Logf:             cfg.Logf,
 	})
 	if err != nil {

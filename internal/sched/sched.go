@@ -104,9 +104,10 @@ type Delivery struct {
 	// Data is the delivered track content.
 	Data []byte
 	// Buf, when non-nil, is the refcounted handle behind Data. The
-	// engine holds its own reference until its next Step (which is what
-	// bounds the report's validity); a consumer that needs Data to
-	// outlive the next Step calls Buf.Retain and later Release instead
+	// engine holds its own reference for two Steps (which is what bounds
+	// the report's validity — the pipelined front end overlaps cycle
+	// N's delivery with cycle N+1's reads); a consumer that needs Data
+	// to outlive that window calls Buf.Retain and later Release instead
 	// of copying.
 	Buf *buffer.Ref
 	// Reconstructed marks tracks rebuilt from parity rather than read.
@@ -161,9 +162,11 @@ func (r *CycleReport) Reset(cycle int) {
 }
 
 // Clone deep-copies the report, including every Delivery's Data bytes.
-// Engines reuse report backing slices and recycle track buffers between
-// cycles, so a report (and the Data it references) is only valid until
-// the engine's next Step; callers that retain reports across cycles must
+// Engines rotate between two report structs and hold their delivered
+// track buffers for two Steps, so a report (and the Data it references)
+// is valid until the second-next Step — long enough for a pipelined
+// consumer to stage cycle N's deliveries while the engine computes
+// cycle N+1 — and no longer; callers that retain reports further must
 // Clone them first.
 func (r *CycleReport) Clone() *CycleReport {
 	out := *r

@@ -25,15 +25,21 @@ type engineCore struct {
 	rec     *sched.Recorder
 	workers int
 	// ctx and shards are the persistent cycle context and per-cluster
-	// shards, reset each Step instead of reallocated; this is why reports
-	// returned by Step are only valid until the next Step.
+	// shards, reset each Step instead of reallocated. The context
+	// double-buffers its report, so a report returned by Step is valid
+	// until the second-next Step (then its struct is reused).
 	ctx    *sched.CycleContext
 	shards []*sched.CycleContext
 	// delivered holds the engine's own reference on every track buffer
-	// shared into the last Step's report. Releasing them at the start of
-	// the next Step is what bounds report validity; consumers that need
-	// a track longer Retain its Delivery.Buf.
-	delivered []*buffer.Ref
+	// shared into the last Step's report; deliveredPrev holds the
+	// references for the Step before that. beginCycle releases the older
+	// generation and rotates, so delivered bytes stay intact for two
+	// Steps — matching the double-buffered report — which lets a
+	// pipelined consumer stage cycle N's tracks while the engine reads
+	// cycle N+1. Consumers that need a track longer Retain its
+	// Delivery.Buf.
+	delivered     []*buffer.Ref
+	deliveredPrev []*buffer.Ref
 	// stageCaches[cl] maps group → staged bufferedGroup for same-title
 	// read merging within one cycle's read phase. One map per cluster:
 	// a group lives on exactly one cluster, and the read phase shards by
@@ -78,7 +84,8 @@ func (c *engineCore) BufferInUse() int { return c.pool.InUse() }
 func (c *engineCore) Arena() *buffer.Arena { return c.arena }
 
 // shareDelivered wraps a delivered track buffer in a refcounted handle.
-// The engine keeps its own reference until the next Step's beginCycle.
+// The engine keeps its own reference until the second-next Step's
+// beginCycle (the delivered/deliveredPrev rotation).
 func (c *engineCore) shareDelivered(buf []byte) *buffer.Ref {
 	ref := c.arena.Share(buf)
 	c.delivered = append(c.delivered, ref)
@@ -104,17 +111,19 @@ func (c *engineCore) allocStreamID() int {
 
 // beginCycle opens the cycle's context: cleared slot budgets, the shared
 // pool, an emptied report, and the recorder. The context is persistent —
-// reset, not reallocated — so the report Step hands out is valid only
-// until the next Step.
+// reset, not reallocated — and double-buffered, so the report Step hands
+// out is valid until the second-next Step.
 func (c *engineCore) beginCycle() (*sched.CycleContext, error) {
-	// Drop the engine's references on last cycle's delivered tracks;
-	// buffers with no other holders return to the arena here, before
-	// this cycle's reads can reuse them.
-	for i, ref := range c.delivered {
+	// Drop the engine's references on the delivered tracks from two
+	// cycles ago; buffers with no other holders return to the arena
+	// here, before this cycle's reads can reuse them. Last cycle's
+	// tracks rotate into the about-to-be-released slot, keeping them —
+	// and the report that lists them — intact across this whole Step.
+	for i, ref := range c.deliveredPrev {
 		ref.Release()
-		c.delivered[i] = nil
+		c.deliveredPrev[i] = nil
 	}
-	c.delivered = c.delivered[:0]
+	c.delivered, c.deliveredPrev = c.deliveredPrev[:0], c.delivered
 	if c.ctx == nil {
 		slots, err := sched.NewSlots(c.cfg.Farm.Size(), c.slotsPerDisk)
 		if err != nil {

@@ -10,7 +10,7 @@ import (
 
 // TestReportRetentionNeedsClone pins the buffer ownership contract from
 // the package doc: a CycleReport and the Data it references are valid
-// only until the next Step, because the engine recycles delivery
+// only until the second-next Step, because the engine recycles delivery
 // buffers through its arena. A caller that retains reports across
 // cycles must Clone them — and a Clone must stay intact even when the
 // original's buffers are recycled and scribbled over.
@@ -66,8 +66,12 @@ func TestReportRetentionNeedsClone(t *testing.T) {
 }
 
 // TestReportBackingReused documents why retention without Clone is
-// unsafe: the engine reuses the same CycleReport struct across Steps,
-// so a stale pointer silently shows the newest cycle's contents.
+// unsafe — and pins the exact window. The engine ping-pongs between two
+// CycleReport structs: consecutive Steps hand out different structs
+// (cycle N's report survives cycle N+1's assembly, which is what the
+// pipelined front end stages from), but the second-next Step reuses the
+// first struct, so a pointer retained that long silently shows the
+// newest cycle's contents.
 func TestReportBackingReused(t *testing.T) {
 	r := newRig(t, 8, 4, 1, 4, layout.DedicatedParity)
 	e, err := NewStreamingRAID(r.config())
@@ -77,19 +81,21 @@ func TestReportBackingReused(t *testing.T) {
 	if _, err := e.AddStream(r.object(t, 0)); err != nil {
 		t.Fatal(err)
 	}
-	first, err := e.Step()
-	if err != nil {
-		t.Fatal(err)
+	step := func() *sched.CycleReport {
+		rep, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
 	}
-	second, err := e.Step()
-	if err != nil {
-		t.Fatal(err)
+	first, second, third := step(), step(), step()
+	if first == second {
+		t.Fatal("consecutive Steps returned the same report struct; the double-buffer window is gone")
 	}
-	if first != second {
-		t.Skip("engine no longer reuses the report struct; retention rule may be relaxed")
+	if first != third {
+		t.Skip("engine no longer rotates two report structs; retention rule may be relaxed")
 	}
-	var _ *sched.CycleReport = first
-	if first.Cycle != second.Cycle {
-		t.Errorf("aliased reports disagree on cycle: %d vs %d", first.Cycle, second.Cycle)
+	if first.Cycle != third.Cycle {
+		t.Errorf("aliased reports disagree on cycle: %d vs %d", first.Cycle, third.Cycle)
 	}
 }
