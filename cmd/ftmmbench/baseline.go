@@ -311,6 +311,15 @@ func baselineSpecs() []baselineSpec {
 			// payload references are shared across the pack.
 			benchFanoutTracks(b, 1000, 10, 24)
 		}},
+		{"NetserveFlashCrowd", 96, func(b *testing.B) {
+			// Flash crowd with batched starts: 96 sessions, 24 per title,
+			// all arriving inside a 2-cycle admission window, so each
+			// title's crowd flushes as one batch onto one shared staged
+			// run. The merged-starts/run column is the acceptance number
+			// (it must be well above 1 for the batching to mean anything);
+			// wait-p50/p99-ms are the client-visible cost of the window.
+			benchFlashCrowdTracks(b, 96, 4, 8, 2)
+		}},
 		{"ClusterFanout24", 24, func(b *testing.B) {
 			// Sharded fan-out: 24 concurrent sessions admitted through the
 			// coordinator across a 3-node cluster (each node holds its
@@ -462,7 +471,7 @@ func netserveBenchRig(tb testing.TB, titles, groups int) (*netserve.NetServer, [
 // session), there is no pacing clock (the bench drives StepCycle), and
 // the send queue holds a whole title so no client can be shed however
 // fast cycles are pushed.
-func fanoutBenchRig(tb testing.TB, fanout, titles, groups int) (*netserve.NetServer, *server.Server, []string, int) {
+func fanoutBenchRig(tb testing.TB, fanout, titles, groups, batchCycles int) (*netserve.NetServer, *server.Server, []string, int) {
 	scheme, policy, err := server.ParseScheme("sr")
 	if err != nil {
 		tb.Fatal(err)
@@ -487,7 +496,7 @@ func fanoutBenchRig(tb testing.TB, fanout, titles, groups int) (*netserve.NetSer
 			tb.Fatal(err)
 		}
 	}
-	ns, err := netserve.New(netserve.Options{Server: srv, SendQueue: groups + 8})
+	ns, err := netserve.New(netserve.Options{Server: srv, SendQueue: groups + 8, BatchCycles: batchCycles})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -504,7 +513,7 @@ func fanoutBenchRig(tb testing.TB, fanout, titles, groups int) (*netserve.NetSer
 func benchFanoutTracks(b *testing.B, fanout, titles, groups int) {
 	const clusterSize = 4 // fanoutBenchRig's farm shape
 	perCycle := fanout * (clusterSize - 1)
-	ns, srv, names, trackSize := fanoutBenchRig(b, fanout, titles, groups)
+	ns, srv, names, trackSize := fanoutBenchRig(b, fanout, titles, groups, 0)
 	defer ns.Close()
 	b.SetBytes(int64(trackSize))
 	b.ResetTimer()
@@ -587,6 +596,123 @@ func benchFanoutTracks(b *testing.B, fanout, titles, groups int) {
 	}
 	b.StopTimer()
 	reportPhases(b, srv.Metrics())
+}
+
+// benchFlashCrowdTracks drives the flash-crowd row: the front end runs
+// with BatchCycles, so every fresh ADMIT parks in its title's batch and
+// the whole same-title pack starts in lockstep on one shared staged
+// run. The cohort dials off the timer and the clock only starts once
+// every connection is parked — the batch window is measured in engine
+// cycles, which advance only under the bench's StepCycle, so each
+// title's crowd lands in exactly one batch. One op is one TRACK frame
+// arriving at some client; the extra columns report the merge payoff —
+// mean batched starts per staged run and the bucket-resolution
+// batch-wait percentiles, the same numbers /metricsz serves from
+// net_batched_starts, net_batch_runs, and net_batch_wait_ms.
+func benchFlashCrowdTracks(b *testing.B, fanout, titles, groups, batchCycles int) {
+	ns, srv, names, trackSize := fanoutBenchRig(b, fanout, titles, groups, batchCycles)
+	defer ns.Close()
+	b.SetBytes(int64(trackSize))
+	var delivered atomic.Int64
+	b.ResetTimer()
+	for delivered.Load() < int64(b.N) {
+		b.StopTimer()
+		clients := make([]*netserve.Client, fanout)
+		for i := range clients {
+			cl, err := netserve.Dial(ns.Addr().String(), 30*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl.ReuseBuffers(true)
+			clients[i] = cl
+		}
+		var wg sync.WaitGroup
+		var finished atomic.Int32
+		errs := make(chan error, fanout)
+		for i, cl := range clients {
+			wg.Add(1)
+			go func(i int, cl *netserve.Client) {
+				defer wg.Done()
+				defer finished.Add(1)
+				defer cl.Close()
+				// Admit blocks until the batch flushes under a StepCycle.
+				if _, err := cl.Admit(names[i%len(names)]); err != nil {
+					errs <- err
+					return
+				}
+				for {
+					ev, err := cl.Next()
+					if err != nil {
+						errs <- err
+						return
+					}
+					switch {
+					case ev.Hiccup != nil:
+						errs <- fmt.Errorf("hiccup: %+v", ev.Hiccup)
+						return
+					case ev.Bye != nil:
+						if ev.Bye.Reason != "finished" {
+							errs <- fmt.Errorf("bye %q", ev.Bye.Reason)
+						}
+						return
+					default:
+						delivered.Add(1)
+					}
+				}
+			}(i, cl)
+		}
+		// The crowd must be fully parked before the window starts
+		// closing, or stragglers would spill into a second batch.
+		for start := time.Now(); ns.PendingStarts() < fanout; {
+			if finished.Load() > 0 {
+				b.Fatal("client died during flash-crowd admission")
+			}
+			if time.Since(start) > time.Minute {
+				b.Fatalf("only %d/%d starts parked", ns.PendingStarts(), fanout)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		b.StartTimer()
+		start := time.Now()
+		for cyc := 0; finished.Load() < int32(fanout) && delivered.Load() < int64(b.N); cyc++ {
+			if err := ns.StepCycle(); err != nil {
+				b.Fatal(err)
+			}
+			if cyc > batchCycles+groups {
+				// Everything is pushed (or queued); the cohort is
+				// draining. Stepping is an idle no-op now, so yield.
+				time.Sleep(200 * time.Microsecond)
+				if time.Since(start) > 2*time.Minute {
+					b.Fatal("flash-crowd cohort never drained")
+				}
+			}
+		}
+		b.StopTimer()
+		if finished.Load() != int32(fanout) {
+			// b.N reached mid-title: unwind the cohort off the clock.
+			for _, cl := range clients {
+				cl.Close()
+			}
+			wg.Wait()
+		} else {
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	reportPhases(b, srv.Metrics())
+	snap := srv.Metrics().Snapshot()
+	if runs := snap.Counters["net_batch_runs"]; runs > 0 {
+		b.ReportMetric(float64(snap.Counters["net_batched_starts"])/float64(runs), "merged-starts/run")
+	}
+	if h := snap.Histograms["net_batch_wait_ms"]; h.Count > 0 {
+		b.ReportMetric(float64(h.P50), "wait-p50-ms")
+		b.ReportMetric(float64(h.P99), "wait-p99-ms")
+	}
 }
 
 // reportPhases turns the front end's pipeline histograms into extra

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -43,6 +44,7 @@ var (
 	zipf        = flag.Float64("zipf", 1.0, "title popularity skew")
 	readTimeout = flag.Duration("read-timeout", 2*time.Minute, "per-frame read deadline")
 	retries     = flag.Int("retries", 200, "admission/resume retries before a request counts as failed")
+	vcrProb     = flag.Float64("vcr", 0, "per-track probability of a VCR interaction (pause+resume, fast-forward, rewind); schedules are derived from -seed")
 )
 
 // tally aggregates everything the clients saw.
@@ -52,6 +54,8 @@ type tally struct {
 	failures    int
 	rejects     int
 	resumes     int
+	vcrOps      int
+	vcrRejects  int
 	tracks      int
 	bytes       int64
 	hiccups     int
@@ -100,8 +104,12 @@ func run() error {
 				fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
 				return
 			}
+			var vrng *rand.Rand
+			if *vcrProb > 0 {
+				vrng = rand.New(rand.NewSource(*seed + 1000003*int64(c)))
+			}
 			for rq := 0; rq < *requests; rq++ {
-				playOne(&tl, endpoints, gen.Pick())
+				playOne(&tl, endpoints, gen.Pick(), vrng)
 			}
 		}(c)
 	}
@@ -140,7 +148,7 @@ func (st *playState) nextNeeded() int {
 // backing off on transient rejections), play, and on a mid-stream
 // connection loss resume the session on a surviving replica via any
 // remaining endpoint, avoiding the node that died.
-func playOne(tl *tally, endpoints []string, title string) {
+func playOne(tl *tally, endpoints []string, title string, vrng *rand.Rand) {
 	var st *playState
 	var avoid []string
 	currentNode := ""
@@ -197,8 +205,18 @@ func playOne(tl *tally, endpoints []string, title string) {
 		tl.sessionsByNode[nodeKey(ok.NodeID)]++
 		tl.mu.Unlock()
 
-		finished, rerr := consumeStream(tl, c, ok, st)
+		var vd *vcrDriver
+		if vrng != nil {
+			vd = &vcrDriver{rng: vrng}
+		}
+		finished, rerr := consumeStream(tl, c, ok, st, vd)
 		c.Close()
+		if vd != nil {
+			tl.mu.Lock()
+			tl.vcrOps += vd.ops
+			tl.vcrRejects += vd.rejects
+			tl.mu.Unlock()
+		}
 		if finished {
 			missing := st.total - len(st.covered)
 			if missing > 0 {
@@ -226,11 +244,98 @@ func playOne(tl *tally, endpoints []string, title string) {
 	tl.fail("%s: retries exhausted", title)
 }
 
+// vcrDriver injects interactive-viewer behaviour into one session: at
+// the configured per-track probability it pauses (resuming as soon as
+// the park is acknowledged), fast-forwards at 2× (dropping back to
+// normal rate a few tracks later), or rewinds a short distance. One
+// verb is in flight at a time, and the whole schedule is determined by
+// the seed.
+type vcrDriver struct {
+	rng     *rand.Rand
+	pending string // verb awaiting its ack ("" = idle)
+	ffLeft  int    // delivered tracks until a fast-forward is resumed away
+	ops     int
+	rejects int
+}
+
+// onTrack decides whether to issue a verb after one delivered track.
+func (v *vcrDriver) onTrack(c *netserve.Client, track int) {
+	if v.pending != "" {
+		return
+	}
+	if v.ffLeft > 0 {
+		v.ffLeft--
+		if v.ffLeft == 0 && c.ResumePlay() == nil {
+			v.pending = "resume"
+		}
+		return
+	}
+	if v.rng.Float64() >= *vcrProb {
+		return
+	}
+	v.ops++
+	switch v.rng.Intn(3) {
+	case 0:
+		if c.Pause() == nil {
+			v.pending = "pause"
+		}
+	case 1:
+		if c.FastForward(2) == nil {
+			v.pending = "ff"
+		}
+	default:
+		back := track - 1 - v.rng.Intn(8)
+		if back < 0 {
+			back = 0
+		}
+		if c.Rewind(back) == nil {
+			v.pending = "rewind"
+		}
+	}
+}
+
+// onVcr handles an ack.
+func (v *vcrDriver) onVcr(c *netserve.Client, ok *netserve.VcrOK) {
+	switch ok.Verb {
+	case "pause":
+		// Parked; resume right away — the schedule exercises the slot
+		// release/re-admission seam, not wall-clock idling.
+		v.pending = ""
+		if c.ResumePlay() == nil {
+			v.pending = "resume"
+		}
+	case "ff":
+		v.pending = ""
+		v.ffLeft = 8
+	default: // resume, rewind
+		v.pending = ""
+	}
+}
+
+// onReject handles a refusal. A refused resume or rewind leaves the
+// session parked server-side, so the driver honors the Retry-After
+// hint and asks again — the viewer is owed the rest of the title. A
+// refused pause or fast-forward leaves it playing; nothing to do.
+func (v *vcrDriver) onReject(c *netserve.Client, rej *netserve.Reject) {
+	v.rejects++
+	if v.pending == "resume" || v.pending == "rewind" {
+		if rej.RetryAfterMillis > 0 {
+			time.Sleep(time.Duration(rej.RetryAfterMillis) * time.Millisecond)
+		}
+		if c.ResumePlay() == nil {
+			v.pending = "resume"
+			return
+		}
+	}
+	v.pending = ""
+}
+
 // consumeStream plays an admitted (or resumed) segment out, verifying
 // every track with the same predicate the engine's integrity checker
 // uses. It reports whether the stream reached its goodbye; a read error
-// means the serving node died mid-stream.
-func consumeStream(tl *tally, c *netserve.Client, ok netserve.AdmitOK, st *playState) (bool, error) {
+// means the serving node died mid-stream. A non-nil vd drives seeded
+// VCR interactions against the session as tracks arrive.
+func consumeStream(tl *tally, c *netserve.Client, ok netserve.AdmitOK, st *playState, vd *vcrDriver) (bool, error) {
 	for {
 		ev, err := c.Next()
 		if err != nil {
@@ -242,6 +347,16 @@ func consumeStream(tl *tally, c *netserve.Client, ok netserve.AdmitOK, st *playS
 		case ev.Hiccup != nil:
 			st.hiccups++
 			st.covered[ev.Hiccup.Track] = true
+		case ev.Vcr != nil:
+			if vd != nil {
+				vd.onVcr(c, ev.Vcr)
+			}
+			st.skipGap = true // position jumps are not pacing gaps
+		case ev.VcrReject != nil:
+			if vd != nil {
+				vd.onReject(c, ev.VcrReject)
+			}
+			st.skipGap = true
 		default:
 			now := time.Now()
 			if st.tracks > 0 && !st.skipGap {
@@ -255,6 +370,9 @@ func consumeStream(tl *tally, c *netserve.Client, ok netserve.AdmitOK, st *playS
 			if err := trace.CheckTrack(st.content, ok.TrackSize, ev.Track, ev.Data); err != nil {
 				st.corrupt++
 				fmt.Fprintf(os.Stderr, "ftmmload: %v\n", err)
+			}
+			if vd != nil {
+				vd.onTrack(c, ev.Track)
 			}
 		}
 	}
@@ -279,6 +397,9 @@ func report(tl *tally, wall time.Duration) {
 	defer tl.mu.Unlock()
 	fmt.Printf("\nstreams   %d ok, %d failed, %d transient rejects, %d failovers\n",
 		tl.streams, tl.failures, tl.rejects, tl.resumes)
+	if tl.vcrOps > 0 || tl.vcrRejects > 0 {
+		fmt.Printf("vcr       %d interactions, %d transient rejects\n", tl.vcrOps, tl.vcrRejects)
+	}
 	fmt.Printf("tracks    %d delivered, %d hiccups, %d corrupt\n", tl.tracks, tl.hiccups, tl.corrupt)
 	mb := float64(tl.bytes) / 1e6
 	fmt.Printf("volume    %.1f MB in %v (%.1f MB/s)\n", mb, wall.Round(time.Millisecond), mb/wall.Seconds())

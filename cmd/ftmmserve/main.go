@@ -64,6 +64,7 @@ var (
 	noPipe     = flag.Bool("no-pipeline", false, "disable the two-stage cycle pipeline (benchmarking/bisection knob; delivered bytes are identical either way)")
 	speed      = flag.Float64("speed", 1, "wall-clock speedup for the pacer (0: virtual clock, cycles back to back)")
 	queue      = flag.Int("queue", 64, "per-session send queue depth in bursts (overflow sheds the client)")
+	batchCyc   = flag.Int("batch-cycles", 0, "hold flash-crowd ADMITs per title for up to this many cycles so same-title arrivals share one staged read (0: off)")
 	writeTO    = flag.Duration("write-timeout", 10*time.Second, "per-burst socket write stall limit (timer-wheel supervised)")
 	pprofFlag  = flag.Bool("pprof", false, "mount /debug/pprof profiling handlers on the HTTP surface")
 	drainTO    = flag.Duration("drain-timeout", time.Minute, "how long to wait for streams to play out on shutdown")
@@ -143,6 +144,7 @@ func runNode() error {
 		HTTPAddr:           *httpAddr,
 		Clock:              clock,
 		SendQueue:          *queue,
+		BatchCycles:        *batchCyc,
 		WriteTimeout:       *writeTO,
 		EnablePprof:        *pprofFlag,
 		Logf: func(format string, args ...any) {

@@ -59,6 +59,22 @@ const (
 	// taking admissions and failovers while its streams play out, and
 	// must end empty (the leak checker still audits it).
 	EventNodeDrain EventKind = "node-drain"
+	// EventPause parks the stream of the Stream-th successful admission:
+	// its engine stream is cancelled (the slot returns to the admission
+	// pool) and its position held for a later vcr-resume.
+	EventPause EventKind = "pause"
+	// EventVcrResume re-admits a paused stream at the parity-group floor
+	// of its held position. A rejection is tolerated — the stream simply
+	// stays parked, like a viewer holding a Retry-After.
+	EventVcrResume EventKind = "vcr-resume"
+	// EventFF sets the stream's playback multiplier to Rate (k′-weighted
+	// admission decides; a refusal is tolerated). Only engines with rate
+	// support (sr, dc) apply it; elsewhere it is a no-op.
+	EventFF EventKind = "ff"
+	// EventRewind jumps the stream to absolute track Track (clamped to
+	// the title), re-admitting at the enclosing group boundary; if the
+	// farm refuses, the stream is left parked at the target.
+	EventRewind EventKind = "rewind"
 )
 
 // Event is one scheduled action. Events are applied best-effort so that
@@ -76,6 +92,10 @@ type Event struct {
 	// for node events, the shard whose drive a fail/repair/rebuild
 	// hits. Single-node schedules leave it 0.
 	Node int `json:"node,omitempty"`
+	// Rate is the playback multiplier of ff events; Track the absolute
+	// jump target of rewind events.
+	Rate  int `json:"rate,omitempty"`
+	Track int `json:"track,omitempty"`
 }
 
 // Schedule is one complete chaos run description: a farm shape, a
@@ -164,9 +184,23 @@ func (s *Schedule) Validate() error {
 			if ev.Budget < s.ClusterSize-1 {
 				return fmt.Errorf("chaos: rebuild budget %d below C-1=%d", ev.Budget, s.ClusterSize-1)
 			}
-		case EventCancel:
+		case EventCancel, EventPause, EventVcrResume:
 			if ev.Stream < 0 {
-				return fmt.Errorf("chaos: cancel of negative stream ordinal %d", ev.Stream)
+				return fmt.Errorf("chaos: %s of negative stream ordinal %d", ev.Kind, ev.Stream)
+			}
+		case EventFF:
+			if ev.Stream < 0 {
+				return fmt.Errorf("chaos: ff of negative stream ordinal %d", ev.Stream)
+			}
+			if ev.Rate < 1 {
+				return fmt.Errorf("chaos: ff rate %d below 1 at cycle %d", ev.Rate, ev.Cycle)
+			}
+		case EventRewind:
+			if ev.Stream < 0 {
+				return fmt.Errorf("chaos: rewind of negative stream ordinal %d", ev.Stream)
+			}
+			if ev.Track < 0 {
+				return fmt.Errorf("chaos: rewind to negative track %d at cycle %d", ev.Track, ev.Cycle)
 			}
 		case EventNodeKill, EventNodeDrain:
 			if s.Nodes < 2 {
@@ -204,6 +238,14 @@ func (s *Schedule) ToSpec() *scenario.Spec {
 			spec.NodeEvents = append(spec.NodeEvents, scenario.NodeEvent{Cycle: ev.Cycle, Kind: "kill", Node: ev.Node})
 		case EventNodeDrain:
 			spec.NodeEvents = append(spec.NodeEvents, scenario.NodeEvent{Cycle: ev.Cycle, Kind: "drain", Node: ev.Node})
+		case EventPause:
+			spec.VcrEvents = append(spec.VcrEvents, scenario.VcrEvent{Cycle: ev.Cycle, Kind: "pause", Stream: ev.Stream})
+		case EventVcrResume:
+			spec.VcrEvents = append(spec.VcrEvents, scenario.VcrEvent{Cycle: ev.Cycle, Kind: "resume", Stream: ev.Stream})
+		case EventFF:
+			spec.VcrEvents = append(spec.VcrEvents, scenario.VcrEvent{Cycle: ev.Cycle, Kind: "ff", Stream: ev.Stream, Rate: ev.Rate})
+		case EventRewind:
+			spec.VcrEvents = append(spec.VcrEvents, scenario.VcrEvent{Cycle: ev.Cycle, Kind: "rewind", Stream: ev.Stream, Track: ev.Track})
 		case EventRepair, EventRebuild:
 			for i := len(spec.Failures) - 1; i >= 0; i-- {
 				f := &spec.Failures[i]
@@ -256,6 +298,18 @@ func FromSpec(spec *scenario.Spec) *Schedule {
 	}
 	for _, c := range spec.Cancels {
 		s.Events = append(s.Events, Event{Cycle: c.Cycle, Kind: EventCancel, Stream: c.Stream})
+	}
+	for _, v := range spec.VcrEvents {
+		kind := EventPause
+		switch v.Kind {
+		case "resume":
+			kind = EventVcrResume
+		case "ff":
+			kind = EventFF
+		case "rewind":
+			kind = EventRewind
+		}
+		s.Events = append(s.Events, Event{Cycle: v.Cycle, Kind: kind, Stream: v.Stream, Rate: v.Rate, Track: v.Track})
 	}
 	return s
 }

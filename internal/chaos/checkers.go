@@ -257,10 +257,12 @@ func (l *LeakChecker) End(rc *RunContext) error {
 // Admission bound.
 
 // AdmissionChecker asserts the engine never serves more simultaneous
-// streams than the analytic N_p of equations (8)-(11) allows for the
-// run's design point. The engines' per-cluster slot caps floor earlier
-// than the analytic bound (⌊x⌋·m <= ⌊x·m⌋), so exceeding N_p is always
-// an engine bug, never rounding.
+// k′-weighted streams than the analytic N_p of equations (8)-(11)
+// allows for the run's design point: a fast-forwarding stream at rate r
+// counts r times, because it draws r tracks per cycle. The engines'
+// per-cluster slot caps floor earlier than the analytic bound
+// (⌊x⌋·m <= ⌊x·m⌋), so exceeding N_p is always an engine bug, never
+// rounding.
 type AdmissionChecker struct {
 	bound int
 }
@@ -295,8 +297,8 @@ func (a *AdmissionChecker) Begin(rc *RunContext) error {
 
 // AfterStep implements Checker.
 func (a *AdmissionChecker) AfterStep(rc *RunContext, _ *sched.CycleReport) error {
-	if active := rc.Srv.Engine().Active(); active > a.bound {
-		return fmt.Errorf("%d active streams exceed the analytic bound N=%d", active, a.bound)
+	if active := rc.Srv.WeightedActive(); active > a.bound {
+		return fmt.Errorf("%d k′-weighted active streams exceed the analytic bound N=%d", active, a.bound)
 	}
 	return nil
 }

@@ -61,6 +61,11 @@ type Session struct {
 	Chain                           []int
 	Resumes                         int
 	Finished, Cancelled, Terminated bool
+	// Paused marks a session a pause (or a refused rewind) parked: it
+	// holds no engine stream and draws no bandwidth; PausedNext is the
+	// track it is owed when a vcr-resume re-admits it.
+	Paused     bool
+	PausedNext int
 	// Lost marks a failover that found no surviving holder with
 	// capacity: the admitted loss of an unreplicated (or overloaded)
 	// title. LostReason records the justification.
@@ -102,6 +107,13 @@ type ClusterChecker interface {
 	Begin(crc *ClusterRunContext) error
 	AfterStep(crc *ClusterRunContext, reps []*sched.CycleReport) error
 	End(crc *ClusterRunContext) error
+}
+
+// ClusterEventObserver is implemented by cluster checkers that need to
+// see schedule events as they are applied — the cluster-level analogue
+// of EventObserver, with the same only-applied-events contract.
+type ClusterEventObserver interface {
+	OnEvent(crc *ClusterRunContext, ev Event) error
 }
 
 // DefaultClusterCheckers returns a fresh instance of every standard
@@ -283,6 +295,15 @@ func RunCluster(cfg ClusterRunConfig) (*ClusterRunResult, error) {
 					}
 				}
 			}
+			if applied {
+				for _, c := range cfg.ClusterCheckers {
+					if obs, ok := c.(ClusterEventObserver); ok {
+						if err := obs.OnEvent(crc, events[next]); err != nil {
+							return violate(c.Name(), "", err), nil
+						}
+					}
+				}
+			}
 			next++
 		}
 		for i, nd := range crc.Nodes {
@@ -437,6 +458,12 @@ func (r *clusterRun) apply(ev Event) (bool, *NodeRun, error) {
 			return false, nil, nil
 		}
 		ses := crc.Sessions[ev.Stream]
+		if ses.Paused {
+			// Hanging up a parked session needs no engine work.
+			ses.Paused = false
+			ses.Cancelled = true
+			return true, nil, nil
+		}
 		if ses.Node < 0 {
 			return false, nil, nil
 		}
@@ -470,8 +497,118 @@ func (r *clusterRun) apply(ev Event) (bool, *NodeRun, error) {
 		}
 		nd.State = NodeDraining
 		return true, nil, nil
+	case EventPause:
+		if ev.Stream >= len(crc.Sessions) {
+			return false, nil, nil
+		}
+		ses := crc.Sessions[ev.Stream]
+		if ses.Paused || ses.Node < 0 {
+			return false, nil, nil
+		}
+		nd := crc.Nodes[ses.Node]
+		next, _, ok := nd.Srv.StreamProgress(ses.SID)
+		if !ok {
+			return false, nil, nil
+		}
+		if err := nd.Srv.Cancel(ses.SID); err != nil {
+			return false, nil, nil
+		}
+		delete(crc.byStream, [2]int{ses.Node, ses.SID})
+		ses.Paused, ses.PausedNext = true, next
+		ses.Node = -1
+		return true, nd, nil
+	case EventVcrResume:
+		if ev.Stream >= len(crc.Sessions) {
+			return false, nil, nil
+		}
+		ses := crc.Sessions[ev.Stream]
+		if !ses.Paused {
+			return false, nil, nil // pause was shrunk away, or resume already ran
+		}
+		nd := r.place(ses, ses.PausedNext)
+		if nd == nil {
+			return false, nil, nil // every holder refused: the viewer stays parked
+		}
+		return true, nd, nil
+	case EventFF:
+		if ev.Stream >= len(crc.Sessions) {
+			return false, nil, nil
+		}
+		ses := crc.Sessions[ev.Stream]
+		if ses.Paused || ses.Node < 0 {
+			return false, nil, nil
+		}
+		nd := crc.Nodes[ses.Node]
+		// Refusals (k′ bound) and engines without rate support both leave
+		// the stream at 1x — legitimate.
+		if err := nd.Srv.SetStreamRate(ses.SID, ev.Rate); err != nil {
+			return false, nil, nil
+		}
+		return true, nd, nil
+	case EventRewind:
+		if ev.Stream >= len(crc.Sessions) {
+			return false, nil, nil
+		}
+		ses := crc.Sessions[ev.Stream]
+		target := ev.Track
+		if target >= crc.Total {
+			target = crc.Total - 1
+		}
+		if ses.Paused {
+			ses.PausedNext = target // reposition the parked session
+			return true, nil, nil
+		}
+		if ses.Node < 0 {
+			return false, nil, nil
+		}
+		nd := crc.Nodes[ses.Node]
+		if _, _, ok := nd.Srv.StreamProgress(ses.SID); !ok {
+			return false, nil, nil
+		}
+		if err := nd.Srv.Cancel(ses.SID); err != nil {
+			return false, nil, nil
+		}
+		delete(crc.byStream, [2]int{ses.Node, ses.SID})
+		ses.Node = -1
+		if to := r.place(ses, target); to != nil {
+			return true, to, nil
+		}
+		// Every holder refused the re-admission: park at the target, so
+		// the viewer's position survives the refusal.
+		ses.Paused, ses.PausedNext = true, target
+		return true, nil, nil
 	}
 	return false, nil, fmt.Errorf("chaos: unknown event kind %q", ev.Kind)
+}
+
+// place re-admits a session at the group floor of track at — the shared
+// engine work of vcr-resume and rewind. It returns the serving node,
+// or nil when no active holder had capacity (the session is untouched).
+func (r *clusterRun) place(ses *Session, at int) *NodeRun {
+	crc := r.crc
+	startGroup := at/crc.Width + r.hooks.ResumeGroupOffset
+	for _, nd := range r.candidates(ses.Title) {
+		sid, _, err := nd.Srv.RequestAt(ses.Title, startGroup)
+		if err != nil {
+			continue
+		}
+		ses.Paused = false
+		ses.Node, ses.SID = nd.Index, sid
+		ses.ResumeFloor = startGroup * crc.Width
+		if ses.ResumeFloor > ses.Next {
+			// A forward seek: the watermark jumps to the restart floor so
+			// later failovers resume from the seek, not the skipped past.
+			ses.Next = ses.ResumeFloor
+		}
+		ses.Chain = append(ses.Chain, nd.Index)
+		ses.Resumes++
+		crc.byStream[[2]int{nd.Index, sid}] = ses
+		nd.RC.Admitted = append(nd.RC.Admitted, sid)
+		nd.RC.TitleOf[sid] = ses.Title
+		nd.RC.ResumeStart[sid] = ses.ResumeFloor
+		return nd
+	}
+	return nil
 }
 
 // failover moves every session the dead node served onto a surviving
@@ -575,15 +712,26 @@ func (r *clusterRun) advanceLedger(reps []*sched.CycleReport) {
 // session followed across its whole ownership chain receives the
 // title's bytes contiguously and bit-exactly. A failover may rewind to
 // the group boundary at or before the next owed track (re-delivering
-// at most one group's worth) but may never skip forward; every
-// delivered track's bytes must match the archived content; and when
-// the cluster drains, every session has either finished the full
-// title, was cancelled or terminated, or was lost with a recorded
-// justification. The checker keeps its own per-session ledger — it
-// audits the runner's failover arithmetic rather than trusting it.
+// at most one group's worth) but may never skip forward; a VCR verb
+// may move the position anywhere, but delivery must then run
+// consecutively from the new position's group floor; every delivered
+// track's bytes must match the archived content; and when the cluster
+// drains, every session has either finished the full title, was
+// cancelled or terminated, is legitimately parked by a pause, or was
+// lost with a recorded justification. The checker keeps its own
+// per-session ledger — it audits the runner's failover and VCR
+// arithmetic rather than trusting it.
 type CrossNodeContinuityChecker struct {
-	next, floor map[int]int
-	seenResumes map[int]int
+	// next is the high-water completeness ledger (the furthest track
+	// ever delivered, plus one); cursor the exact next track the
+	// session's current engine stream owes. They diverge while a rewind
+	// replays old ground.
+	next, cursor map[int]int
+	seenResumes  map[int]int
+	// mark is the position the last applied VCR verb established (the
+	// pause point, or a rewind target), from which the next resume's
+	// restart floor is computed out of the checker's own ledger.
+	mark map[int]int
 }
 
 // NewCrossNodeContinuityChecker builds the checker.
@@ -597,8 +745,57 @@ func (c *CrossNodeContinuityChecker) Name() string { return "cluster-continuity"
 // Begin implements ClusterChecker.
 func (c *CrossNodeContinuityChecker) Begin(*ClusterRunContext) error {
 	c.next = make(map[int]int)
-	c.floor = make(map[int]int)
+	c.cursor = make(map[int]int)
 	c.seenResumes = make(map[int]int)
+	c.mark = make(map[int]int)
+	return nil
+}
+
+// restart points the cursor at the group floor of track at, and syncs
+// the resume count so the failover recompute in AfterStep does not
+// clobber a VCR-established floor.
+func (c *CrossNodeContinuityChecker) restart(crc *ClusterRunContext, o, at int) {
+	c.cursor[o] = (at / crc.Width) * crc.Width
+	c.seenResumes[o] = crc.Sessions[o].Resumes
+}
+
+// OnEvent implements ClusterEventObserver: VCR verbs move a session's
+// position, so the checker moves its own ledger — from the event's
+// arguments and its own cursor, never from the runner's bookkeeping.
+func (c *CrossNodeContinuityChecker) OnEvent(crc *ClusterRunContext, ev Event) error {
+	switch ev.Kind {
+	case EventPause, EventVcrResume, EventRewind:
+	default:
+		return nil
+	}
+	if ev.Stream < 0 || ev.Stream >= len(crc.Sessions) {
+		return nil
+	}
+	o := ev.Stream
+	ses := crc.Sessions[o]
+	switch ev.Kind {
+	case EventPause:
+		c.mark[o] = c.cursor[o]
+	case EventVcrResume:
+		at, ok := c.mark[o]
+		if !ok {
+			at = c.cursor[o]
+		}
+		c.restart(crc, o, at)
+		delete(c.mark, o)
+	case EventRewind:
+		target := ev.Track
+		if target >= crc.Total {
+			target = crc.Total - 1
+		}
+		c.mark[o] = target
+		if !ses.Paused {
+			// Live re-admission happened; a parked rewind keeps the mark
+			// for the eventual resume instead.
+			c.restart(crc, o, target)
+			delete(c.mark, o)
+		}
+	}
 	return nil
 }
 
@@ -639,9 +836,8 @@ func (c *CrossNodeContinuityChecker) AfterStep(crc *ClusterRunContext, reps []*s
 		if c.seenResumes[o] < ses.Resumes {
 			// A failover happened since we last saw this session: from
 			// our own ledger, the only legitimate restart is the group
-			// boundary at or before the next owed track.
-			c.floor[o] = (c.next[o] / crc.Width) * crc.Width
-			c.seenResumes[o] = ses.Resumes
+			// boundary at or before the high-water mark.
+			c.restart(crc, o, c.next[o])
 		}
 		ts := per[o]
 		sort.Slice(ts, func(i, j int) bool { return ts[i].track < ts[j].track })
@@ -651,15 +847,13 @@ func (c *CrossNodeContinuityChecker) AfterStep(crc *ClusterRunContext, reps []*s
 					return fmt.Errorf("session %d (%s) on node chain %v: %w", o, ses.Title, ses.Chain, err)
 				}
 			}
-			switch {
-			case t.track == c.next[o]:
-				c.next[o]++
-			case t.track < c.next[o] && t.track >= c.floor[o]:
-				// Bounded re-delivery: the failover rewind to the group
-				// boundary. Nothing to advance.
-			default:
-				return fmt.Errorf("session %d (%s) received track %d, expected %d (failover floor %d): gap or unbounded rewind across node chain %v",
-					o, ses.Title, t.track, c.next[o], c.floor[o], ses.Chain)
+			if t.track != c.cursor[o] {
+				return fmt.Errorf("session %d (%s) received track %d, expected %d (high-water %d): gap, duplicate, or unbounded rewind across node chain %v",
+					o, ses.Title, t.track, c.cursor[o], c.next[o], ses.Chain)
+			}
+			c.cursor[o]++
+			if c.cursor[o] > c.next[o] {
+				c.next[o] = c.cursor[o]
 			}
 		}
 	}
@@ -681,6 +875,10 @@ func (c *CrossNodeContinuityChecker) End(crc *ClusterRunContext) error {
 				return fmt.Errorf("session %d (%s) finished after %d of %d tracks across node chain %v",
 					o, ses.Title, c.next[o], crc.Total, ses.Chain)
 			}
+		case ses.Paused:
+			// Parked by a pause (or a refused rewind) and never resumed —
+			// a legitimate way to end a run, and what every schedule a
+			// shrinker cut the resume out of looks like.
 		default:
 			if crc.Drained {
 				return fmt.Errorf("session %d (%s) stranded at track %d after the cluster drained", o, ses.Title, c.next[o])

@@ -108,6 +108,27 @@ func Generate(rng *rand.Rand, scheme string) Schedule {
 		})
 	}
 
+	// Interactive viewers: pauses paired with later resumes, ff at
+	// modest rates, and rewinds anywhere in the title. All of it lands
+	// on the same ordinal space the cancels address, and all of it is
+	// applied best-effort, so colliding verbs stay runnable.
+	titleTracks := s.TitleGroups * (c - 1)
+	nVcr := rng.Intn(4)
+	for i := 0; i < nVcr; i++ {
+		ord := rng.Intn(nAdmits)
+		base := 3 + rng.Intn(12)
+		switch rng.Intn(3) {
+		case 0:
+			s.Events = append(s.Events,
+				Event{Cycle: base, Kind: EventPause, Stream: ord},
+				Event{Cycle: base + 1 + rng.Intn(5), Kind: EventVcrResume, Stream: ord})
+		case 1:
+			s.Events = append(s.Events, Event{Cycle: base, Kind: EventFF, Stream: ord, Rate: 2 + rng.Intn(2)})
+		default:
+			s.Events = append(s.Events, Event{Cycle: base, Kind: EventRewind, Stream: ord, Track: rng.Intn(titleTracks)})
+		}
+	}
+
 	lastEvent := 0
 	for _, ev := range s.Events {
 		if ev.Cycle > lastEvent {
@@ -115,9 +136,9 @@ func Generate(rng *rand.Rand, scheme string) Schedule {
 		}
 	}
 	// Longest play-out: a title's tracks at one per cycle, plus the whole
-	// catalog's tracks as rebuild slack, plus margin.
-	titleTracks := s.TitleGroups * (c - 1)
-	s.MaxCycles = lastEvent + titleTracks + s.Titles*s.TitleGroups + 40
+	// catalog's tracks as rebuild slack, plus a full replay per rewind
+	// (a rewound stream may walk the title again), plus margin.
+	s.MaxCycles = lastEvent + titleTracks + s.Titles*s.TitleGroups + nVcr*titleTracks + 40
 	return s
 }
 

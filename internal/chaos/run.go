@@ -46,10 +46,14 @@ type RunContext struct {
 	// TitleOf maps an engine stream ID to the title it plays.
 	TitleOf map[int]string
 	// ResumeStart maps engine stream IDs admitted mid-title (cluster
-	// session failover lands on a replica at a group boundary) to their
-	// first owed track. Checkers consult it instead of assuming every
-	// stream starts at track 0; nil in single-node runs.
+	// session failover lands on a replica at a group boundary, VCR
+	// resume/rewind re-admits at a group floor) to their first owed
+	// track. Checkers consult it instead of assuming every stream starts
+	// at track 0.
 	ResumeStart map[int]int
+	// Paused maps stream ordinals parked by a pause (or a refused
+	// rewind) to the next track they are owed on resume.
+	Paused map[int]int
 }
 
 // Checker audits one invariant over a run. Begin is called once before
@@ -79,9 +83,10 @@ type Hooks struct {
 	// AfterRepair runs right after an instant repair of the drive
 	// succeeds, before checkers observe the event.
 	AfterRepair func(srv *server.Server, drive int) error
-	// ResumeGroupOffset shifts every cluster failover's restart group
-	// by this many groups — a deliberately broken handoff the
-	// cross-node continuity checker must catch. Zero in real runs.
+	// ResumeGroupOffset shifts every cluster failover's and VCR
+	// re-admission's restart group by this many groups — a deliberately
+	// broken handoff the cross-node continuity checker must catch. Zero
+	// in real runs.
 	ResumeGroupOffset int
 }
 
@@ -128,7 +133,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	rc := &RunContext{
 		Srv: srv, Schedule: sch, Content: content, TrackSize: trackSize,
-		TitleOf: make(map[int]string),
+		TitleOf:     make(map[int]string),
+		ResumeStart: make(map[int]int),
+		Paused:      make(map[int]int),
 	}
 
 	res := &RunResult{}
@@ -258,10 +265,87 @@ func apply(rc *RunContext, ev Event, hooks Hooks) (bool, error) {
 		if ev.Stream >= len(rc.Admitted) {
 			return false, nil // admission was shrunk away
 		}
+		// Cancelling a parked stream is just a hang-up of the session.
+		if _, ok := rc.Paused[ev.Stream]; ok {
+			delete(rc.Paused, ev.Stream)
+			return true, nil
+		}
 		// A cancel of an already-finished stream errors; that is fine.
 		if err := srv.Cancel(rc.Admitted[ev.Stream]); err != nil {
 			return false, nil
 		}
+		return true, nil
+	case EventPause:
+		if ev.Stream >= len(rc.Admitted) {
+			return false, nil
+		}
+		if _, ok := rc.Paused[ev.Stream]; ok {
+			return false, nil // already parked
+		}
+		next, _, ok := srv.StreamProgress(rc.Admitted[ev.Stream])
+		if !ok {
+			return false, nil // stream finished or was cancelled
+		}
+		if err := srv.Cancel(rc.Admitted[ev.Stream]); err != nil {
+			return false, nil
+		}
+		rc.Paused[ev.Stream] = next
+		return true, nil
+	case EventVcrResume:
+		next, ok := rc.Paused[ev.Stream]
+		if !ok {
+			return false, nil // pause was shrunk away (or resume already ran)
+		}
+		width := rc.Schedule.ClusterSize - 1
+		id, _, err := srv.RequestAt(rc.TitleOf[rc.Admitted[ev.Stream]], next/width)
+		if err != nil {
+			return false, nil // rejection: the viewer stays parked
+		}
+		rc.TitleOf[id] = rc.TitleOf[rc.Admitted[ev.Stream]]
+		rc.ResumeStart[id] = (next / width) * width
+		rc.Admitted[ev.Stream] = id
+		delete(rc.Paused, ev.Stream)
+		return true, nil
+	case EventFF:
+		if ev.Stream >= len(rc.Admitted) {
+			return false, nil
+		}
+		if _, ok := rc.Paused[ev.Stream]; ok {
+			return false, nil // parked streams draw nothing; nothing to speed up
+		}
+		// Refusals (k′ bound) and engines without rate support both leave
+		// the stream playing at 1x — legitimate, not a harness error.
+		if err := srv.SetStreamRate(rc.Admitted[ev.Stream], ev.Rate); err != nil {
+			return false, nil
+		}
+		return true, nil
+	case EventRewind:
+		if ev.Stream >= len(rc.Admitted) {
+			return false, nil
+		}
+		width := rc.Schedule.ClusterSize - 1
+		target := ev.Track
+		if t := rc.Schedule.TitleGroups * width; target >= t {
+			target = t - 1
+		}
+		if _, ok := rc.Paused[ev.Stream]; ok {
+			rc.Paused[ev.Stream] = target // reposition the parked session
+			return true, nil
+		}
+		if _, _, ok := srv.StreamProgress(rc.Admitted[ev.Stream]); !ok {
+			return false, nil
+		}
+		if err := srv.Cancel(rc.Admitted[ev.Stream]); err != nil {
+			return false, nil
+		}
+		id, _, err := srv.RequestAt(rc.TitleOf[rc.Admitted[ev.Stream]], target/width)
+		if err != nil {
+			rc.Paused[ev.Stream] = target // refused: park at the target
+			return true, nil
+		}
+		rc.TitleOf[id] = rc.TitleOf[rc.Admitted[ev.Stream]]
+		rc.ResumeStart[id] = (target / width) * width
+		rc.Admitted[ev.Stream] = id
 		return true, nil
 	}
 	return false, fmt.Errorf("chaos: unknown event kind %q", ev.Kind)

@@ -1,0 +1,194 @@
+package chaos
+
+import (
+	"testing"
+
+	"ftmm/internal/sched"
+)
+
+// vcrCounter counts applied VCR events, so tests can assert the verbs
+// actually took effect instead of being skipped by the best-effort
+// contract.
+type vcrCounter struct {
+	pauses, resumes, ffs, rewinds int
+}
+
+func (v *vcrCounter) Name() string                                    { return "vcr-counter" }
+func (v *vcrCounter) Begin(*RunContext) error                         { return nil }
+func (v *vcrCounter) AfterStep(*RunContext, *sched.CycleReport) error { return nil }
+func (v *vcrCounter) End(*RunContext) error                           { return nil }
+func (v *vcrCounter) OnEvent(_ *RunContext, ev Event) error {
+	switch ev.Kind {
+	case EventPause:
+		v.pauses++
+	case EventVcrResume:
+		v.resumes++
+	case EventFF:
+		v.ffs++
+	case EventRewind:
+		v.rewinds++
+	}
+	return nil
+}
+
+// vcrSchedule builds a deterministic single-node schedule that walks a
+// stream through pause → resume → rewind while a second stream
+// fast-forwards.
+func vcrSchedule(scheme string) Schedule {
+	s := Schedule{
+		Scheme: scheme, ClusterSize: 4, Disks: 8, K: 1,
+		Titles: 2, TitleGroups: 4, MaxCycles: 120,
+		Events: []Event{
+			{Cycle: 0, Kind: EventAdmit, Title: "title0"},
+			{Cycle: 0, Kind: EventAdmit, Title: "title1"},
+			{Cycle: 2, Kind: EventPause, Stream: 0},
+			{Cycle: 3, Kind: EventFF, Stream: 1, Rate: 2},
+			{Cycle: 5, Kind: EventVcrResume, Stream: 0},
+			{Cycle: 8, Kind: EventRewind, Stream: 0, Track: 1},
+		},
+	}
+	if scheme == "dc" {
+		s.DeclusterGroup = 13
+		s.Disks = 13
+	}
+	return s
+}
+
+// TestVcrScheduleAllSchemes runs the pause/ff/rewind drill under every
+// scheme through the full checker set — including the k′-weighted
+// admission checker and the per-stream retention (position) checker —
+// and asserts the verbs applied. FF applies only on engines with rate
+// support (sr, dc); elsewhere the refusal is the legitimate outcome.
+func TestVcrScheduleAllSchemes(t *testing.T) {
+	for _, scheme := range SchemeNames() {
+		t.Run(scheme, func(t *testing.T) {
+			counter := &vcrCounter{}
+			res, err := Run(RunConfig{
+				Schedule: vcrSchedule(scheme),
+				Checkers: append(DefaultCheckers(), counter),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("%s violation at cycle %d: %s",
+					res.Violation.Checker, res.Violation.Cycle, res.Violation.Detail)
+			}
+			if counter.pauses != 1 || counter.resumes != 1 || counter.rewinds != 1 {
+				t.Errorf("applied pauses/resumes/rewinds = %d/%d/%d, want 1/1/1",
+					counter.pauses, counter.resumes, counter.rewinds)
+			}
+			wantFF := 0
+			if scheme == "sr" || scheme == "dc" {
+				wantFF = 1
+			}
+			if counter.ffs != wantFF {
+				t.Errorf("applied ffs = %d, want %d", counter.ffs, wantFF)
+			}
+		})
+	}
+}
+
+// TestVcrPauseDrainNoLeak parks a stream and never resumes it: the run
+// must still drain (a parked viewer draws no bandwidth and holds no
+// buffers), and the leak checker audits the empty arena and pool.
+func TestVcrPauseDrainNoLeak(t *testing.T) {
+	s := Schedule{
+		Scheme: "sr", ClusterSize: 4, Disks: 8, K: 1,
+		Titles: 2, TitleGroups: 4, MaxCycles: 120,
+		Events: []Event{
+			{Cycle: 0, Kind: EventAdmit, Title: "title0"},
+			{Cycle: 1, Kind: EventAdmit, Title: "title1"},
+			{Cycle: 3, Kind: EventPause, Stream: 0},
+		},
+	}
+	res, err := Run(RunConfig{Schedule: s, Checkers: DefaultCheckers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("%s violation at cycle %d: %s",
+			res.Violation.Checker, res.Violation.Cycle, res.Violation.Detail)
+	}
+	if res.Cycles >= s.MaxCycles {
+		t.Errorf("run did not drain with a parked stream outstanding (%d cycles)", res.Cycles)
+	}
+}
+
+// clusterVcrSchedule is a deterministic 3-node schedule exercising the
+// session ledger across pause/resume, a rewind, and a node kill.
+func clusterVcrSchedule() Schedule {
+	return Schedule{
+		Scheme: "sr", ClusterSize: 4, Disks: 8, K: 1,
+		Titles: 3, TitleGroups: 4, MaxCycles: 160,
+		Nodes: 3, Replicas: 2, PlacementSeed: 7,
+		Events: []Event{
+			{Cycle: 0, Kind: EventAdmit, Title: "title0"},
+			{Cycle: 0, Kind: EventAdmit, Title: "title1"},
+			{Cycle: 1, Kind: EventAdmit, Title: "title2"},
+			{Cycle: 2, Kind: EventPause, Stream: 0},
+			{Cycle: 4, Kind: EventRewind, Stream: 1, Track: 1},
+			{Cycle: 5, Kind: EventVcrResume, Stream: 0},
+			{Cycle: 6, Kind: EventNodeKill, Node: 0},
+		},
+	}
+}
+
+// TestVcrClusterLedger runs the cluster VCR drill and audits the final
+// ledger: the paused session resumed (Resumes counts both its VCR
+// resume and any failover), the rewound session replayed, and every
+// session ended finished or lost-with-justification.
+func TestVcrClusterLedger(t *testing.T) {
+	res, err := RunCluster(ClusterRunConfig{Schedule: clusterVcrSchedule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("%s violation at cycle %d: %s",
+			res.Violation.Checker, res.Violation.Cycle, res.Violation.Detail)
+	}
+	if !res.Drained {
+		t.Fatal("cluster did not drain")
+	}
+	if len(res.Sessions) != 3 {
+		t.Fatalf("ledger has %d sessions, want 3", len(res.Sessions))
+	}
+	if got := res.Sessions[0].Resumes; got < 1 {
+		t.Errorf("paused session resumed %d times, want >= 1", got)
+	}
+	if got := res.Sessions[1].Resumes; got < 1 {
+		t.Errorf("rewound session re-admitted %d times, want >= 1", got)
+	}
+	for i, ses := range res.Sessions {
+		if !ses.Finished && !ses.Lost {
+			t.Errorf("session %d neither finished nor lost: %+v", i, ses)
+		}
+	}
+}
+
+// TestVcrClusterCheckerCatchesBrokenResume proves the cross-node
+// continuity checker audits VCR re-admissions with its own ledger: a
+// handoff deliberately shifted one group forward must be flagged as a
+// position jump.
+func TestVcrClusterCheckerCatchesBrokenResume(t *testing.T) {
+	s := Schedule{
+		Scheme: "sr", ClusterSize: 4, Disks: 8, K: 1,
+		Titles: 2, TitleGroups: 6, MaxCycles: 160,
+		Nodes: 3, Replicas: 2, PlacementSeed: 7,
+		Events: []Event{
+			{Cycle: 0, Kind: EventAdmit, Title: "title0"},
+			{Cycle: 3, Kind: EventPause, Stream: 0},
+			{Cycle: 5, Kind: EventVcrResume, Stream: 0},
+		},
+	}
+	res, err := RunCluster(ClusterRunConfig{
+		Schedule: s,
+		Hooks:    Hooks{ResumeGroupOffset: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || res.Violation.Checker != "cluster-continuity" {
+		t.Fatalf("shifted VCR resume not caught; violation = %+v", res.Violation)
+	}
+}

@@ -206,11 +206,43 @@ type Bucket struct {
 	Count      int64 `json:"count"`
 }
 
-// HistogramValue is a histogram's exported state.
+// HistogramValue is a histogram's exported state. P50/P90/P99 are
+// bucket-resolution percentile estimates (see Quantile); -1 means the
+// percentile fell past the largest bound (or there were no
+// observations).
 type HistogramValue struct {
 	Buckets []Bucket `json:"buckets"`
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
+	P50     int64    `json:"p50"`
+	P90     int64    `json:"p90"`
+	P99     int64    `json:"p99"`
+}
+
+// Quantile returns the smallest bucket upper bound covering at least a
+// q fraction of the observations — the usual bucketed-histogram
+// percentile estimate, biased up by at most one bucket width. It
+// returns -1 when the q-th observation landed in the overflow bucket
+// (beyond every bound) or when nothing was observed.
+func (h HistogramValue) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return -1
+	}
+	need := int64(q*float64(h.Count) + 0.5)
+	if need < 1 {
+		need = 1
+	}
+	var seen int64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen >= need {
+			if b.Overflow {
+				return -1
+			}
+			return b.UpperBound
+		}
+	}
+	return -1
 }
 
 // Snapshot is a point-in-time copy of every instrument's value.
@@ -245,6 +277,7 @@ func (r *Registry) Snapshot() Snapshot {
 			hv.Buckets = append(hv.Buckets, Bucket{UpperBound: b, Count: h.counts[i].Load()})
 		}
 		hv.Buckets = append(hv.Buckets, Bucket{Overflow: true, Count: h.counts[len(h.bounds)].Load()})
+		hv.P50, hv.P90, hv.P99 = hv.Quantile(0.50), hv.Quantile(0.90), hv.Quantile(0.99)
 		s.Histograms[name] = hv
 	}
 	return s
@@ -281,6 +314,9 @@ func (s Snapshot) Values() map[string]float64 {
 		out[name+"_count"] = float64(h.Count)
 		if h.Count > 0 {
 			out[name+"_mean"] = float64(h.Sum) / float64(h.Count)
+			out[name+"_p50"] = float64(h.P50)
+			out[name+"_p90"] = float64(h.P90)
+			out[name+"_p99"] = float64(h.P99)
 		}
 	}
 	return out

@@ -184,9 +184,54 @@ type Event struct {
 	Data  []byte
 	// Hiccup is set for lost-track notes.
 	Hiccup *HiccupNote
+	// Vcr is set when the server acknowledges a VCR verb (pause,
+	// resume, ff, rewind).
+	Vcr *VcrOK
+	// VcrReject is set when the server refuses a VCR verb — a resume or
+	// fast-forward the admission bound cannot absorb right now
+	// (RetryAfterMillis hints when to retry) or a verb sent while the
+	// node drains. The session itself stays up.
+	VcrReject *Reject
 	// Bye is set when the server ends the session; no further events
 	// follow.
 	Bye *Bye
+}
+
+// Pause asks the server to park the session: its engine stream is
+// released (freeing the admission slot) and its position held. The ack
+// (or refusal) arrives as a later Event.Vcr / Event.VcrReject — track
+// frames already in flight may precede it.
+func (c *Client) Pause() error {
+	return writeFrame(c.conn, framePause, nil)
+}
+
+// ResumePlay resumes a paused session at its held position, or drops a
+// fast-forwarding session back to normal rate. Resuming re-runs
+// admission; a refusal arrives as Event.VcrReject with a Retry-After
+// hint and the session stays paused.
+func (c *Client) ResumePlay() error {
+	return writeFrame(c.conn, frameResumePlay, nil)
+}
+
+// FastForward asks for playback at rate× normal (rate in [1,
+// maxFFRate]). The server accounts the extra per-cycle draw against the
+// admission bound and refuses (Event.VcrReject, Retry-After) rather
+// than oversubscribe a cycle.
+func (c *Client) FastForward(rate int) error {
+	if rate < 1 || rate > maxFFRate {
+		return fmt.Errorf("netserve: FF rate %d out of range [1,%d]", rate, maxFFRate)
+	}
+	return writeFrame(c.conn, frameFF, encodeRate(rate))
+}
+
+// Rewind jumps the session to an absolute track (the server floors it
+// to the enclosing parity-group boundary; the ack's NextTrack says
+// where delivery restarts). Playback rate drops to normal.
+func (c *Client) Rewind(track int) error {
+	if track < 0 {
+		return fmt.Errorf("netserve: rewind track %d is negative", track)
+	}
+	return writeFrame(c.conn, frameRewind, encodeRate(track))
 }
 
 // internedByes maps the exact payloads of the server's prebuilt BYE
@@ -227,6 +272,20 @@ func (c *Client) Next() (Event, error) {
 				return Event{}, fmt.Errorf("netserve: bad HICCUP payload: %w", err)
 			}
 			return Event{Hiccup: &h}, nil
+		case frameVcrOK:
+			var v VcrOK
+			if err := json.Unmarshal(payload, &v); err != nil {
+				return Event{}, fmt.Errorf("netserve: bad VCR-OK payload: %w", err)
+			}
+			return Event{Vcr: &v}, nil
+		case frameReject:
+			// Post-admission REJECT: a VCR verb the farm cannot absorb
+			// right now. The session continues.
+			var rej Reject
+			if err := json.Unmarshal(payload, &rej); err != nil {
+				return Event{}, fmt.Errorf("netserve: bad REJECT payload: %w", err)
+			}
+			return Event{VcrReject: &rej}, nil
 		case frameBye:
 			if b := internedByes[string(payload)]; b != nil {
 				return Event{Bye: b}, nil

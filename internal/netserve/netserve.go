@@ -74,6 +74,14 @@ type Options struct {
 	// with the next cycle's engine reads. Bisection/debug knob — the
 	// bytes every client sees are bit-identical either way.
 	NoPipeline bool
+	// BatchCycles, when > 0, batches flash-crowd starts: a fresh ADMIT
+	// parks for up to this many engine cycles so that same-title arrivals
+	// inside the window admit together at one cycle boundary — their
+	// engine streams then run in lockstep, so the merged-read/shared-
+	// frame machinery serves the whole cohort with one physical staging
+	// run. 0 (the default) admits immediately. RESUME admissions never
+	// batch: a failover client is already mid-title.
+	BatchCycles int
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -116,12 +124,26 @@ type NetServer struct {
 	ctrlPool sync.Pool
 
 	// mu is the engine lock, shrunk to control-plane work: it guards
-	// srv (admit/cancel/step), schedule, view, and drain state. Delivery
-	// staging runs outside it, on the shard workers.
+	// srv (admit/cancel/step), schedule, view, drain state, VCR session
+	// state (paused/rate/resumeTrack), the batch table, and the retired
+	// stream-ID queue. Delivery staging runs outside it, on the shard
+	// workers.
 	mu       sync.Mutex
 	cond     *sync.Cond
 	schedule []scheduledEvent
 	view     *cluster.View
+	// batches parks flash-crowd ADMITs per title until their window
+	// closes (Options.BatchCycles); pendingWaiters counts parked
+	// connections so the pacer keeps stepping toward the flush.
+	batches        map[string]*titleBatch
+	pendingWaiters int
+	// retired queues a resumed session's old stream-ID alias for removal
+	// once every pipeline pass that might still stage under it has
+	// drained (two cycles; see resumeSessionLocked).
+	retired []retiredID
+	// pausedSessions counts sessions parked by PAUSE (no engine stream);
+	// the net_sessions_paused gauge mirrors it.
+	pausedSessions int
 	// hbConns tracks live coordinator heartbeat channels so Close can
 	// cut them (their goroutines otherwise sit in a long read).
 	hbConns  map[net.Conn]struct{}
@@ -146,6 +168,11 @@ type NetServer struct {
 	// Cached hot-path instruments (a registry lookup per track would
 	// contend across 16 workers).
 	tracksSent, bytesSent, hiccupsSent, mergedTracks *metrics.Counter
+	// Flash-crowd batching instruments: admitted-through-a-batch count,
+	// flush count, and per-waiter wait time (ms) whose percentiles ride
+	// /metricsz.
+	batchedStarts, batchRuns *metrics.Counter
+	batchWaitMs              *metrics.Histogram
 	// Pipeline phase histograms: engine read time, pass staging time,
 	// per-burst socket write time (all µs), and the share of each Step
 	// that overlapped the previous cycle's staging (percent).
@@ -224,10 +251,16 @@ func (t *sessionTable) get(id int) *session {
 	return sess
 }
 
-func (t *sessionTable) put(sess *session) {
-	sh := &t.shards[uint(sess.id)%sessionShards]
+func (t *sessionTable) put(sess *session) { t.putID(sess.id, sess) }
+
+// putID registers the session under an explicit stream ID. A session
+// resumed from pause briefly lives under two IDs: the new stream's (its
+// identity from here on) and its pre-pause stream's, kept as an alias
+// until the pipeline passes that might still stage old-ID tracks drain.
+func (t *sessionTable) putID(id int, sess *session) {
+	sh := &t.shards[uint(id)%sessionShards]
 	sh.mu.Lock()
-	sh.m[sess.id] = sess
+	sh.m[id] = sess
 	sh.mu.Unlock()
 	t.count.Add(1)
 }
@@ -236,11 +269,17 @@ func (t *sessionTable) put(sess *session) {
 // one that removed it (teardown can race from reader, writer, and cycle
 // loop; exactly one caller wins and does the back-end cancel).
 func (t *sessionTable) remove(sess *session) bool {
-	sh := &t.shards[uint(sess.id)%sessionShards]
+	return t.removeID(sess.id, sess)
+}
+
+// removeID unregisters one (id → sess) entry, pointer-checked so a
+// reused stream ID belonging to a different session is never evicted.
+func (t *sessionTable) removeID(id int, sess *session) bool {
+	sh := &t.shards[uint(id)%sessionShards]
 	sh.mu.Lock()
-	cur, ok := sh.m[sess.id]
+	cur, ok := sh.m[id]
 	if ok && cur == sess {
-		delete(sh.m, sess.id)
+		delete(sh.m, id)
 	}
 	sh.mu.Unlock()
 	if ok && cur == sess {
@@ -248,6 +287,19 @@ func (t *sessionTable) remove(sess *session) bool {
 		return true
 	}
 	return false
+}
+
+// forEach visits every registered session (aliased sessions may be
+// visited twice). Callers must not re-enter the table from f.
+func (t *sessionTable) forEach(f func(*session)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, sess := range sh.m {
+			f(sess)
+		}
+		sh.mu.RUnlock()
+	}
 }
 
 func (t *sessionTable) len() int { return int(t.count.Load()) }
@@ -345,6 +397,42 @@ type session struct {
 	// wt is the session's slot on the shared timer wheel, armed around
 	// each vectored write by the write loop.
 	wt *WheelTimer
+
+	// VCR state, guarded by ns.mu. A paused session keeps its connection
+	// and table entry but holds no engine stream — its cycle bandwidth is
+	// back in the admission pool; resumeTrack is the first track owed when
+	// it re-admits. rate is the playback multiplier the engine currently
+	// grants this session (0/1 = normal).
+	paused      bool
+	rate        int
+	resumeTrack int
+}
+
+// batchWaiter is one connection parked in a flash-crowd batch. The
+// flusher admits it at the window boundary, fills sess/reject, and
+// closes done; handleConn blocks on done.
+type batchWaiter struct {
+	conn    net.Conn
+	arrival time.Time
+	sess    *session
+	reject  Reject
+	done    chan struct{}
+}
+
+// titleBatch collects same-title ADMITs arriving within one batching
+// window; due is the engine cycle at which the batch flushes.
+type titleBatch struct {
+	due     int
+	waiters []*batchWaiter
+}
+
+// retiredID is a resumed session's old stream-ID alias, removable once
+// the engine cycle reaches at (two cycles past the resume, by which
+// point every pass that could stage old-ID tracks has been awaited).
+type retiredID struct {
+	id   int
+	sess *session
+	at   int
 }
 
 // abort closes the connection and releases the writer immediately.
@@ -431,6 +519,7 @@ func New(opts Options) (*NetServer, error) {
 		groupWidth: srv.GroupWidth(),
 		wheel:      NewTimerWheel(wheelTick, wheelSlots),
 		hbConns:    make(map[net.Conn]struct{}),
+		batches:    make(map[string]*titleBatch),
 		drained:    make(chan struct{}),
 		stop:       make(chan struct{}),
 	}
@@ -444,6 +533,9 @@ func New(opts Options) (*NetServer, error) {
 	ns.bytesSent = m.Counter("net_bytes_sent")
 	ns.hiccupsSent = m.Counter("net_hiccups_sent")
 	ns.mergedTracks = m.Counter("net_merged_tracks")
+	ns.batchedStarts = m.Counter("net_batched_starts")
+	ns.batchRuns = m.Counter("net_batch_runs")
+	ns.batchWaitMs = m.Histogram("net_batch_wait_ms", 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 	usBounds := []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000}
 	ns.phaseRead = m.Histogram("pipe_read_us", usBounds...)
 	ns.phaseStage = m.Histogram("pipe_stage_us", usBounds...)
@@ -475,6 +567,15 @@ func (ns *NetServer) Burst() int { return ns.burst }
 
 // Sessions returns the number of connected, admitted sessions.
 func (ns *NetServer) Sessions() int { return ns.sessions.len() }
+
+// PendingStarts reports connections parked in flash-crowd admission
+// batches, waiting for their title's window to flush at a cycle
+// boundary (Options.BatchCycles).
+func (ns *NetServer) PendingStarts() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.pendingWaiters
+}
 
 // NodeID returns this node's cluster identity (empty standalone).
 func (ns *NetServer) NodeID() string { return ns.opts.NodeID }
@@ -587,7 +688,48 @@ func (ns *NetServer) beginDrainLocked() {
 	}
 	ns.draining = true
 	ns.srv.BeginDrain()
+	// Parked flash-crowd waiters would need a fresh admission; refuse
+	// them now rather than strand them until shutdown.
+	for title, tb := range ns.batches {
+		delete(ns.batches, title)
+		for _, w := range tb.waiters {
+			w.reject = Reject{Reason: "draining"}
+			ns.pendingWaiters--
+			close(w.done)
+		}
+	}
+	ns.expelPausedLocked()
 	ns.checkDrainedLocked()
+}
+
+// expelPausedLocked ends every paused session with a BYE: a paused
+// session holds no engine stream and would otherwise never finish, so a
+// drain would wait on it forever. Its position is lost — a client that
+// wants to continue resumes on another node (or re-admits later).
+func (ns *NetServer) expelPausedLocked() {
+	var expelled []*session
+	ns.sessions.forEach(func(sess *session) {
+		if sess.paused {
+			expelled = append(expelled, sess)
+		}
+	})
+	for _, sess := range expelled {
+		if !ns.sessions.remove(sess) {
+			continue
+		}
+		b := ns.newBurst()
+		b.frames = append(b.frames, outFrame{ctrl: byeShutdown})
+		if queued, _ := sess.enqueue(b); !queued {
+			ns.releaseBurst(b)
+		}
+		sess.paused = false
+		ns.pausedSessions--
+		sess.closeQueue()
+	}
+	if len(expelled) > 0 {
+		ns.gaugeSessions()
+		ns.gaugePaused()
+	}
 }
 
 // Drain stops admitting new sessions and waits until every in-flight
@@ -966,7 +1108,13 @@ func (ns *NetServer) handleConn(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 
-	sess, reject := ns.admit(conn, title, startGroup)
+	var sess *session
+	var reject Reject
+	if typ == frameAdmit && ns.opts.BatchCycles > 0 {
+		sess, reject = ns.admitBatched(conn, title)
+	} else {
+		sess, reject = ns.admit(conn, title, startGroup)
+	}
 	if sess == nil {
 		_ = writeJSONFrame(conn, frameReject, reject)
 		conn.Close()
@@ -975,16 +1123,262 @@ func (ns *NetServer) handleConn(conn net.Conn) {
 	ns.wg.Add(1)
 	go ns.writeLoop(sess)
 
-	// Reader: the client speaks only BYE after admission; any read
-	// error means it hung up. Either way the session (and its back-end
-	// stream, if still live) is torn down.
+	// Reader: after admission the client speaks BYE and the VCR verbs;
+	// any read error means it hung up. Either way the session (and its
+	// back-end stream, if still live) is torn down on exit.
 	for {
-		typ, _, err := readFrame(conn)
+		typ, payload, err := readFrame(conn)
 		if err != nil || typ == frameBye {
 			ns.dropSession(sess, "client gone")
 			return
 		}
+		switch typ {
+		case framePause:
+			ns.handlePause(sess)
+		case frameResumePlay:
+			ns.handleResumePlay(sess)
+		case frameFF:
+			rate, perr := parseFFRate(payload)
+			if perr != nil {
+				ns.dropSession(sess, "malformed FF")
+				return
+			}
+			ns.handleFF(sess, rate)
+		case frameRewind:
+			track, perr := parseRewindTrack(payload)
+			if perr != nil {
+				ns.dropSession(sess, "malformed REWIND")
+				return
+			}
+			ns.handleRewind(sess, track)
+		}
 	}
+}
+
+// sendCtrl enqueues one prebuilt control frame as its own burst — VCR
+// replies ride the session's ordered send queue rather than racing the
+// writer on the socket. Overflow just drops the reply (the session is
+// SendQueue cycles behind; its data bursts will shed it).
+func (ns *NetServer) sendCtrl(sess *session, frame []byte) {
+	b := ns.newBurst()
+	b.frames = append(b.frames, outFrame{ctrl: frame})
+	if queued, _ := sess.enqueue(b); !queued {
+		ns.releaseBurst(b)
+	}
+}
+
+// vcrOKCtrl builds a VCR-OK control frame.
+func vcrOKCtrl(verb string, id, next, rate int) []byte {
+	return mustCtrlFrame(frameVcrOK, VcrOK{Verb: verb, StreamID: id, NextTrack: next, Rate: rate})
+}
+
+// vcrRejectCtrl builds a post-admission REJECT control frame, with the
+// cycle-granularity Retry-After hint when the refusal is transient.
+func (ns *NetServer) vcrRejectCtrl(err error) []byte {
+	rej := Reject{Reason: err.Error()}
+	if errors.Is(err, server.ErrRejected) {
+		ms := ns.cycleTime.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		rej.RetryAfterMillis = ms
+	}
+	return mustCtrlFrame(frameReject, rej)
+}
+
+// handlePause parks a playing session: its engine stream is cancelled
+// (the slot returns to the admission pool) and its next owed track is
+// recorded for re-admission on resume. Pausing while paused re-acks.
+func (ns *NetServer) handlePause(sess *session) {
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return
+	}
+	if ns.draining {
+		// A paused session could never resume here; keep it playing.
+		ns.mu.Unlock()
+		ns.sendCtrl(sess, ns.vcrRejectCtrl(errors.New("draining")))
+		return
+	}
+	if sess.paused {
+		next := sess.resumeTrack
+		ns.mu.Unlock()
+		ns.sendCtrl(sess, vcrOKCtrl("pause", 0, next, 1))
+		return
+	}
+	next, _, ok := ns.srv.StreamProgress(sess.id)
+	if !ok {
+		// The stream already finished or terminated; the BYE is on its
+		// way to the client and there is nothing to pause.
+		ns.mu.Unlock()
+		return
+	}
+	_ = ns.srv.Cancel(sess.id)
+	sess.paused = true
+	sess.rate = 1
+	sess.resumeTrack = next
+	ns.pausedSessions++
+	ns.srv.Metrics().Counter("net_vcr_pauses").Inc()
+	ns.gaugePaused()
+	ns.mu.Unlock()
+	ns.sendCtrl(sess, vcrOKCtrl("pause", 0, next, 1))
+}
+
+// resumeSessionLocked re-admits a paused session at the parity-group
+// floor of track, rekeying its table entry to the new stream ID. The
+// old ID stays registered as an alias for two cycles: a still-staging
+// pipeline pass may hold pre-pause deliveries under it, and dropping
+// the key early would strand those tracks. Returns the VCR-OK to send,
+// or the REJECT when the farm cannot take the stream back (the session
+// stays paused; Retry-After rides the refusal).
+func (ns *NetServer) resumeSessionLocked(sess *session, verb string, track, rate int) []byte {
+	startGroup := 0
+	if ns.groupWidth > 0 {
+		startGroup = track / ns.groupWidth
+	}
+	id, _, err := ns.srv.RequestAt(sess.title, startGroup)
+	if err == nil && rate > 1 {
+		if rerr := ns.srv.SetStreamRate(id, rate); rerr != nil {
+			_ = ns.srv.Cancel(id)
+			err = rerr
+		}
+	}
+	if err != nil {
+		ns.srv.Metrics().Counter("net_vcr_rejects").Inc()
+		return ns.vcrRejectCtrl(err)
+	}
+	oldID := sess.id
+	sess.id = id
+	ns.sessions.put(sess)
+	ns.retired = append(ns.retired, retiredID{id: oldID, sess: sess, at: ns.srv.Engine().Cycle() + 2})
+	if sess.paused {
+		ns.pausedSessions--
+	}
+	sess.paused = false
+	sess.rate = rate
+	sess.resumeTrack = 0
+	ns.gaugePaused()
+	ns.cond.Broadcast() // the pacer may be idling on a paused-only farm
+	return vcrOKCtrl(verb, id, startGroup*ns.groupWidth, rate)
+}
+
+// handleResumePlay resumes a paused session at its held position
+// (re-admission, Retry-After on refusal) or drops a fast-forwarding
+// session back to normal rate.
+func (ns *NetServer) handleResumePlay(sess *session) {
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return
+	}
+	var reply []byte
+	if sess.paused {
+		if ns.draining {
+			reply = ns.vcrRejectCtrl(errors.New("draining"))
+		} else {
+			reply = ns.resumeSessionLocked(sess, "resume", sess.resumeTrack, 1)
+			if bytesIsVcrOK(reply) {
+				ns.srv.Metrics().Counter("net_vcr_resumes").Inc()
+			}
+		}
+	} else {
+		if sess.rate > 1 {
+			if err := ns.srv.SetStreamRate(sess.id, 1); err == nil {
+				sess.rate = 1
+			}
+		}
+		next, _, _ := ns.srv.StreamProgress(sess.id)
+		reply = vcrOKCtrl("resume", sess.id, next, 1)
+	}
+	ns.mu.Unlock()
+	ns.sendCtrl(sess, reply)
+}
+
+// handleFF sets a session's playback multiplier. On a playing session
+// it is a rate change, k′-accounted by the engine: a request the
+// admission bound cannot absorb is refused with Retry-After instead of
+// silently degrading every stream's continuity. On a paused session it
+// resumes directly into fast-forward (re-admission plus rate grant,
+// all-or-nothing).
+func (ns *NetServer) handleFF(sess *session, rate int) {
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return
+	}
+	var reply []byte
+	if sess.paused {
+		if ns.draining {
+			reply = ns.vcrRejectCtrl(errors.New("draining"))
+		} else {
+			reply = ns.resumeSessionLocked(sess, "ff", sess.resumeTrack, rate)
+		}
+	} else if err := ns.srv.SetStreamRate(sess.id, rate); err != nil {
+		ns.srv.Metrics().Counter("net_vcr_rejects").Inc()
+		reply = ns.vcrRejectCtrl(err)
+	} else {
+		sess.rate = rate
+		next, _, _ := ns.srv.StreamProgress(sess.id)
+		reply = vcrOKCtrl("ff", sess.id, next, rate)
+	}
+	if reply != nil && bytesIsVcrOK(reply) {
+		ns.srv.Metrics().Counter("net_vcr_ffs").Inc()
+	}
+	ns.mu.Unlock()
+	ns.sendCtrl(sess, reply)
+}
+
+// bytesIsVcrOK reports whether a prebuilt control frame is a VCR-OK.
+func bytesIsVcrOK(frame []byte) bool { return len(frame) > 0 && frame[0] == frameVcrOK }
+
+// handleRewind jumps a session's position backward (or forward — the
+// wire carries an absolute target track). A paused session just moves
+// its held position; a playing one is cancelled and re-admitted at the
+// target's parity-group floor, dropping to normal rate. If the farm
+// cannot take the re-admission the session is left paused at the target
+// with a Retry-After refusal — the position is not lost.
+func (ns *NetServer) handleRewind(sess *session, track int) {
+	ns.mu.Lock()
+	if ns.closed {
+		ns.mu.Unlock()
+		return
+	}
+	var reply []byte
+	if sess.paused {
+		sess.resumeTrack = track
+		sess.rate = 1
+		reply = vcrOKCtrl("rewind", 0, track, 1)
+		ns.srv.Metrics().Counter("net_vcr_rewinds").Inc()
+	} else {
+		_, total, ok := ns.srv.StreamProgress(sess.id)
+		if !ok {
+			ns.mu.Unlock()
+			return
+		}
+		if track >= total {
+			track = total - 1
+		}
+		if track < 0 {
+			track = 0
+		}
+		_ = ns.srv.Cancel(sess.id)
+		sess.paused = true
+		sess.rate = 1
+		sess.resumeTrack = track
+		ns.pausedSessions++
+		ns.gaugePaused()
+		if ns.draining {
+			reply = ns.vcrRejectCtrl(errors.New("draining"))
+		} else {
+			reply = ns.resumeSessionLocked(sess, "rewind", track, 1)
+		}
+		if bytesIsVcrOK(reply) {
+			ns.srv.Metrics().Counter("net_vcr_rewinds").Inc()
+		}
+	}
+	ns.mu.Unlock()
+	ns.sendCtrl(sess, reply)
 }
 
 // heartbeatConn serves a coordinator's persistent VIEW channel: install
@@ -1025,6 +1419,73 @@ func (ns *NetServer) admit(conn net.Conn, title string, startGroup int) (*sessio
 	if ns.closed || ns.draining {
 		return nil, Reject{Reason: "draining"}
 	}
+	return ns.admitLocked(conn, title, startGroup)
+}
+
+// admitBatched parks a fresh ADMIT in its title's flash-crowd batch and
+// blocks until the window closes and the batch flushes at a cycle
+// boundary (StepCycle's flushBatchesLocked admits the whole cohort
+// under one lock hold, so the members' engine streams run in lockstep
+// and merge their reads).
+func (ns *NetServer) admitBatched(conn net.Conn, title string) (*session, Reject) {
+	ns.mu.Lock()
+	if ns.closed || ns.draining {
+		ns.mu.Unlock()
+		return nil, Reject{Reason: "draining"}
+	}
+	w := &batchWaiter{conn: conn, arrival: time.Now(), done: make(chan struct{})}
+	tb := ns.batches[title]
+	if tb == nil {
+		tb = &titleBatch{due: ns.srv.Engine().Cycle() + ns.opts.BatchCycles}
+		ns.batches[title] = tb
+	}
+	tb.waiters = append(tb.waiters, w)
+	ns.pendingWaiters++
+	ns.mu.Unlock()
+	ns.cond.Broadcast() // the pacer may be idling; cycles must now run
+	select {
+	case <-w.done:
+		return w.sess, w.reject
+	case <-ns.stop:
+		select {
+		case <-w.done:
+			// The flush raced shutdown and won; use its answer (a live
+			// session here is torn down by Close's drainAll momentarily).
+			return w.sess, w.reject
+		default:
+			return nil, Reject{Reason: "shutdown"}
+		}
+	}
+}
+
+// flushBatchesLocked admits every batch whose window has closed. Runs
+// under mu immediately before the engine Step, so the cohort's streams
+// are admitted at the same cycle boundary — the lockstep that lets the
+// engine merge their reads and netserve share one staged run.
+func (ns *NetServer) flushBatchesLocked(cycle int) {
+	for title, tb := range ns.batches {
+		if tb.due > cycle {
+			continue
+		}
+		delete(ns.batches, title)
+		ns.batchRuns.Inc()
+		admitted := int64(0)
+		for _, w := range tb.waiters {
+			w.sess, w.reject = ns.admitLocked(w.conn, title, 0)
+			if w.sess != nil {
+				admitted++
+			}
+			ns.batchWaitMs.Observe(time.Since(w.arrival).Milliseconds())
+			ns.pendingWaiters--
+			close(w.done)
+		}
+		ns.batchedStarts.Add(admitted)
+	}
+}
+
+// admitLocked is admit's core, shared with the batch flusher; the
+// caller holds mu and has already checked closed/draining.
+func (ns *NetServer) admitLocked(conn net.Conn, title string, startGroup int) (*session, Reject) {
 	id, _, err := ns.srv.RequestAt(title, startGroup)
 	if err != nil {
 		ns.srv.Metrics().Counter("net_rejects").Inc()
@@ -1190,6 +1651,11 @@ func (ns *NetServer) dropSession(sess *session, reason string) {
 	if ns.sessions.remove(sess) {
 		ns.mu.Lock()
 		_ = ns.srv.Cancel(sess.id)
+		if sess.paused {
+			sess.paused = false
+			ns.pausedSessions--
+			ns.gaugePaused()
+		}
 		ns.checkDrainedLocked()
 		ns.mu.Unlock()
 		ns.gaugeSessions()
@@ -1200,6 +1666,10 @@ func (ns *NetServer) dropSession(sess *session, reason string) {
 
 func (ns *NetServer) gaugeSessions() {
 	ns.srv.Metrics().Gauge("net_sessions_active").Set(int64(ns.sessions.len()))
+}
+
+func (ns *NetServer) gaugePaused() {
+	ns.srv.Metrics().Gauge("net_sessions_paused").Set(int64(ns.pausedSessions))
 }
 
 // ---- the cycle loop ----
@@ -1228,12 +1698,15 @@ func (ns *NetServer) paceLoop() {
 	}
 }
 
-// idleLocked gates the pacer: with no sessions and no live streams
-// there is nothing to transmit, so cycles stop (and with them the cycle
-// counter scheduled fault events compare against — a failure scheduled
-// for cycle 40 lands forty cycles into service, not into an idle farm).
+// idleLocked gates the pacer: with no sessions, no live streams, and no
+// parked flash-crowd waiters there is nothing to transmit, so cycles
+// stop (and with them the cycle counter scheduled fault events compare
+// against — a failure scheduled for cycle 40 lands forty cycles into
+// service, not into an idle farm). Parked waiters keep the pacer
+// running: their batch flushes at a cycle boundary, so cycles must keep
+// coming for the window to close.
 func (ns *NetServer) idleLocked() bool {
-	return ns.sessions.len() == 0 && ns.srv.Engine().Active() == 0
+	return ns.sessions.len() == 0 && ns.srv.Engine().Active() == 0 && ns.pendingWaiters == 0
 }
 
 // StepCycle runs one transmission cycle. Under the engine lock it
@@ -1270,6 +1743,21 @@ func (ns *NetServer) StepCycle() error {
 		return nil
 	}
 	cycle := ns.srv.Engine().Cycle()
+	// Retire resumed sessions' old stream-ID aliases once the passes
+	// that might still stage under them have drained (the pipeline-depth
+	// wait above guarantees it for entries two cycles old).
+	keptIDs := ns.retired[:0]
+	for _, r := range ns.retired {
+		if r.at > cycle {
+			keptIDs = append(keptIDs, r)
+			continue
+		}
+		if ns.sessions.removeID(r.id, r.sess) {
+			ns.gaugeSessions()
+		}
+	}
+	ns.retired = keptIDs
+	ns.flushBatchesLocked(cycle)
 	kept := ns.schedule[:0]
 	for _, ev := range ns.schedule {
 		if ev.cycle > cycle {
@@ -1515,6 +2003,7 @@ func clearSessions(list []*session) {
 var (
 	byeFinished   = mustCtrlFrame(frameBye, Bye{Reason: "finished"})
 	byeTerminated = mustCtrlFrame(frameBye, Bye{Reason: "terminated"})
+	byeShutdown   = mustCtrlFrame(frameBye, Bye{Reason: "shutdown"})
 )
 
 func mustCtrlFrame(typ byte, v any) []byte {
@@ -1563,6 +2052,11 @@ func (ns *NetServer) shedLocked(sess *session) {
 	ns.logf("netserve: shedding stream %d (%s): send queue full", sess.id, sess.title)
 	if ns.sessions.remove(sess) {
 		_ = ns.srv.Cancel(sess.id)
+		if sess.paused {
+			sess.paused = false
+			ns.pausedSessions--
+			ns.gaugePaused()
+		}
 		ns.srv.Metrics().Counter("net_sessions_shed").Inc()
 		ns.gaugeSessions()
 	}

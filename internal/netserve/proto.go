@@ -54,6 +54,18 @@ const (
 	frameRedirect byte = 0x08
 	frameResume   byte = 0x09
 	frameView     byte = 0x0A
+	// VCR verbs. PAUSE parks a playing session (position held, cycle
+	// bandwidth released); RESUME_PLAY re-admits it at the held position
+	// (or drops an FF session back to rate 1); FF carries a 4-byte
+	// big-endian rate multiplier; REWIND carries a 4-byte big-endian
+	// target track. The server answers each with VCR-OK or, when
+	// re-admission or the rate change would exceed the admission bound,
+	// REJECT with Retry-After.
+	framePause      byte = 0x0B
+	frameResumePlay byte = 0x0C
+	frameFF         byte = 0x0D
+	frameRewind     byte = 0x0E
+	frameVcrOK      byte = 0x0F
 )
 
 const (
@@ -140,6 +152,60 @@ type HiccupNote struct {
 // "shutdown".
 type Bye struct {
 	Reason string `json:"reason"`
+}
+
+// maxFFRate caps the FF multiplier a client may request: past a small
+// factor the per-cluster draw argument (ceil(r/N) consecutive groups
+// per cluster) stops being a useful bound and the request is a protocol
+// violation, not an admission question.
+const maxFFRate = 8
+
+// VcrOK acknowledges a VCR verb. Verb echoes which one ("pause",
+// "resume", "ff", "rewind"); StreamID is the session's current engine
+// stream (re-admission on resume assigns a fresh one); NextTrack is the
+// position the session holds — for a paused session the first track it
+// will deliver on resume, for a playing one the next undelivered track.
+// Rate is the session's playback multiplier after the verb (1 = normal).
+type VcrOK struct {
+	Verb      string `json:"verb"`
+	StreamID  int    `json:"stream_id,omitempty"`
+	NextTrack int    `json:"next_track"`
+	Rate      int    `json:"rate"`
+}
+
+// encodeRate encodes the 4-byte big-endian payload shared by FF (a rate
+// multiplier) and REWIND (a target track).
+func encodeRate(v int) []byte {
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], uint32(v))
+	return p[:]
+}
+
+// parseFFRate validates an FF payload: exactly four bytes, rate in
+// [1, maxFFRate]. Truncated or oversized encodings are protocol errors.
+func parseFFRate(payload []byte) (int, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("netserve: FF payload is %d bytes, want 4", len(payload))
+	}
+	rate := int(binary.BigEndian.Uint32(payload))
+	if rate < 1 || rate > maxFFRate {
+		return 0, fmt.Errorf("netserve: FF rate %d outside [1, %d]", rate, maxFFRate)
+	}
+	return rate, nil
+}
+
+// parseRewindTrack validates a REWIND payload: exactly four bytes, a
+// non-negative target track (clamping to the stream's range is the
+// session layer's job — the wire layer only rejects malformed frames).
+func parseRewindTrack(payload []byte) (int, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("netserve: REWIND payload is %d bytes, want 4", len(payload))
+	}
+	track := int(binary.BigEndian.Uint32(payload))
+	if track < 0 || uint32(track) > 1<<31-1 {
+		return 0, fmt.Errorf("netserve: REWIND track %d out of range", track)
+	}
+	return track, nil
 }
 
 // writeFrame writes one frame with a single Write — control frames are

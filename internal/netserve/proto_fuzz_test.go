@@ -34,6 +34,38 @@ func seedFrames(t testing.TB) [][]byte {
 	add(frameHiccup, HiccupNote{Track: 7, Reason: "track lost in degraded-mode transition"})
 	add(frameBye, Bye{Reason: "finished"})
 	frames = append(frames, trackFrame(3, bytes.Repeat([]byte{0xAB}, 64)))
+	// VCR verbs: the empty-payload pause/resume, well-formed FF and
+	// REWIND rate encodings, and the server's VCR acknowledgement.
+	for _, typ := range []byte{framePause, frameResumePlay} {
+		var b bytes.Buffer
+		if err := writeFrame(&b, typ, nil); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, b.Bytes())
+	}
+	var ff bytes.Buffer
+	if err := writeFrame(&ff, frameFF, encodeRate(2)); err != nil {
+		t.Fatal(err)
+	}
+	frames = append(frames, ff.Bytes())
+	var rw bytes.Buffer
+	if err := writeFrame(&rw, frameRewind, encodeRate(9)); err != nil {
+		t.Fatal(err)
+	}
+	frames = append(frames, rw.Bytes())
+	add(frameVcrOK, VcrOK{Verb: "ff", StreamID: 1, NextTrack: 6, Rate: 2})
+	// Malformed rate encodings the server must refuse without panicking:
+	// a truncated 2-byte payload and an oversized 8-byte one.
+	var short bytes.Buffer
+	if err := writeFrame(&short, frameFF, []byte{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	frames = append(frames, short.Bytes())
+	var long bytes.Buffer
+	if err := writeFrame(&long, frameRewind, bytes.Repeat([]byte{0xFF}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	frames = append(frames, long.Bytes())
 	return frames
 }
 
@@ -71,9 +103,18 @@ func FuzzReadFrame(f *testing.F) {
 				t.Fatalf("payload is %d bytes, header claimed %d", len(payload), want)
 			}
 		}
-		if typ == frameTrack {
+		switch typ {
+		case frameTrack:
 			// parseTrack must tolerate whatever the decoder accepts.
 			_, _, _ = parseTrack(payload)
+		case frameFF:
+			if rate, err := parseFFRate(payload); err == nil && (rate < 1 || rate > maxFFRate) {
+				t.Fatalf("parseFFRate accepted out-of-range rate %d", rate)
+			}
+		case frameRewind:
+			if track, err := parseRewindTrack(payload); err == nil && track < 0 {
+				t.Fatalf("parseRewindTrack accepted negative track %d", track)
+			}
 		}
 	})
 }

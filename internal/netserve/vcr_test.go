@@ -1,0 +1,206 @@
+package netserve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitVcr reads a client's event stream until the next VCR
+// acknowledgement or refusal arrives, tolerating interleaved track and
+// hiccup traffic.
+func waitVcr(t *testing.T, c *Client) Event {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		ev, err := c.Next()
+		if err != nil {
+			t.Fatalf("waiting for VCR reply: %v", err)
+		}
+		if ev.Vcr != nil || ev.VcrReject != nil {
+			return ev
+		}
+		if ev.Bye != nil {
+			t.Fatalf("session closed while waiting for VCR reply: %s", ev.Bye.Reason)
+		}
+	}
+	t.Fatal("no VCR reply in 10000 events")
+	return Event{}
+}
+
+// TestFFCapacityRejectThenPauseAdmits is the k′ acceptance test on a
+// single-cluster farm, where the per-cluster surcharge for FF at rate r
+// is exactly r-1 slots: fill the farm to its admission bound, ask one
+// viewer to fast-forward — the doubled draw would exceed N_p, so the
+// server must refuse with a Retry-After — then pause another viewer
+// (freeing its slot without giving up its position) and ask again; now
+// the fast-forward must be granted.
+func TestFFCapacityRejectThenPauseAdmits(t *testing.T) {
+	cfg := defaultRig()
+	cfg.disks, cfg.cluster = 4, 4 // one cluster: the FF surcharge bound is exact
+	cfg.titles, cfg.groups = 2, 6
+	r := newLoopRig(t, "sr", cfg)
+
+	// Fill the farm: admit until the first rejection.
+	var clients []*Client
+	t.Cleanup(func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	})
+	for i := 0; i < 200; i++ {
+		c, err := Dial(r.ns.Addr().String(), 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Admit(r.titles[i%len(r.titles)]); err != nil {
+			c.Close()
+			var rej *RejectedError
+			if !errors.As(err, &rej) {
+				t.Fatalf("admission %d failed with a non-reject error: %v", i, err)
+			}
+			break
+		}
+		clients = append(clients, c)
+	}
+	if len(clients) < 2 {
+		t.Fatalf("farm admitted only %d streams; need >= 2 for the test", len(clients))
+	}
+
+	// At capacity, a fast-forward would push the weighted draw past N_p.
+	if err := clients[0].FastForward(2); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitVcr(t, clients[0])
+	if ev.VcrReject == nil {
+		t.Fatalf("FF at capacity was granted: %+v", ev.Vcr)
+	}
+	if ev.VcrReject.RetryAfterMillis <= 0 {
+		t.Errorf("FF refusal carries no Retry-After: %+v", ev.VcrReject)
+	}
+
+	// Another viewer pauses: its slot returns to the pool, its position
+	// is held server-side.
+	if err := clients[1].Pause(); err != nil {
+		t.Fatal(err)
+	}
+	ev = waitVcr(t, clients[1])
+	if ev.Vcr == nil || ev.Vcr.Verb != "pause" {
+		t.Fatalf("pause not acknowledged: %+v", ev)
+	}
+
+	// The freed slot covers the fast-forward surcharge.
+	if err := clients[0].FastForward(2); err != nil {
+		t.Fatal(err)
+	}
+	ev = waitVcr(t, clients[0])
+	if ev.Vcr == nil || ev.Vcr.Verb != "ff" || ev.Vcr.Rate != 2 {
+		t.Fatalf("FF after a pause still refused: %+v", ev.VcrReject)
+	}
+}
+
+// TestPauseResumeBitExact plays a title with a pause/resume round-trip
+// in the middle and checks the viewer still ends up with every track of
+// the title, bit-exact — under both the pipelined cycle loop and the
+// NoPipeline staging path, since resume rekeys the session mid-flight
+// and the pipeline holds staged frames for the old stream ID.
+func TestPauseResumeBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		noPipeline bool
+	}{
+		{name: "pipelined"},
+		{name: "no-pipeline", noPipeline: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := defaultRig()
+			cfg.groups = 6
+			cfg.ns = Options{NoPipeline: tc.noPipeline, Logf: t.Logf}
+			r := newLoopRig(t, "sr", cfg)
+
+			c, ok := r.connect(t, r.titles[0])
+			defer c.Close()
+			done := make(chan *clientResult, 1)
+			resumed := make(chan struct{}, 1)
+			go func() {
+				// The reader collects tracks and drives the VCR handshake:
+				// on the pause ack it asks to play on (the re-admission
+				// may bounce off a momentarily full farm; retries ride the
+				// VcrReject arm), and on the resume ack it unblocks the
+				// cycle driver.
+				res := &clientResult{tracks: map[int][]byte{}}
+				for {
+					ev, err := c.Next()
+					if err != nil {
+						res.err = err
+						done <- res
+						return
+					}
+					switch {
+					case ev.Bye != nil:
+						res.bye = ev.Bye.Reason
+						done <- res
+						return
+					case ev.Vcr != nil:
+						switch ev.Vcr.Verb {
+						case "pause":
+							if err := c.ResumePlay(); err != nil {
+								res.err = err
+								done <- res
+								return
+							}
+						case "resume":
+							resumed <- struct{}{}
+						}
+					case ev.VcrReject != nil:
+						time.Sleep(time.Duration(ev.VcrReject.RetryAfterMillis) * time.Millisecond)
+						if err := c.ResumePlay(); err != nil {
+							res.err = err
+							done <- res
+							return
+						}
+					case ev.Hiccup != nil:
+						res.hiccups = append(res.hiccups, *ev.Hiccup)
+					default:
+						res.tracks[ev.Track] = ev.Data
+					}
+				}
+			}()
+
+			// Play the stream a few tracks in, then stop the clock — the
+			// pause must land mid-flight, and the VCR round-trip needs no
+			// cycles (verbs are handled on the session's reader).
+			for i := 0; ; i++ {
+				next, _, live := r.ns.StreamProgress(ok.StreamID)
+				if !live {
+					t.Fatal("stream finished before the pause point")
+				}
+				if next >= 5 {
+					break
+				}
+				if i >= 100 {
+					t.Fatalf("stream stuck at track %d", next)
+				}
+				if err := r.ns.StepCycle(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Pause(); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-resumed:
+			case <-time.After(20 * time.Second):
+				t.Fatal("pause/resume handshake never completed")
+			}
+			r.stepUntilIdle(t, 600)
+			res := <-done
+			if res.bye != "finished" {
+				t.Fatalf("bye = %q (err %v), want finished", res.bye, res.err)
+			}
+			verifyBitExact(t, r, r.titles[0], res)
+			if len(res.hiccups) != 0 {
+				t.Errorf("pause/resume caused %d hiccups: %v", len(res.hiccups), res.hiccups)
+			}
+		})
+	}
+}

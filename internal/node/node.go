@@ -70,8 +70,11 @@ type Config struct {
 	SendQueue        int
 	WriteTimeout     time.Duration
 	WriteBufferBytes int
-	EnablePprof      bool
-	Logf             func(format string, args ...any)
+	// BatchCycles holds flash-crowd ADMITs per title for up to this many
+	// cycles so same-title arrivals start as one merged cohort (0: off).
+	BatchCycles int
+	EnablePprof bool
+	Logf        func(format string, args ...any)
 }
 
 // Node is one running shard: engine + network front end (+ HTTP).
@@ -152,6 +155,7 @@ func Start(cfg Config) (*Node, error) {
 		SendQueue:        cfg.SendQueue,
 		WriteTimeout:     cfg.WriteTimeout,
 		WriteBufferBytes: cfg.WriteBufferBytes,
+		BatchCycles:      cfg.BatchCycles,
 		EnablePprof:      cfg.EnablePprof,
 		NoPipeline:       cfg.NoPipeline,
 		Logf:             cfg.Logf,

@@ -43,6 +43,9 @@ type Spec struct {
 	// whose stream is unknown or already finished is silently skipped,
 	// so shrunk chaos traces stay runnable after events are removed.
 	Cancels []Cancel `json:"cancels,omitempty"`
+	// VcrEvents schedules interactive-viewer verbs (pause, resume, ff,
+	// rewind) against admitted streams, applied best-effort like Cancels.
+	VcrEvents []VcrEvent `json:"vcr_events,omitempty"`
 	// MaxCycles bounds the run (default 10000).
 	MaxCycles int `json:"max_cycles"`
 	// Cluster topology: Nodes > 1 runs the spec across a farm-per-node
@@ -92,6 +95,21 @@ type NodeEvent struct {
 type Cancel struct {
 	Cycle  int `json:"cycle"`
 	Stream int `json:"stream"`
+}
+
+// VcrEvent applies one interactive-viewer verb to the Stream-th
+// successful admission at a cycle. Kind is "pause" (park the stream,
+// freeing its slot), "resume" (re-admit a paused stream at its held
+// position's group floor; a rejection leaves it parked), "ff" (set
+// playback multiplier Rate; refusals and engines without rate support
+// are tolerated), or "rewind" (jump to absolute track Track, clamped;
+// refusals park the stream at the target).
+type VcrEvent struct {
+	Cycle  int    `json:"cycle"`
+	Kind   string `json:"kind"`
+	Stream int    `json:"stream"`
+	Rate   int    `json:"rate,omitempty"`
+	Track  int    `json:"track,omitempty"`
 }
 
 // Result summarizes a run.
@@ -157,6 +175,24 @@ func (s *Spec) Validate() error {
 	for _, c := range s.Cancels {
 		if c.Cycle < 0 || c.Stream < 0 {
 			return fmt.Errorf("scenario: bad cancel %+v", c)
+		}
+	}
+	for _, v := range s.VcrEvents {
+		if v.Cycle < 0 || v.Stream < 0 {
+			return fmt.Errorf("scenario: bad vcr event %+v", v)
+		}
+		switch v.Kind {
+		case "pause", "resume":
+		case "ff":
+			if v.Rate < 1 {
+				return fmt.Errorf("scenario: ff rate %d below 1", v.Rate)
+			}
+		case "rewind":
+			if v.Track < 0 {
+				return fmt.Errorf("scenario: rewind to negative track %d", v.Track)
+			}
+		default:
+			return fmt.Errorf("scenario: unknown vcr event kind %q", v.Kind)
 		}
 	}
 	if s.Nodes < 0 {
@@ -250,7 +286,17 @@ func (s *Spec) Run() (*Result, error) {
 			lastEvent = c.Cycle
 		}
 	}
+	for _, v := range s.VcrEvents {
+		if v.Cycle > lastEvent {
+			lastEvent = v.Cycle
+		}
+	}
 	var admittedIDs []int
+	var admittedTitles []string
+	// paused maps ordinal -> next owed track for streams a pause (or a
+	// refused rewind) has parked.
+	paused := map[int]int{}
+	width := s.ClusterSize - 1
 	for cycle := 0; cycle < maxCycles; cycle++ {
 		for _, r := range s.Requests {
 			if r.Cycle != cycle {
@@ -261,6 +307,7 @@ func (s *Spec) Run() (*Result, error) {
 			} else {
 				res.Admitted++
 				admittedIDs = append(admittedIDs, id)
+				admittedTitles = append(admittedTitles, r.Title)
 			}
 		}
 		for _, f := range s.Failures {
@@ -290,7 +337,66 @@ func (s *Spec) Run() (*Result, error) {
 			// Best-effort: skip cancels whose admission never happened or
 			// whose stream already finished.
 			if c.Cycle == cycle && c.Stream < len(admittedIDs) {
+				if _, ok := paused[c.Stream]; ok {
+					delete(paused, c.Stream)
+					continue
+				}
 				_ = srv.Cancel(admittedIDs[c.Stream])
+			}
+		}
+		for _, v := range s.VcrEvents {
+			// Same best-effort contract as Cancels: verbs whose stream is
+			// unknown, finished, or in the wrong state are skipped, so
+			// shrunk chaos traces stay runnable.
+			if v.Cycle != cycle || v.Stream >= len(admittedIDs) {
+				continue
+			}
+			switch v.Kind {
+			case "pause":
+				if _, ok := paused[v.Stream]; ok {
+					break
+				}
+				next, _, ok := srv.StreamProgress(admittedIDs[v.Stream])
+				if !ok {
+					break
+				}
+				_ = srv.Cancel(admittedIDs[v.Stream])
+				paused[v.Stream] = next
+			case "resume":
+				next, ok := paused[v.Stream]
+				if !ok {
+					break
+				}
+				id, _, err := srv.RequestAt(admittedTitles[v.Stream], next/width)
+				if err != nil {
+					break // stays parked, like a viewer holding a Retry-After
+				}
+				admittedIDs[v.Stream] = id
+				delete(paused, v.Stream)
+			case "ff":
+				if _, ok := paused[v.Stream]; ok {
+					break
+				}
+				_ = srv.SetStreamRate(admittedIDs[v.Stream], v.Rate)
+			case "rewind":
+				target := v.Track
+				if t := s.TitleGroups * width; target >= t {
+					target = t - 1
+				}
+				if _, ok := paused[v.Stream]; ok {
+					paused[v.Stream] = target
+					break
+				}
+				if _, _, ok := srv.StreamProgress(admittedIDs[v.Stream]); !ok {
+					break
+				}
+				_ = srv.Cancel(admittedIDs[v.Stream])
+				id, _, err := srv.RequestAt(admittedTitles[v.Stream], target/width)
+				if err != nil {
+					paused[v.Stream] = target
+					break
+				}
+				admittedIDs[v.Stream] = id
 			}
 		}
 		rep, err := srv.Step()

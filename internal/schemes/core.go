@@ -1,12 +1,19 @@
 package schemes
 
 import (
+	"errors"
 	"fmt"
 
 	"ftmm/internal/buffer"
 	"ftmm/internal/layout"
 	"ftmm/internal/sched"
 )
+
+// ErrCapacity marks an admission-bound refusal — a rate change or
+// admission that would push some cluster past its per-disk slot budget.
+// Callers distinguish it from unknown-stream or validation errors to
+// decide whether a retry later can succeed.
+var ErrCapacity = errors.New("schemes: capacity")
 
 // engineCore is the chassis shared by the four scheme engines: the
 // validated configuration, the per-disk slot budget, the cycle counter,
@@ -300,16 +307,99 @@ type groupStream struct {
 	nextGroup  int
 	staged     *bufferedGroup
 	delivering *bufferedGroup
+	// rate is the playback multiplier: 0 and 1 mean normal playback (one
+	// group per cycle), r > 1 means fast-forward — r groups staged and
+	// delivered per cycle. The extra groups beyond the first live in
+	// stagedExtra/deliveringExtra, in group order, so the rate-1 fields
+	// above keep their exact pre-VCR behaviour.
+	rate            int
+	stagedExtra     []*bufferedGroup
+	deliveringExtra []*bufferedGroup
 }
 
 func (s *groupStream) stream() *sched.Stream { return &s.Stream }
 
-// groupClusterLoad counts the streams whose next group read lands on
-// each cluster.
+// ffRate normalizes a stream's playback multiplier (0 means 1).
+func ffRate(s *groupStream) int {
+	if s.rate > 1 {
+		return s.rate
+	}
+	return 1
+}
+
+// groupClusterLoad counts the normal-rate streams whose next group read
+// lands on each cluster. Fast-forward streams are excluded: their draw
+// is not tied to one cluster (a rate-r stream touches up to r clusters
+// per cycle) and is accounted separately by ffClusterDraw.
 func (c *engineCore) groupClusterLoad(streams []*groupStream) []int {
+	return c.groupClusterLoadOmit(streams, nil)
+}
+
+// ffClusterDraw bounds the extra per-cluster slot draw of every active
+// fast-forward stream (excluding skip). Consecutive parity groups of an
+// object land on consecutive clusters mod N (layout places group g on
+// cluster (start+g) mod N), so the r groups a rate-r stream reads in
+// one cycle spread over r consecutive clusters and hit any single
+// cluster at most ceil(r/N) times. Summing that ceiling over all FF
+// streams gives a per-cluster draw bound that holds on every cluster in
+// every future cycle, which is what lets admission treat FF draw as a
+// position-independent surcharge on top of the rotating rate-1 loads.
+func (c *engineCore) ffClusterDraw(streams []*groupStream, skip *groupStream) int {
+	n := c.cfg.Layout.Clusters()
+	draw := 0
+	for _, s := range streams {
+		if s == skip || s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
+			continue
+		}
+		if r := ffRate(s); r > 1 {
+			draw += (r + n - 1) / n
+		}
+	}
+	return draw
+}
+
+// setGroupStreamRate changes a stream's playback multiplier for the
+// whole-group engines. Dropping the rate (or holding it) always
+// succeeds — it only releases draw. Raising it re-runs the admission
+// argument: the worst-case cluster must absorb the stream's new
+// ceil(rate/N) draw on top of every other stream's, or the change is
+// refused wrapping ErrCapacity (the caller can retry after capacity
+// frees up). The stream's current seat — one rate-1 slot or its old FF
+// draw — is excluded from the check, since the new draw replaces it.
+func (c *engineCore) setGroupStreamRate(streams []*groupStream, id, rate int) error {
+	if rate < 1 {
+		return fmt.Errorf("schemes: rate %d must be at least 1", rate)
+	}
+	s, err := findActive(streams, id)
+	if err != nil {
+		return err
+	}
+	if rate <= ffRate(s) {
+		s.rate = rate
+		return nil
+	}
+	n := c.cfg.Layout.Clusters()
+	maxLoad := 0
+	for _, l := range c.groupClusterLoadOmit(streams, s) {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	need := (rate + n - 1) / n
+	if maxLoad+c.ffClusterDraw(streams, s)+need > c.slotsPerDisk {
+		return fmt.Errorf("%w: rate %d needs %d slots over the worst cluster's %d-of-%d budget",
+			ErrCapacity, rate, need, maxLoad+c.ffClusterDraw(streams, s), c.slotsPerDisk)
+	}
+	s.rate = rate
+	return nil
+}
+
+// groupClusterLoadOmit is groupClusterLoad with one stream left out —
+// the stream whose seat is being re-priced by a rate change.
+func (c *engineCore) groupClusterLoadOmit(streams []*groupStream, skip *groupStream) []int {
 	load := make([]int, c.cfg.Layout.Clusters())
 	for _, s := range streams {
-		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
+		if s == skip || s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) || ffRate(s) > 1 {
 			continue
 		}
 		load[s.Obj.Groups[s.nextGroup].Cluster]++
@@ -317,22 +407,18 @@ func (c *engineCore) groupClusterLoad(streams []*groupStream) []int {
 	return load
 }
 
-// groupReadersByCluster partitions this cycle's group readers by the
-// cluster their next group lives on, preserving stream order within
-// each cluster. want filters which streams read this cycle.
-func (c *engineCore) groupReadersByCluster(streams []*groupStream, want func(*groupStream) bool) [][]*groupStream {
-	readers := make([][]*groupStream, c.cfg.Layout.Clusters())
+// weightedActive sums max(rate, 1) over active streams: the per-cycle
+// k′ draw the farm is actually committed to, which is what the paper's
+// N_p bound constrains once fast-forward multiplies a viewer's draw.
+func weightedActive(streams []*groupStream) int {
+	n := 0
 	for _, s := range streams {
-		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
+		if s.Done || s.Terminated {
 			continue
 		}
-		if want != nil && !want(s) {
-			continue
-		}
-		cl := s.Obj.Groups[s.nextGroup].Cluster
-		readers[cl] = append(readers[cl], s)
+		n += ffRate(s)
 	}
-	return readers
+	return n
 }
 
 // cancelGroupStream implements CancelStream for double-buffered engines:
@@ -348,7 +434,62 @@ func (c *engineCore) cancelGroupStream(streams []*groupStream, id int) error {
 		return err
 	}
 	s.staged, s.delivering = nil, nil
+	if err := c.releaseGroups(s.stagedExtra...); err != nil {
+		return err
+	}
+	if err := c.releaseGroups(s.deliveringExtra...); err != nil {
+		return err
+	}
+	s.stagedExtra, s.deliveringExtra = s.stagedExtra[:0], s.deliveringExtra[:0]
 	return nil
+}
+
+// groupReadEntry is one group read of this cycle's plan: stream s reads
+// group g into its primary staged slot (slot == -1) or stagedExtra[slot]
+// (a fast-forward stream's extra group).
+type groupReadEntry struct {
+	s    *groupStream
+	g    *layout.Group
+	slot int
+}
+
+// groupReadPlan lays out this cycle's group reads by cluster,
+// fast-forward aware: a rate-r stream contributes its next r groups
+// (capped at the object's end), the first to its primary slot and the
+// rest to stagedExtra in group order. nextGroup advances here, in the
+// single-threaded planning pass, so the parallel read phase only writes
+// each entry's private slot — two entries of one stream can land on the
+// same cluster (rate > cluster count) and are then staged serially by
+// that cluster's one worker, while entries on different clusters write
+// disjoint slots. want filters which streams read this cycle.
+func (c *engineCore) groupReadPlan(streams []*groupStream, want func(*groupStream) bool) [][]groupReadEntry {
+	plan := make([][]groupReadEntry, c.cfg.Layout.Clusters())
+	for _, s := range streams {
+		if s.Done || s.Terminated || s.nextGroup >= len(s.Obj.Groups) {
+			continue
+		}
+		if want != nil && !want(s) {
+			continue
+		}
+		rate := ffRate(s)
+		if remaining := len(s.Obj.Groups) - s.nextGroup; rate > remaining {
+			rate = remaining
+		}
+		if need := rate - 1; cap(s.stagedExtra) < need {
+			s.stagedExtra = make([]*bufferedGroup, need)
+		} else {
+			s.stagedExtra = s.stagedExtra[:need]
+			for i := range s.stagedExtra {
+				s.stagedExtra[i] = nil
+			}
+		}
+		for j := 0; j < rate; j++ {
+			g := &s.Obj.Groups[s.nextGroup]
+			s.nextGroup++
+			plan[g.Cluster] = append(plan[g.Cluster], groupReadEntry{s: s, g: g, slot: j - 1})
+		}
+	}
+	return plan
 }
 
 // stageGroup schedules and reads one whole parity group for later
@@ -429,77 +570,102 @@ func (c *engineCore) stageGroup(ctx *sched.CycleContext, g *layout.Group, cache 
 
 // deliverDouble runs the delivery phase for double-buffered engines:
 // groups read in the previous cycle go out now, hiccuping tracks that
-// could not be read or rebuilt (hiccupReason labels the loss).
+// could not be read or rebuilt (hiccupReason labels the loss). A
+// fast-forward stream delivers its primary group and then its extras in
+// group order, so the tracks on the wire stay consecutive.
 func (c *engineCore) deliverDouble(ctx *sched.CycleContext, streams []*groupStream, hiccupReason string) error {
 	for _, s := range streams {
 		if s.Terminated || s.Done {
 			continue
 		}
 		bg := s.delivering
+		extras := s.deliveringExtra
 		s.delivering, s.staged = s.staged, nil
-		if bg == nil {
-			continue
-		}
-		width := len(bg.group.Data)
-		base := bg.group.Index * width
-		for off := 0; off < bg.group.ValidTracks; off++ {
-			var ref *buffer.Ref
-			var data []byte
-			switch {
-			case bg.refs != nil && bg.refs[off] != nil:
-				// An earlier sharer already minted the ref for this track;
-				// retain the SAME ref (a second Share would double-free).
-				ref = bg.refs[off]
-				ref.Retain()
-				c.delivered = append(c.delivered, ref)
-				data = ref.Bytes()
-			case bg.data[off] != nil:
-				data = bg.data[off]
-				ref = c.shareDelivered(data)
-				if bg.shares > 1 {
-					if bg.refs == nil {
-						bg.refs = make([]*buffer.Ref, len(bg.data))
-					}
-					bg.refs[off] = ref
-				}
-				// Ownership moved to the Ref; clear the slot so recycleGroup
-				// below does not Put the buffer behind the report's back.
-				bg.data[off] = nil
-			default:
-				ctx.Rep.Hiccups = append(ctx.Rep.Hiccups, sched.Hiccup{
-					StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-					Reason: hiccupReason,
-				})
-				continue
-			}
-			ctx.Rep.Delivered = append(ctx.Rep.Delivered, sched.Delivery{
-				StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
-				Data: data, Buf: ref, Reconstructed: bg.reconstructed[off],
-			})
-		}
-		if bg.pooled > 0 {
-			if err := c.pool.Release(bg.pooled); err != nil {
+		s.deliveringExtra, s.stagedExtra = s.stagedExtra, extras[:0]
+		if bg != nil {
+			if err := c.deliverGroup(ctx, s, bg, hiccupReason); err != nil {
 				return err
 			}
 		}
-		if bg.shares > 1 {
-			bg.shares--
-		} else {
-			bg.shares = 0
-			bg.pooled = 0
-			// Delivered slots were handed to refs above; recycle only the
-			// leftovers (failed reads, padding past ValidTracks).
-			c.recycleGroup(bg)
-			if bg.refs != nil {
-				for i := range bg.refs {
-					bg.refs[i] = nil
-				}
+		for i, ebg := range extras {
+			extras[i] = nil
+			if ebg == nil {
+				continue
+			}
+			if err := c.deliverGroup(ctx, s, ebg, hiccupReason); err != nil {
+				return err
 			}
 		}
-		s.Advance(bg.group.ValidTracks)
+		if bg == nil && len(extras) == 0 {
+			continue
+		}
 		if s.Done {
 			ctx.Rep.Finished = append(ctx.Rep.Finished, s.ID)
 		}
 	}
+	return nil
+}
+
+// deliverGroup ships one buffered group of one stream: tracks out (or
+// hiccups), the sharer's pool hold released, the stream advanced. The
+// caller appends Finished once after all of the stream's groups.
+func (c *engineCore) deliverGroup(ctx *sched.CycleContext, s *groupStream, bg *bufferedGroup, hiccupReason string) error {
+	width := len(bg.group.Data)
+	base := bg.group.Index * width
+	for off := 0; off < bg.group.ValidTracks; off++ {
+		var ref *buffer.Ref
+		var data []byte
+		switch {
+		case bg.refs != nil && bg.refs[off] != nil:
+			// An earlier sharer already minted the ref for this track;
+			// retain the SAME ref (a second Share would double-free).
+			ref = bg.refs[off]
+			ref.Retain()
+			c.delivered = append(c.delivered, ref)
+			data = ref.Bytes()
+		case bg.data[off] != nil:
+			data = bg.data[off]
+			ref = c.shareDelivered(data)
+			if bg.shares > 1 {
+				if bg.refs == nil {
+					bg.refs = make([]*buffer.Ref, len(bg.data))
+				}
+				bg.refs[off] = ref
+			}
+			// Ownership moved to the Ref; clear the slot so recycleGroup
+			// below does not Put the buffer behind the report's back.
+			bg.data[off] = nil
+		default:
+			ctx.Rep.Hiccups = append(ctx.Rep.Hiccups, sched.Hiccup{
+				StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
+				Reason: hiccupReason,
+			})
+			continue
+		}
+		ctx.Rep.Delivered = append(ctx.Rep.Delivered, sched.Delivery{
+			StreamID: s.ID, ObjectID: s.Obj.ID, Track: base + off,
+			Data: data, Buf: ref, Reconstructed: bg.reconstructed[off],
+		})
+	}
+	if bg.pooled > 0 {
+		if err := c.pool.Release(bg.pooled); err != nil {
+			return err
+		}
+	}
+	if bg.shares > 1 {
+		bg.shares--
+	} else {
+		bg.shares = 0
+		bg.pooled = 0
+		// Delivered slots were handed to refs above; recycle only the
+		// leftovers (failed reads, padding past ValidTracks).
+		c.recycleGroup(bg)
+		if bg.refs != nil {
+			for i := range bg.refs {
+				bg.refs[i] = nil
+			}
+		}
+	}
+	s.Advance(bg.group.ValidTracks)
 	return nil
 }

@@ -94,6 +94,16 @@ func (e *Declustered) CancelStream(id int) error {
 	return e.cancelGroupStream(e.streams, id)
 }
 
+// SetStreamRate sets a stream's playback multiplier; see
+// StreamingRAID.SetStreamRate — the argument carries over because
+// consecutive groups rotate declustering groups the same way.
+func (e *Declustered) SetStreamRate(id, rate int) error {
+	return e.setGroupStreamRate(e.streams, id, rate)
+}
+
+// WeightedActive sums max(rate,1) over active streams.
+func (e *Declustered) WeightedActive() int { return weightedActive(e.streams) }
+
 // Step implements Simulator. The cycle structure is Streaming RAID's:
 // a read phase staging each stream's next parity group (same-title
 // lockstep reads merged through the per-cluster stage cache), then a
@@ -110,20 +120,22 @@ func (e *Declustered) Step() (*sched.CycleReport, error) {
 	if merge {
 		e.ensureStageCaches()
 	}
-	readers := e.groupReadersByCluster(e.streams, nil)
+	plan := e.groupReadPlan(e.streams, nil)
 	if err := e.runClusters(ctx, func(shard *sched.CycleContext, cl int) error {
 		var cache map[*layout.Group]*bufferedGroup
-		if merge && len(readers[cl]) > 1 {
+		if merge && len(plan[cl]) > 1 {
 			cache = e.stageCacheFor(cl)
 		}
-		for _, s := range readers[cl] {
-			g := &s.Obj.Groups[s.nextGroup]
-			s.nextGroup++
-			staged, err := e.stageGroup(shard, g, cache)
+		for _, ent := range plan[cl] {
+			staged, err := e.stageGroup(shard, ent.g, cache)
 			if err != nil {
 				return err
 			}
-			s.staged = staged
+			if ent.slot < 0 {
+				ent.s.staged = staged
+			} else {
+				ent.s.stagedExtra[ent.slot] = staged
+			}
 		}
 		return nil
 	}); err != nil {

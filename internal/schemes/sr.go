@@ -85,6 +85,19 @@ func (e *StreamingRAID) CancelStream(id int) error {
 	return e.cancelGroupStream(e.streams, id)
 }
 
+// SetStreamRate sets a stream's playback multiplier (1 = normal, r > 1
+// = fast-forward reading r parity groups per cycle). Raising the rate
+// re-runs the admission argument and fails wrapping ErrCapacity when
+// the extra ceil(r/clusters) per-cluster draw would not fit; lowering
+// it always succeeds.
+func (e *StreamingRAID) SetStreamRate(id, rate int) error {
+	return e.setGroupStreamRate(e.streams, id, rate)
+}
+
+// WeightedActive sums max(rate,1) over active streams — the true
+// per-cycle k′ draw the admission bound constrains under fast-forward.
+func (e *StreamingRAID) WeightedActive() int { return weightedActive(e.streams) }
+
 // Step implements Simulator.
 func (e *StreamingRAID) Step() (*sched.CycleReport, error) {
 	ctx, err := e.beginCycle()
@@ -104,20 +117,22 @@ func (e *StreamingRAID) Step() (*sched.CycleReport, error) {
 	if merge {
 		e.ensureStageCaches()
 	}
-	readers := e.groupReadersByCluster(e.streams, nil)
+	plan := e.groupReadPlan(e.streams, nil)
 	if err := e.runClusters(ctx, func(shard *sched.CycleContext, cl int) error {
 		var cache map[*layout.Group]*bufferedGroup
-		if merge && len(readers[cl]) > 1 {
+		if merge && len(plan[cl]) > 1 {
 			cache = e.stageCacheFor(cl)
 		}
-		for _, s := range readers[cl] {
-			g := &s.Obj.Groups[s.nextGroup]
-			s.nextGroup++
-			staged, err := e.stageGroup(shard, g, cache)
+		for _, ent := range plan[cl] {
+			staged, err := e.stageGroup(shard, ent.g, cache)
 			if err != nil {
 				return err
 			}
-			s.staged = staged
+			if ent.slot < 0 {
+				ent.s.staged = staged
+			} else {
+				ent.s.stagedExtra[ent.slot] = staged
+			}
 		}
 		return nil
 	}); err != nil {

@@ -573,6 +573,48 @@ func (s *Server) Cancel(streamID int) error {
 	return nil
 }
 
+// rateSetter is implemented by engines that support fast-forward: the
+// whole-group engines (Streaming RAID, declustered parity) can change a
+// stream's per-cycle group draw after admission.
+type rateSetter interface {
+	SetStreamRate(id, rate int) error
+}
+
+// SetStreamRate changes a live stream's playback multiplier (1 =
+// normal, r > 1 = fast-forward at r× the per-cycle draw). A refusal
+// because the farm cannot absorb the extra draw comes back wrapping
+// ErrRejected — transient, worth a retry once capacity frees up; other
+// errors (unknown stream, unsupported engine, bad rate) are permanent.
+func (s *Server) SetStreamRate(streamID, rate int) error {
+	rs, ok := s.engine.(rateSetter)
+	if !ok {
+		return errors.New("server: engine cannot change stream rates")
+	}
+	if err := rs.SetStreamRate(streamID, rate); err != nil {
+		if errors.Is(err, schemes.ErrCapacity) {
+			return fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// weightedActiver is implemented by engines whose streams can draw more
+// than one k′ unit per cycle.
+type weightedActiver interface {
+	WeightedActive() int
+}
+
+// WeightedActive returns the farm's true per-cycle k′ draw: active
+// streams weighted by their playback multiplier. For engines without
+// fast-forward it equals Active.
+func (s *Server) WeightedActive() int {
+	if wa, ok := s.engine.(weightedActiver); ok {
+		return wa.WeightedActive()
+	}
+	return s.engine.Active()
+}
+
 // QueueRequest admits the title's stream now if capacity allows, or
 // parks the request to be retried each cycle — the paper's "terminated
 // and rescheduled at a later time" discipline for requests that cannot

@@ -35,6 +35,16 @@ type Config struct {
 	ZipfS float64
 	// ArrivalsPerSecond is the Poisson arrival rate.
 	ArrivalsPerSecond float64
+
+	// Flash crowds: when BurstSize > 1 and BurstEvery > 0, every
+	// BurstEvery of generated time the Poisson process is interrupted by
+	// BurstSize simultaneous requests for one title drawn uniformly from
+	// the Zipf head (the first BurstHead objects; 0 means 1) — a
+	// premiere or a live-event start, the arrival pattern batched
+	// admission exists for.
+	BurstSize  int
+	BurstEvery time.Duration
+	BurstHead  int
 }
 
 // Generator produces a reproducible request stream.
@@ -43,6 +53,12 @@ type Generator struct {
 	cfg  Config
 	cdf  []float64
 	last time.Duration
+
+	// Flash-crowd state: the next burst instant, and the remainder of a
+	// burst in progress (all at g.last, all for burstTitle).
+	nextBurst  time.Duration
+	burstLeft  int
+	burstTitle string
 }
 
 // New creates a Generator.
@@ -56,7 +72,10 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.ArrivalsPerSecond <= 0 {
 		return nil, fmt.Errorf("workload: arrival rate %v must be positive", cfg.ArrivalsPerSecond)
 	}
-	g := &Generator{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	if cfg.BurstSize > 1 && cfg.BurstEvery <= 0 {
+		return nil, fmt.Errorf("workload: burst size %d needs a positive burst interval", cfg.BurstSize)
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg, nextBurst: cfg.BurstEvery}
 	g.cdf = make([]float64, len(cfg.Objects))
 	total := 0.0
 	for i := range cfg.Objects {
@@ -79,11 +98,37 @@ func (g *Generator) Pick() string {
 	return g.cfg.Objects[i]
 }
 
+// pickHead draws one object uniformly from the Zipf head (the first
+// BurstHead objects).
+func (g *Generator) pickHead() string {
+	head := g.cfg.BurstHead
+	if head < 1 {
+		head = 1
+	}
+	if head > len(g.cfg.Objects) {
+		head = len(g.cfg.Objects)
+	}
+	return g.cfg.Objects[g.rng.Intn(head)]
+}
+
 // Next returns the next request; inter-arrival times are exponential
-// with the configured rate.
+// with the configured rate, except when a flash-crowd burst fires: its
+// BurstSize requests all carry the burst instant and the same title.
 func (g *Generator) Next() Request {
+	if g.burstLeft > 0 {
+		g.burstLeft--
+		return Request{At: g.last, ObjectID: g.burstTitle}
+	}
 	gap := g.rng.ExpFloat64() / g.cfg.ArrivalsPerSecond
-	g.last += time.Duration(gap * float64(time.Second))
+	at := g.last + time.Duration(gap*float64(time.Second))
+	if g.cfg.BurstSize > 1 && at >= g.nextBurst {
+		g.last = g.nextBurst
+		g.nextBurst += g.cfg.BurstEvery
+		g.burstTitle = g.pickHead()
+		g.burstLeft = g.cfg.BurstSize - 1
+		return Request{At: g.last, ObjectID: g.burstTitle}
+	}
+	g.last = at
 	return Request{At: g.last, ObjectID: g.Pick()}
 }
 
